@@ -1,0 +1,13 @@
+//! # flowery-analysis
+//!
+//! Root-cause analysis of cross-layer protection deficiencies: classify
+//! assembly-level SDC cases into the paper's five penetration categories
+//! (store, branch, comparison, call, mapping — §5.2) and render reports.
+
+pub mod report;
+pub mod rootcause;
+pub mod vulnerability;
+
+pub use report::{pct, render_breakdown, render_table};
+pub use rootcause::{classify_campaign, classify_campaign_with, classify_site, Classifier, Penetration, PenetrationBreakdown};
+pub use vulnerability::{render_vulnerability, vulnerability_ranking, VulnEntry};

@@ -1,0 +1,82 @@
+//! Human-readable report rendering for experiment results.
+
+use crate::rootcause::{Penetration, PenetrationBreakdown};
+use std::fmt::Write;
+
+/// Render a Figure-3-style distribution table.
+pub fn render_breakdown(b: &PenetrationBreakdown) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<12} {:>8} {:>8}", "category", "cases", "share");
+    for p in Penetration::CATEGORIES {
+        let _ = writeln!(s, "{:<12} {:>8} {:>7.2}%", p.name(), b.get(p), b.percent(p));
+    }
+    let _ = writeln!(s, "{:<12} {:>8}", "(unprotected)", b.unprotected);
+    let _ = writeln!(s, "{:<12} {:>8}", "(other)", b.other);
+    let _ = writeln!(s, "{:<12} {:>8}", "deficiencies", b.deficiency_total());
+    s
+}
+
+/// Render an aligned table given a header and rows of cells.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut s = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(s, "{:>width$}  ", h, width = widths[i]);
+    }
+    s.push('\n');
+    for (i, _) in header.iter().enumerate() {
+        let _ = write!(s, "{}  ", "-".repeat(widths[i]));
+    }
+    s.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            let _ = write!(s, "{:>width$}  ", cell, width = widths[i]);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_renders_all_categories() {
+        let b = PenetrationBreakdown { store: 39, branch: 35, comparison: 20, call: 3, mapping: 3, ..Default::default() };
+        let s = render_breakdown(&b);
+        for name in ["store", "branch", "comparison", "call", "mapping", "deficiencies"] {
+            assert!(s.contains(name), "{s}");
+        }
+        assert!(s.contains("39.00%"), "{s}");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["bench", "cov"],
+            &[vec!["bfs".into(), "53.3%".into()], vec!["stringsearch".into(), "12.0%".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bench"));
+        assert!(lines[3].contains("stringsearch"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.3121), "31.21%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

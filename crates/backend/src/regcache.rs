@@ -1,0 +1,190 @@
+//! The intra-block register cache of the fast allocator.
+//!
+//! `-O0`-style code keeps every value in its stack home, but within a basic
+//! block the allocator remembers which register currently holds which value
+//! and reuses it instead of reloading (LLVM's `FastRegAlloc` does the
+//! same). The cache is flushed at block boundaries and calls.
+//!
+//! This is the mechanism the paper's *eager store* patch exploits: a store
+//! placed in the same block as the stored value's definition finds the
+//! value still cached and needs no reload `mov` — removing the unprotected
+//! store-penetration site (§6.1).
+
+use crate::mir::Reg;
+use flowery_ir::value::Value;
+use std::collections::HashMap;
+
+/// Intra-block value-to-register cache with LRU eviction.
+#[derive(Debug, Default)]
+pub struct RegCache {
+    reg_of: HashMap<Value, Reg>,
+    val_of: HashMap<Reg, Value>,
+    /// Most-recently-used at the back.
+    lru: Vec<Reg>,
+    /// When disabled (ablation), lookups always miss and binds are ignored.
+    disabled: bool,
+}
+
+impl RegCache {
+    pub fn new(enabled: bool) -> RegCache {
+        RegCache { disabled: !enabled, ..Default::default() }
+    }
+
+    /// Register currently caching `v`, refreshing its LRU position.
+    pub fn lookup(&mut self, v: Value) -> Option<Reg> {
+        if self.disabled {
+            return None;
+        }
+        let r = *self.reg_of.get(&v)?;
+        self.touch(r);
+        Some(r)
+    }
+
+    fn touch(&mut self, r: Reg) {
+        if let Some(pos) = self.lru.iter().position(|&x| x == r) {
+            self.lru.remove(pos);
+        }
+        self.lru.push(r);
+    }
+
+    /// Pick a register from `pool` that is not in `avoid`: a free one if
+    /// possible, otherwise the least-recently-used cached one (evicting its
+    /// binding — no store needed, homes are written eagerly).
+    pub fn take(&mut self, pool: &[Reg], avoid: &[Reg]) -> Reg {
+        // Free register first.
+        if let Some(&r) = pool.iter().find(|r| !avoid.contains(r) && !self.val_of.contains_key(r)) {
+            self.touch(r);
+            return r;
+        }
+        // Evict the LRU register of this pool.
+        let victim = self
+            .lru
+            .iter()
+            .copied()
+            .find(|r| pool.contains(r) && !avoid.contains(r))
+            .expect("register pool exhausted by avoid set");
+        self.invalidate_reg(victim);
+        self.touch(victim);
+        victim
+    }
+
+    /// Record that `r` now holds `v`.
+    pub fn bind(&mut self, r: Reg, v: Value) {
+        if self.disabled {
+            return;
+        }
+        self.invalidate_reg(r);
+        if let Some(old) = self.reg_of.insert(v, r) {
+            self.val_of.remove(&old);
+        }
+        self.val_of.insert(r, v);
+        self.touch(r);
+    }
+
+    /// Drop any binding of `r` (it is about to be clobbered).
+    pub fn invalidate_reg(&mut self, r: Reg) {
+        if let Some(v) = self.val_of.remove(&r) {
+            self.reg_of.remove(&v);
+        }
+    }
+
+    /// Drop the binding of `v` (its home was overwritten / it went stale).
+    pub fn invalidate_value(&mut self, v: Value) {
+        if let Some(r) = self.reg_of.remove(&v) {
+            self.val_of.remove(&r);
+        }
+    }
+
+    /// Flush everything (block boundary / call).
+    pub fn flush(&mut self) {
+        self.reg_of.clear();
+        self.val_of.clear();
+        self.lru.clear();
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.reg_of.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reg_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowery_ir::value::InstId;
+
+    fn v(n: u32) -> Value {
+        Value::Inst(InstId(n))
+    }
+
+    #[test]
+    fn hit_after_bind_miss_after_flush() {
+        let mut c = RegCache::new(true);
+        let r = c.take(&Reg::GPR_POOL, &[]);
+        c.bind(r, v(1));
+        assert_eq!(c.lookup(v(1)), Some(r));
+        c.flush();
+        assert_eq!(c.lookup(v(1)), None);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = RegCache::new(false);
+        let r = c.take(&Reg::GPR_POOL, &[]);
+        c.bind(r, v(1));
+        assert_eq!(c.lookup(v(1)), None);
+    }
+
+    #[test]
+    fn evicts_lru_when_pool_full() {
+        let mut c = RegCache::new(true);
+        let pool = [Reg::Rax, Reg::Rcx, Reg::Rdx];
+        for i in 0..3 {
+            let r = c.take(&pool, &[]);
+            c.bind(r, v(i));
+        }
+        // Touch v0 so v1 becomes LRU.
+        let r0 = c.lookup(v(0)).unwrap();
+        let taken = c.take(&pool, &[]);
+        assert_ne!(taken, r0, "most-recently-used must not be evicted");
+        assert_eq!(c.lookup(v(1)), None, "LRU binding evicted");
+        assert_eq!(c.lookup(v(2)).is_some() || c.lookup(v(0)).is_some(), true);
+    }
+
+    #[test]
+    fn avoid_set_respected() {
+        let mut c = RegCache::new(true);
+        let pool = [Reg::Rax, Reg::Rcx];
+        let r1 = c.take(&pool, &[Reg::Rax]);
+        assert_eq!(r1, Reg::Rcx);
+        c.bind(r1, v(1));
+        let r2 = c.take(&pool, &[Reg::Rcx]);
+        assert_eq!(r2, Reg::Rax);
+    }
+
+    #[test]
+    fn rebinding_register_drops_old_value() {
+        let mut c = RegCache::new(true);
+        c.bind(Reg::Rax, v(1));
+        c.bind(Reg::Rax, v(2));
+        assert_eq!(c.lookup(v(1)), None);
+        assert_eq!(c.lookup(v(2)), Some(Reg::Rax));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_value_and_reg() {
+        let mut c = RegCache::new(true);
+        c.bind(Reg::Rax, v(1));
+        c.bind(Reg::Rcx, v(2));
+        c.invalidate_value(v(1));
+        assert_eq!(c.lookup(v(1)), None);
+        c.invalidate_reg(Reg::Rcx);
+        assert_eq!(c.lookup(v(2)), None);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end backend tests: MiniC -> IR -> machine code, executed on the
+//! simulator and cross-checked against the IR interpreter.
+
+use flowery_backend::{compile_module, BackendConfig, Machine};
+use flowery_ir::interp::{ExecConfig, ExecStatus, Interpreter};
+
+fn check_equiv(src: &str) -> (ExecStatus, Vec<u8>) {
+    let m = flowery_lang::compile("t", src).expect("compile");
+    let ir = Interpreter::new(&m).run(&ExecConfig::default(), None);
+    let prog = compile_module(&m, &BackendConfig::default());
+    let asm = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
+    assert_eq!(ir.status, asm.status, "status diverged for:\n{src}");
+    assert_eq!(ir.output, asm.output, "output diverged for:\n{src}");
+    (asm.status, asm.output)
+}
+
+fn ret_of(src: &str) -> i64 {
+    match check_equiv(src).0 {
+        ExecStatus::Completed(v) => v as i64,
+        other => panic!("did not complete: {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_matches_interpreter() {
+    assert_eq!(ret_of("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
+    assert_eq!(ret_of("int main() { return -7 / 2; }"), -3);
+    assert_eq!(ret_of("int main() { return -7 % 3; }"), -1);
+    assert_eq!(ret_of("int main() { return (1 << 20) | 5; }"), (1 << 20) | 5);
+    assert_eq!(ret_of("int main() { return -64 >> 3; }"), -8);
+    assert_eq!(ret_of("int main() { int n = 6; return 1 << n; }"), 64);
+}
+
+#[test]
+fn control_flow_matches() {
+    assert_eq!(
+        ret_of("int main() { int s = 0; int i; for (i = 0; i < 50; i = i + 1) { if (i % 7 == 0) { s = s + i; } } return s; }"),
+        (0..50).filter(|i| i % 7 == 0).sum::<i64>()
+    );
+    assert_eq!(
+        ret_of("int main() { int x = 100; while (x > 3) { x = x / 2; } return x; }"),
+        3
+    );
+}
+
+#[test]
+fn floats_match_bit_exactly() {
+    check_equiv(
+        "int main() { float s = 0.0; int i; for (i = 1; i <= 20; i = i + 1) { s = s + 1.0 / float(i); } output(s); return 0; }",
+    );
+    check_equiv("int main() { output(sqrt(2.0)); output(sin(1.0)); output(pow(1.5, 3.0)); return 0; }");
+    check_equiv("int main() { float a = 1e10; float b = -1e-10; output(a * b); output(a / 3.0); return 0; }");
+}
+
+#[test]
+fn arrays_and_functions_match() {
+    assert_eq!(
+        ret_of(
+            "global int tbl[8] = {3, 1, 4, 1, 5, 9, 2, 6};\n\
+             int sum(int* p, int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) { s = s + p[i]; } return s; }\n\
+             int main() { return sum(tbl, 8); }"
+        ),
+        31
+    );
+    assert_eq!(
+        ret_of(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+             int main() { return fib(15); }"
+        ),
+        610
+    );
+}
+
+#[test]
+fn byte_arrays_match() {
+    assert_eq!(
+        ret_of(
+            "int main() { byte buf[16]; int i; for (i = 0; i < 16; i = i + 1) { buf[i] = i * 37; }\n\
+             int s = 0; for (i = 0; i < 16; i = i + 1) { s = s + buf[i]; } return s; }"
+        ),
+        (0..16).map(|i| (i * 37) % 256).sum::<i64>()
+    );
+}
+
+#[test]
+fn mixed_float_int_functions() {
+    check_equiv(
+        "float avg(float* v, int n) { float s = 0.0; int i; for (i = 0; i < n; i = i + 1) { s = s + v[i]; } return s / float(n); }\n\
+         global float data[4] = {1.5, 2.5, 3.5, 4.5};\n\
+         int main() { output(avg(data, 4)); return int(avg(data, 4) * 10.0); }",
+    );
+}
+
+#[test]
+fn division_by_zero_traps_identically() {
+    check_equiv("int main() { int z = 0; return 7 / z; }");
+}
+
+#[test]
+fn logical_operators_match() {
+    assert_eq!(ret_of("int main() { int a = 5; int b = 0; return (a > 3 && b == 0) + (a < 3 || b != 0); }"), 1);
+}
+
+#[test]
+fn deep_call_chain_matches() {
+    assert_eq!(
+        ret_of(
+            "int f3(int x) { return x * 2; }\n\
+             int f2(int x) { return f3(x) + 1; }\n\
+             int f1(int x) { return f2(x) * 3; }\n\
+             int main() { return f1(4); }"
+        ),
+        27
+    );
+}
+
+#[test]
+fn six_int_args_supported() {
+    assert_eq!(
+        ret_of(
+            "int f(int a, int b, int c, int d, int e, int g) { return a + 10*b + 100*c + 1000*d + 10000*e + 100000*g; }\n\
+             int main() { return f(1, 2, 3, 4, 5, 6); }"
+        ),
+        654321
+    );
+}
+
+#[test]
+fn select_free_programs_run_with_all_configs() {
+    let src = "int main() { int s = 0; int i; for (i = 0; i < 30; i = i + 1) { s = s + i * i; } output(s); return s % 251; }";
+    let m = flowery_lang::compile("t", src).unwrap();
+    let golden = Interpreter::new(&m).run(&ExecConfig::default(), None);
+    for reg_cache in [false, true] {
+        for fuse in [false, true] {
+            for fold in [false, true] {
+                let cfg = BackendConfig { reg_cache, fuse_cmp_branch: fuse, fold_compares: fold, ..Default::default() };
+                let prog = compile_module(&m, &cfg);
+                let r = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
+                assert_eq!(r.status, golden.status, "cfg {cfg:?}");
+                assert_eq!(r.output, golden.output, "cfg {cfg:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reg_cache_reduces_instruction_count() {
+    let src = "int main() { int s = 0; int i; for (i = 0; i < 100; i = i + 1) { s = s + i * 3 - 1; } return s % 1000; }";
+    let m = flowery_lang::compile("t", src).unwrap();
+    let with = compile_module(&m, &BackendConfig::default());
+    let without = compile_module(&m, &BackendConfig { reg_cache: false, ..Default::default() });
+    let rw = Machine::new(&m, &with).run(&ExecConfig::default(), None);
+    let ro = Machine::new(&m, &without).run(&ExecConfig::default(), None);
+    assert_eq!(rw.status, ro.status);
+    assert!(
+        rw.dyn_insts < ro.dyn_insts,
+        "cache should remove reload movs: {} vs {}",
+        rw.dyn_insts,
+        ro.dyn_insts
+    );
+}
+
+#[test]
+fn fused_branches_emit_no_test() {
+    use flowery_backend::AKind;
+    // Tight compare-and-branch: the icmp feeds the br directly, so the
+    // lowering must fuse into cmp+jcc without a `test`.
+    let src = "int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }";
+    let m = flowery_lang::compile("t", src).unwrap();
+    let prog = compile_module(&m, &BackendConfig::default());
+    let tests = prog.insts.iter().filter(|i| matches!(i.kind, AKind::Test { .. })).count();
+    assert_eq!(tests, 0, "expected fully fused branches:\n{}", flowery_backend::print_program(&prog));
+    let unfused = compile_module(&m, &BackendConfig { fuse_cmp_branch: false, ..Default::default() });
+    let tests_unfused = unfused.insts.iter().filter(|i| matches!(i.kind, AKind::Test { .. })).count();
+    assert!(tests_unfused > 0, "disabling fusion must materialize tests");
+}
+
+#[test]
+fn asm_fault_site_count_is_stable() {
+    let src = "int main() { int s = 1; s = s + 2; output(s); return s; }";
+    let m = flowery_lang::compile("t", src).unwrap();
+    let prog = compile_module(&m, &BackendConfig::default());
+    let mach = Machine::new(&m, &prog);
+    let a = mach.run(&ExecConfig::default(), None);
+    let b = mach.run(&ExecConfig::default(), None);
+    assert_eq!(a.fault_sites, b.fault_sites);
+    assert_eq!(a.dyn_insts, b.dyn_insts);
+    assert!(a.fault_sites > 0);
+    assert!(a.cycles > a.dyn_insts / 2);
+}
+
+#[test]
+fn asm_fault_injection_changes_outcomes() {
+    use flowery_backend::AsmFaultSpec;
+    let src = "int main() { int s = 0; int i; for (i = 0; i < 8; i = i + 1) { s = s + i; } output(s); return s; }";
+    let m = flowery_lang::compile("t", src).unwrap();
+    let prog = compile_module(&m, &BackendConfig::default());
+    let mach = Machine::new(&m, &prog);
+    let golden = mach.run(&ExecConfig::default(), None);
+    let mut sdc = 0;
+    let mut benign = 0;
+    let mut due = 0;
+    let cfg = ExecConfig::with_budget_for(golden.dyn_insts);
+    for site in (0..golden.fault_sites).step_by(3) {
+        for bit in [0u32, 7, 31, 63] {
+            let r = mach.run(&cfg, Some(AsmFaultSpec::single(site, bit)));
+            match r.status {
+                ExecStatus::Completed(_) if r.output == golden.output => benign += 1,
+                ExecStatus::Completed(_) => sdc += 1,
+                ExecStatus::Detected => {}
+                ExecStatus::Trapped(_) => due += 1,
+            }
+        }
+    }
+    assert!(sdc > 0, "some faults must corrupt output silently");
+    assert!(benign > 0, "some faults must be masked");
+    assert!(due > 0, "some faults must crash");
+}
+
+#[test]
+fn unprotected_program_has_more_asm_sites_than_ir_sites() {
+    // Stores/branches/calls are not IR fault sites but their lowered forms
+    // are — the structural root of the paper's cross-layer gap.
+    let src = "void bump(int* p) { p[0] = p[0] + 1; }\n\
+               global int g[1];\n\
+               int main() { int i; for (i = 0; i < 10; i = i + 1) { bump(g); } return g[0]; }";
+    let m = flowery_lang::compile("t", src).unwrap();
+    let ir = Interpreter::new(&m).run(&ExecConfig::default(), None);
+    let prog = compile_module(&m, &BackendConfig::default());
+    let asm = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
+    assert_eq!(ir.status, asm.status);
+    assert!(
+        asm.fault_sites > ir.fault_sites,
+        "asm sites {} should exceed IR sites {}",
+        asm.fault_sites,
+        ir.fault_sites
+    );
+}

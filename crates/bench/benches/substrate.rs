@@ -1,0 +1,61 @@
+//! Substrate microbenchmarks: interpreter and machine-simulator
+//! throughput, backend compilation, folding, and protection passes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flowery_backend::{compile_module, BackendConfig, Machine};
+use flowery_ir::interp::{ExecConfig, Interpreter};
+use flowery_passes::{duplicate_module, DupConfig, ProtectionPlan};
+use flowery_workloads::{workload, Scale};
+
+fn bench(c: &mut Criterion) {
+    let m = workload("pathfinder", Scale::Standard).compile();
+    let ir_golden = Interpreter::new(&m).run(&ExecConfig::default(), None);
+    let prog = compile_module(&m, &BackendConfig::default());
+    let asm_golden = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
+
+    let mut group = c.benchmark_group("execution_throughput");
+    group.throughput(Throughput::Elements(ir_golden.dyn_insts));
+    group.bench_function("interpreter_insts", |b| {
+        let interp = Interpreter::new(&m);
+        b.iter(|| interp.run(&ExecConfig::default(), None))
+    });
+    group.throughput(Throughput::Elements(asm_golden.dyn_insts));
+    group.bench_function("machine_insts", |b| {
+        let mach = Machine::new(&m, &prog);
+        b.iter(|| mach.run(&ExecConfig::default(), None))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("compile_pipeline");
+    group.bench_function("minic_frontend", |b| {
+        let src = workload("pathfinder", Scale::Standard).source;
+        b.iter(|| flowery_lang::compile("bench", &src).unwrap())
+    });
+    group.bench_function("backend_isel", |b| {
+        b.iter(|| compile_module(&m, &BackendConfig::default()))
+    });
+    group.bench_function("duplication_pass", |b| {
+        b.iter(|| {
+            let mut mm = m.clone();
+            let plan = ProtectionPlan::full(&mm);
+            duplicate_module(&mut mm, &plan, &DupConfig::default())
+        })
+    });
+    group.bench_function("compare_folding", |b| {
+        let mut id = m.clone();
+        let plan = ProtectionPlan::full(&id);
+        duplicate_module(&mut id, &plan, &DupConfig::default());
+        b.iter(|| {
+            let mut mm = id.clone();
+            flowery_backend::fold::fold_redundant_compares(&mut mm)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

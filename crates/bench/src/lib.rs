@@ -1,0 +1,62 @@
+//! # flowery-bench
+//!
+//! Criterion benchmark harness: one bench target per paper table/figure
+//! (`table1`, `fig2_coverage`, `fig3_rootcause`, `fig17_flowery`,
+//! `overhead`, `pass_time`) plus `substrate` microbenchmarks.
+//!
+//! Each figure bench *prints* its artifact (the same rows/series the paper
+//! reports) before Criterion measures a representative unit of its
+//! pipeline. By default a six-benchmark subset with reduced trials keeps
+//! `cargo bench` tractable; set `FLOWERY_BENCH_FULL=1` for all 16
+//! benchmarks at higher trial counts (and see
+//! `examples/paper_study.rs` for the full 3,000-trial protocol).
+
+use flowery_core::{run_study, ExperimentConfig, StudyResults};
+
+/// The default bench subset: moderate dynamic sizes, covering all three
+/// suites and both integer- and float-heavy codes.
+pub const SUBSET: [&str; 6] = ["bfs", "pathfinder", "is", "quicksort", "crc32", "knn"];
+
+/// Is the full 16-benchmark mode requested?
+pub fn full_mode() -> bool {
+    std::env::var("FLOWERY_BENCH_FULL").map_or(false, |v| v == "1")
+}
+
+/// The experiment configuration for bench-time figure generation.
+pub fn bench_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
+    if full_mode() {
+        cfg.trials = 1000;
+        cfg.profile_trials = 400;
+    } else {
+        cfg.trials = 200;
+        cfg.profile_trials = 120;
+    }
+    cfg
+}
+
+/// Run the study used for figure printing in benches.
+pub fn bench_study() -> StudyResults {
+    let cfg = bench_config();
+    let names: Vec<&str> = if full_mode() { Vec::new() } else { SUBSET.to_vec() };
+    run_study(&names, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_names_are_valid() {
+        for n in SUBSET {
+            assert!(flowery_core::workloads::NAMES.contains(&n), "{n}");
+        }
+    }
+
+    #[test]
+    fn bench_config_is_light_by_default() {
+        if !full_mode() {
+            assert!(bench_config().trials <= 200);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Ablation experiments over the backend mechanisms that produce the
+//! cross-layer deficiencies (DESIGN.md §4). Each ablation switches off or
+//! resizes one mechanism and re-measures full-protection assembly coverage
+//! and the penetration distribution, verifying that the right category
+//! responds — i.e. that the penetrations emerge from the modelled
+//! mechanisms rather than being artefacts.
+
+use crate::config::ExperimentConfig;
+use flowery_analysis::{classify_campaign_with, PenetrationBreakdown};
+use flowery_backend::{compile_module, BackendConfig};
+use flowery_inject::{run_asm_campaign, Coverage};
+use flowery_passes::{duplicate_module, DupConfig, ProtectionPlan};
+use flowery_workloads::workload;
+use serde::{Deserialize, Serialize};
+
+/// One ablation configuration's measurements on one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    pub benchmark: String,
+    pub config: String,
+    /// Full-protection assembly-level SDC coverage.
+    pub coverage_pct: f64,
+    /// Golden dynamic instruction count (code-size effect of the knob).
+    pub golden_dyn: u64,
+    pub rootcause: PenetrationBreakdown,
+}
+
+/// The ablation axes, each relative to the default backend.
+pub fn ablation_configs() -> Vec<(String, BackendConfig)> {
+    let base = BackendConfig::default();
+    vec![
+        ("default".into(), base),
+        ("no-reg-cache".into(), BackendConfig { reg_cache: false, ..base }),
+        ("no-fold".into(), BackendConfig { fold_compares: false, ..base }),
+        ("no-fuse".into(), BackendConfig { fuse_cmp_branch: false, ..base }),
+        ("gpr-4".into(), BackendConfig { gpr_pool: 4, ..base }),
+        ("gpr-6".into(), BackendConfig { gpr_pool: 6, ..base }),
+    ]
+}
+
+/// Run every ablation over the given benchmarks at full protection.
+pub fn ablation_study(names: &[&str], cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    let names: Vec<&str> = if names.is_empty() { vec!["is", "quicksort"] } else { names.to_vec() };
+    let camp = cfg.campaign();
+    let mut rows = Vec::new();
+    for name in names {
+        let raw = workload(name, cfg.scale).compile();
+        let mut id = raw.clone();
+        let plan = ProtectionPlan::full(&id);
+        duplicate_module(&mut id, &plan, &DupConfig::default());
+        for (label, bcfg) in ablation_configs() {
+            if cfg.verbose {
+                eprintln!("[ablate] {name}/{label}");
+            }
+            let raw_prog = compile_module(&raw, &bcfg);
+            let id_prog = compile_module(&id, &bcfg);
+            let raw_asm = run_asm_campaign(&raw, &raw_prog, &camp);
+            let id_asm = run_asm_campaign(&id, &id_prog, &camp);
+            rows.push(AblationRow {
+                benchmark: name.to_string(),
+                config: label,
+                coverage_pct: Coverage::compute(&raw_asm.counts, &id_asm.counts).percent(),
+                golden_dyn: id_asm.golden_dyn_insts,
+                rootcause: classify_campaign_with(&id, &id_prog, &id_asm.sdc_insts, bcfg.fold_compares),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the ablation table.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    flowery_analysis::render_table(
+        &["Benchmark", "Config", "Coverage", "Dyn insts", "store%", "branch%", "cmp%"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.benchmark.clone(),
+                    r.config.clone(),
+                    format!("{:.2}%", r.coverage_pct),
+                    r.golden_dyn.to_string(),
+                    format!("{:.1}", r.rootcause.percent(flowery_analysis::Penetration::Store)),
+                    format!("{:.1}", r.rootcause.percent(flowery_analysis::Penetration::Branch)),
+                    format!("{:.1}", r.rootcause.percent(flowery_analysis::Penetration::Comparison)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_for(bench: &str, trials: u64) -> Vec<AblationRow> {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = trials;
+        ablation_study(&[bench], &cfg)
+    }
+
+    #[test]
+    fn no_fold_removes_comparison_penetration() {
+        let rows = rows_for("is", 600);
+        let default = rows.iter().find(|r| r.config == "default").unwrap();
+        let nofold = rows.iter().find(|r| r.config == "no-fold").unwrap();
+        assert_eq!(
+            nofold.rootcause.comparison, 0,
+            "without folding there is no comparison penetration: {:?}",
+            nofold.rootcause
+        );
+        assert!(
+            nofold.coverage_pct >= default.coverage_pct,
+            "disabling the folding can only help coverage: {} vs {}",
+            nofold.coverage_pct,
+            default.coverage_pct
+        );
+    }
+
+    #[test]
+    fn smaller_register_pool_costs_more_instructions() {
+        let rows = rows_for("quicksort", 200);
+        let default = rows.iter().find(|r| r.config == "default").unwrap();
+        let small = rows.iter().find(|r| r.config == "gpr-4").unwrap();
+        assert!(
+            small.golden_dyn >= default.golden_dyn,
+            "a smaller pool cannot shrink the program: {} vs {}",
+            small.golden_dyn,
+            default.golden_dyn
+        );
+    }
+
+    #[test]
+    fn no_cache_inflates_dynamic_count() {
+        let rows = rows_for("is", 200);
+        let default = rows.iter().find(|r| r.config == "default").unwrap();
+        let nocache = rows.iter().find(|r| r.config == "no-reg-cache").unwrap();
+        assert!(nocache.golden_dyn > default.golden_dyn);
+        let text = render_ablation(&rows);
+        assert!(text.contains("no-reg-cache"));
+    }
+}

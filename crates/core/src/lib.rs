@@ -1,0 +1,36 @@
+//! # flowery-core
+//!
+//! The experiment pipelines that reproduce every table and figure of
+//! *"Demystifying and Mitigating Cross-Layer Deficiencies of Soft Error
+//! Protection in Instruction Duplication"* (SC'23):
+//!
+//! - [`pipeline::run_study`] runs the complete cross-layer study
+//!   (compile → profile → protect → inject at both layers) for any subset
+//!   of the 16 benchmarks;
+//! - [`figures`] extracts and renders Table 1, Figures 2/3/17, and the
+//!   §7.2/§7.3 measurements from the results.
+//!
+//! ```no_run
+//! use flowery_core::{ExperimentConfig, run_study, figures};
+//! let cfg = ExperimentConfig::quick();
+//! let study = run_study(&["quicksort"], &cfg);
+//! println!("{}", figures::render_fig17(&figures::fig17(&study)));
+//! ```
+
+pub mod ablation;
+pub mod config;
+pub mod extension;
+pub mod figures;
+pub mod pipeline;
+
+pub use config::ExperimentConfig;
+pub use pipeline::{prepare, run_bench, run_prepared, run_study, BenchResults, LevelResults, PreparedBench, StudyResults};
+
+// Re-export the layer crates for downstream users of the facade.
+pub use flowery_analysis as analysis;
+pub use flowery_backend as backend;
+pub use flowery_inject as inject;
+pub use flowery_ir as ir;
+pub use flowery_lang as lang;
+pub use flowery_passes as passes;
+pub use flowery_workloads as workloads;

@@ -1,0 +1,41 @@
+//! SDC profiling: estimate per-instruction SDC contribution on the
+//! *unprotected* program, feeding the knapsack protection selection
+//! (paper §3: "fault injection analysis is often used to assess the SDC
+//! probabilities of each instruction").
+
+use crate::campaign::{run_ir_campaign, CampaignConfig};
+use flowery_ir::interp::{ExecConfig, Interpreter};
+use flowery_ir::module::Module;
+use flowery_passes::select::{build_profile, SdcProfile};
+
+/// Run a profiling campaign and assemble the [`SdcProfile`] used by
+/// [`flowery_passes::choose_protection`].
+pub fn profile_sdc(m: &Module, cfg: &CampaignConfig) -> SdcProfile {
+    let campaign = run_ir_campaign(m, cfg);
+    let exec = Interpreter::new(m).profile_run(&ExecConfig::default());
+    let exec_profile = exec.profile.expect("profiling run returns counts");
+    build_profile(m, &exec_profile, &campaign.sdc_by_inst, campaign.counts.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowery_passes::choose_protection;
+
+    #[test]
+    fn profile_feeds_selection() {
+        let m = flowery_lang::compile(
+            "t",
+            "int main() { int s = 0; int i; for (i = 0; i < 25; i = i + 1) { s = s + i * 3; } output(s); return s; }",
+        )
+        .unwrap();
+        let prof = profile_sdc(&m, &CampaignConfig::with_trials(300));
+        assert!(prof.trials >= 300);
+        assert!(!prof.entries.is_empty());
+        assert!(prof.entries.iter().any(|e| e.sdc_hits > 0), "some instruction causes SDCs");
+        let plan = choose_protection(&m, &prof, 0.5);
+        assert!(plan.selected_count() > 0);
+        let full = choose_protection(&m, &prof, 1.0);
+        assert!(full.selected_count() >= plan.selected_count());
+    }
+}

@@ -1,0 +1,102 @@
+//! Statistics for fault-injection results: SDC coverage and confidence
+//! intervals (paper §2.1: coverage = (SDC_raw − SDC_prot) / SDC_raw).
+
+use crate::outcome::OutcomeCounts;
+use serde::{Deserialize, Serialize};
+
+/// A proportion estimate with a 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    pub value: f64,
+    /// Half-width of the 95% CI (normal approximation).
+    pub ci95: f64,
+}
+
+impl Estimate {
+    /// Estimate a proportion from `hits` out of `n`.
+    pub fn proportion(hits: u64, n: u64) -> Estimate {
+        if n == 0 {
+            return Estimate { value: 0.0, ci95: 0.0 };
+        }
+        let p = hits as f64 / n as f64;
+        let se = (p * (1.0 - p) / n as f64).sqrt();
+        Estimate { value: p, ci95: 1.96 * se }
+    }
+}
+
+/// SDC coverage of a protection technique given raw (unprotected) and
+/// protected campaign counts, measured at the same layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// `(SDC_raw - SDC_prot) / SDC_raw`, clamped to [0, 1].
+    pub coverage: f64,
+    pub sdc_raw: Estimate,
+    pub sdc_prot: Estimate,
+}
+
+impl Coverage {
+    pub fn compute(raw: &OutcomeCounts, prot: &OutcomeCounts) -> Coverage {
+        let sdc_raw = Estimate::proportion(raw.sdc, raw.total());
+        let sdc_prot = Estimate::proportion(prot.sdc, prot.total());
+        let coverage = if sdc_raw.value <= 0.0 {
+            1.0
+        } else {
+            ((sdc_raw.value - sdc_prot.value) / sdc_raw.value).clamp(0.0, 1.0)
+        };
+        Coverage { coverage, sdc_raw, sdc_prot }
+    }
+
+    /// Coverage as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.coverage * 100.0
+    }
+}
+
+/// Relative overhead of `b` over `a` (e.g. dynamic instructions or cycles).
+pub fn relative_overhead(a: u64, b: u64) -> f64 {
+    if a == 0 {
+        0.0
+    } else {
+        (b as f64 - a as f64) / a as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportion_estimates() {
+        let e = Estimate::proportion(50, 100);
+        assert!((e.value - 0.5).abs() < 1e-12);
+        assert!((e.ci95 - 1.96 * (0.25f64 / 100.0).sqrt()).abs() < 1e-12);
+        assert_eq!(Estimate::proportion(0, 0).value, 0.0);
+        let certain = Estimate::proportion(100, 100);
+        assert_eq!(certain.ci95, 0.0);
+    }
+
+    #[test]
+    fn coverage_formula() {
+        let raw = OutcomeCounts { benign: 50, sdc: 40, detected: 0, due: 10 };
+        let prot = OutcomeCounts { benign: 60, sdc: 10, detected: 25, due: 5 };
+        let c = Coverage::compute(&raw, &prot);
+        assert!((c.coverage - 0.75).abs() < 1e-12, "{}", c.coverage);
+        assert!((c.percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_clamps() {
+        let raw = OutcomeCounts { benign: 90, sdc: 10, detected: 0, due: 0 };
+        let worse = OutcomeCounts { benign: 70, sdc: 30, detected: 0, due: 0 };
+        assert_eq!(Coverage::compute(&raw, &worse).coverage, 0.0);
+        let zero_raw = OutcomeCounts { benign: 100, sdc: 0, detected: 0, due: 0 };
+        assert_eq!(Coverage::compute(&zero_raw, &zero_raw).coverage, 1.0);
+    }
+
+    #[test]
+    fn overhead_math() {
+        assert!((relative_overhead(100, 150) - 0.5).abs() < 1e-12);
+        assert!((relative_overhead(200, 190) + 0.05).abs() < 1e-12);
+        assert_eq!(relative_overhead(0, 10), 0.0);
+    }
+}

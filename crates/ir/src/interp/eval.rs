@@ -1,0 +1,641 @@
+//! The evaluation engine: an explicit-stack interpreter over verified IR.
+
+use crate::inst::{Callee, InstKind, Intrinsic, Terminator};
+use crate::interp::memory::{align_up, Memory, TrapKind};
+use crate::interp::ops;
+use crate::interp::{ExecConfig, ExecResult, ExecStatus, FaultSpec, Profile, TAG_BYTE, TAG_F64, TAG_I64};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{BlockId, FuncId, InstId, Op, Value};
+
+/// One activation record.
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    /// Index of the next instruction within the block.
+    ip: usize,
+    /// Result slots, one per instruction-arena entry (canonical bits).
+    values: Vec<u64>,
+    /// Parameter values.
+    params: Vec<u64>,
+    /// Stack pointer to restore when this frame returns.
+    saved_sp: u64,
+    /// Instruction in the *caller* that receives the return value.
+    ret_dest: Option<InstId>,
+}
+
+/// Interpreter for one module. Reusable across runs; each [`Interpreter::run`]
+/// call builds fresh memory.
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    global_addrs: Vec<u64>,
+}
+
+impl<'m> Interpreter<'m> {
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        Interpreter { module, global_addrs: Memory::layout_globals(module) }
+    }
+
+    /// Execute `main` to completion under `config`, optionally injecting a
+    /// fault.
+    pub fn run(&self, config: &ExecConfig, fault: Option<FaultSpec>) -> ExecResult {
+        let main = self.module.main_func().expect("module has no @main");
+        let mut mem = Memory::new(self.module, config.mem_size, config.stack_size);
+        let mut sp = mem.initial_sp();
+        let mut output: Vec<u8> = Vec::new();
+        let mut dyn_insts: u64 = 0;
+        let mut fault_sites: u64 = 0;
+        let mut injected_at: Option<(FuncId, InstId)> = None;
+        let mut profile = if config.profile {
+            Some(Profile {
+                counts: self.module.functions.iter().map(|f| vec![0u64; f.insts.len()]).collect(),
+            })
+        } else {
+            None
+        };
+
+        let mut stack: Vec<Frame> = Vec::new();
+        stack.push(Frame {
+            func: main,
+            block: BlockId(0),
+            ip: 0,
+            values: vec![0; self.module.func(main).insts.len()],
+            params: Vec::new(),
+            saved_sp: sp,
+            ret_dest: None,
+        });
+
+        let finish = |status: ExecStatus,
+                      output: Vec<u8>,
+                      dyn_insts: u64,
+                      fault_sites: u64,
+                      injected_at: Option<(FuncId, InstId)>,
+                      profile: Option<Profile>| ExecResult {
+            status,
+            output,
+            dyn_insts,
+            fault_sites,
+            injected_at,
+            profile,
+        };
+
+        loop {
+            dyn_insts += 1;
+            if dyn_insts > config.max_dyn_insts {
+                return finish(
+                    ExecStatus::Trapped(TrapKind::InstLimit),
+                    output,
+                    dyn_insts,
+                    fault_sites,
+                    injected_at,
+                    profile,
+                );
+            }
+
+            let depth = stack.len();
+            let frame = stack.last_mut().expect("nonempty call stack");
+            let func = self.module.func(frame.func);
+            let block = func.block(frame.block);
+
+            if frame.ip < block.insts.len() {
+                // ---- ordinary instruction ----------------------------------
+                let iid = block.insts[frame.ip];
+                frame.ip += 1;
+                if let Some(p) = profile.as_mut() {
+                    p.counts[frame.func.index()][iid.index()] += 1;
+                }
+                let inst = func.inst(iid);
+
+                // Pre-read operands (borrow rules: frame is &mut).
+                macro_rules! opv {
+                    ($op:expr) => {
+                        self.op_value(frame, $op)
+                    };
+                }
+
+                let result: Option<u64> = match &inst.kind {
+                    InstKind::Alloca { elem, count } => {
+                        let bytes = elem.size() * *count as u64;
+                        sp = sp.saturating_sub(bytes);
+                        sp &= !(elem.align() - 1);
+                        if sp < mem.stack_limit() {
+                            return finish(
+                                ExecStatus::Trapped(TrapKind::StackOverflow),
+                                output,
+                                dyn_insts,
+                                fault_sites,
+                                injected_at,
+                                profile,
+                            );
+                        }
+                        Some(sp)
+                    }
+                    InstKind::Load { ptr, ty } => {
+                        let addr = opv!(*ptr);
+                        match mem.load_ty(addr, *ty) {
+                            Ok(v) => Some(v),
+                            Err(t) => {
+                                return finish(
+                                    ExecStatus::Trapped(t),
+                                    output,
+                                    dyn_insts,
+                                    fault_sites,
+                                    injected_at,
+                                    profile,
+                                )
+                            }
+                        }
+                    }
+                    InstKind::Store { val, ptr, ty } => {
+                        let v = opv!(*val);
+                        let addr = opv!(*ptr);
+                        if let Err(t) = mem.store_ty(addr, *ty, v) {
+                            return finish(
+                                ExecStatus::Trapped(t),
+                                output,
+                                dyn_insts,
+                                fault_sites,
+                                injected_at,
+                                profile,
+                            );
+                        }
+                        None
+                    }
+                    InstKind::Bin { op, ty, lhs, rhs } => {
+                        let (a, b) = (opv!(*lhs), opv!(*rhs));
+                        match ops::eval_bin(*op, *ty, a, b) {
+                            Ok(v) => Some(v),
+                            Err(t) => {
+                                return finish(
+                                    ExecStatus::Trapped(t),
+                                    output,
+                                    dyn_insts,
+                                    fault_sites,
+                                    injected_at,
+                                    profile,
+                                )
+                            }
+                        }
+                    }
+                    InstKind::ICmp { pred, ty, lhs, rhs } => {
+                        Some(ops::eval_icmp(*pred, *ty, opv!(*lhs), opv!(*rhs)))
+                    }
+                    InstKind::FCmp { pred, ty, lhs, rhs } => {
+                        Some(ops::eval_fcmp(*pred, *ty, opv!(*lhs), opv!(*rhs)))
+                    }
+                    InstKind::Cast { kind, from, to, val } => {
+                        Some(ops::eval_cast(*kind, *from, *to, opv!(*val)))
+                    }
+                    InstKind::Gep { base, index, elem } => {
+                        let b = opv!(*base);
+                        let i = opv!(*index) as i64;
+                        Some(b.wrapping_add_signed(i.wrapping_mul(elem.size() as i64)))
+                    }
+                    InstKind::Select { cond, t, f, .. } => {
+                        Some(if opv!(*cond) & 1 == 1 { opv!(*t) } else { opv!(*f) })
+                    }
+                    InstKind::Call { callee, args } => match callee {
+                        Callee::Intrinsic(intr) => match intr {
+                            Intrinsic::OutputI64 => {
+                                output.push(TAG_I64);
+                                output.extend_from_slice(&opv!(args[0]).to_le_bytes());
+                                if output.len() > config.max_output {
+                                    return finish(
+                                        ExecStatus::Trapped(TrapKind::OutputFlood),
+                                        output,
+                                        dyn_insts,
+                                        fault_sites,
+                                        injected_at,
+                                        profile,
+                                    );
+                                }
+                                None
+                            }
+                            Intrinsic::OutputF64 => {
+                                output.push(TAG_F64);
+                                output.extend_from_slice(&opv!(args[0]).to_le_bytes());
+                                if output.len() > config.max_output {
+                                    return finish(
+                                        ExecStatus::Trapped(TrapKind::OutputFlood),
+                                        output,
+                                        dyn_insts,
+                                        fault_sites,
+                                        injected_at,
+                                        profile,
+                                    );
+                                }
+                                None
+                            }
+                            Intrinsic::OutputByte => {
+                                output.push(TAG_BYTE);
+                                output.push(opv!(args[0]) as u8);
+                                if output.len() > config.max_output {
+                                    return finish(
+                                        ExecStatus::Trapped(TrapKind::OutputFlood),
+                                        output,
+                                        dyn_insts,
+                                        fault_sites,
+                                        injected_at,
+                                        profile,
+                                    );
+                                }
+                                None
+                            }
+                            Intrinsic::DetectError => {
+                                return finish(
+                                    ExecStatus::Detected,
+                                    output,
+                                    dyn_insts,
+                                    fault_sites,
+                                    injected_at,
+                                    profile,
+                                )
+                            }
+                            math => {
+                                let vals: Vec<u64> = args.iter().map(|a| opv!(*a)).collect();
+                                Some(ops::eval_math(*math, &vals))
+                            }
+                        },
+                        Callee::Func(callee_id) => {
+                            // Push a frame; the call instruction id receives the
+                            // return value when the callee returns.
+                            if depth >= config.max_call_depth {
+                                return finish(
+                                    ExecStatus::Trapped(TrapKind::CallDepth),
+                                    output,
+                                    dyn_insts,
+                                    fault_sites,
+                                    injected_at,
+                                    profile,
+                                );
+                            }
+                            let params: Vec<u64> = args.iter().map(|a| opv!(*a)).collect();
+                            let callee = *callee_id;
+                            let has_ret = self.module.func(callee).ret_ty.is_some();
+                            let new_frame = Frame {
+                                func: callee,
+                                block: BlockId(0),
+                                ip: 0,
+                                values: vec![0; self.module.func(callee).insts.len()],
+                                params,
+                                saved_sp: sp,
+                                ret_dest: has_ret.then_some(iid),
+                            };
+                            stack.push(new_frame);
+                            continue; // do not fall through to result write
+                        }
+                    },
+                };
+
+                if let Some(mut v) = result {
+                    let fr_func = stack.last().unwrap().func;
+                    let ty = self
+                        .module
+                        .result_ty(fr_func, iid)
+                        .expect("instruction with result has a type");
+                    // ---- fault injection hook (IR level) -------------------
+                    // LLFI-style site selection: only *compute* results are
+                    // fault sites. `alloca` addresses are excluded (frame
+                    // bookkeeping, not datapath), as are function-call
+                    // returns (handled at `Ret`, also excluded) — matching
+                    // the instruction-duplication literature's fault model.
+                    let is_site =
+                        !matches!(self.module.func(fr_func).inst(iid).kind, InstKind::Alloca { .. });
+                    if is_site {
+                        if let Some(spec) = fault {
+                            if fault_sites == spec.site_index {
+                                v ^= 1u64 << (spec.bit % ty.bits());
+                                if let Some(b2) = spec.second_bit {
+                                    v ^= 1u64 << (b2 % ty.bits());
+                                }
+                                v = ty.canon(v);
+                                injected_at = Some((fr_func, iid));
+                            }
+                        }
+                        fault_sites += 1;
+                    }
+                    let fr = stack.last_mut().unwrap();
+                    fr.values[iid.index()] = ty.canon(v);
+                }
+            } else {
+                // ---- terminator --------------------------------------------
+                match &block.term {
+                    Terminator::Jmp { dest } => {
+                        frame.block = *dest;
+                        frame.ip = 0;
+                    }
+                    Terminator::Br { cond, then_bb, else_bb } => {
+                        let c = self.op_value(frame, *cond);
+                        frame.block = if c & 1 == 1 { *then_bb } else { *else_bb };
+                        frame.ip = 0;
+                    }
+                    Terminator::Ret { val } => {
+                        let rv = val.map(|v| self.op_value(frame, v));
+                        let ret_dest = frame.ret_dest;
+                        sp = frame.saved_sp;
+                        stack.pop();
+                        match stack.last_mut() {
+                            None => {
+                                return finish(
+                                    ExecStatus::Completed(rv.unwrap_or(0)),
+                                    output,
+                                    dyn_insts,
+                                    fault_sites,
+                                    injected_at,
+                                    profile,
+                                );
+                            }
+                            Some(caller) => {
+                                if let (Some(dest), Some(v)) = (ret_dest, rv) {
+                                    let ty = self
+                                        .module
+                                        .result_ty(caller.func, dest)
+                                        .expect("call with ret_dest has result type");
+                                    // The call-return write is NOT an IR
+                                    // fault site (calls are not duplicable;
+                                    // LLFI-style compute-only selection).
+                                    caller.values[dest.index()] = ty.canon(v);
+                                }
+                            }
+                        }
+                    }
+                    Terminator::Unreachable => {
+                        return finish(
+                            ExecStatus::Trapped(TrapKind::BadControl),
+                            output,
+                            dyn_insts,
+                            fault_sites,
+                            injected_at,
+                            profile,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count fault sites and dynamic instructions of a fault-free run.
+    pub fn profile_run(&self, config: &ExecConfig) -> ExecResult {
+        let cfg = ExecConfig { profile: true, ..config.clone() };
+        self.run(&cfg, None)
+    }
+
+    fn op_value(&self, frame: &Frame, op: Op) -> u64 {
+        match op {
+            Op::Const(c) => c.bits(),
+            Op::Global(g) => self.global_addrs[g.index()],
+            Op::Value(Value::Param(p)) => frame.params[p as usize],
+            Op::Value(Value::Inst(i)) => frame.values[i.index()],
+        }
+    }
+}
+
+/// Frame-size helper used by tests to sanity check alloca alignment.
+#[allow(dead_code)]
+fn frame_bytes(elem: Type, count: u64) -> u64 {
+    align_up(elem.size() * count, elem.align())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FuncBuilder, ModuleBuilder};
+    use crate::inst::{BinOp, IPred};
+    use crate::verify::verify_module;
+
+    /// Build: main() { s = 0; for i in 0..10 { s += i } ; output_i64(s); ret s }
+    fn loop_module() -> Module {
+        let mut mb = ModuleBuilder::new("loop");
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let s = fb.alloca(Type::I64, 1);
+        let i = fb.alloca(Type::I64, 1);
+        fb.store(Type::I64, Op::ci64(0), Op::inst(s));
+        fb.store(Type::I64, Op::ci64(0), Op::inst(i));
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.jmp(header);
+        fb.switch_to(header);
+        let iv = fb.load(Type::I64, Op::inst(i));
+        let c = fb.icmp(IPred::Slt, Type::I64, Op::inst(iv), Op::ci64(10));
+        fb.br(Op::inst(c), body, exit);
+        fb.switch_to(body);
+        let sv = fb.load(Type::I64, Op::inst(s));
+        let iv2 = fb.load(Type::I64, Op::inst(i));
+        let ns = fb.bin(BinOp::Add, Type::I64, Op::inst(sv), Op::inst(iv2));
+        fb.store(Type::I64, Op::inst(ns), Op::inst(s));
+        let ni = fb.bin(BinOp::Add, Type::I64, Op::inst(iv2), Op::ci64(1));
+        fb.store(Type::I64, Op::inst(ni), Op::inst(i));
+        fb.jmp(header);
+        fb.switch_to(exit);
+        let r = fb.load(Type::I64, Op::inst(s));
+        fb.output_i64(Op::inst(r));
+        fb.ret(Some(Op::inst(r)));
+        mb.add_func(fb.finish());
+        mb.finish()
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let m = loop_module();
+        verify_module(&m).unwrap();
+        let interp = Interpreter::new(&m);
+        let r = interp.run(&ExecConfig::default(), None);
+        assert_eq!(r.status, ExecStatus::Completed(45));
+        assert_eq!(crate::interp::decode_output(&r.output), vec!["i64:45"]);
+        assert!(r.dyn_insts > 50);
+        assert!(r.fault_sites > 0);
+        assert!(r.fault_sites < r.dyn_insts, "stores/branches are not sites");
+    }
+
+    #[test]
+    fn profile_counts_loop_body() {
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let r = interp.profile_run(&ExecConfig::default());
+        let p = r.profile.unwrap();
+        // The loop-body add executes 10 times.
+        let f = FuncId(0);
+        // find the Add instruction ids
+        let adds: Vec<InstId> = m.functions[0]
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d.kind, InstKind::Bin { op: BinOp::Add, .. }))
+            .map(|(i, _)| InstId(i as u32))
+            .collect();
+        for a in adds {
+            assert_eq!(p.count(f, a), 10);
+        }
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        // fib(n) recursive
+        let mut mb = ModuleBuilder::new("fib");
+        let fib = mb.declare_func("fib", vec![Type::I64], Some(Type::I64));
+        let mut fb = FuncBuilder::new("fib", vec![Type::I64], Some(Type::I64));
+        let base = fb.new_block("base");
+        let rec = fb.new_block("rec");
+        let c = fb.icmp(IPred::Slt, Type::I64, Op::param(0), Op::ci64(2));
+        fb.br(Op::inst(c), base, rec);
+        fb.switch_to(base);
+        fb.ret(Some(Op::param(0)));
+        fb.switch_to(rec);
+        let n1 = fb.bin(BinOp::Sub, Type::I64, Op::param(0), Op::ci64(1));
+        let n2 = fb.bin(BinOp::Sub, Type::I64, Op::param(0), Op::ci64(2));
+        let f1 = fb.call(fib, vec![Op::inst(n1)]);
+        let f2 = fb.call(fib, vec![Op::inst(n2)]);
+        let s = fb.bin(BinOp::Add, Type::I64, Op::inst(f1), Op::inst(f2));
+        fb.ret(Some(Op::inst(s)));
+        mb.define_func(fib, fb.finish());
+
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let r = fb.call(fib, vec![Op::ci64(10)]);
+        fb.output_i64(Op::inst(r));
+        fb.ret(Some(Op::inst(r)));
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        let interp = Interpreter::new(&m);
+        let r = interp.run(&ExecConfig::default(), None);
+        assert_eq!(r.status, ExecStatus::Completed(55));
+    }
+
+    #[test]
+    fn fault_flips_result_bit() {
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let golden = interp.run(&ExecConfig::default(), None);
+        // Inject into the very last fault site (the final load of s), bit 1.
+        let spec = FaultSpec::single(golden.fault_sites - 1, 1);
+        let faulty = interp.run(&ExecConfig::default(), Some(spec));
+        assert!(faulty.injected_at.is_some());
+        // 45 ^ 2 = 47
+        assert_eq!(faulty.status, ExecStatus::Completed(47));
+        assert!(!faulty.matches_output(&golden));
+    }
+
+    #[test]
+    fn fault_can_be_benign() {
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let golden = interp.run(&ExecConfig::default(), None);
+        // Inject into the loop-exit compare's *first* execution, which only
+        // affects an intermediate i; flipping a high bit of the bool (mod 1
+        // bit width -> bit 0) flips the branch though. Instead flip the
+        // *alloca result* high bit? That would corrupt addresses. Use a
+        // benign case: flip bit of iv load at final iteration-compare; the
+        // simplest reliable benign case is flipping the same site twice is
+        // not possible, so instead assert that SOME site is benign.
+        let mut any_benign = false;
+        for site in 0..golden.fault_sites {
+            let r = interp.run(&ExecConfig::default(), Some(FaultSpec::single(site, 0)));
+            if r.matches_output(&golden) {
+                any_benign = true;
+                break;
+            }
+        }
+        assert!(any_benign, "expected at least one benign site");
+    }
+
+    #[test]
+    fn fault_in_pointer_traps() {
+        // A gep result IS a fault site; flipping a high bit yields a wild
+        // pointer and the access traps (DUE).
+        let mut mb = ModuleBuilder::new("p");
+        let g = mb.global_i64("data", &[1, 2, 3]);
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let p = fb.gep(Op::Global(g), Op::ci64(1), Type::I64);
+        let v = fb.load(Type::I64, Op::inst(p));
+        fb.ret(Some(Op::inst(v)));
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        let interp = Interpreter::new(&m);
+        let r = interp.run(&ExecConfig::default(), Some(FaultSpec::single(0, 60)));
+        assert!(
+            matches!(r.status, ExecStatus::Trapped(TrapKind::OobLoad)),
+            "{:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn allocas_and_call_returns_are_not_fault_sites() {
+        // A function whose body is nothing but allocas and a call: the only
+        // sites are the callee's compute instructions.
+        let mut mb = ModuleBuilder::new("s");
+        let callee = mb.declare_func("f", vec![], Some(Type::I64));
+        let mut fb = FuncBuilder::new("f", vec![], Some(Type::I64));
+        let v = fb.bin(BinOp::Add, Type::I64, Op::ci64(1), Op::ci64(2));
+        fb.ret(Some(Op::inst(v)));
+        mb.define_func(callee, fb.finish());
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let _a = fb.alloca(Type::I64, 4);
+        let _b = fb.alloca(Type::I64, 4);
+        let r = fb.call(callee, vec![]);
+        fb.ret(Some(Op::inst(r)));
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        let res = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        assert_eq!(res.status, ExecStatus::Completed(3));
+        assert_eq!(res.fault_sites, 1, "only the callee's add is a site");
+    }
+
+    #[test]
+    fn inst_limit_catches_livelock() {
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let cfg = ExecConfig { max_dyn_insts: 20, ..Default::default() };
+        let r = interp.run(&cfg, None);
+        assert_eq!(r.status, ExecStatus::Trapped(TrapKind::InstLimit));
+    }
+
+    #[test]
+    fn detect_error_halts_with_detected() {
+        let mut mb = ModuleBuilder::new("d");
+        let mut fb = FuncBuilder::new("main", vec![], None);
+        fb.intrinsic(Intrinsic::DetectError, vec![]);
+        fb.ret(None);
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        let interp = Interpreter::new(&m);
+        let r = interp.run(&ExecConfig::default(), None);
+        assert_eq!(r.status, ExecStatus::Detected);
+    }
+
+    #[test]
+    fn globals_readable_and_writable() {
+        let mut mb = ModuleBuilder::new("g");
+        let g = mb.global_i64("data", &[7, 8, 9]);
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let p1 = fb.gep(Op::Global(g), Op::ci64(2), Type::I64);
+        let v = fb.load(Type::I64, Op::inst(p1));
+        let p0 = fb.gep(Op::Global(g), Op::ci64(0), Type::I64);
+        fb.store(Type::I64, Op::inst(v), Op::inst(p0));
+        let v2 = fb.load(Type::I64, Op::inst(p0));
+        fb.ret(Some(Op::inst(v2)));
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        let r = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        assert_eq!(r.status, ExecStatus::Completed(9));
+    }
+
+    #[test]
+    fn call_depth_trap() {
+        let mut mb = ModuleBuilder::new("rec");
+        let f = mb.declare_func("inf", vec![], None);
+        let mut fb = FuncBuilder::new("inf", vec![], None);
+        fb.call(f, vec![]);
+        fb.ret(None);
+        mb.define_func(f, fb.finish());
+        let mut fb = FuncBuilder::new("main", vec![], None);
+        fb.call(f, vec![]);
+        fb.ret(None);
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        let r = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        assert_eq!(r.status, ExecStatus::Trapped(TrapKind::CallDepth));
+    }
+}

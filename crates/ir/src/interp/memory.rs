@@ -1,0 +1,231 @@
+//! Flat, bounds-checked memory image shared by the IR interpreter (and
+//! mirrored by the machine simulator in `flowery-backend`).
+//!
+//! Layout:
+//!
+//! ```text
+//!   0x0000 .. 0x1000   reserved null guard page (all access traps)
+//!   0x1000 .. G        module globals, in declaration order, aligned
+//!   G      .. L        free (heap; unused by the current workloads)
+//!   L      .. top      stack, growing downward from `top`
+//! ```
+//!
+//! Faulty executions frequently produce wild pointers; every access is
+//! bounds- and guard-checked so those become `Trap`s (the paper's DUE
+//! outcome) rather than UB in the host.
+
+use crate::module::{GlobalInit, Module};
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the globals segment.
+pub const GLOBAL_BASE: u64 = 0x1000;
+
+/// Why an execution stopped abnormally. These map to the paper's DUE
+/// (detected unrecoverable error) failure class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrapKind {
+    /// Load outside mapped memory or inside the null guard page.
+    OobLoad,
+    /// Store outside mapped memory or inside the null guard page.
+    OobStore,
+    /// Integer division by zero (or overflowing INT_MIN / -1).
+    DivFault,
+    /// Dynamic instruction budget exhausted (fault-induced livelock).
+    InstLimit,
+    /// Call depth exceeded (fault-induced runaway recursion).
+    CallDepth,
+    /// Stack pointer escaped the stack segment.
+    StackOverflow,
+    /// Control reached an `unreachable` terminator / bad control transfer.
+    BadControl,
+    /// Output stream exceeded its limit (fault-induced output flood).
+    OutputFlood,
+}
+
+/// Byte-addressed memory image.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    /// Lowest valid stack address; below this is the heap/global area.
+    stack_limit: u64,
+}
+
+impl Memory {
+    /// Create an image of `size` bytes with the given stack reservation and
+    /// the module's globals materialized at [`GLOBAL_BASE`].
+    pub fn new(m: &Module, size: u64, stack_size: u64) -> Memory {
+        assert!(size >= GLOBAL_BASE + stack_size + 0x1000, "memory too small");
+        let mut mem = Memory { bytes: vec![0u8; size as usize], stack_limit: size - stack_size };
+        let mut cursor = GLOBAL_BASE;
+        for g in &m.globals {
+            cursor = align_up(cursor, g.elem.align());
+            let base = cursor;
+            if let GlobalInit::Elems(vals) = &g.init {
+                for (i, &v) in vals.iter().enumerate() {
+                    mem.write_unchecked(base + i as u64 * g.elem.size(), g.elem.size(), v);
+                }
+            }
+            cursor += g.size();
+            assert!(cursor <= mem.stack_limit, "globals overflow memory image");
+        }
+        mem
+    }
+
+    /// Address of global number `idx` (same placement algorithm as `new`).
+    pub fn layout_globals(m: &Module) -> Vec<u64> {
+        let mut out = Vec::with_capacity(m.globals.len());
+        let mut cursor = GLOBAL_BASE;
+        for g in &m.globals {
+            cursor = align_up(cursor, g.elem.align());
+            out.push(cursor);
+            cursor += g.size();
+        }
+        out
+    }
+
+    /// End of the globals segment (first free heap byte).
+    pub fn globals_end(m: &Module) -> u64 {
+        Memory::layout_globals(m).last().map_or(GLOBAL_BASE, |_| {
+            let mut cursor = GLOBAL_BASE;
+            for g in &m.globals {
+                cursor = align_up(cursor, g.elem.align());
+                cursor += g.size();
+            }
+            cursor
+        })
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Lowest valid stack address.
+    pub fn stack_limit(&self) -> u64 {
+        self.stack_limit
+    }
+
+    /// Initial stack pointer (top of memory, 16-byte aligned).
+    pub fn initial_sp(&self) -> u64 {
+        self.size() & !0xF
+    }
+
+    fn in_bounds(&self, addr: u64, width: u64) -> bool {
+        addr >= GLOBAL_BASE && addr.checked_add(width).map_or(false, |end| end <= self.size())
+    }
+
+    /// Checked load of `width` bytes (1/2/4/8), little-endian, zero-extended.
+    pub fn load(&self, addr: u64, width: u64) -> Result<u64, TrapKind> {
+        if !self.in_bounds(addr, width) {
+            return Err(TrapKind::OobLoad);
+        }
+        Ok(self.read_unchecked(addr, width))
+    }
+
+    /// Checked store of the low `width` bytes of `val`, little-endian.
+    pub fn store(&mut self, addr: u64, width: u64, val: u64) -> Result<(), TrapKind> {
+        if !self.in_bounds(addr, width) {
+            return Err(TrapKind::OobStore);
+        }
+        self.write_unchecked(addr, width, val);
+        Ok(())
+    }
+
+    /// Typed load.
+    pub fn load_ty(&self, addr: u64, ty: Type) -> Result<u64, TrapKind> {
+        self.load(addr, ty.size()).map(|v| ty.canon(v))
+    }
+
+    /// Typed store.
+    pub fn store_ty(&mut self, addr: u64, ty: Type, val: u64) -> Result<(), TrapKind> {
+        self.store(addr, ty.size(), ty.canon(val))
+    }
+
+    fn read_unchecked(&self, addr: u64, width: u64) -> u64 {
+        let a = addr as usize;
+        let mut buf = [0u8; 8];
+        buf[..width as usize].copy_from_slice(&self.bytes[a..a + width as usize]);
+        u64::from_le_bytes(buf)
+    }
+
+    fn write_unchecked(&mut self, addr: u64, width: u64, val: u64) {
+        let a = addr as usize;
+        self.bytes[a..a + width as usize].copy_from_slice(&val.to_le_bytes()[..width as usize]);
+    }
+}
+
+/// Round `v` up to a multiple of `align` (a power of two).
+pub fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn null_page_traps() {
+        let m = Module::default();
+        let mem = Memory::new(&m, 1 << 20, 1 << 16);
+        assert_eq!(mem.load(0, 8), Err(TrapKind::OobLoad));
+        assert_eq!(mem.load(0xFFF, 1), Err(TrapKind::OobLoad));
+        let mut mem = mem;
+        assert_eq!(mem.store(8, 4, 1), Err(TrapKind::OobStore));
+    }
+
+    #[test]
+    fn out_of_range_traps() {
+        let m = Module::default();
+        let mut mem = Memory::new(&m, 1 << 20, 1 << 16);
+        let sz = mem.size();
+        assert_eq!(mem.load(sz, 1), Err(TrapKind::OobLoad));
+        assert_eq!(mem.load(sz - 4, 8), Err(TrapKind::OobLoad));
+        assert_eq!(mem.store(u64::MAX - 2, 8, 0), Err(TrapKind::OobStore));
+        assert!(mem.store(sz - 8, 8, 0xdead).is_ok());
+    }
+
+    #[test]
+    fn round_trip_widths() {
+        let m = Module::default();
+        let mut mem = Memory::new(&m, 1 << 20, 1 << 16);
+        for (w, v) in [(1u64, 0xABu64), (2, 0xBEEF), (4, 0xDEADBEEF), (8, 0x0123456789ABCDEF)] {
+            mem.store(0x2000, w, v).unwrap();
+            assert_eq!(mem.load(0x2000, w).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn globals_materialized() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global_i64("a", &[10, 20]);
+        mb.global_f64("b", &[1.5]);
+        let m = mb.finish();
+        let mem = Memory::new(&m, 1 << 20, 1 << 16);
+        let addrs = Memory::layout_globals(&m);
+        assert_eq!(mem.load(addrs[0], 8).unwrap(), 10);
+        assert_eq!(mem.load(addrs[0] + 8, 8).unwrap(), 20);
+        assert_eq!(f64::from_bits(mem.load(addrs[1], 8).unwrap()), 1.5);
+        assert_eq!(Memory::globals_end(&m), addrs[1] + 8);
+    }
+
+    use crate::module::Module;
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 4), 12);
+    }
+
+    #[test]
+    fn typed_access_canonicalizes() {
+        let m = Module::default();
+        let mut mem = Memory::new(&m, 1 << 20, 1 << 16);
+        mem.store_ty(0x2000, Type::I8, 0x1FF).unwrap();
+        assert_eq!(mem.load_ty(0x2000, Type::I8).unwrap(), 0xFF);
+    }
+}

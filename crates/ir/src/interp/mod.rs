@@ -1,0 +1,173 @@
+//! The IR interpreter ("LLVM level" in the paper's terminology).
+//!
+//! Executes a verified [`Module`](crate::module::Module) with:
+//! - dynamic-instruction counting and per-static-instruction profiling,
+//! - a program output stream (the SDC comparand),
+//! - a single-bit fault-injection hook on instruction *results* — the exact
+//!   LLFI-style fault model of the paper (§4.3): stores, branches and void
+//!   calls produce no result and therefore are not IR-level fault sites.
+
+pub mod memory;
+pub mod ops;
+
+mod eval;
+
+pub use eval::Interpreter;
+pub use memory::{Memory, TrapKind, GLOBAL_BASE};
+
+use crate::value::{FuncId, InstId};
+use serde::{Deserialize, Serialize};
+
+/// Execution limits and switches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Total memory image size in bytes.
+    pub mem_size: u64,
+    /// Stack reservation at the top of memory.
+    pub stack_size: u64,
+    /// Hard dynamic-instruction budget; exceeding it traps with
+    /// [`TrapKind::InstLimit`] (fault-induced livelock -> DUE).
+    pub max_dyn_insts: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Maximum output bytes before [`TrapKind::OutputFlood`].
+    pub max_output: usize,
+    /// Collect per-static-instruction execution counts.
+    pub profile: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            mem_size: 4 << 20,
+            stack_size: 1 << 20,
+            max_dyn_insts: 200_000_000,
+            max_call_depth: 512,
+            max_output: 1 << 20,
+            profile: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Budget relative to a known fault-free dynamic instruction count:
+    /// generous enough to never clip healthy runs, tight enough to catch
+    /// fault-induced livelock quickly.
+    pub fn with_budget_for(golden_dyn_insts: u64) -> ExecConfig {
+        ExecConfig { max_dyn_insts: golden_dyn_insts.saturating_mul(4).max(100_000), ..Default::default() }
+    }
+}
+
+/// A single-bit fault to inject during one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Zero-based index among *fault sites* (dynamic instructions that write
+    /// a result). When the counter reaches this index the result is
+    /// corrupted.
+    pub site_index: u64,
+    /// Bit position to flip; taken modulo the destination width.
+    pub bit: u32,
+    /// Optional second bit for the multi-bit fault model the paper lists
+    /// as emerging (§2.2); `None` = the standard single-bit model.
+    pub second_bit: Option<u32>,
+}
+
+impl FaultSpec {
+    /// The standard single-bit fault.
+    pub fn single(site_index: u64, bit: u32) -> FaultSpec {
+        FaultSpec { site_index, bit, second_bit: None }
+    }
+
+    /// A double-bit fault in the same destination.
+    pub fn double(site_index: u64, bit: u32, second: u32) -> FaultSpec {
+        FaultSpec { site_index, bit, second_bit: Some(second) }
+    }
+}
+
+/// How an execution finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecStatus {
+    /// Ran to completion; payload is `main`'s return value (canonical bits).
+    Completed(u64),
+    /// A duplication checker caught the error (`detect_error` fired).
+    Detected,
+    /// Abnormal termination (the paper's DUE class).
+    Trapped(TrapKind),
+}
+
+impl ExecStatus {
+    pub fn is_completed(self) -> bool {
+        matches!(self, ExecStatus::Completed(_))
+    }
+}
+
+/// Per-static-instruction dynamic execution counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Profile {
+    /// `counts[func][inst]` = number of executions of that instruction.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl Profile {
+    pub fn count(&self, f: FuncId, i: InstId) -> u64 {
+        self.counts.get(f.index()).and_then(|v| v.get(i.index())).copied().unwrap_or(0)
+    }
+}
+
+/// The result of one execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecResult {
+    pub status: ExecStatus,
+    /// Tagged output records; byte-compared against the golden run to
+    /// classify SDCs.
+    pub output: Vec<u8>,
+    /// All executed instructions, terminators included (Table 1's DI count).
+    pub dyn_insts: u64,
+    /// Executed instructions that wrote a result (= IR-level fault sites).
+    pub fault_sites: u64,
+    /// Where the fault (if any) actually landed.
+    pub injected_at: Option<(FuncId, InstId)>,
+    /// Present when profiling was requested.
+    pub profile: Option<Profile>,
+}
+
+impl ExecResult {
+    /// True if this run completed with output identical to `golden`.
+    pub fn matches_output(&self, golden: &ExecResult) -> bool {
+        self.status == golden.status && self.output == golden.output
+    }
+}
+
+/// Output record tags.
+pub(crate) const TAG_I64: u8 = 1;
+pub(crate) const TAG_F64: u8 = 2;
+pub(crate) const TAG_BYTE: u8 = 3;
+
+/// Decode an output stream into a human-readable form (examples/debugging).
+pub fn decode_output(bytes: &[u8]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            TAG_I64 if i + 9 <= bytes.len() => {
+                let v = i64::from_le_bytes(bytes[i + 1..i + 9].try_into().unwrap());
+                out.push(format!("i64:{v}"));
+                i += 9;
+            }
+            TAG_F64 if i + 9 <= bytes.len() => {
+                let v = f64::from_bits(u64::from_le_bytes(bytes[i + 1..i + 9].try_into().unwrap()));
+                out.push(format!("f64:{v}"));
+                i += 9;
+            }
+            TAG_BYTE if i + 2 <= bytes.len() => {
+                out.push(format!("byte:{}", bytes[i + 1]));
+                i += 2;
+            }
+            _ => {
+                out.push(format!("?:{}", bytes[i]));
+                i += 1;
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,146 @@
+//! MiniC abstract syntax tree.
+
+/// Scalar element types of MiniC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scalar {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// IEEE double (`float`).
+    Float,
+    /// 8-bit unsigned integer (`byte`), promoted to `int` in arithmetic.
+    Byte,
+}
+
+/// A MiniC type: a scalar, a pointer-to-scalar (array parameter), or void.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    Scalar(Scalar),
+    Ptr(Scalar),
+    Void,
+}
+
+/// Binary operators (source level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    Neg,
+    Not,
+}
+
+/// Assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array / pointer element.
+    Index(String, Box<Expr>),
+}
+
+/// Expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    /// Variable read, or the address of an array when the name denotes one.
+    Ident(String),
+    /// `a[i]`
+    Index(String, Box<Expr>),
+    Unary(UnKind, Box<Expr>),
+    Binary(BinKind, Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// Explicit conversion: `int(e)`, `float(e)`, `byte(e)`.
+    Cast(Scalar, Box<Expr>),
+}
+
+/// Statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `int x;` / `int x = e;` / `int a[10];`
+    Decl { name: String, scalar: Scalar, array: Option<u32>, init: Option<Expr> },
+    /// `x = e;` / `a[i] = e;`
+    Assign { target: LValue, value: Expr },
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    While { cond: Expr, body: Vec<Stmt> },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>),
+    /// Expression evaluated for effect (calls).
+    Expr(Expr),
+    Break,
+    Continue,
+}
+
+/// Global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub scalar: Scalar,
+    /// Element count (scalars are arrays of length 1).
+    pub count: u64,
+    /// Optional element initializers (integer or float literals).
+    pub init: Option<Vec<f64>>,
+    pub line: u32,
+}
+
+/// Function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: TypeName,
+}
+
+/// Function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret: TypeName,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub funcs: Vec<FuncDecl>,
+}

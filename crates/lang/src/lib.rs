@@ -1,0 +1,28 @@
+//! # flowery-lang
+//!
+//! MiniC: a small C-like language that lowers to `flowery-ir` with `-O0`
+//! Clang shape (alloca-based locals, parameter spills, no midend cleanup).
+//! The 16 paper benchmarks in `flowery-workloads` are written in MiniC.
+//!
+//! ```
+//! let module = flowery_lang::compile("demo", r#"
+//!     int main() {
+//!         int i;
+//!         int s = 0;
+//!         for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+//!         output(s);
+//!         return s;
+//!     }
+//! "#).unwrap();
+//! use flowery_ir::interp::{Interpreter, ExecConfig, ExecStatus};
+//! let r = Interpreter::new(&module).run(&ExecConfig::default(), None);
+//! assert_eq!(r.status, ExecStatus::Completed(55));
+//! ```
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use lower::compile;
+pub use token::LangError;

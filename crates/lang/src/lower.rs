@@ -1,0 +1,816 @@
+//! Type checking and lowering of MiniC to `flowery-ir`.
+//!
+//! The output deliberately has `-O0` Clang shape: every local (including
+//! parameters) lives in an entry-block `alloca`, every read is a `load`,
+//! every write is a `store`, and no midend cleanup is applied. The
+//! cross-layer experiments depend on this shape.
+
+use crate::ast::*;
+use crate::token::{err, LangError};
+use flowery_ir::builder::{FuncBuilder, ModuleBuilder};
+use flowery_ir::inst::{BinOp, CastKind, FPred, IPred, Intrinsic};
+use flowery_ir::types::Type;
+use flowery_ir::value::{FuncId, GlobalId, InstId, Op};
+use flowery_ir::Module;
+use std::collections::HashMap;
+
+/// Expression-level type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ETy {
+    Int,
+    Float,
+    Bool,
+    Ptr(Scalar),
+}
+
+/// A typed value during lowering.
+#[derive(Debug, Clone, Copy)]
+struct TV {
+    op: Op,
+    ty: ETy,
+}
+
+fn scalar_ir(s: Scalar) -> Type {
+    match s {
+        Scalar::Int => Type::I64,
+        Scalar::Float => Type::F64,
+        Scalar::Byte => Type::I8,
+    }
+}
+
+fn param_ir(ty: TypeName) -> Type {
+    match ty {
+        TypeName::Scalar(Scalar::Float) => Type::F64,
+        TypeName::Scalar(_) => Type::I64, // byte params promoted, C-style
+        TypeName::Ptr(_) => Type::Ptr,
+        TypeName::Void => unreachable!("void params rejected by parser"),
+    }
+}
+
+/// What a name refers to.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    /// Scalar local: pointer to its alloca + element scalar.
+    Local(InstId, Scalar),
+    /// Local array: alloca pointer + element scalar.
+    LocalArray(InstId, Scalar),
+    /// Pointer parameter, spilled to an alloca holding the pointer.
+    PtrParam(InstId, Scalar),
+}
+
+struct FuncSig {
+    id: FuncId,
+    params: Vec<TypeName>,
+    ret: TypeName,
+}
+
+struct Lowerer<'a> {
+    mb: &'a mut ModuleBuilder,
+    funcs: HashMap<String, FuncSig>,
+    globals: HashMap<String, (GlobalId, Scalar)>,
+}
+
+/// Compile MiniC source into a verified IR module.
+pub fn compile(name: &str, src: &str) -> Result<Module, LangError> {
+    let prog = crate::parser::parse(src)?;
+    lower(name, &prog)
+}
+
+/// Lower a parsed program.
+pub fn lower(name: &str, prog: &Program) -> Result<Module, LangError> {
+    let mut mb = ModuleBuilder::new(name);
+    let mut lw = Lowerer { mb: &mut mb, funcs: HashMap::new(), globals: HashMap::new() };
+
+    for g in &prog.globals {
+        if lw.globals.contains_key(&g.name) {
+            return err(g.line, format!("duplicate global '{}'", g.name));
+        }
+        let elem = scalar_ir(g.scalar);
+        let gid = match &g.init {
+            None => lw.mb.global_zeroed(&g.name, elem, g.count),
+            Some(vals) => {
+                let mut words: Vec<u64> = vals
+                    .iter()
+                    .map(|&v| match g.scalar {
+                        Scalar::Float => v.to_bits(),
+                        Scalar::Int => elem.canon(v as i64 as u64),
+                        Scalar::Byte => elem.canon(v as i64 as u64),
+                    })
+                    .collect();
+                words.resize(g.count as usize, 0);
+                lw.mb.global_init(&g.name, elem, words)
+            }
+        };
+        lw.globals.insert(g.name.clone(), (gid, g.scalar));
+    }
+
+    // Declare all functions first (forward references, recursion).
+    for f in &prog.funcs {
+        if lw.funcs.contains_key(&f.name) {
+            return err(f.line, format!("duplicate function '{}'", f.name));
+        }
+        if is_builtin(&f.name) {
+            return err(f.line, format!("'{}' is a builtin", f.name));
+        }
+        let ir_params = f.params.iter().map(|p| param_ir(p.ty)).collect();
+        let ret_ty = match f.ret {
+            TypeName::Void => None,
+            TypeName::Scalar(s) => Some(match s {
+                Scalar::Float => Type::F64,
+                _ => Type::I64,
+            }),
+            TypeName::Ptr(_) => unreachable!(),
+        };
+        let id = lw.mb.declare_func(&f.name, ir_params, ret_ty);
+        lw.funcs.insert(
+            f.name.clone(),
+            FuncSig { id, params: f.params.iter().map(|p| p.ty).collect(), ret: f.ret },
+        );
+    }
+
+    for f in &prog.funcs {
+        lw.lower_func(f)?;
+    }
+
+    let module = mb.finish();
+    if module.main_func().is_none() {
+        return err(0, "program has no main function");
+    }
+    flowery_ir::verify::verify_module(&module)
+        .map_err(|e| LangError { line: 0, msg: format!("internal lowering bug: {e}") })?;
+    Ok(module)
+}
+
+fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "output" | "outputb" | "sqrt" | "sin" | "cos" | "exp" | "log" | "fabs" | "floor" | "pow"
+    )
+}
+
+/// Per-function lowering state.
+struct FnCtx {
+    fb: FuncBuilder,
+    scopes: Vec<HashMap<String, Binding>>,
+    /// (break target, continue target) stack.
+    loops: Vec<(flowery_ir::BlockId, flowery_ir::BlockId)>,
+    ret: TypeName,
+    next_label: u32,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, b: Binding, line: u32) -> Result<(), LangError> {
+        let top = self.scopes.last_mut().expect("scope stack nonempty");
+        if top.insert(name.to_string(), b).is_some() {
+            return err(line, format!("duplicate declaration of '{name}' in this scope"));
+        }
+        Ok(())
+    }
+
+    fn fresh(&mut self, base: &str) -> String {
+        self.next_label += 1;
+        format!("{base}{}", self.next_label)
+    }
+}
+
+impl Lowerer<'_> {
+    fn lower_func(&mut self, f: &FuncDecl) -> Result<(), LangError> {
+        let sig_id = self.funcs[&f.name].id;
+        let ir_params: Vec<Type> = f.params.iter().map(|p| param_ir(p.ty)).collect();
+        let ret_ty = match f.ret {
+            TypeName::Void => None,
+            TypeName::Scalar(Scalar::Float) => Some(Type::F64),
+            _ => Some(Type::I64),
+        };
+        let fb = FuncBuilder::new(&f.name, ir_params, ret_ty);
+        let mut cx = FnCtx {
+            fb,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            ret: f.ret,
+            next_label: 0,
+        };
+
+        // Spill each parameter to an entry alloca (-O0 behaviour).
+        for (i, p) in f.params.iter().enumerate() {
+            match p.ty {
+                TypeName::Scalar(s) => {
+                    let store_ty = match s {
+                        Scalar::Float => Type::F64,
+                        _ => Type::I64, // byte params held widened in locals
+                    };
+                    let slot = cx.fb.alloca_entry(store_ty, 1);
+                    cx.fb.store(store_ty, Op::param(i as u32), Op::inst(slot));
+                    let as_scalar = if s == Scalar::Byte { Scalar::Int } else { s };
+                    cx.declare(&p.name, Binding::Local(slot, as_scalar), f.line)?;
+                }
+                TypeName::Ptr(s) => {
+                    let slot = cx.fb.alloca_entry(Type::Ptr, 1);
+                    cx.fb.store(Type::Ptr, Op::param(i as u32), Op::inst(slot));
+                    cx.declare(&p.name, Binding::PtrParam(slot, s), f.line)?;
+                }
+                TypeName::Void => unreachable!(),
+            }
+        }
+
+        self.lower_stmts(&mut cx, &f.body)?;
+
+        // Implicit return.
+        if !cx.fb.is_terminated() {
+            match f.ret {
+                TypeName::Void => cx.fb.ret(None),
+                TypeName::Scalar(Scalar::Float) => cx.fb.ret(Some(Op::cf64(0.0))),
+                _ => cx.fb.ret(Some(Op::ci64(0))),
+            }
+        }
+
+        self.mb.define_func(sig_id, cx.fb.finish());
+        Ok(())
+    }
+
+    fn lower_stmts(&mut self, cx: &mut FnCtx, stmts: &[Stmt]) -> Result<(), LangError> {
+        for s in stmts {
+            if cx.fb.is_terminated() {
+                // Dead code after return/break: park it in an unreachable block
+                // so lowering stays simple (Clang emits it too).
+                let dead_l = cx.fresh("dead");
+                let dead = cx.fb.new_block(dead_l);
+                cx.fb.switch_to(dead);
+            }
+            self.lower_stmt(cx, s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, cx: &mut FnCtx, s: &Stmt) -> Result<(), LangError> {
+        match &s.kind {
+            StmtKind::Decl { name, scalar, array, init } => {
+                if let Some(n) = array {
+                    let id = cx.fb.alloca_entry(scalar_ir(*scalar), *n);
+                    cx.declare(name, Binding::LocalArray(id, *scalar), s.line)?;
+                } else {
+                    let id = cx.fb.alloca_entry(scalar_ir(*scalar), 1);
+                    cx.declare(name, Binding::Local(id, *scalar), s.line)?;
+                    if let Some(e) = init {
+                        let v = self.lower_expr(cx, e)?;
+                        self.store_scalar(cx, Op::inst(id), *scalar, v, s.line)?;
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Assign { target, value } => {
+                let v = self.lower_expr(cx, value)?;
+                match target {
+                    LValue::Var(name) => match cx.lookup(name) {
+                        Some(Binding::Local(slot, sc)) => {
+                            self.store_scalar(cx, Op::inst(slot), sc, v, s.line)
+                        }
+                        Some(_) => err(s.line, format!("cannot assign to array '{name}'")),
+                        None => err(s.line, format!("unknown variable '{name}'")),
+                    },
+                    LValue::Index(name, idx) => {
+                        let (base, sc) = self.array_base(cx, name, s.line)?;
+                        let i = self.lower_expr(cx, idx)?;
+                        let i = self.to_int(cx, i, s.line)?;
+                        let p = cx.fb.gep(base, i.op, scalar_ir(sc));
+                        self.store_scalar(cx, Op::inst(p), sc, v, s.line)
+                    }
+                }
+            }
+            StmtKind::If { cond, then_body, else_body } => {
+                let c = self.lower_expr(cx, cond)?;
+                let c = self.to_bool(cx, c, s.line)?;
+                let then_bb_l = cx.fresh("if.then");
+                let then_bb = cx.fb.new_block(then_bb_l);
+                let else_bb_l = cx.fresh("if.else");
+                let else_bb = cx.fb.new_block(else_bb_l);
+                let merge_l = cx.fresh("if.end");
+                let merge = cx.fb.new_block(merge_l);
+                cx.fb.br(c.op, then_bb, if else_body.is_empty() { merge } else { else_bb });
+
+                cx.fb.switch_to(then_bb);
+                cx.scopes.push(HashMap::new());
+                self.lower_stmts(cx, then_body)?;
+                cx.scopes.pop();
+                if !cx.fb.is_terminated() {
+                    cx.fb.jmp(merge);
+                }
+
+                if !else_body.is_empty() {
+                    cx.fb.switch_to(else_bb);
+                    cx.scopes.push(HashMap::new());
+                    self.lower_stmts(cx, else_body)?;
+                    cx.scopes.pop();
+                    if !cx.fb.is_terminated() {
+                        cx.fb.jmp(merge);
+                    }
+                }
+                cx.fb.switch_to(merge);
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let header_l = cx.fresh("while.cond");
+                let header = cx.fb.new_block(header_l);
+                let body_bb_l = cx.fresh("while.body");
+                let body_bb = cx.fb.new_block(body_bb_l);
+                let exit_l = cx.fresh("while.end");
+                let exit = cx.fb.new_block(exit_l);
+                cx.fb.jmp(header);
+                cx.fb.switch_to(header);
+                let c = self.lower_expr(cx, cond)?;
+                let c = self.to_bool(cx, c, s.line)?;
+                cx.fb.br(c.op, body_bb, exit);
+                cx.fb.switch_to(body_bb);
+                cx.scopes.push(HashMap::new());
+                cx.loops.push((exit, header));
+                self.lower_stmts(cx, body)?;
+                cx.loops.pop();
+                cx.scopes.pop();
+                if !cx.fb.is_terminated() {
+                    cx.fb.jmp(header);
+                }
+                cx.fb.switch_to(exit);
+                Ok(())
+            }
+            StmtKind::For { init, cond, step, body } => {
+                cx.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(cx, i)?;
+                }
+                let header_l = cx.fresh("for.cond");
+                let header = cx.fb.new_block(header_l);
+                let body_bb_l = cx.fresh("for.body");
+                let body_bb = cx.fb.new_block(body_bb_l);
+                let step_bb_l = cx.fresh("for.step");
+                let step_bb = cx.fb.new_block(step_bb_l);
+                let exit_l = cx.fresh("for.end");
+                let exit = cx.fb.new_block(exit_l);
+                cx.fb.jmp(header);
+                cx.fb.switch_to(header);
+                match cond {
+                    Some(c) => {
+                        let c = self.lower_expr(cx, c)?;
+                        let c = self.to_bool(cx, c, s.line)?;
+                        cx.fb.br(c.op, body_bb, exit);
+                    }
+                    None => cx.fb.jmp(body_bb),
+                }
+                cx.fb.switch_to(body_bb);
+                cx.scopes.push(HashMap::new());
+                cx.loops.push((exit, step_bb));
+                self.lower_stmts(cx, body)?;
+                cx.loops.pop();
+                cx.scopes.pop();
+                if !cx.fb.is_terminated() {
+                    cx.fb.jmp(step_bb);
+                }
+                cx.fb.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.lower_stmt(cx, st)?;
+                }
+                cx.fb.jmp(header);
+                cx.fb.switch_to(exit);
+                cx.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Return(val) => {
+                match (val, cx.ret) {
+                    (None, TypeName::Void) => cx.fb.ret(None),
+                    (Some(e), TypeName::Void) => {
+                        let _ = e;
+                        return err(s.line, "returning a value from a void function");
+                    }
+                    (None, _) => return err(s.line, "missing return value"),
+                    (Some(e), TypeName::Scalar(sc)) => {
+                        let v = self.lower_expr(cx, e)?;
+                        let v = match sc {
+                            Scalar::Float => self.to_float(cx, v, s.line)?,
+                            _ => self.to_int(cx, v, s.line)?,
+                        };
+                        cx.fb.ret(Some(v.op));
+                    }
+                    (Some(_), TypeName::Ptr(_)) => unreachable!(),
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.lower_expr_maybe_void(cx, e)?;
+                Ok(())
+            }
+            StmtKind::Break => match cx.loops.last() {
+                Some(&(exit, _)) => {
+                    cx.fb.jmp(exit);
+                    Ok(())
+                }
+                None => err(s.line, "break outside loop"),
+            },
+            StmtKind::Continue => match cx.loops.last() {
+                Some(&(_, cont)) => {
+                    cx.fb.jmp(cont);
+                    Ok(())
+                }
+                None => err(s.line, "continue outside loop"),
+            },
+        }
+    }
+
+    fn array_base(&mut self, cx: &mut FnCtx, name: &str, line: u32) -> Result<(Op, Scalar), LangError> {
+        match cx.lookup(name) {
+            Some(Binding::LocalArray(id, sc)) => Ok((Op::inst(id), sc)),
+            Some(Binding::PtrParam(slot, sc)) => {
+                let p = cx.fb.load(Type::Ptr, Op::inst(slot));
+                Ok((Op::inst(p), sc))
+            }
+            Some(Binding::Local(..)) => err(line, format!("'{name}' is a scalar, not an array")),
+            None => match self.globals.get(name) {
+                Some(&(gid, sc)) => Ok((Op::Global(gid), sc)),
+                None => err(line, format!("unknown array '{name}'")),
+            },
+        }
+    }
+
+    /// Store a value into a scalar slot, applying implicit conversions.
+    fn store_scalar(
+        &mut self,
+        cx: &mut FnCtx,
+        ptr: Op,
+        sc: Scalar,
+        v: TV,
+        line: u32,
+    ) -> Result<(), LangError> {
+        match sc {
+            Scalar::Float => {
+                let v = self.to_float(cx, v, line)?;
+                cx.fb.store(Type::F64, v.op, ptr);
+            }
+            Scalar::Int => {
+                let v = self.to_int(cx, v, line)?;
+                cx.fb.store(Type::I64, v.op, ptr);
+            }
+            Scalar::Byte => {
+                let v = self.to_int(cx, v, line)?;
+                let t = cx.fb.cast(CastKind::Trunc, Type::I64, Type::I8, v.op);
+                cx.fb.store(Type::I8, Op::inst(t), ptr);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- conversions ----------------------------------------------------
+
+    fn to_bool(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
+        match v.ty {
+            ETy::Bool => Ok(v),
+            ETy::Int => {
+                let c = cx.fb.icmp(IPred::Ne, Type::I64, v.op, Op::ci64(0));
+                Ok(TV { op: Op::inst(c), ty: ETy::Bool })
+            }
+            ETy::Float => {
+                let c = cx.fb.fcmp(FPred::One, Type::F64, v.op, Op::cf64(0.0));
+                Ok(TV { op: Op::inst(c), ty: ETy::Bool })
+            }
+            ETy::Ptr(_) => err(line, "pointer used as condition"),
+        }
+    }
+
+    fn to_int(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
+        match v.ty {
+            ETy::Int => Ok(v),
+            ETy::Bool => {
+                let z = cx.fb.cast(CastKind::Zext, Type::I1, Type::I64, v.op);
+                Ok(TV { op: Op::inst(z), ty: ETy::Int })
+            }
+            ETy::Float => err(line, "implicit float -> int conversion; use int(expr)"),
+            ETy::Ptr(_) => err(line, "pointer used as integer"),
+        }
+    }
+
+    fn to_float(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
+        match v.ty {
+            ETy::Float => Ok(v),
+            ETy::Int => {
+                let c = cx.fb.cast(CastKind::SiToFp, Type::I64, Type::F64, v.op);
+                Ok(TV { op: Op::inst(c), ty: ETy::Float })
+            }
+            ETy::Bool => {
+                let i = self.to_int(cx, v, line)?;
+                self.to_float(cx, i, line)
+            }
+            ETy::Ptr(_) => err(line, "pointer used as float"),
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn lower_expr_maybe_void(&mut self, cx: &mut FnCtx, e: &Expr) -> Result<Option<TV>, LangError> {
+        if let ExprKind::Call(name, args) = &e.kind {
+            return self.lower_call(cx, name, args, e.line);
+        }
+        self.lower_expr(cx, e).map(Some)
+    }
+
+    fn lower_expr(&mut self, cx: &mut FnCtx, e: &Expr) -> Result<TV, LangError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(TV { op: Op::ci64(*v), ty: ETy::Int }),
+            ExprKind::FloatLit(v) => Ok(TV { op: Op::cf64(*v), ty: ETy::Float }),
+            ExprKind::Ident(name) => match cx.lookup(name) {
+                Some(Binding::Local(slot, sc)) => {
+                    let ty = scalar_ir(sc);
+                    let l = cx.fb.load(ty, Op::inst(slot));
+                    match sc {
+                        Scalar::Float => Ok(TV { op: Op::inst(l), ty: ETy::Float }),
+                        Scalar::Int => Ok(TV { op: Op::inst(l), ty: ETy::Int }),
+                        Scalar::Byte => {
+                            let z = cx.fb.cast(CastKind::Zext, Type::I8, Type::I64, Op::inst(l));
+                            Ok(TV { op: Op::inst(z), ty: ETy::Int })
+                        }
+                    }
+                }
+                Some(Binding::LocalArray(id, sc)) => Ok(TV { op: Op::inst(id), ty: ETy::Ptr(sc) }),
+                Some(Binding::PtrParam(slot, sc)) => {
+                    let l = cx.fb.load(Type::Ptr, Op::inst(slot));
+                    Ok(TV { op: Op::inst(l), ty: ETy::Ptr(sc) })
+                }
+                None => match self.globals.get(name) {
+                    Some(&(gid, sc)) => Ok(TV { op: Op::Global(gid), ty: ETy::Ptr(sc) }),
+                    None => err(e.line, format!("unknown identifier '{name}'")),
+                },
+            },
+            ExprKind::Index(name, idx) => {
+                let (base, sc) = self.array_base(cx, name, e.line)?;
+                let i = self.lower_expr(cx, idx)?;
+                let i = self.to_int(cx, i, e.line)?;
+                let p = cx.fb.gep(base, i.op, scalar_ir(sc));
+                let l = cx.fb.load(scalar_ir(sc), Op::inst(p));
+                match sc {
+                    Scalar::Float => Ok(TV { op: Op::inst(l), ty: ETy::Float }),
+                    Scalar::Int => Ok(TV { op: Op::inst(l), ty: ETy::Int }),
+                    Scalar::Byte => {
+                        let z = cx.fb.cast(CastKind::Zext, Type::I8, Type::I64, Op::inst(l));
+                        Ok(TV { op: Op::inst(z), ty: ETy::Int })
+                    }
+                }
+            }
+            ExprKind::Unary(UnKind::Neg, inner) => {
+                let v = self.lower_expr(cx, inner)?;
+                match v.ty {
+                    ETy::Float => {
+                        let r = cx.fb.bin(BinOp::FSub, Type::F64, Op::cf64(0.0), v.op);
+                        Ok(TV { op: Op::inst(r), ty: ETy::Float })
+                    }
+                    _ => {
+                        let v = self.to_int(cx, v, e.line)?;
+                        let r = cx.fb.bin(BinOp::Sub, Type::I64, Op::ci64(0), v.op);
+                        Ok(TV { op: Op::inst(r), ty: ETy::Int })
+                    }
+                }
+            }
+            ExprKind::Unary(UnKind::Not, inner) => {
+                let v = self.lower_expr(cx, inner)?;
+                let b = self.to_bool(cx, v, e.line)?;
+                let r = cx.fb.bin(BinOp::Xor, Type::I1, b.op, Op::Const(flowery_ir::Const::bool(true)));
+                Ok(TV { op: Op::inst(r), ty: ETy::Bool })
+            }
+            ExprKind::Binary(op @ (BinKind::LogAnd | BinKind::LogOr), l, r) => {
+                self.lower_shortcircuit(cx, *op, l, r, e.line)
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lv = self.lower_expr(cx, l)?;
+                let rv = self.lower_expr(cx, r)?;
+                self.lower_binary(cx, *op, lv, rv, e.line)
+            }
+            ExprKind::Call(name, args) => match self.lower_call(cx, name, args, e.line)? {
+                Some(v) => Ok(v),
+                None => err(e.line, format!("void call '{name}' used as a value")),
+            },
+            ExprKind::Cast(sc, inner) => {
+                let v = self.lower_expr(cx, inner)?;
+                match sc {
+                    Scalar::Float => self.to_float(cx, v, e.line),
+                    Scalar::Int => match v.ty {
+                        ETy::Float => {
+                            let c = cx.fb.cast(CastKind::FpToSi, Type::F64, Type::I64, v.op);
+                            Ok(TV { op: Op::inst(c), ty: ETy::Int })
+                        }
+                        _ => self.to_int(cx, v, e.line),
+                    },
+                    Scalar::Byte => {
+                        let v = match v.ty {
+                            ETy::Float => {
+                                let c = cx.fb.cast(CastKind::FpToSi, Type::F64, Type::I64, v.op);
+                                TV { op: Op::inst(c), ty: ETy::Int }
+                            }
+                            _ => self.to_int(cx, v, e.line)?,
+                        };
+                        let t = cx.fb.cast(CastKind::Trunc, Type::I64, Type::I8, v.op);
+                        let z = cx.fb.cast(CastKind::Zext, Type::I8, Type::I64, Op::inst(t));
+                        Ok(TV { op: Op::inst(z), ty: ETy::Int })
+                    }
+                }
+            }
+        }
+    }
+
+    fn lower_shortcircuit(
+        &mut self,
+        cx: &mut FnCtx,
+        op: BinKind,
+        l: &Expr,
+        r: &Expr,
+        line: u32,
+    ) -> Result<TV, LangError> {
+        // -O0-style: a temporary i8 slot holds the result.
+        let slot = cx.fb.alloca_entry(Type::I8, 1);
+        let lv = self.lower_expr(cx, l)?;
+        let lb = self.to_bool(cx, lv, line)?;
+        let z = cx.fb.cast(CastKind::Zext, Type::I1, Type::I8, lb.op);
+        cx.fb.store(Type::I8, Op::inst(z), Op::inst(slot));
+        let rhs_bb_l = cx.fresh("sc.rhs");
+                let rhs_bb = cx.fb.new_block(rhs_bb_l);
+        let end_bb_l = cx.fresh("sc.end");
+                let end_bb = cx.fb.new_block(end_bb_l);
+        match op {
+            BinKind::LogAnd => cx.fb.br(lb.op, rhs_bb, end_bb),
+            BinKind::LogOr => cx.fb.br(lb.op, end_bb, rhs_bb),
+            _ => unreachable!(),
+        }
+        cx.fb.switch_to(rhs_bb);
+        let rv = self.lower_expr(cx, r)?;
+        let rb = self.to_bool(cx, rv, line)?;
+        let z2 = cx.fb.cast(CastKind::Zext, Type::I1, Type::I8, rb.op);
+        cx.fb.store(Type::I8, Op::inst(z2), Op::inst(slot));
+        cx.fb.jmp(end_bb);
+        cx.fb.switch_to(end_bb);
+        let l8 = cx.fb.load(Type::I8, Op::inst(slot));
+        let c = cx.fb.icmp(IPred::Ne, Type::I8, Op::inst(l8), Op::cint(Type::I8, 0));
+        Ok(TV { op: Op::inst(c), ty: ETy::Bool })
+    }
+
+    fn lower_binary(
+        &mut self,
+        cx: &mut FnCtx,
+        op: BinKind,
+        lv: TV,
+        rv: TV,
+        line: u32,
+    ) -> Result<TV, LangError> {
+        let float = lv.ty == ETy::Float || rv.ty == ETy::Float;
+        let is_cmp = matches!(
+            op,
+            BinKind::Eq | BinKind::Ne | BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge
+        );
+        if float {
+            let a = self.to_float(cx, lv, line)?;
+            let b = self.to_float(cx, rv, line)?;
+            if is_cmp {
+                let pred = match op {
+                    BinKind::Eq => FPred::Oeq,
+                    BinKind::Ne => FPred::One,
+                    BinKind::Lt => FPred::Olt,
+                    BinKind::Le => FPred::Ole,
+                    BinKind::Gt => FPred::Ogt,
+                    BinKind::Ge => FPred::Oge,
+                    _ => unreachable!(),
+                };
+                let c = cx.fb.fcmp(pred, Type::F64, a.op, b.op);
+                return Ok(TV { op: Op::inst(c), ty: ETy::Bool });
+            }
+            let bop = match op {
+                BinKind::Add => BinOp::FAdd,
+                BinKind::Sub => BinOp::FSub,
+                BinKind::Mul => BinOp::FMul,
+                BinKind::Div => BinOp::FDiv,
+                other => return err(line, format!("{other:?} not defined on float")),
+            };
+            let r = cx.fb.bin(bop, Type::F64, a.op, b.op);
+            return Ok(TV { op: Op::inst(r), ty: ETy::Float });
+        }
+        let a = self.to_int(cx, lv, line)?;
+        let b = self.to_int(cx, rv, line)?;
+        if is_cmp {
+            let pred = match op {
+                BinKind::Eq => IPred::Eq,
+                BinKind::Ne => IPred::Ne,
+                BinKind::Lt => IPred::Slt,
+                BinKind::Le => IPred::Sle,
+                BinKind::Gt => IPred::Sgt,
+                BinKind::Ge => IPred::Sge,
+                _ => unreachable!(),
+            };
+            let c = cx.fb.icmp(pred, Type::I64, a.op, b.op);
+            return Ok(TV { op: Op::inst(c), ty: ETy::Bool });
+        }
+        let bop = match op {
+            BinKind::Add => BinOp::Add,
+            BinKind::Sub => BinOp::Sub,
+            BinKind::Mul => BinOp::Mul,
+            BinKind::Div => BinOp::SDiv,
+            BinKind::Rem => BinOp::SRem,
+            BinKind::BitAnd => BinOp::And,
+            BinKind::BitOr => BinOp::Or,
+            BinKind::BitXor => BinOp::Xor,
+            BinKind::Shl => BinOp::Shl,
+            BinKind::Shr => BinOp::AShr,
+            BinKind::LogAnd | BinKind::LogOr => unreachable!("handled earlier"),
+            _ => unreachable!(),
+        };
+        let r = cx.fb.bin(bop, Type::I64, a.op, b.op);
+        Ok(TV { op: Op::inst(r), ty: ETy::Int })
+    }
+
+    fn lower_call(
+        &mut self,
+        cx: &mut FnCtx,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Option<TV>, LangError> {
+        // Builtins.
+        match name {
+            "output" => {
+                if args.len() != 1 {
+                    return err(line, "output() takes one argument");
+                }
+                let v = self.lower_expr(cx, &args[0])?;
+                match v.ty {
+                    ETy::Float => {
+                        cx.fb.output_f64(v.op);
+                    }
+                    _ => {
+                        let v = self.to_int(cx, v, line)?;
+                        cx.fb.output_i64(v.op);
+                    }
+                }
+                return Ok(None);
+            }
+            "outputb" => {
+                if args.len() != 1 {
+                    return err(line, "outputb() takes one argument");
+                }
+                let v = self.lower_expr(cx, &args[0])?;
+                let v = self.to_int(cx, v, line)?;
+                cx.fb.intrinsic(Intrinsic::OutputByte, vec![v.op]);
+                return Ok(None);
+            }
+            "sqrt" | "sin" | "cos" | "exp" | "log" | "fabs" | "floor" | "pow" => {
+                let which = match name {
+                    "sqrt" => Intrinsic::Sqrt,
+                    "sin" => Intrinsic::Sin,
+                    "cos" => Intrinsic::Cos,
+                    "exp" => Intrinsic::Exp,
+                    "log" => Intrinsic::Log,
+                    "fabs" => Intrinsic::Fabs,
+                    "floor" => Intrinsic::Floor,
+                    _ => Intrinsic::Pow,
+                };
+                if args.len() != which.arity() {
+                    return err(line, format!("{name}() takes {} argument(s)", which.arity()));
+                }
+                let mut ir_args = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = self.lower_expr(cx, a)?;
+                    let v = self.to_float(cx, v, line)?;
+                    ir_args.push(v.op);
+                }
+                let r = cx.fb.intrinsic(which, ir_args);
+                return Ok(Some(TV { op: Op::inst(r), ty: ETy::Float }));
+            }
+            _ => {}
+        }
+
+        // User functions. A two-phase borrow: clone the signature facts.
+        let (fid, param_tys, ret) = match self.funcs.get(name) {
+            Some(sig) => (sig.id, sig.params.clone(), sig.ret),
+            None => return err(line, format!("unknown function '{name}'")),
+        };
+        if args.len() != param_tys.len() {
+            return err(line, format!("'{name}' expects {} arguments, got {}", param_tys.len(), args.len()));
+        }
+        let mut ir_args = Vec::with_capacity(args.len());
+        for (a, want) in args.iter().zip(&param_tys) {
+            let v = self.lower_expr(cx, a)?;
+            let converted = match want {
+                TypeName::Scalar(Scalar::Float) => self.to_float(cx, v, line)?,
+                TypeName::Scalar(_) => self.to_int(cx, v, line)?,
+                TypeName::Ptr(want_sc) => match v.ty {
+                    ETy::Ptr(have) if have == *want_sc => v,
+                    ETy::Ptr(_) => return err(line, "pointer element type mismatch"),
+                    _ => return err(line, "expected an array argument"),
+                },
+                TypeName::Void => unreachable!(),
+            };
+            ir_args.push(converted.op);
+        }
+        let call = cx.fb.call(fid, ir_args);
+        match ret {
+            TypeName::Void => Ok(None),
+            TypeName::Scalar(Scalar::Float) => Ok(Some(TV { op: Op::inst(call), ty: ETy::Float })),
+            TypeName::Scalar(_) => Ok(Some(TV { op: Op::inst(call), ty: ETy::Int })),
+            TypeName::Ptr(_) => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! MiniC lexer.
+
+use std::fmt;
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals / identifiers
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwFloat,
+    KwByte,
+    KwVoid,
+    KwGlobal,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Not,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexing / parsing / lowering error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+pub(crate) fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, LangError> {
+    Err(LangError { line, msg: msg.into() })
+}
+
+/// Tokenize MiniC source. `//` line comments and `/* */` block comments are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return err(line, "unterminated block comment");
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).map_or(false, |b| b.is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| LangError {
+                        line,
+                        msg: format!("bad float literal {text}"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| LangError {
+                        line,
+                        msg: format!("bad int literal {text}"),
+                    })?)
+                };
+                out.push(Spanned { tok, line });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "float" => Tok::KwFloat,
+                    "byte" => Tok::KwByte,
+                    "void" => Tok::KwVoid,
+                    "global" => Tok::KwGlobal,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                let two = |a: u8, b: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b;
+                let (tok, len) = if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else if two(b'+', b'=') {
+                    (Tok::PlusEq, 2)
+                } else if two(b'-', b'=') {
+                    (Tok::MinusEq, 2)
+                } else if two(b'*', b'=') {
+                    (Tok::StarEq, 2)
+                } else if two(b'/', b'=') {
+                    (Tok::SlashEq, 2)
+                } else if two(b'%', b'=') {
+                    (Tok::PercentEq, 2)
+                } else {
+                    let t = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ',' => Tok::Comma,
+                        ';' => Tok::Semi,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        '!' => Tok::Not,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        other => return err(line, format!("unexpected character '{other}'")),
+                    };
+                    (t, 1)
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42 3.5 1e3 2.5e-2"), vec![
+            Tok::Int(42),
+            Tok::Float(3.5),
+            Tok::Float(1000.0),
+            Tok::Float(0.025),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(toks("int foo while_x"), vec![
+            Tok::KwInt,
+            Tok::Ident("foo".into()),
+            Tok::Ident("while_x".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(toks("<= >= == != << >> && || ! < >"), vec![
+            Tok::Le,
+            Tok::Ge,
+            Tok::Eq,
+            Tok::Ne,
+            Tok::Shl,
+            Tok::Shr,
+            Tok::AndAnd,
+            Tok::OrOr,
+            Tok::Not,
+            Tok::Lt,
+            Tok::Gt,
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let ts = lex("a // hi\nb /* multi\nline */ c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_bad_char() {
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn division_not_comment() {
+        assert_eq!(toks("a / b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Slash,
+            Tok::Ident("b".into()),
+            Tok::Eof
+        ]);
+    }
+}

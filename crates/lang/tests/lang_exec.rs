@@ -1,0 +1,278 @@
+//! End-to-end MiniC tests: compile then execute on the IR interpreter.
+
+use flowery_ir::interp::{decode_output, ExecConfig, ExecStatus, Interpreter};
+
+fn run(src: &str) -> (ExecStatus, Vec<String>) {
+    let m = flowery_lang::compile("t", src).expect("compile");
+    let r = Interpreter::new(&m).run(&ExecConfig::default(), None);
+    (r.status, decode_output(&r.output))
+}
+
+fn run_ret(src: &str) -> i64 {
+    match run(src).0 {
+        ExecStatus::Completed(v) => v as i64,
+        other => panic!("did not complete: {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run_ret("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
+    assert_eq!(run_ret("int main() { return (2 + 3) * 4 % 7; }"), 6);
+    assert_eq!(run_ret("int main() { return 1 << 4 | 3; }"), 19);
+    assert_eq!(run_ret("int main() { return -7 / 2; }"), -3);
+    assert_eq!(run_ret("int main() { return -7 % 3; }"), -1);
+    assert_eq!(run_ret("int main() { return 5 & 3 ^ 1; }"), 0);
+    assert_eq!(run_ret("int main() { return -16 >> 2; }"), -4);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(run_ret("int main() { return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5); }"), 3);
+    assert_eq!(run_ret("int main() { return (1 == 1) && (2 != 3); }"), 1);
+    assert_eq!(run_ret("int main() { return 0 || 7; }"), 1);
+    assert_eq!(run_ret("int main() { return !0 + !5; }"), 1);
+}
+
+#[test]
+fn short_circuit_skips_rhs() {
+    // If RHS evaluated, it would divide by zero and trap.
+    assert_eq!(run_ret("int main() { int z = 0; if (0 && (1 / z)) { return 1; } return 2; }"), 2);
+    assert_eq!(run_ret("int main() { int z = 0; if (1 || (1 / z)) { return 3; } return 4; }"), 3);
+}
+
+#[test]
+fn while_and_for_loops() {
+    assert_eq!(
+        run_ret("int main() { int s = 0; int i = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }"),
+        45
+    );
+    assert_eq!(
+        run_ret("int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }"),
+        45
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    assert_eq!(
+        run_ret(
+            "int main() { int s = 0; int i; for (i = 0; i < 100; i = i + 1) {\n\
+               if (i % 2 == 0) { continue; }\n\
+               if (i > 10) { break; }\n\
+               s = s + i;\n\
+             } return s; }"
+        ),
+        1 + 3 + 5 + 7 + 9
+    );
+}
+
+#[test]
+fn local_arrays_and_globals() {
+    assert_eq!(
+        run_ret(
+            "global int tbl[5] = {10, 20, 30, 40, 50};\n\
+             int main() { int a[3]; a[0] = tbl[4]; a[1] = a[0] + tbl[0]; return a[1]; }"
+        ),
+        60
+    );
+}
+
+#[test]
+fn global_float_init_and_arith() {
+    let (_, out) = run(
+        "global float w[3] = {0.5, -1.5, 2.0};\n\
+         int main() { float s = 0.0; int i; for (i = 0; i < 3; i = i + 1) { s = s + w[i]; } output(s); return 0; }",
+    );
+    assert_eq!(out, vec!["f64:1"]);
+}
+
+#[test]
+fn functions_and_recursion() {
+    assert_eq!(
+        run_ret(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+             int main() { return fib(12); }"
+        ),
+        144
+    );
+}
+
+#[test]
+fn pointer_params_mutate_caller_arrays() {
+    assert_eq!(
+        run_ret(
+            "void fill(int* a, int n) { int i; for (i = 0; i < n; i = i + 1) { a[i] = i * i; } }\n\
+             int sum(int* a, int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) { s = s + a[i]; } return s; }\n\
+             int main() { int buf[6]; fill(buf, 6); return sum(buf, 6); }"
+        ),
+        0 + 1 + 4 + 9 + 16 + 25
+    );
+}
+
+#[test]
+fn global_array_as_argument() {
+    assert_eq!(
+        run_ret(
+            "global int data[4] = {1, 2, 3, 4};\n\
+             int first(int* p) { return p[0]; }\n\
+             int main() { return first(data) + data[3]; }"
+        ),
+        5
+    );
+}
+
+#[test]
+fn float_int_mixing_and_casts() {
+    assert_eq!(run_ret("int main() { return int(3.9) + int(-1.9); }"), 2);
+    let (_, out) = run("int main() { output(float(3) / 2.0); return 0; }");
+    assert_eq!(out, vec!["f64:1.5"]);
+    // int op float promotes to float
+    let (_, out) = run("int main() { output(1 + 0.5); return 0; }");
+    assert_eq!(out, vec!["f64:1.5"]);
+}
+
+#[test]
+fn byte_semantics_wrap() {
+    assert_eq!(run_ret("int main() { byte b = 250; b = b + 10; return b; }"), 4);
+    assert_eq!(run_ret("int main() { return byte(256 + 7); }"), 7);
+    assert_eq!(
+        run_ret("int main() { byte a[2]; a[0] = 255; a[1] = a[0] + 1; return a[1]; }"),
+        0
+    );
+}
+
+#[test]
+fn math_builtins() {
+    let (_, out) = run("int main() { output(sqrt(16.0)); output(pow(2.0, 8.0)); output(fabs(-2.5)); output(floor(3.7)); return 0; }");
+    assert_eq!(out, vec!["f64:4", "f64:256", "f64:2.5", "f64:3"]);
+}
+
+#[test]
+fn output_stream_kinds() {
+    let (_, out) = run("int main() { output(7); output(2.5); outputb(65); return 0; }");
+    assert_eq!(out, vec!["i64:7", "f64:2.5", "byte:65"]);
+}
+
+#[test]
+fn else_if_chain_runs() {
+    let src = "int classify(int x) {\n\
+                 if (x < 0) { return 0 - 1; } else if (x == 0) { return 0; } else if (x < 10) { return 1; } else { return 2; }\n\
+               }\n\
+               int main() { return classify(-5) + classify(0) + classify(5) + classify(50); }";
+    assert_eq!(run_ret(src), -1 + 0 + 1 + 2);
+}
+
+#[test]
+fn scoping_shadows() {
+    assert_eq!(
+        run_ret("int main() { int x = 1; if (1) { int x = 5; output(x); } return x; }"),
+        1
+    );
+}
+
+#[test]
+fn division_by_zero_traps() {
+    let m = flowery_lang::compile("t", "int main() { int z = 0; return 5 / z; }").unwrap();
+    let r = Interpreter::new(&m).run(&ExecConfig::default(), None);
+    assert!(matches!(
+        r.status,
+        ExecStatus::Trapped(flowery_ir::interp::TrapKind::DivFault)
+    ));
+}
+
+#[test]
+fn dead_code_after_return_is_tolerated() {
+    assert_eq!(run_ret("int main() { return 1; output(9); }"), 1);
+}
+
+#[test]
+fn void_function_and_implicit_return() {
+    assert_eq!(run_ret("void side() { output(1); }\nint main() { side(); }"), 0);
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    for (src, frag) in [
+        ("int main() { return y; }", "unknown identifier"),
+        ("int main() { float f = 1.5; int x = f; return x; }", "implicit float"),
+        ("int main() { int x = 1; int x = 2; return x; }", "duplicate declaration"),
+        ("void f() { }", "no main"),
+        ("int main() { break; }", "break outside loop"),
+        ("int main() { return g(1); }", "unknown function"),
+        ("int f(int a) { return a; } int main() { return f(); }", "expects 1 arguments"),
+        ("int main() { int a[3]; a = 1; return 0; }", "cannot assign to array"),
+        ("int main() { int x = 0; return x[0]; }", "is a scalar"),
+    ] {
+        let e = flowery_lang::compile("t", src).unwrap_err();
+        assert!(e.msg.contains(frag), "source {src:?}: expected {frag:?} in {:?}", e.msg);
+    }
+}
+
+#[test]
+fn nested_loops_matrix_multiply() {
+    let src = "global int a[4] = {1, 2, 3, 4};\n\
+               global int b[4] = {5, 6, 7, 8};\n\
+               global int c[4];\n\
+               int main() {\n\
+                 int i; int j; int k;\n\
+                 for (i = 0; i < 2; i = i + 1) {\n\
+                   for (j = 0; j < 2; j = j + 1) {\n\
+                     int s = 0;\n\
+                     for (k = 0; k < 2; k = k + 1) { s = s + a[i * 2 + k] * b[k * 2 + j]; }\n\
+                     c[i * 2 + j] = s;\n\
+                   }\n\
+                 }\n\
+                 return c[0] * 1000 + c[1] * 100 + c[2] * 10 + c[3];\n\
+               }";
+    // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+    assert_eq!(run_ret(src), 19 * 1000 + 22 * 100 + 43 * 10 + 50);
+}
+
+#[test]
+fn deep_loop_does_not_overflow_stack() {
+    // Locals declared inside loops must be hoisted to the entry block.
+    assert_eq!(
+        run_ret("int main() { int i; int s = 0; for (i = 0; i < 100000; i = i + 1) { int t = i % 3; s = s + t; } return s % 1000; }"),
+        {
+            let mut s = 0i64;
+            for i in 0..100000 {
+                s += i % 3;
+            }
+            s % 1000
+        }
+    );
+}
+
+#[test]
+fn compound_assignment_operators() {
+    assert_eq!(
+        run_ret("int main() { int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; return x; }"),
+        ((10 + 5 - 3) * 2 / 4) % 4
+    );
+    assert_eq!(
+        run_ret("int main() { int a[3]; a[0] = 4; a[0] += 6; a[0] *= 2; return a[0]; }"),
+        20
+    );
+    assert_eq!(
+        run_ret(
+            "global int g[2];\n\
+             int main() { int i; for (i = 0; i < 5; i += 1) { g[i % 2] += i; } return g[0] * 100 + g[1]; }"
+        ),
+        (0 + 2 + 4) * 100 + (1 + 3)
+    );
+    let (_, out) = run("int main() { float f = 2.0; f *= 1.5; f += 0.5; output(f); return 0; }");
+    assert_eq!(out, vec!["f64:3.5"]);
+}
+
+#[test]
+fn compound_assignment_in_for_step_and_while() {
+    assert_eq!(
+        run_ret("int main() { int s = 0; int i; for (i = 1; i <= 10; i += 2) { s += i; } return s; }"),
+        1 + 3 + 5 + 7 + 9
+    );
+    assert_eq!(
+        run_ret("int main() { int x = 64; int n = 0; while (x > 1) { x /= 2; n += 1; } return n; }"),
+        6
+    );
+}

@@ -1,0 +1,256 @@
+//! Flowery patch 2: **postponed branch condition check** (paper §6.2).
+//!
+//! An unfused conditional branch re-establishes RFLAGS with a `test`
+//! instruction at the assembly level; a fault there silently steers the
+//! program down the wrong path (branch penetration). The branch itself
+//! cannot be duplicated, so Flowery checks *after the fact*: the taken
+//! direction is recorded in a global before the branch, and a checker on
+//! each outgoing edge verifies that the architecturally taken edge matches
+//! the recorded intent.
+//!
+//! Edge checkers are placed on *trampoline* blocks so that other
+//! predecessors of the successor blocks are unaffected.
+
+use flowery_ir::inst::{Callee, InstData, InstKind, Intrinsic, IrRole, Terminator};
+use flowery_ir::module::{Global, GlobalInit, Module};
+use flowery_ir::types::Type;
+use flowery_ir::value::{BlockId, FuncId, GlobalId, Op};
+use flowery_ir::{CastKind, IPred};
+
+/// Name of the module global holding the expected branch direction.
+pub const EXPECT_GLOBAL: &str = "__flowery_branch_expect";
+
+/// Apply the postponed-branch-check transformation in place. Only branches
+/// that are *at risk* — whose condition is not produced by the immediately
+/// preceding, single-use compare (the backend's fusion pattern) — are
+/// patched, keeping overhead low. Returns the number of patched branches.
+pub fn apply(m: &mut Module) -> usize {
+    let expect = ensure_global(m);
+    let mut patched = 0;
+    for fi in 0..m.functions.len() {
+        patched += patch_function(m, FuncId(fi as u32), expect);
+    }
+    patched
+}
+
+fn ensure_global(m: &mut Module) -> GlobalId {
+    m.find_global(EXPECT_GLOBAL).unwrap_or_else(|| {
+        m.add_global(Global {
+            name: EXPECT_GLOBAL.into(),
+            elem: Type::I64,
+            count: 1,
+            init: GlobalInit::Zero,
+        })
+    })
+}
+
+fn patch_function(m: &mut Module, fid: FuncId, expect: GlobalId) -> usize {
+    let mut patched = 0;
+    // Snapshot candidate blocks: App-role conditional branches at risk.
+    let candidates: Vec<BlockId> = {
+        let f = m.func(fid);
+        f.iter_blocks()
+            .filter(|(bid, block)| {
+                let Terminator::Br { cond, .. } = &block.term else { return false };
+                // Skip checker/patch branches: those guard detectors.
+                if let Some(ci) = cond.as_inst() {
+                    if f.inst(ci).role != IrRole::App {
+                        return false;
+                    }
+                } else {
+                    // Constant conditions (left by folding) are comparison
+                    // penetration, handled by the anti-cmp patch instead.
+                    return false;
+                }
+                at_risk(f, *bid)
+            })
+            .map(|(bid, _)| bid)
+            .collect()
+    };
+
+    for bid in candidates {
+        let f = m.func_mut(fid);
+        let Terminator::Br { cond, then_bb, else_bb } = f.block(bid).term.clone() else {
+            continue;
+        };
+        // Record intent: zext the condition and store it to the global.
+        let z = f.add_inst(InstData::with_role(
+            InstKind::Cast { kind: CastKind::Zext, from: Type::I1, to: Type::I64, val: cond },
+            IrRole::Patch,
+        ));
+        let st = f.add_inst(InstData::with_role(
+            InstKind::Store { val: Op::inst(z), ptr: Op::Global(expect), ty: Type::I64 },
+            IrRole::Patch,
+        ));
+        f.block_mut(bid).insts.push(z);
+        f.block_mut(bid).insts.push(st);
+        // Trampolines on both edges.
+        let t_tramp = make_trampoline(f, expect, then_bb, 1);
+        let e_tramp = make_trampoline(f, expect, else_bb, 0);
+        f.block_mut(bid).term = Terminator::Br { cond, then_bb: t_tramp, else_bb: e_tramp };
+        patched += 1;
+    }
+    patched
+}
+
+/// Is the branch of `bid` at risk of the `test` lowering? (Condition not
+/// the immediately preceding single-use compare.)
+fn at_risk(f: &flowery_ir::Function, bid: BlockId) -> bool {
+    let block = f.block(bid);
+    let Terminator::Br { cond, .. } = &block.term else { return false };
+    let Some(ci) = cond.as_inst() else { return true };
+    let last = match block.insts.last() {
+        Some(&l) => l,
+        None => return true,
+    };
+    if last != ci {
+        return true;
+    }
+    if !matches!(f.inst(ci).kind, InstKind::ICmp { .. } | InstKind::FCmp { .. }) {
+        return true;
+    }
+    // Single use? Count uses across the function.
+    let mut uses = 0;
+    for block in &f.blocks {
+        for &iid in &block.insts {
+            uses += f.inst(iid).operands().iter().filter(|o| o.as_inst() == Some(ci)).count();
+        }
+        if block.term.operand().and_then(|o| o.as_inst()) == Some(ci) {
+            uses += 1;
+        }
+    }
+    uses != 1
+}
+
+/// Build `tramp: if (load @expect == want) goto dest; else detect`.
+fn make_trampoline(
+    f: &mut flowery_ir::Function,
+    expect: GlobalId,
+    dest: BlockId,
+    want: i64,
+) -> BlockId {
+    let tramp = f.add_block(format!("br.check{}", f.blocks.len()));
+    let detect = f.add_block(format!("br.detect{}", f.blocks.len()));
+    let load = f.add_inst(InstData::with_role(
+        InstKind::Load { ptr: Op::Global(expect), ty: Type::I64 },
+        IrRole::Patch,
+    ));
+    let cmp = f.add_inst(InstData::with_role(
+        InstKind::ICmp { pred: IPred::Eq, ty: Type::I64, lhs: Op::inst(load), rhs: Op::ci64(want) },
+        IrRole::Patch,
+    ));
+    f.block_mut(tramp).insts = vec![load, cmp];
+    f.block_mut(tramp).term = Terminator::Br { cond: Op::inst(cmp), then_bb: dest, else_bb: detect };
+    let call = f.add_inst(InstData::with_role(
+        InstKind::Call { callee: Callee::Intrinsic(Intrinsic::DetectError), args: vec![] },
+        IrRole::Patch,
+    ));
+    f.block_mut(detect).insts.push(call);
+    f.block_mut(detect).term = Terminator::Jmp { dest };
+    tramp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplicate::{duplicate_module, DupConfig};
+    use crate::select::ProtectionPlan;
+    use flowery_ir::interp::{ExecConfig, Interpreter};
+    use flowery_ir::verify::verify_module;
+
+    const SRC: &str = "int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { if (i % 3 == 0) { s = s + i; } } output(s); return s; }";
+
+    fn duplicated() -> Module {
+        let mut m = flowery_lang::compile("t", SRC).unwrap();
+        let plan = ProtectionPlan::full(&m);
+        duplicate_module(&mut m, &plan, &DupConfig::default());
+        m
+    }
+
+    #[test]
+    fn patches_at_risk_branches_and_verifies() {
+        let mut m = duplicated();
+        let n = apply(&mut m);
+        assert!(n > 0, "duplicated code has checker-split branches at risk");
+        verify_module(&m).unwrap();
+        assert!(m.find_global(EXPECT_GLOBAL).is_some());
+    }
+
+    #[test]
+    fn preserves_semantics() {
+        let mut m = duplicated();
+        let before = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        apply(&mut m);
+        let after = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        assert_eq!(before.status, after.status);
+        assert_eq!(before.output, after.output);
+    }
+
+    #[test]
+    fn fused_branches_are_not_patched() {
+        // Without duplication, the loop compare feeds its branch directly:
+        // fusable, not at risk, no patch.
+        let mut m = flowery_lang::compile(
+            "t",
+            "int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }",
+        )
+        .unwrap();
+        let n = apply(&mut m);
+        assert_eq!(n, 0, "fusable branches must not be patched");
+    }
+
+    #[test]
+    fn wrong_path_faults_are_detected_at_assembly() {
+        use flowery_backend::{compile_module, AsmFaultSpec, BackendConfig, Machine};
+        use flowery_ir::interp::ExecStatus;
+        // Compare outcome populations: with the patch, flags faults on the
+        // `test` of the protected branch must be detected instead of
+        // corrupting output.
+        let plain = duplicated();
+        let mut patched = plain.clone();
+        apply(&mut patched);
+        let run_flags_faults = |m: &Module| -> (u64, u64) {
+            let prog = compile_module(m, &BackendConfig::default());
+            let mach = Machine::new(m, &prog);
+            let golden = mach.run(&ExecConfig::default(), None);
+            let cfg = ExecConfig::with_budget_for(golden.dyn_insts);
+            let (mut sdc, mut detected) = (0u64, 0u64);
+            // Sweep all sites with bit pattern 0 (ZF-class flip on flags).
+            for site in 0..golden.fault_sites {
+                let r = mach.run(&cfg, Some(AsmFaultSpec::single(site, 1)));
+                match r.status {
+                    ExecStatus::Completed(_) if r.output != golden.output => sdc += 1,
+                    ExecStatus::Detected => detected += 1,
+                    _ => {}
+                }
+            }
+            (sdc, detected)
+        };
+        let (sdc_plain, _) = run_flags_faults(&plain);
+        let (sdc_patched, det_patched) = run_flags_faults(&patched);
+        assert!(det_patched > 0);
+        assert!(
+            sdc_patched < sdc_plain,
+            "patch must reduce silent corruptions: {sdc_patched} vs {sdc_plain}"
+        );
+    }
+
+    #[test]
+    fn trampolines_do_not_disturb_other_predecessors() {
+        // Two branches into the same join block; patching one must not
+        // make entries from the other path trip the checker.
+        let src = "int main() { int x = 4; int r = 0;\n\
+                   if (x > 2) { r = 1; } \n\
+                   if (x > 3) { r = r + 2; }\n\
+                   output(r); return r; }";
+        let mut m = flowery_lang::compile("t", src).unwrap();
+        let plan = ProtectionPlan::full(&m);
+        duplicate_module(&mut m, &plan, &DupConfig::default());
+        let before = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        apply(&mut m);
+        verify_module(&m).unwrap();
+        let after = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        assert_eq!(before.status, after.status);
+        assert_eq!(before.output, after.output);
+    }
+}

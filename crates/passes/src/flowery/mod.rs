@@ -1,0 +1,63 @@
+//! The Flowery mitigation (paper §6): three compiler patches applied on top
+//! of instruction duplication that close the cross-layer protection gap.
+//!
+//! 1. [`eager_store`] — store before checking, so the stored value is still
+//!    register-cached (kills store penetration).
+//! 2. [`branch_check`] — record the intended branch direction in a global
+//!    and verify it on both outgoing edges (kills branch penetration).
+//! 3. [`anti_cmp`] — isolate duplicated comparisons behind an opaque guard
+//!    block so backend folding cannot remove them (kills comparison
+//!    penetration).
+//!
+//! Call and mapping penetration have no LLVM-level fix (paper §6.3, last
+//! paragraph); the three patches above cover ~94% of deficiency cases.
+
+pub mod anti_cmp;
+pub mod branch_check;
+pub mod eager_store;
+
+use flowery_ir::Module;
+use serde::{Deserialize, Serialize};
+
+/// Which Flowery patches to apply.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FloweryConfig {
+    pub eager_store: bool,
+    pub branch_check: bool,
+    pub anti_cmp: bool,
+}
+
+impl Default for FloweryConfig {
+    fn default() -> FloweryConfig {
+        FloweryConfig { eager_store: true, branch_check: true, anti_cmp: true }
+    }
+}
+
+/// Statistics from one Flowery run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloweryStats {
+    /// Stores swapped ahead of their checkers.
+    pub eager_stores: usize,
+    /// Branches given postponed condition checks.
+    pub checked_branches: usize,
+    /// Comparison checkers isolated from folding.
+    pub isolated_compares: usize,
+}
+
+/// Apply the configured Flowery patches to an already-duplicated module.
+pub fn apply_flowery(m: &mut Module, cfg: &FloweryConfig) -> FloweryStats {
+    let mut stats = FloweryStats::default();
+    // Order matters: anti-cmp isolates comparison checkers first (it keys
+    // on the original checker shape), then eager-store swaps stores, then
+    // branch checks wrap the remaining at-risk branches.
+    if cfg.anti_cmp {
+        stats.isolated_compares = anti_cmp::apply(m);
+    }
+    if cfg.eager_store {
+        stats.eager_stores = eager_store::apply(m);
+    }
+    if cfg.branch_check {
+        stats.checked_branches = branch_check::apply(m);
+    }
+    stats
+}

@@ -1,0 +1,33 @@
+//! # flowery-passes
+//!
+//! IR transformation passes for the cross-layer soft-error study:
+//!
+//! - [`select`] — SDC-profile-driven knapsack selection of instructions to
+//!   protect at a given protection level (paper §3),
+//! - [`duplicate`] — SWIFT-style selective instruction duplication with
+//!   checkers at synchronization points,
+//! - [`flowery`] — the three Flowery patches (paper §6) that repair the
+//!   assembly-level protection deficiencies.
+//!
+//! ```
+//! use flowery_passes::duplicate::{duplicate_module, DupConfig};
+//! use flowery_passes::flowery::{apply_flowery, FloweryConfig};
+//! use flowery_passes::select::ProtectionPlan;
+//!
+//! let mut m = flowery_lang::compile("demo",
+//!     "int main() { int x = 2 + 3; output(x); return x; }").unwrap();
+//! let plan = ProtectionPlan::full(&m);
+//! let stats = duplicate_module(&mut m, &plan, &DupConfig::default());
+//! assert!(stats.shadows > 0);
+//! let fstats = apply_flowery(&mut m, &FloweryConfig::default());
+//! assert!(fstats.eager_stores > 0);
+//! flowery_ir::verify::verify_module(&m).unwrap();
+//! ```
+
+pub mod duplicate;
+pub mod flowery;
+pub mod select;
+
+pub use duplicate::{duplicate_module, DupConfig, DupStats};
+pub use flowery::{apply_flowery, FloweryConfig, FloweryStats};
+pub use select::{choose_protection, ProtectionPlan, SdcProfile};

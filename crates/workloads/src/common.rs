@@ -1,0 +1,133 @@
+//! Shared helpers for generating benchmark MiniC sources with baked-in,
+//! deterministically generated inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Benchmark input scale. FI campaigns execute the whole program thousands
+/// of times, so default sizes are chosen to keep dynamic instruction counts
+/// in the tens of thousands (the paper's absolute counts are irrelevant to
+/// the cross-layer comparison; only the instruction mix matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Minimal sizes for fast unit tests.
+    Tiny,
+    /// The default experiment scale.
+    #[default]
+    Standard,
+}
+
+/// Deterministic RNG for a benchmark's inputs.
+pub fn rng_for(name: &str) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, b) in name.bytes().enumerate() {
+        seed[i % 32] ^= b.wrapping_mul(31).wrapping_add(i as u8);
+    }
+    seed[31] ^= 0x5A;
+    StdRng::from_seed(seed)
+}
+
+/// Format a `global int` array declaration with initializer.
+pub fn global_int(name: &str, values: &[i64]) -> String {
+    let mut s = format!("global int {name}[{}] = {{", values.len());
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push_str("};\n");
+    s
+}
+
+/// Format a `global float` array declaration with initializer.
+pub fn global_float(name: &str, values: &[f64]) -> String {
+    let mut s = format!("global float {name}[{}] = {{", values.len());
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        // Full round-trip precision.
+        let _ = write!(s, "{v:?}");
+    }
+    s.push_str("};\n");
+    s
+}
+
+/// Format a `global byte` array declaration with initializer.
+pub fn global_byte(name: &str, values: &[u8]) -> String {
+    let mut s = format!("global byte {name}[{}] = {{", values.len());
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push_str("};\n");
+    s
+}
+
+/// A zero-initialized global array declaration.
+pub fn global_zero(name: &str, ty: &str, n: usize) -> String {
+    format!("global {ty} {name}[{n}];\n")
+}
+
+/// Random integers in a range.
+pub fn rand_ints(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Random floats in a range.
+pub fn rand_floats(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Random bytes.
+pub fn rand_bytes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0..=255u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<i64> = rand_ints(&mut rng_for("bfs"), 5, 0, 100);
+        let b: Vec<i64> = rand_ints(&mut rng_for("bfs"), 5, 0, 100);
+        let c: Vec<i64> = rand_ints(&mut rng_for("lud"), 5, 0, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn formats_compile() {
+        let src = format!(
+            "{}{}{}{}int main() {{ return tbl[0] + int(w[1]) + img[2]; }}",
+            global_int("tbl", &[5, -3]),
+            global_float("w", &[0.25, 2.0]),
+            global_byte("img", &[9, 8, 7]),
+            global_zero("scratch", "int", 4),
+        );
+        let m = flowery_lang::compile("fmt", &src).unwrap();
+        let r = flowery_ir::interp::Interpreter::new(&m)
+            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        assert_eq!(r.status, flowery_ir::interp::ExecStatus::Completed(5 + 2 + 7));
+    }
+
+    #[test]
+    fn float_format_round_trips() {
+        let vals = vec![0.1, -1e-9, 123456.789, 2.0];
+        let src = format!(
+            "{}int main() {{ output(w[0]); output(w[1]); output(w[2]); output(w[3]); return 0; }}",
+            global_float("w", &vals)
+        );
+        let m = flowery_lang::compile("rt", &src).unwrap();
+        let r = flowery_ir::interp::Interpreter::new(&m)
+            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let out = flowery_ir::interp::decode_output(&r.output);
+        assert_eq!(out[0], format!("f64:{}", 0.1));
+        assert_eq!(out[2], format!("f64:{}", 123456.789));
+    }
+}

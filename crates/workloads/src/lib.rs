@@ -1,0 +1,154 @@
+//! # flowery-workloads
+//!
+//! The 16 benchmark programs of the paper's Table 1, re-implemented in
+//! MiniC with deterministic, scaled-down inputs (see DESIGN.md §2 for the
+//! substitution rationale: the penetration phenomena depend on instruction
+//! *mix*, not input size, and simulation-scale inputs make 3,000-campaign
+//! fault injection tractable).
+
+pub mod common;
+pub mod mibench;
+pub mod npb;
+pub mod rodinia;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use common::Scale;
+
+/// Benchmark suite, as in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    Rodinia,
+    Npb,
+    MiBench,
+}
+
+impl Suite {
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Rodinia => "Rodinia",
+            Suite::Npb => "NPB",
+            Suite::MiBench => "MiBench",
+        }
+    }
+}
+
+/// One benchmark: metadata plus its generated MiniC source.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub name: &'static str,
+    pub suite: Suite,
+    pub domain: &'static str,
+    pub source: String,
+}
+
+impl Workload {
+    /// Compile this workload to a verified IR module.
+    pub fn compile(&self) -> flowery_ir::Module {
+        flowery_lang::compile(self.name, &self.source)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name))
+    }
+}
+
+/// The names of all 16 benchmarks, in Table 1 order.
+pub const NAMES: [&str; 16] = [
+    "backprop",
+    "bfs",
+    "pathfinder",
+    "lud",
+    "needle",
+    "knn",
+    "ep",
+    "cg",
+    "is",
+    "fft2",
+    "quicksort",
+    "basicmath",
+    "susan",
+    "crc32",
+    "stringsearch",
+    "patricia",
+];
+
+/// Build one benchmark by name.
+pub fn workload(name: &str, scale: Scale) -> Workload {
+    let (suite, domain, source) = match name {
+        "backprop" => (Suite::Rodinia, "Machine Learning", rodinia::backprop(scale)),
+        "bfs" => (Suite::Rodinia, "Graph Algorithm", rodinia::bfs(scale)),
+        "pathfinder" => (Suite::Rodinia, "Dynamic Programming", rodinia::pathfinder(scale)),
+        "lud" => (Suite::Rodinia, "Linear Algebra", rodinia::lud(scale)),
+        "needle" => (Suite::Rodinia, "Dynamic Programming", rodinia::needle(scale)),
+        "knn" => (Suite::Rodinia, "Machine Learning", rodinia::knn(scale)),
+        "ep" => (Suite::Npb, "Parallel Computing", npb::ep(scale)),
+        "cg" => (Suite::Npb, "Gradient Algorithm", npb::cg(scale)),
+        "is" => (Suite::Npb, "Sort Algorithm", npb::is(scale)),
+        "fft2" => (Suite::MiBench, "Signal Processing", mibench::fft2(scale)),
+        "quicksort" => (Suite::MiBench, "Sort Algorithm", mibench::quicksort(scale)),
+        "basicmath" => (Suite::MiBench, "Mathematical Calculations", mibench::basicmath(scale)),
+        "susan" => (Suite::MiBench, "Image Recognition", mibench::susan(scale)),
+        "crc32" => (Suite::MiBench, "Error Detection", mibench::crc32(scale)),
+        "stringsearch" => (Suite::MiBench, "Comparison Algorithm", mibench::stringsearch(scale)),
+        "patricia" => (Suite::MiBench, "Data Structure", mibench::patricia(scale)),
+        other => panic!("unknown workload '{other}'"),
+    };
+    let name = NAMES.iter().find(|&&n| n == name).expect("known name");
+    Workload { name, suite, domain, source }
+}
+
+/// All 16 benchmarks at the given scale.
+pub fn all_workloads(scale: Scale) -> Vec<Workload> {
+    NAMES.iter().map(|n| workload(n, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_compiles() {
+        let all = all_workloads(Scale::Tiny);
+        assert_eq!(all.len(), 16);
+        for w in &all {
+            let m = w.compile();
+            assert!(m.main_func().is_some(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn suites_match_table1() {
+        assert_eq!(workload("backprop", Scale::Tiny).suite, Suite::Rodinia);
+        assert_eq!(workload("ep", Scale::Tiny).suite, Suite::Npb);
+        assert_eq!(workload("crc32", Scale::Tiny).suite, Suite::MiBench);
+        assert_eq!(Suite::Npb.name(), "NPB");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        workload("nosuch", Scale::Tiny);
+    }
+
+    #[test]
+    fn sources_are_deterministic() {
+        let a = workload("lud", Scale::Standard).source;
+        let b = workload("lud", Scale::Standard).source;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_scale_dyn_counts_are_tractable() {
+        use flowery_ir::interp::{ExecConfig, Interpreter};
+        for w in all_workloads(Scale::Standard) {
+            let m = w.compile();
+            let r = Interpreter::new(&m).run(&ExecConfig::default(), None);
+            assert!(r.status.is_completed(), "{}: {:?}", w.name, r.status);
+            assert!(
+                (1_000..2_000_000).contains(&r.dyn_insts),
+                "{}: {} dynamic instructions out of range",
+                w.name,
+                r.dyn_insts
+            );
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! MiBench-suite benchmark re-implementations (paper Table 1): FFT2,
+//! quicksort, basicmath, susan, CRC32, stringsearch, patricia.
+
+use crate::common::*;
+
+/// FFT2: iterative radix-2 Cooley-Tukey over a random complex signal.
+pub fn fft2(scale: Scale) -> String {
+    let n: usize = match scale {
+        Scale::Tiny => 8,
+        Scale::Standard => 32,
+    };
+    let logn = n.trailing_zeros();
+    let mut rng = rng_for("fft2");
+    let re = rand_floats(&mut rng, n, -1.0, 1.0);
+    let im = rand_floats(&mut rng, n, -1.0, 1.0);
+    format!(
+        "{}{}\
+int main() {{\n\
+  int i; int j; int k;\n\
+  // bit-reversal permutation\n\
+  for (i = 0; i < {n}; i = i + 1) {{\n\
+    int rev = 0;\n\
+    int v = i;\n\
+    for (k = 0; k < {logn}; k = k + 1) {{\n\
+      rev = (rev << 1) | (v & 1);\n\
+      v = v >> 1;\n\
+    }}\n\
+    if (rev > i) {{\n\
+      float tr = re[i]; re[i] = re[rev]; re[rev] = tr;\n\
+      float ti = im[i]; im[i] = im[rev]; im[rev] = ti;\n\
+    }}\n\
+  }}\n\
+  int len = 2;\n\
+  float pi = 3.14159265358979323846;\n\
+  while (len <= {n}) {{\n\
+    float ang = (0.0 - 2.0) * pi / float(len);\n\
+    for (i = 0; i < {n}; i = i + len) {{\n\
+      for (j = 0; j < len / 2; j = j + 1) {{\n\
+        float wr = cos(ang * float(j));\n\
+        float wi = sin(ang * float(j));\n\
+        int a = i + j;\n\
+        int b = i + j + len / 2;\n\
+        float xr = wr * re[b] - wi * im[b];\n\
+        float xi = wr * im[b] + wi * re[b];\n\
+        re[b] = re[a] - xr;\n\
+        im[b] = im[a] - xi;\n\
+        re[a] = re[a] + xr;\n\
+        im[a] = im[a] + xi;\n\
+      }}\n\
+    }}\n\
+    len = len * 2;\n\
+  }}\n\
+  float mag = 0.0;\n\
+  for (i = 0; i < {n}; i = i + 1) {{ mag = mag + fabs(re[i]) + fabs(im[i]); }}\n\
+  output(mag);\n\
+  output(re[1]);\n\
+  output(im[1]);\n\
+  return int(mag);\n\
+}}\n",
+        global_float("re", &re),
+        global_float("im", &im),
+    )
+}
+
+/// Quicksort: recursive, last-element pivot.
+pub fn quicksort(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Tiny => 16,
+        Scale::Standard => 80,
+    };
+    let mut rng = rng_for("quicksort");
+    let data = rand_ints(&mut rng, n, -1000, 1000);
+    format!(
+        "{}\
+void qsort(int* a, int lo, int hi) {{\n\
+  if (lo >= hi) {{ return; }}\n\
+  int pivot = a[hi];\n\
+  int i = lo - 1;\n\
+  int j;\n\
+  for (j = lo; j < hi; j = j + 1) {{\n\
+    if (a[j] <= pivot) {{\n\
+      i = i + 1;\n\
+      int t = a[i]; a[i] = a[j]; a[j] = t;\n\
+    }}\n\
+  }}\n\
+  int t = a[i + 1]; a[i + 1] = a[hi]; a[hi] = t;\n\
+  qsort(a, lo, i);\n\
+  qsort(a, i + 2, hi);\n\
+}}\n\
+int main() {{\n\
+  qsort(data, 0, {n} - 1);\n\
+  int i;\n\
+  int ok = 1;\n\
+  int sum = 0;\n\
+  for (i = 0; i < {n}; i = i + 1) {{\n\
+    sum = sum + data[i] * (i + 1);\n\
+    if (i > 0) {{ if (data[i - 1] > data[i]) {{ ok = 0; }} }}\n\
+  }}\n\
+  output(ok);\n\
+  output(data[{n} / 2]);\n\
+  output(sum);\n\
+  return sum;\n\
+}}\n",
+        global_int("data", &data),
+    )
+}
+
+/// Basicmath: integer square roots (Newton), cube-root solving, and
+/// angle conversions.
+pub fn basicmath(scale: Scale) -> String {
+    let iters = match scale {
+        Scale::Tiny => 8,
+        Scale::Standard => 40,
+    };
+    format!(
+        "int isqrt(int x) {{\n\
+  if (x < 2) {{ return x; }}\n\
+  int r = x;\n\
+  int y = (r + 1) / 2;\n\
+  while (y < r) {{\n\
+    r = y;\n\
+    y = (r + x / r) / 2;\n\
+  }}\n\
+  return r;\n\
+}}\n\
+float cbrt_newton(float v) {{\n\
+  float x = 1.0;\n\
+  if (v > 1.0) {{ x = v / 3.0; }}\n\
+  int it;\n\
+  for (it = 0; it < 12; it = it + 1) {{\n\
+    x = (2.0 * x + v / (x * x)) / 3.0;\n\
+  }}\n\
+  return x;\n\
+}}\n\
+int main() {{\n\
+  int i;\n\
+  int isum = 0;\n\
+  float fsum = 0.0;\n\
+  float deg2rad = 3.14159265358979 / 180.0;\n\
+  for (i = 1; i <= {iters}; i = i + 1) {{\n\
+    isum = isum + isqrt(i * 37 + 11);\n\
+    fsum = fsum + cbrt_newton(float(i) * 2.5);\n\
+    fsum = fsum + sin(float(i * 9) * deg2rad);\n\
+  }}\n\
+  output(isum);\n\
+  output(fsum);\n\
+  return isum;\n\
+}}\n"
+    )
+}
+
+/// Susan: 3x3 smoothing plus a USAN-style corner response over a random
+/// byte image.
+pub fn susan(scale: Scale) -> String {
+    let dim = match scale {
+        Scale::Tiny => 8,
+        Scale::Standard => 18,
+    };
+    let mut rng = rng_for("susan");
+    let img = rand_bytes(&mut rng, dim * dim);
+    format!(
+        "{}{}\
+int main() {{\n\
+  int x; int y; int dx; int dy;\n\
+  // 3x3 box smoothing (interior pixels)\n\
+  for (y = 1; y < {dim} - 1; y = y + 1) {{\n\
+    for (x = 1; x < {dim} - 1; x = x + 1) {{\n\
+      int acc = 0;\n\
+      for (dy = -1; dy <= 1; dy = dy + 1) {{\n\
+        for (dx = -1; dx <= 1; dx = dx + 1) {{\n\
+          acc = acc + img[(y + dy) * {dim} + x + dx];\n\
+        }}\n\
+      }}\n\
+      smooth[y * {dim} + x] = acc / 9;\n\
+    }}\n\
+  }}\n\
+  // USAN response: neighbours within threshold of the nucleus\n\
+  int corners = 0;\n\
+  int usum = 0;\n\
+  int thresh = 20;\n\
+  for (y = 1; y < {dim} - 1; y = y + 1) {{\n\
+    for (x = 1; x < {dim} - 1; x = x + 1) {{\n\
+      int c = smooth[y * {dim} + x];\n\
+      int usan = 0;\n\
+      for (dy = -1; dy <= 1; dy = dy + 1) {{\n\
+        for (dx = -1; dx <= 1; dx = dx + 1) {{\n\
+          int d = smooth[(y + dy) * {dim} + x + dx] - c;\n\
+          if (d < 0) {{ d = 0 - d; }}\n\
+          if (d < thresh) {{ usan = usan + 1; }}\n\
+        }}\n\
+      }}\n\
+      usum = usum + usan;\n\
+      if (usan < 5) {{ corners = corners + 1; }}\n\
+    }}\n\
+  }}\n\
+  output(corners);\n\
+  output(usum);\n\
+  return usum;\n\
+}}\n",
+        global_byte("img", &img),
+        global_zero("smooth", "byte", dim * dim),
+    )
+}
+
+/// CRC32: bitwise CRC-32 (poly 0xEDB88320) over a random message.
+pub fn crc32(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Tiny => 32,
+        Scale::Standard => 180,
+    };
+    let mut rng = rng_for("crc32");
+    let msg = rand_bytes(&mut rng, n);
+    format!(
+        "{}\
+int main() {{\n\
+  int crc = 4294967295;\n\
+  int poly = 3988292384;\n\
+  int mask32 = 4294967295;\n\
+  int i; int k;\n\
+  for (i = 0; i < {n}; i = i + 1) {{\n\
+    crc = (crc ^ msg[i]) & mask32;\n\
+    for (k = 0; k < 8; k = k + 1) {{\n\
+      int lsb = crc & 1;\n\
+      crc = (crc >> 1) & mask32;\n\
+      if (lsb == 1) {{ crc = (crc ^ poly) & mask32; }}\n\
+    }}\n\
+  }}\n\
+  crc = crc ^ mask32;\n\
+  output(crc);\n\
+  return crc & 2147483647;\n\
+}}\n",
+        global_byte("msg", &msg),
+    )
+}
+
+/// Stringsearch: Boyer-Moore-Horspool over a random lowercase text.
+pub fn stringsearch(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Tiny => 64,
+        Scale::Standard => 220,
+    };
+    let mut rng = rng_for("stringsearch");
+    let mut text: Vec<u8> = (0..n).map(|_| rng.gen_range(b'a'..=b'e')).collect();
+    // Plant a needle so at least one pattern hits.
+    let pat: Vec<u8> = b"cabed".to_vec();
+    let plant = n / 2;
+    text[plant..plant + pat.len()].copy_from_slice(&pat);
+    let pat2: Vec<u8> = b"deadx".to_vec(); // absent ('x' not in alphabet)
+    format!(
+        "{}{}{}{}\
+int search(byte* t, int tlen, byte* p, int plen) {{\n\
+  int i;\n\
+  for (i = 0; i < 256; i = i + 1) {{ shift[i] = plen; }}\n\
+  for (i = 0; i < plen - 1; i = i + 1) {{ shift[p[i]] = plen - 1 - i; }}\n\
+  int pos = 0;\n\
+  while (pos <= tlen - plen) {{\n\
+    int j = plen - 1;\n\
+    while (j >= 0 && t[pos + j] == p[j]) {{ j = j - 1; }}\n\
+    if (j < 0) {{ return pos; }}\n\
+    pos = pos + shift[t[pos + plen - 1]];\n\
+  }}\n\
+  return -1;\n\
+}}\n\
+int main() {{\n\
+  int hit1 = search(text, {n}, pat1, {plen1});\n\
+  int hit2 = search(text, {n}, pat2, {plen2});\n\
+  output(hit1);\n\
+  output(hit2);\n\
+  return hit1 * 100 + hit2;\n\
+}}\n",
+        global_byte("text", &text),
+        global_byte("pat1", &pat),
+        global_byte("pat2", &pat2),
+        global_zero("shift", "int", 256),
+        n = n,
+        plen1 = pat.len(),
+        plen2 = pat2.len(),
+    )
+}
+
+/// Patricia: array-backed binary radix trie insert/lookup over 16-bit keys.
+pub fn patricia(scale: Scale) -> String {
+    let (n_insert, n_lookup) = match scale {
+        Scale::Tiny => (10, 14),
+        Scale::Standard => (40, 56),
+    };
+    let mut rng = rng_for("patricia");
+    let inserts = rand_ints(&mut rng, n_insert, 0, 65536);
+    // Half the lookups hit, half are random.
+    let mut lookups = Vec::with_capacity(n_lookup);
+    for i in 0..n_lookup {
+        if i % 2 == 0 {
+            lookups.push(inserts[i % n_insert]);
+        } else {
+            lookups.push(rng.gen_range(0..65536));
+        }
+    }
+    let max_nodes = n_insert * 17 + 2;
+    format!(
+        "{}{}{}{}{}{}\
+int insert(int key) {{\n\
+  // returns 1 if newly inserted\n\
+  int node = 0;\n\
+  int bit;\n\
+  for (bit = 15; bit >= 0; bit = bit - 1) {{\n\
+    int side = (key >> bit) & 1;\n\
+    int next = 0;\n\
+    if (side == 1) {{ next = right[node]; }} else {{ next = left[node]; }}\n\
+    if (next == 0) {{\n\
+      next = nodecount[0];\n\
+      nodecount[0] = next + 1;\n\
+      if (side == 1) {{ right[node] = next; }} else {{ left[node] = next; }}\n\
+    }}\n\
+    node = next;\n\
+  }}\n\
+  if (leaf[node] == 0) {{ leaf[node] = 1; return 1; }}\n\
+  return 0;\n\
+}}\n\
+int lookup(int key) {{\n\
+  int node = 0;\n\
+  int bit;\n\
+  for (bit = 15; bit >= 0; bit = bit - 1) {{\n\
+    int side = (key >> bit) & 1;\n\
+    int next = 0;\n\
+    if (side == 1) {{ next = right[node]; }} else {{ next = left[node]; }}\n\
+    if (next == 0) {{ return 0; }}\n\
+    node = next;\n\
+  }}\n\
+  return leaf[node];\n\
+}}\n\
+int main() {{\n\
+  nodecount[0] = 1;\n\
+  int i;\n\
+  int inserted = 0;\n\
+  for (i = 0; i < {n_insert}; i = i + 1) {{ inserted = inserted + insert(ikeys[i]); }}\n\
+  int hits = 0;\n\
+  for (i = 0; i < {n_lookup}; i = i + 1) {{ hits = hits + lookup(lkeys[i]); }}\n\
+  output(inserted);\n\
+  output(hits);\n\
+  output(nodecount[0]);\n\
+  return hits * 1000 + inserted;\n\
+}}\n",
+        global_int("ikeys", &inserts),
+        global_int("lkeys", &lookups),
+        global_zero("left", "int", max_nodes),
+        global_zero("right", "int", max_nodes),
+        global_zero("leaf", "int", max_nodes),
+        global_zero("nodecount", "int", 1),
+    )
+}
+
+use rand::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+
+    #[test]
+    fn fft2_runs() {
+        check_workload(&fft2(Scale::Standard), "fft2");
+    }
+
+    #[test]
+    fn quicksort_runs_and_sorts() {
+        check_workload(&quicksort(Scale::Standard), "quicksort");
+        let m = flowery_lang::compile("q", &quicksort(Scale::Tiny)).unwrap();
+        let r = flowery_ir::interp::Interpreter::new(&m)
+            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let out = flowery_ir::interp::decode_output(&r.output);
+        assert_eq!(out[0], "i64:1", "sortedness flag: {out:?}");
+    }
+
+    #[test]
+    fn basicmath_runs() {
+        check_workload(&basicmath(Scale::Standard), "basicmath");
+    }
+
+    #[test]
+    fn susan_runs() {
+        check_workload(&susan(Scale::Standard), "susan");
+    }
+
+    #[test]
+    fn crc32_runs_and_matches_reference() {
+        check_workload(&crc32(Scale::Standard), "crc32");
+        // Cross-check the CRC against a Rust reference implementation.
+        let mut rng = rng_for("crc32");
+        let msg = rand_bytes(&mut rng, 32);
+        let mut crc: u32 = 0xFFFF_FFFF;
+        for &b in &msg {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb == 1 {
+                    crc ^= 0xEDB8_8320;
+                }
+            }
+        }
+        crc ^= 0xFFFF_FFFF;
+        let m = flowery_lang::compile("c", &crc32(Scale::Tiny)).unwrap();
+        let r = flowery_ir::interp::Interpreter::new(&m)
+            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let out = flowery_ir::interp::decode_output(&r.output);
+        assert_eq!(out[0], format!("i64:{crc}"), "{out:?}");
+    }
+
+    #[test]
+    fn stringsearch_finds_planted_pattern() {
+        check_workload(&stringsearch(Scale::Standard), "stringsearch");
+        let m = flowery_lang::compile("s", &stringsearch(Scale::Standard)).unwrap();
+        let r = flowery_ir::interp::Interpreter::new(&m)
+            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let out = flowery_ir::interp::decode_output(&r.output);
+        assert_eq!(out[0], "i64:110", "planted at n/2: {out:?}");
+        assert_eq!(out[1], "i64:-1", "absent pattern: {out:?}");
+    }
+
+    #[test]
+    fn patricia_counts_hits() {
+        check_workload(&patricia(Scale::Standard), "patricia");
+        let m = flowery_lang::compile("p", &patricia(Scale::Tiny)).unwrap();
+        let r = flowery_ir::interp::Interpreter::new(&m)
+            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let out = flowery_ir::interp::decode_output(&r.output);
+        // At least the planted half of lookups hit.
+        let hits: i64 = out[1].strip_prefix("i64:").unwrap().parse().unwrap();
+        assert!(hits >= 7, "{out:?}");
+    }
+}

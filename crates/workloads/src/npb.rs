@@ -1,0 +1,192 @@
+//! NPB-suite benchmark re-implementations (paper Table 1): EP, CG, IS.
+
+use crate::common::*;
+use rand::Rng;
+
+/// EP: embarrassingly parallel Gaussian-pair generation and annulus tally
+/// (NAS EP kernel shape: LCG stream -> Box-Muller-style rejection).
+pub fn ep(scale: Scale) -> String {
+    let pairs = match scale {
+        Scale::Tiny => 40,
+        Scale::Standard => 220,
+    };
+    format!(
+        "{}\
+int main() {{\n\
+  int k;\n\
+  int lcg = 271828183;\n\
+  int mask = 2147483647;\n\
+  float sx = 0.0;\n\
+  float sy = 0.0;\n\
+  int accepted = 0;\n\
+  for (k = 0; k < {pairs}; k = k + 1) {{\n\
+    lcg = (lcg * 1103515245 + 12345) & mask;\n\
+    float u1 = float(lcg) / 2147483648.0 * 2.0 - 1.0;\n\
+    lcg = (lcg * 1103515245 + 12345) & mask;\n\
+    float u2 = float(lcg) / 2147483648.0 * 2.0 - 1.0;\n\
+    float t = u1 * u1 + u2 * u2;\n\
+    if (t <= 1.0) {{\n\
+      if (t > 0.0) {{\n\
+        float f = sqrt(0.0 - 2.0 * log(t) / t);\n\
+        float x = u1 * f;\n\
+        float y = u2 * f;\n\
+        float ax = fabs(x);\n\
+        float ay = fabs(y);\n\
+        float amax = ax;\n\
+        if (ay > ax) {{ amax = ay; }}\n\
+        int l = int(amax);\n\
+        if (l > 9) {{ l = 9; }}\n\
+        counts[l] = counts[l] + 1;\n\
+        sx = sx + x;\n\
+        sy = sy + y;\n\
+        accepted = accepted + 1;\n\
+      }}\n\
+    }}\n\
+  }}\n\
+  int i;\n\
+  int csum = 0;\n\
+  for (i = 0; i < 10; i = i + 1) {{ csum = csum + counts[i] * (i + 1); }}\n\
+  output(sx);\n\
+  output(sy);\n\
+  output(accepted);\n\
+  output(csum);\n\
+  return csum;\n\
+}}\n",
+        global_zero("counts", "int", 10),
+    )
+}
+
+/// CG: conjugate gradient on a dense SPD (diagonally dominant) system.
+pub fn cg(scale: Scale) -> String {
+    let (n, iters) = match scale {
+        Scale::Tiny => (6, 3),
+        Scale::Standard => (14, 6),
+    };
+    let mut rng = rng_for("cg");
+    // Symmetric, diagonally dominant A.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = rng.gen_range(-1.0..1.0);
+            a[i * n + j] = v;
+            a[j * n + i] = v;
+        }
+        a[i * n + i] = 2.0 * n as f64 + rng.gen_range(0.0..1.0);
+    }
+    let b = rand_floats(&mut rng, n, -5.0, 5.0);
+    format!(
+        "{}{}{}{}{}{}\
+void matvec(float* v, float* out) {{\n\
+  int i; int j;\n\
+  for (i = 0; i < {n}; i = i + 1) {{\n\
+    float acc = 0.0;\n\
+    for (j = 0; j < {n}; j = j + 1) {{ acc = acc + amat[i * {n} + j] * v[j]; }}\n\
+    out[i] = acc;\n\
+  }}\n\
+}}\n\
+int main() {{\n\
+  int i; int it;\n\
+  float rho = 0.0;\n\
+  for (i = 0; i < {n}; i = i + 1) {{ x[i] = 0.0; r[i] = bvec[i]; p[i] = bvec[i]; rho = rho + r[i] * r[i]; }}\n\
+  for (it = 0; it < {iters}; it = it + 1) {{\n\
+    matvec(p, q);\n\
+    float pq = 0.0;\n\
+    for (i = 0; i < {n}; i = i + 1) {{ pq = pq + p[i] * q[i]; }}\n\
+    float alpha = rho / pq;\n\
+    float rho_new = 0.0;\n\
+    for (i = 0; i < {n}; i = i + 1) {{\n\
+      x[i] = x[i] + alpha * p[i];\n\
+      r[i] = r[i] - alpha * q[i];\n\
+      rho_new = rho_new + r[i] * r[i];\n\
+    }}\n\
+    float beta = rho_new / rho;\n\
+    rho = rho_new;\n\
+    for (i = 0; i < {n}; i = i + 1) {{ p[i] = r[i] + beta * p[i]; }}\n\
+  }}\n\
+  float xsum = 0.0;\n\
+  for (i = 0; i < {n}; i = i + 1) {{ xsum = xsum + x[i] * float(i + 1); }}\n\
+  output(xsum);\n\
+  output(rho);\n\
+  return int(xsum * 100.0);\n\
+}}\n",
+        global_float("amat", &a),
+        global_float("bvec", &b),
+        global_zero("x", "float", n),
+        global_zero("r", "float", n),
+        global_zero("p", "float", n),
+        global_zero("q", "float", n),
+    )
+}
+
+/// IS: counting (bucket) sort of small integer keys with rank verification.
+pub fn is(scale: Scale) -> String {
+    let (n, maxkey) = match scale {
+        Scale::Tiny => (40, 16),
+        Scale::Standard => (240, 64),
+    };
+    let mut rng = rng_for("is");
+    let keys = rand_ints(&mut rng, n, 0, maxkey as i64);
+    format!(
+        "{}{}{}\
+int main() {{\n\
+  int i;\n\
+  for (i = 0; i < {n}; i = i + 1) {{ buckets[keys[i]] = buckets[keys[i]] + 1; }}\n\
+  // prefix sum -> rank of each key value\n\
+  int acc = 0;\n\
+  for (i = 0; i < {maxkey}; i = i + 1) {{\n\
+    int c = buckets[i];\n\
+    buckets[i] = acc;\n\
+    acc = acc + c;\n\
+  }}\n\
+  for (i = 0; i < {n}; i = i + 1) {{\n\
+    int k = keys[i];\n\
+    ranks[buckets[k]] = k;\n\
+    buckets[k] = buckets[k] + 1;\n\
+  }}\n\
+  // verify sortedness + checksum\n\
+  int ok = 1;\n\
+  int sum = 0;\n\
+  for (i = 1; i < {n}; i = i + 1) {{\n\
+    if (ranks[i - 1] > ranks[i]) {{ ok = 0; }}\n\
+    sum = sum + ranks[i] * (i % 7 + 1);\n\
+  }}\n\
+  output(ok);\n\
+  output(sum);\n\
+  return sum;\n\
+}}\n",
+        global_int("keys", &keys),
+        global_zero("buckets", "int", maxkey),
+        global_zero("ranks", "int", n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+
+    #[test]
+    fn ep_runs() {
+        check_workload(&ep(Scale::Standard), "ep");
+    }
+
+    #[test]
+    fn cg_runs() {
+        check_workload(&cg(Scale::Standard), "cg");
+    }
+
+    #[test]
+    fn is_runs() {
+        check_workload(&is(Scale::Standard), "is");
+    }
+
+    #[test]
+    fn is_actually_sorts() {
+        // The `ok` output must be 1.
+        let m = flowery_lang::compile("is", &is(Scale::Tiny)).unwrap();
+        let r = flowery_ir::interp::Interpreter::new(&m)
+            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let out = flowery_ir::interp::decode_output(&r.output);
+        assert_eq!(out[0], "i64:1", "{out:?}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Rodinia-suite benchmark re-implementations (paper Table 1): backprop,
+//! BFS, pathfinder, LUD, needle (Needleman-Wunsch), kNN.
+
+use crate::common::*;
+
+/// Backprop: one training epoch of a tiny MLP (8-4-1) with sigmoid units.
+pub fn backprop(scale: Scale) -> String {
+    let (n_in, n_hid, samples) = match scale {
+        Scale::Tiny => (4, 2, 2),
+        Scale::Standard => (8, 4, 6),
+    };
+    let mut rng = rng_for("backprop");
+    let w1 = rand_floats(&mut rng, n_in * n_hid, -0.5, 0.5);
+    let w2 = rand_floats(&mut rng, n_hid, -0.5, 0.5);
+    let xs = rand_floats(&mut rng, samples * n_in, 0.0, 1.0);
+    let ts = rand_floats(&mut rng, samples, 0.0, 1.0);
+    format!(
+        "{}{}{}{}{}\
+float sigmoid(float x) {{ return 1.0 / (1.0 + exp(0.0 - x)); }}\n\
+int main() {{\n\
+  int s; int i; int j;\n\
+  float lr = 0.3;\n\
+  for (s = 0; s < {samples}; s = s + 1) {{\n\
+    // forward\n\
+    for (j = 0; j < {n_hid}; j = j + 1) {{\n\
+      float acc = 0.0;\n\
+      for (i = 0; i < {n_in}; i = i + 1) {{ acc = acc + w1[j * {n_in} + i] * xs[s * {n_in} + i]; }}\n\
+      hidden[j] = sigmoid(acc);\n\
+    }}\n\
+    float out = 0.0;\n\
+    for (j = 0; j < {n_hid}; j = j + 1) {{ out = out + w2[j] * hidden[j]; }}\n\
+    out = sigmoid(out);\n\
+    // backward\n\
+    float delta_o = (ts[s] - out) * out * (1.0 - out);\n\
+    for (j = 0; j < {n_hid}; j = j + 1) {{\n\
+      float delta_h = delta_o * w2[j] * hidden[j] * (1.0 - hidden[j]);\n\
+      w2[j] = w2[j] + lr * delta_o * hidden[j];\n\
+      for (i = 0; i < {n_in}; i = i + 1) {{\n\
+        w1[j * {n_in} + i] = w1[j * {n_in} + i] + lr * delta_h * xs[s * {n_in} + i];\n\
+      }}\n\
+    }}\n\
+  }}\n\
+  float sum = 0.0;\n\
+  for (j = 0; j < {n_hid}; j = j + 1) {{\n\
+    sum = sum + w2[j];\n\
+    for (i = 0; i < {n_in}; i = i + 1) {{ sum = sum + w1[j * {n_in} + i]; }}\n\
+  }}\n\
+  output(sum);\n\
+  return int(sum * 1000.0);\n\
+}}\n",
+        global_float("w1", &w1),
+        global_float("w2", &w2),
+        global_float("xs", &xs),
+        global_float("ts", &ts),
+        global_zero("hidden", "float", n_hid),
+    )
+}
+
+/// BFS over a random CSR graph; outputs the distance array checksum.
+pub fn bfs(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Tiny => 12,
+        Scale::Standard => 48,
+    };
+    let mut rng = rng_for("bfs");
+    // Random graph: each node gets 2..5 out-edges; ensure a spine so most
+    // nodes are reachable from 0.
+    let mut offsets = vec![0i64];
+    let mut edges: Vec<i64> = Vec::new();
+    for v in 0..n {
+        if v + 1 < n {
+            edges.push((v + 1) as i64); // spine edge
+        }
+        let extra = rng.gen_range(1..4usize);
+        for _ in 0..extra {
+            edges.push(rng.gen_range(0..n) as i64);
+        }
+        offsets.push(edges.len() as i64);
+    }
+    format!(
+        "{}{}{}{}{}\
+int main() {{\n\
+  int i;\n\
+  for (i = 0; i < {n}; i = i + 1) {{ cost[i] = -1; }}\n\
+  cost[0] = 0;\n\
+  queue[0] = 0;\n\
+  int head = 0;\n\
+  int tail = 1;\n\
+  while (head < tail) {{\n\
+    int v = queue[head];\n\
+    head = head + 1;\n\
+    int e;\n\
+    for (e = offsets[v]; e < offsets[v + 1]; e = e + 1) {{\n\
+      int w = edges[e];\n\
+      if (cost[w] < 0) {{\n\
+        cost[w] = cost[v] + 1;\n\
+        queue[tail] = w;\n\
+        tail = tail + 1;\n\
+      }}\n\
+    }}\n\
+  }}\n\
+  int sum = 0;\n\
+  for (i = 0; i < {n}; i = i + 1) {{ sum = sum + cost[i] * (i + 1); }}\n\
+  output(sum);\n\
+  output(tail);\n\
+  return sum;\n\
+}}\n",
+        global_int("offsets", &offsets),
+        global_int("edges", &edges),
+        global_zero("cost", "int", n),
+        global_zero("queue", "int", n + 1),
+        "",
+    )
+}
+
+/// Pathfinder: bottom-up DP over a weight grid, keeping one row.
+pub fn pathfinder(scale: Scale) -> String {
+    let (rows, cols) = match scale {
+        Scale::Tiny => (6, 8),
+        Scale::Standard => (20, 24),
+    };
+    let mut rng = rng_for("pathfinder");
+    let grid = rand_ints(&mut rng, rows * cols, 0, 10);
+    format!(
+        "{}{}{}\
+int min2(int a, int b) {{ if (a < b) {{ return a; }} return b; }}\n\
+int main() {{\n\
+  int i; int j;\n\
+  for (j = 0; j < {cols}; j = j + 1) {{ prev[j] = grid[j]; }}\n\
+  for (i = 1; i < {rows}; i = i + 1) {{\n\
+    for (j = 0; j < {cols}; j = j + 1) {{\n\
+      int best = prev[j];\n\
+      if (j > 0) {{ best = min2(best, prev[j - 1]); }}\n\
+      if (j < {cols} - 1) {{ best = min2(best, prev[j + 1]); }}\n\
+      cur[j] = grid[i * {cols} + j] + best;\n\
+    }}\n\
+    for (j = 0; j < {cols}; j = j + 1) {{ prev[j] = cur[j]; }}\n\
+  }}\n\
+  int best = prev[0];\n\
+  for (j = 1; j < {cols}; j = j + 1) {{ best = min2(best, prev[j]); }}\n\
+  int sum = 0;\n\
+  for (j = 0; j < {cols}; j = j + 1) {{ sum = sum + prev[j]; }}\n\
+  output(best);\n\
+  output(sum);\n\
+  return best;\n\
+}}\n",
+        global_int("grid", &grid),
+        global_zero("prev", "int", cols),
+        global_zero("cur", "int", cols),
+    )
+}
+
+/// LUD: in-place Doolittle LU decomposition (no pivoting) of a
+/// diagonally dominant matrix.
+pub fn lud(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Tiny => 5,
+        Scale::Standard => 10,
+    };
+    let mut rng = rng_for("lud");
+    let mut a = rand_floats(&mut rng, n * n, 1.0, 4.0);
+    for i in 0..n {
+        a[i * n + i] += 8.0 * n as f64; // dominance => no pivoting needed
+    }
+    format!(
+        "{}\
+int main() {{\n\
+  int i; int j; int k;\n\
+  for (k = 0; k < {n}; k = k + 1) {{\n\
+    for (j = k; j < {n}; j = j + 1) {{\n\
+      float acc = a[k * {n} + j];\n\
+      for (i = 0; i < k; i = i + 1) {{ acc = acc - a[k * {n} + i] * a[i * {n} + j]; }}\n\
+      a[k * {n} + j] = acc;\n\
+    }}\n\
+    for (i = k + 1; i < {n}; i = i + 1) {{\n\
+      float acc = a[i * {n} + k];\n\
+      for (j = 0; j < k; j = j + 1) {{ acc = acc - a[i * {n} + j] * a[j * {n} + k]; }}\n\
+      a[i * {n} + k] = acc / a[k * {n} + k];\n\
+    }}\n\
+  }}\n\
+  float sum = 0.0;\n\
+  for (i = 0; i < {n}; i = i + 1) {{\n\
+    for (j = 0; j < {n}; j = j + 1) {{ sum = sum + a[i * {n} + j]; }}\n\
+  }}\n\
+  output(sum);\n\
+  return int(sum);\n\
+}}\n",
+        global_float("a", &a),
+    )
+}
+
+/// Needle: Needleman-Wunsch sequence alignment DP.
+pub fn needle(scale: Scale) -> String {
+    let len = match scale {
+        Scale::Tiny => 8,
+        Scale::Standard => 20,
+    };
+    let mut rng = rng_for("needle");
+    let seq1 = rand_ints(&mut rng, len, 0, 4);
+    let seq2 = rand_ints(&mut rng, len, 0, 4);
+    let dim = len + 1;
+    format!(
+        "{}{}{}\
+int max3(int a, int b, int c) {{\n\
+  int m = a;\n\
+  if (b > m) {{ m = b; }}\n\
+  if (c > m) {{ m = c; }}\n\
+  return m;\n\
+}}\n\
+int main() {{\n\
+  int i; int j;\n\
+  int gap = -2;\n\
+  for (i = 0; i < {dim}; i = i + 1) {{ table[i * {dim}] = i * gap; table[i] = i * gap; }}\n\
+  for (i = 1; i < {dim}; i = i + 1) {{\n\
+    for (j = 1; j < {dim}; j = j + 1) {{\n\
+      int score = -1;\n\
+      if (seq1[i - 1] == seq2[j - 1]) {{ score = 2; }}\n\
+      table[i * {dim} + j] = max3(\n\
+        table[(i - 1) * {dim} + j - 1] + score,\n\
+        table[(i - 1) * {dim} + j] + gap,\n\
+        table[i * {dim} + j - 1] + gap);\n\
+    }}\n\
+  }}\n\
+  int sum = 0;\n\
+  for (j = 0; j < {dim}; j = j + 1) {{ sum = sum + table[{len} * {dim} + j]; }}\n\
+  output(table[{len} * {dim} + {len}]);\n\
+  output(sum);\n\
+  return sum;\n\
+}}\n",
+        global_int("seq1", &seq1),
+        global_int("seq2", &seq2),
+        global_zero("table", "int", dim * dim),
+    )
+}
+
+/// kNN: nearest-neighbour search over random 2-D points.
+pub fn knn(scale: Scale) -> String {
+    let (n, k) = match scale {
+        Scale::Tiny => (12, 2),
+        Scale::Standard => (48, 5),
+    };
+    let mut rng = rng_for("knn");
+    let lat = rand_floats(&mut rng, n, -90.0, 90.0);
+    let lng = rand_floats(&mut rng, n, -180.0, 180.0);
+    format!(
+        "{}{}{}{}\
+int main() {{\n\
+  int i; int r;\n\
+  float qlat = 12.5;\n\
+  float qlng = -33.25;\n\
+  for (i = 0; i < {n}; i = i + 1) {{\n\
+    float dx = lat[i] - qlat;\n\
+    float dy = lng[i] - qlng;\n\
+    dist[i] = sqrt(dx * dx + dy * dy);\n\
+  }}\n\
+  float total = 0.0;\n\
+  int picked_sum = 0;\n\
+  for (r = 0; r < {k}; r = r + 1) {{\n\
+    int best = -1;\n\
+    float bestd = 1.0e18;\n\
+    for (i = 0; i < {n}; i = i + 1) {{\n\
+      if (taken[i] == 0) {{\n\
+        if (dist[i] < bestd) {{ bestd = dist[i]; best = i; }}\n\
+      }}\n\
+    }}\n\
+    taken[best] = 1;\n\
+    total = total + bestd;\n\
+    picked_sum = picked_sum + best;\n\
+  }}\n\
+  output(total);\n\
+  output(picked_sum);\n\
+  return picked_sum;\n\
+}}\n",
+        global_float("lat", &lat),
+        global_float("lng", &lng),
+        global_zero("dist", "float", n),
+        global_zero("taken", "int", n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_workload;
+
+    #[test]
+    fn backprop_runs() {
+        check_workload(&backprop(Scale::Standard), "backprop");
+        check_workload(&backprop(Scale::Tiny), "backprop-tiny");
+    }
+
+    #[test]
+    fn bfs_runs() {
+        check_workload(&bfs(Scale::Standard), "bfs");
+    }
+
+    #[test]
+    fn pathfinder_runs() {
+        check_workload(&pathfinder(Scale::Standard), "pathfinder");
+    }
+
+    #[test]
+    fn lud_runs() {
+        check_workload(&lud(Scale::Standard), "lud");
+    }
+
+    #[test]
+    fn needle_runs() {
+        check_workload(&needle(Scale::Standard), "needle");
+    }
+
+    #[test]
+    fn knn_runs() {
+        check_workload(&knn(Scale::Standard), "knn");
+    }
+}
+
+use rand::Rng;

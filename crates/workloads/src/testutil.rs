@@ -1,0 +1,19 @@
+//! Test helper: the standard cross-layer consistency check for a workload.
+
+use flowery_backend::{compile_module, BackendConfig, Machine};
+use flowery_ir::interp::{ExecConfig, Interpreter};
+
+/// Compile the source, execute at both layers, and assert: successful
+/// completion, non-trivial output, and bit-identical behaviour between the
+/// IR interpreter and the machine simulator.
+pub fn check_workload(src: &str, name: &str) {
+    let m = flowery_lang::compile(name, src)
+        .unwrap_or_else(|e| panic!("{name} failed to compile: {e}\n{src}"));
+    let ir = Interpreter::new(&m).run(&ExecConfig::default(), None);
+    assert!(ir.status.is_completed(), "{name} IR run: {:?}", ir.status);
+    assert!(!ir.output.is_empty(), "{name} produced no output");
+    let prog = compile_module(&m, &BackendConfig::default());
+    let asm = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
+    assert_eq!(ir.status, asm.status, "{name}: status diverged between layers");
+    assert_eq!(ir.output, asm.output, "{name}: output diverged between layers");
+}

@@ -1,0 +1,27 @@
+//! Extension experiment: assembly-level read-back hardening on top of
+//! Flowery — the implementation option the paper mentions (§8) but leaves
+//! unbuilt because "one rarely has a convenient backend compiler".
+//! This repository has one, so here is the ladder:
+//!
+//!   ID  ->  ID+Flowery  ->  ID+Flowery+AsmHarden  (vs the ID-IR bound)
+//!
+//! ```sh
+//! cargo run --release --example asm_hardening -- [trials] [bench...]
+//! ```
+
+use flowery_core::extension::{asm_hardening_study, render_hardening};
+use flowery_core::ExperimentConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let names: Vec<&str> = args.iter().skip(2).map(|s| s.as_str()).collect();
+    let names = if names.is_empty() { vec!["quicksort", "is", "needle", "patricia"] } else { names };
+
+    let mut cfg = ExperimentConfig::default();
+    cfg.trials = trials;
+    cfg.verbose = true;
+
+    let rows = asm_hardening_study(&names, &cfg);
+    println!("{}", render_hardening(&rows));
+}

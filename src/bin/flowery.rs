@@ -1,0 +1,232 @@
+//! `flowery` — command-line driver for the cross-layer soft-error study.
+//!
+//! ```text
+//! flowery compile <file.mc>                 print the -O0 IR
+//! flowery asm <file.mc> [--id] [--flowery]  print the machine listing
+//! flowery run <file.mc>                     execute at both layers
+//! flowery inject <file.mc> [options]        fault-injection campaign
+//! flowery study [--trials N] [bench ...]    the paper's full study
+//! flowery workloads                         list the 16 benchmarks
+//! flowery source <bench>                    print a benchmark's MiniC
+//! ```
+//!
+//! `<file.mc>` may also name a built-in workload (e.g. `quicksort`).
+
+use flowery::analysis::render_breakdown;
+use flowery::backend::{compile_module, harden_program, BackendConfig, HardenConfig, Machine};
+use flowery::inject::{run_asm_campaign, run_ir_campaign, CampaignConfig, Coverage};
+use flowery::ir::interp::{decode_output, ExecConfig, Interpreter};
+use flowery::ir::Module;
+use flowery::passes::{
+    apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan,
+};
+use flowery::workloads::{workload, Scale, NAMES};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "compile" => cmd_compile(rest),
+        "asm" => cmd_asm(rest),
+        "run" => cmd_run(rest),
+        "inject" => cmd_inject(rest),
+        "study" => cmd_study(rest),
+        "workloads" => cmd_workloads(),
+        "vuln" => cmd_vuln(rest),
+        "source" => cmd_source(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|source> ...
+
+  compile <file.mc | bench>           print the -O0 IR
+  asm <file.mc | bench> [--id] [--flowery] [--harden]
+                                      print the machine listing
+  run <file.mc | bench>               execute at both layers
+  inject <file.mc | bench> [--trials N] [--id] [--flowery] [--harden]
+                                      fault-injection campaign at both layers
+  study [--trials N] [bench ...]      the paper's full cross-layer study
+  vuln <file.mc | bench> [--trials N] [--top K]
+                                      rank the most SDC-vulnerable instructions
+  workloads                           list the 16 Table-1 benchmarks
+  source <bench>                      print a benchmark's MiniC source";
+
+/// Load a module from a MiniC file path or a built-in workload name.
+fn load(spec: &str) -> Result<Module, String> {
+    if NAMES.contains(&spec) {
+        return Ok(workload(spec, Scale::Standard).compile());
+    }
+    let src = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    flowery::lang::compile(spec, &src).map_err(|e| format!("{spec}: {e}"))
+}
+
+fn protect(m: &mut Module, id: bool, flowery: bool) {
+    if id || flowery {
+        let plan = ProtectionPlan::full(m);
+        duplicate_module(m, &plan, &DupConfig::default());
+    }
+    if flowery {
+        apply_flowery(m, &FloweryConfig::default());
+    }
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt_u64(rest: &[String], name: &str, default: u64) -> u64 {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_compile(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("missing input")?;
+    let mut m = load(spec)?;
+    protect(&mut m, flag(rest, "--id"), flag(rest, "--flowery"));
+    print!("{}", flowery::ir::printer::print_module(&m));
+    Ok(())
+}
+
+fn cmd_asm(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("missing input")?;
+    let mut m = load(spec)?;
+    protect(&mut m, flag(rest, "--id"), flag(rest, "--flowery"));
+    let mut prog = compile_module(&m, &BackendConfig::default());
+    if flag(rest, "--harden") {
+        let (h, stats) = harden_program(&prog, &HardenConfig::default());
+        eprintln!("; hardening inserted {} read-back checks", stats.total());
+        prog = h;
+    }
+    print!("{}", flowery::backend::print_program(&prog));
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("missing input")?;
+    let mut m = load(spec)?;
+    protect(&mut m, flag(rest, "--id"), flag(rest, "--flowery"));
+    let exec = ExecConfig::default();
+    let ir = Interpreter::new(&m).run(&exec, None);
+    println!("IR level:  {:?}", ir.status);
+    println!("  output:  {:?}", decode_output(&ir.output));
+    println!("  dyn insts: {}  fault sites: {}", ir.dyn_insts, ir.fault_sites);
+    let prog = compile_module(&m, &BackendConfig::default());
+    let asm = Machine::new(&m, &prog).run(&exec, None);
+    println!("assembly:  {:?}", asm.status);
+    println!("  output:  {:?}", decode_output(&asm.output));
+    println!("  dyn insts: {}  fault sites: {}  cycles: {}", asm.dyn_insts, asm.fault_sites, asm.cycles);
+    if ir.output != asm.output {
+        return Err("cross-layer output mismatch (this is a bug)".into());
+    }
+    Ok(())
+}
+
+fn cmd_inject(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("missing input")?;
+    let trials = opt_u64(rest, "--trials", 1000);
+    let raw = load(spec)?;
+    let mut m = raw.clone();
+    protect(&mut m, flag(rest, "--id"), flag(rest, "--flowery"));
+
+    let camp = CampaignConfig::with_trials(trials);
+    let raw_ir = run_ir_campaign(&raw, &camp);
+    let ir = run_ir_campaign(&m, &camp);
+    println!("IR level   ({trials} campaigns):");
+    println!("  raw:       {:?}", raw_ir.counts);
+    println!("  protected: {:?}", ir.counts);
+    println!("  coverage:  {:.2}%", Coverage::compute(&raw_ir.counts, &ir.counts).percent());
+
+    let raw_prog = compile_module(&raw, &BackendConfig::default());
+    let mut prog = compile_module(&m, &BackendConfig::default());
+    if flag(rest, "--harden") {
+        prog = harden_program(&prog, &HardenConfig::default()).0;
+    }
+    let raw_asm = run_asm_campaign(&raw, &raw_prog, &camp);
+    let asm = run_asm_campaign(&m, &prog, &camp);
+    println!("assembly   ({trials} campaigns):");
+    println!("  raw:       {:?}", raw_asm.counts);
+    println!("  protected: {:?}", asm.counts);
+    println!("  coverage:  {:.2}%", Coverage::compute(&raw_asm.counts, &asm.counts).percent());
+    if flag(rest, "--id") || flag(rest, "--flowery") {
+        let breakdown = flowery::analysis::classify_campaign(&m, &prog, &asm.sdc_insts);
+        println!("root causes of assembly-level SDCs:");
+        print!("{}", render_breakdown(&breakdown));
+    }
+    Ok(())
+}
+
+fn cmd_study(rest: &[String]) -> Result<(), String> {
+    use flowery::core::figures as fig;
+    let trials = opt_u64(rest, "--trials", 1000);
+    let names: Vec<&str> = rest
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .map(|s| s.as_str())
+        .collect();
+    let mut cfg = flowery::core::ExperimentConfig::default();
+    cfg.trials = trials;
+    cfg.profile_trials = (trials / 3).max(100);
+    cfg.verbose = true;
+    let study = flowery::core::run_study(&names, &cfg);
+    println!("{}", fig::render_fig2(&fig::fig2(&study)));
+    println!("{}", fig::render_fig3(&fig::fig3(&study)));
+    println!("{}", fig::render_fig17(&fig::fig17(&study)));
+    println!("{}", fig::render_overhead(&fig::overhead(&study)));
+    Ok(())
+}
+
+fn cmd_vuln(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("missing input")?;
+    let trials = opt_u64(rest, "--trials", 2000);
+    let top = opt_u64(rest, "--top", 15) as usize;
+    let m = load(spec)?;
+    let camp = run_ir_campaign(&m, &CampaignConfig::with_trials(trials));
+    let prof = Interpreter::new(&m)
+        .profile_run(&ExecConfig::default())
+        .profile
+        .expect("profiling run returns counts");
+    let ranking = flowery::analysis::vulnerability_ranking(&m, &camp, &prof, top);
+    println!(
+        "{} SDCs across {} trials; top {} instructions by SDC contribution:",
+        camp.counts.sdc, trials, ranking.len()
+    );
+    print!("{}", flowery::analysis::render_vulnerability(&ranking));
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    for name in NAMES {
+        let w = workload(name, Scale::Standard);
+        println!("{:<14} {:<8} {}", w.name, w.suite.name(), w.domain);
+    }
+    Ok(())
+}
+
+fn cmd_source(rest: &[String]) -> Result<(), String> {
+    let name = rest.first().ok_or("missing benchmark name")?;
+    if !NAMES.contains(&name.as_str()) {
+        return Err(format!("unknown benchmark '{name}'; see `flowery workloads`"));
+    }
+    print!("{}", workload(name, Scale::Standard).source);
+    Ok(())
+}

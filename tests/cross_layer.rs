@@ -1,0 +1,115 @@
+//! Integration tests for the paper's central claims (Observations 1-3 in
+//! §5.1 and the Flowery results in §7.1), at smoke scale.
+
+use flowery_core::{run_bench, ExperimentConfig};
+use flowery_workloads::{workload, Scale};
+
+fn smoke(name: &str) -> flowery_core::BenchResults {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.trials = 400;
+    cfg.scale = Scale::Tiny;
+    let w = workload(name, cfg.scale);
+    run_bench(&w, &cfg)
+}
+
+#[test]
+fn observation3_full_protection_is_complete_at_ir_level() {
+    // "at LLVM level fault injection ... instruction duplication with full
+    //  protection can effectively detect all the SDCs"
+    for name in ["is", "pathfinder", "crc32"] {
+        let r = smoke(name);
+        let full = r.full_level();
+        assert_eq!(
+            full.id_ir_counts.sdc, 0,
+            "{name}: full protection must leave zero IR-level SDCs: {:?}",
+            full.id_ir_counts
+        );
+        assert!(full.id_ir.coverage > 0.999, "{name}: {:?}", full.id_ir);
+    }
+}
+
+#[test]
+fn observation2_assembly_coverage_falls_short() {
+    for name in ["quicksort", "needle"] {
+        let r = smoke(name);
+        let full = r.full_level();
+        assert!(
+            full.id_asm.coverage < full.id_ir.coverage - 0.05,
+            "{name}: expected a clear cross-layer gap, got IR {:.3} vs asm {:.3}",
+            full.id_ir.coverage,
+            full.id_asm.coverage
+        );
+        assert!(
+            full.id_asm_counts.sdc > 0,
+            "{name}: assembly-level SDCs must exist under full protection"
+        );
+    }
+}
+
+#[test]
+fn flowery_closes_most_of_the_gap() {
+    for name in ["is", "quicksort"] {
+        let r = smoke(name);
+        let full = r.full_level();
+        let gap_id = full.id_ir.coverage - full.id_asm.coverage;
+        let gap_fl = full.id_ir.coverage - full.flowery_asm.coverage;
+        assert!(
+            gap_fl < gap_id * 0.6,
+            "{name}: Flowery should close more than 40% of the gap: ID gap {gap_id:.3}, Flowery gap {gap_fl:.3}"
+        );
+    }
+}
+
+#[test]
+fn protection_levels_trade_off_coverage_for_overhead() {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.trials = 400;
+    cfg.levels = vec![0.3, 1.0];
+    let w = workload("pathfinder", cfg.scale);
+    let r = run_bench(&w, &cfg);
+    let l30 = r.at_level(0.3).unwrap();
+    let l100 = r.at_level(1.0).unwrap();
+    assert!(l30.selected < l100.selected);
+    assert!(l30.id_dyn < l100.id_dyn, "higher level costs more dynamic instructions");
+    assert!(
+        l30.id_ir.coverage <= l100.id_ir.coverage + 0.05,
+        "IR coverage grows with level: {:.3} vs {:.3}",
+        l30.id_ir.coverage,
+        l100.id_ir.coverage
+    );
+}
+
+#[test]
+fn rootcause_distribution_shape_matches_paper() {
+    // Aggregated over a few benchmarks, store+branch+comparison must
+    // dominate the deficiency cases (paper: 94.5%).
+    let mut agg = flowery_analysis::PenetrationBreakdown::default();
+    for name in ["is", "quicksort", "needle"] {
+        let r = smoke(name);
+        agg.merge(&r.full_level().rootcause);
+    }
+    let defic = agg.deficiency_total();
+    assert!(defic > 0);
+    let big3 = agg.store + agg.branch + agg.comparison;
+    assert!(
+        big3 as f64 >= 0.7 * defic as f64,
+        "store/branch/comparison must dominate: {agg:?}"
+    );
+    // Store penetration is the single largest category in the paper (39.1%).
+    assert!(agg.store > 0);
+}
+
+#[test]
+fn detected_rate_rises_with_protection() {
+    let r = smoke("crc32");
+    let full = r.full_level();
+    assert!(
+        full.id_ir_counts.detected_rate() > 0.1,
+        "checkers must catch a sizable share at IR level: {:?}",
+        full.id_ir_counts
+    );
+    assert!(
+        full.flowery_asm_counts.detected_rate() >= full.id_asm_counts.detected_rate(),
+        "Flowery adds detection at assembly level"
+    );
+}

@@ -1,0 +1,95 @@
+//! Semantic-preservation integration tests: every protection configuration
+//! of every benchmark must behave bit-identically to the raw program on
+//! fault-free runs, at both layers.
+
+use flowery_backend::{compile_module, BackendConfig, Machine};
+use flowery_ir::interp::{ExecConfig, Interpreter};
+use flowery_passes::{
+    apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan,
+};
+use flowery_workloads::{all_workloads, Scale};
+
+#[test]
+fn all_16_workloads_survive_full_protection_and_flowery() {
+    for w in all_workloads(Scale::Tiny) {
+        let raw = w.compile();
+        let golden = Interpreter::new(&raw).run(&ExecConfig::default(), None);
+        assert!(golden.status.is_completed(), "{}: {:?}", w.name, golden.status);
+
+        // ID.
+        let mut id = raw.clone();
+        let plan = ProtectionPlan::full(&id);
+        duplicate_module(&mut id, &plan, &DupConfig::default());
+        flowery_ir::verify::verify_module(&id).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let r = Interpreter::new(&id).run(&ExecConfig::default(), None);
+        assert_eq!(r.status, golden.status, "{} (ID, IR)", w.name);
+        assert_eq!(r.output, golden.output, "{} (ID, IR)", w.name);
+
+        // ID at assembly level.
+        let prog = compile_module(&id, &BackendConfig::default());
+        let r = Machine::new(&id, &prog).run(&ExecConfig::default(), None);
+        assert_eq!(r.status, golden.status, "{} (ID, asm)", w.name);
+        assert_eq!(r.output, golden.output, "{} (ID, asm)", w.name);
+
+        // ID + Flowery at both layers.
+        let mut fl = id.clone();
+        apply_flowery(&mut fl, &FloweryConfig::default());
+        flowery_ir::verify::verify_module(&fl).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let r = Interpreter::new(&fl).run(&ExecConfig::default(), None);
+        assert_eq!(r.status, golden.status, "{} (Flowery, IR)", w.name);
+        assert_eq!(r.output, golden.output, "{} (Flowery, IR)", w.name);
+        let prog = compile_module(&fl, &BackendConfig::default());
+        let r = Machine::new(&fl, &prog).run(&ExecConfig::default(), None);
+        assert_eq!(r.status, golden.status, "{} (Flowery, asm)", w.name);
+        assert_eq!(r.output, golden.output, "{} (Flowery, asm)", w.name);
+    }
+}
+
+#[test]
+fn partial_protection_preserves_semantics() {
+    for w in all_workloads(Scale::Tiny).into_iter().take(6) {
+        let raw = w.compile();
+        let golden = Interpreter::new(&raw).run(&ExecConfig::default(), None);
+        // A synthetic 50% plan: every other duplicable instruction.
+        let full = ProtectionPlan::full(&raw);
+        let mut plan = ProtectionPlan { per_func: vec![Default::default(); raw.functions.len()], level: 0.5 };
+        for (fi, set) in full.per_func.iter().enumerate() {
+            let mut v: Vec<_> = set.iter().copied().collect();
+            v.sort();
+            plan.per_func[fi] = v.into_iter().step_by(2).collect();
+        }
+        let mut id = raw.clone();
+        duplicate_module(&mut id, &plan, &DupConfig::default());
+        let mut fl = id.clone();
+        apply_flowery(&mut fl, &FloweryConfig::default());
+        for (label, m) in [("ID", &id), ("Flowery", &fl)] {
+            flowery_ir::verify::verify_module(m).unwrap();
+            let r = Interpreter::new(m).run(&ExecConfig::default(), None);
+            assert_eq!(r.output, golden.output, "{} ({label})", w.name);
+            let prog = compile_module(m, &BackendConfig::default());
+            let r = Machine::new(m, &prog).run(&ExecConfig::default(), None);
+            assert_eq!(r.output, golden.output, "{} ({label}, asm)", w.name);
+        }
+    }
+}
+
+#[test]
+fn backend_ablations_preserve_semantics_on_protected_code() {
+    let w = flowery_workloads::workload("needle", Scale::Tiny);
+    let raw = w.compile();
+    let golden = Interpreter::new(&raw).run(&ExecConfig::default(), None);
+    let mut id = raw.clone();
+    let plan = ProtectionPlan::full(&id);
+    duplicate_module(&mut id, &plan, &DupConfig::default());
+    for reg_cache in [false, true] {
+        for fold_compares in [false, true] {
+            for fuse_cmp_branch in [false, true] {
+                let cfg = BackendConfig { reg_cache, fold_compares, fuse_cmp_branch, ..Default::default() };
+                let prog = compile_module(&id, &cfg);
+                let r = Machine::new(&id, &prog).run(&ExecConfig::default(), None);
+                assert_eq!(r.status, golden.status, "{cfg:?}");
+                assert_eq!(r.output, golden.output, "{cfg:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Pinned golden outputs for every workload at every scale. These protect
+//! the experiments from accidental workload drift: any change to a
+//! benchmark's algorithm, inputs or the substrate's arithmetic shows up as
+//! a golden mismatch here, at both execution layers.
+
+use flowery_backend::{compile_module, BackendConfig, Machine};
+use flowery_ir::interp::{decode_output, ExecConfig, Interpreter};
+use flowery_workloads::{workload, Scale};
+
+const GOLDENS: &[(&str, &str, &str)] = &[
+    ("backprop", "Tiny", "f64:0.21108013014209054"),
+    ("bfs", "Tiny", "i64:195 | i64:12"),
+    ("pathfinder", "Tiny", "i64:13 | i64:128"),
+    ("lud", "Tiny", "f64:239.80843220955285"),
+    ("needle", "Tiny", "i64:-2 | i64:-51"),
+    ("knn", "Tiny", "f64:94.2870695882137 | i64:9"),
+    ("ep", "Tiny", "f64:-7.969907012117699 | f64:-9.807674480687652 | i64:33 | i64:59"),
+    ("cg", "Tiny", "f64:1.048385200697366 | f64:0.0000006830522869719836"),
+    ("is", "Tiny", "i64:1 | i64:933"),
+    ("fft2", "Tiny", "f64:21.13812004063062 | f64:-1.5659479903316131 | f64:-0.7387146218147043"),
+    ("quicksort", "Tiny", "i64:1 | i64:501 | i64:72058"),
+    ("basicmath", "Tiny", "i64:100 | f64:22.142138451739996"),
+    ("susan", "Tiny", "i64:13 | i64:186"),
+    ("crc32", "Tiny", "i64:1446406974"),
+    ("stringsearch", "Tiny", "i64:32 | i64:-1"),
+    ("patricia", "Tiny", "i64:10 | i64:7 | i64:140"),
+    ("backprop", "Standard", "f64:1.1638074195768187"),
+    ("bfs", "Standard", "i64:3928 | i64:48"),
+    ("pathfinder", "Standard", "i64:29 | i64:879"),
+    ("lud", "Standard", "f64:935.4948114135534"),
+    ("needle", "Standard", "i64:1 | i64:-228"),
+    ("knn", "Standard", "f64:142.08702166693317 | i64:91"),
+    ("ep", "Standard", "f64:-17.21106611520205 | f64:-30.359001669566382 | i64:173 | i64:284"),
+    ("cg", "Standard", "f64:-3.1115883419514887 | f64:0.00000000000003785880585399702"),
+    ("is", "Standard", "i64:1 | i64:29400"),
+    ("fft2", "Standard", "f64:163.78502828653637 | f64:-0.4329635605119595 | f64:1.5137082690362256"),
+    ("quicksort", "Standard", "i64:1 | i64:38 | i64:1085989"),
+    ("basicmath", "Standard", "i64:1037 | f64:141.19527028601834"),
+    ("susan", "Standard", "i64:80 | i64:1376"),
+    ("crc32", "Standard", "i64:3132796012"),
+    ("stringsearch", "Standard", "i64:110 | i64:-1"),
+    ("patricia", "Standard", "i64:40 | i64:28 | i64:463"),
+];
+
+fn scale_of(s: &str) -> Scale {
+    if s == "Tiny" {
+        Scale::Tiny
+    } else {
+        Scale::Standard
+    }
+}
+
+#[test]
+fn workload_outputs_match_pinned_goldens_at_ir_level() {
+    for &(name, scale, want) in GOLDENS {
+        let m = workload(name, scale_of(scale)).compile();
+        let r = Interpreter::new(&m).run(&ExecConfig::default(), None);
+        let got = decode_output(&r.output).join(" | ");
+        assert_eq!(got, want, "{name}/{scale} drifted");
+    }
+}
+
+#[test]
+fn workload_outputs_match_pinned_goldens_at_assembly_level() {
+    for &(name, scale, want) in GOLDENS {
+        let m = workload(name, scale_of(scale)).compile();
+        let prog = compile_module(&m, &BackendConfig::default());
+        let r = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
+        let got = decode_output(&r.output).join(" | ");
+        assert_eq!(got, want, "{name}/{scale} drifted (asm)");
+    }
+}
+
+#[test]
+fn goldens_cover_all_workloads_at_both_scales() {
+    assert_eq!(GOLDENS.len(), flowery_workloads::NAMES.len() * 2);
+    for name in flowery_workloads::NAMES {
+        assert!(GOLDENS.iter().any(|&(n, s, _)| n == name && s == "Tiny"), "{name}");
+        assert!(GOLDENS.iter().any(|&(n, s, _)| n == name && s == "Standard"), "{name}");
+    }
+}
