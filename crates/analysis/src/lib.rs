@@ -9,5 +9,7 @@ pub mod rootcause;
 pub mod vulnerability;
 
 pub use report::{pct, render_breakdown, render_table};
-pub use rootcause::{classify_campaign, classify_campaign_with, classify_site, Classifier, Penetration, PenetrationBreakdown};
+pub use rootcause::{
+    classify_campaign, classify_campaign_with, classify_site, Classifier, Penetration, PenetrationBreakdown,
+};
 pub use vulnerability::{render_vulnerability, vulnerability_ranking, VulnEntry};

@@ -54,7 +54,14 @@ mod tests {
 
     #[test]
     fn breakdown_renders_all_categories() {
-        let b = PenetrationBreakdown { store: 39, branch: 35, comparison: 20, call: 3, mapping: 3, ..Default::default() };
+        let b = PenetrationBreakdown {
+            store: 39,
+            branch: 35,
+            comparison: 20,
+            call: 3,
+            mapping: 3,
+            ..Default::default()
+        };
         let s = render_breakdown(&b);
         for name in ["store", "branch", "comparison", "call", "mapping", "deficiencies"] {
             assert!(s.contains(name), "{s}");

@@ -120,7 +120,7 @@ impl<'m> Classifier<'m> {
             // register-spilling mechanism of store penetration.
             if inst.role == AsmRole::ResultSpill
                 && inst.ir_role == IrRole::App
-                && inst.prov.map_or(false, |p| self.live_shadowed.contains(&p))
+                && inst.prov.is_some_and(|p| self.live_shadowed.contains(&p))
             {
                 return Penetration::Store;
             }
@@ -239,11 +239,7 @@ impl PenetrationBreakdown {
 }
 
 /// Classify every SDC case of an assembly campaign.
-pub fn classify_campaign(
-    m: &Module,
-    program: &AsmProgram,
-    sdc_insts: &[u32],
-) -> PenetrationBreakdown {
+pub fn classify_campaign(m: &Module, program: &AsmProgram, sdc_insts: &[u32]) -> PenetrationBreakdown {
     classify_campaign_with(m, program, sdc_insts, true)
 }
 
@@ -327,10 +323,7 @@ mod tests {
         for inst in &prog.insts {
             if inst.role == AsmRole::OperandReload
                 && matches!(inst.kind, AKind::Mov { src: AOp::Mem(_), dst: AOp::Reg(_), .. })
-                && matches!(
-                    inst.prov.map(|(f, i)| &m.functions[f.index()].inst(i).kind),
-                    Some(InstKind::Store { .. })
-                )
+                && matches!(inst.prov.map(|(f, i)| &m.functions[f.index()].inst(i).kind), Some(InstKind::Store { .. }))
             {
                 assert_eq!(classify_site(&m, inst), Penetration::Store);
                 found = true;

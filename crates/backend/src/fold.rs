@@ -155,9 +155,7 @@ fn insts_equiv_inner(
     memo: &mut HashMap<(InstId, InstId), bool>,
 ) -> bool {
     let (ka, kb) = (&f.inst(a).kind, &f.inst(b).kind);
-    let eq = |x: Op, y: Op, memo: &mut HashMap<(InstId, InstId), bool>| {
-        ops_equiv(f, epoch_of, x, y, memo)
-    };
+    let eq = |x: Op, y: Op, memo: &mut HashMap<(InstId, InstId), bool>| ops_equiv(f, epoch_of, x, y, memo);
     match (ka, kb) {
         (InstKind::Load { ptr: pa, ty: ta }, InstKind::Load { ptr: pb, ty: tb }) => {
             // Loads are equivalent only within the same block and memory
@@ -167,10 +165,7 @@ fn insts_equiv_inner(
             };
             ta == tb && ea == eb && eq(*pa, *pb, memo)
         }
-        (
-            InstKind::Bin { op: oa, ty: ta, lhs: la, rhs: ra },
-            InstKind::Bin { op: ob, ty: tb, lhs: lb, rhs: rb },
-        ) => {
+        (InstKind::Bin { op: oa, ty: ta, lhs: la, rhs: ra }, InstKind::Bin { op: ob, ty: tb, lhs: lb, rhs: rb }) => {
             if oa != ob || ta != tb {
                 return false;
             }
@@ -191,14 +186,12 @@ fn insts_equiv_inner(
             InstKind::Cast { kind: ca, from: fa, to: ta, val: va },
             InstKind::Cast { kind: cb, from: fb, to: tb, val: vb },
         ) => ca == cb && fa == fb && ta == tb && eq(*va, *vb, memo),
-        (
-            InstKind::Gep { base: ba, index: ia, elem: ea },
-            InstKind::Gep { base: bb, index: ib, elem: eb },
-        ) => ea == eb && eq(*ba, *bb, memo) && eq(*ia, *ib, memo),
-        (
-            InstKind::Select { ty: ta, cond: ca, t: xa, f: ya },
-            InstKind::Select { ty: tb, cond: cb, t: xb, f: yb },
-        ) => ta == tb && eq(*ca, *cb, memo) && eq(*xa, *xb, memo) && eq(*ya, *yb, memo),
+        (InstKind::Gep { base: ba, index: ia, elem: ea }, InstKind::Gep { base: bb, index: ib, elem: eb }) => {
+            ea == eb && eq(*ba, *bb, memo) && eq(*ia, *ib, memo)
+        }
+        (InstKind::Select { ty: ta, cond: ca, t: xa, f: ya }, InstKind::Select { ty: tb, cond: cb, t: xb, f: yb }) => {
+            ta == tb && eq(*ca, *cb, memo) && eq(*xa, *xb, memo) && eq(*ya, *yb, memo)
+        }
         (
             InstKind::Call { callee: Callee::Intrinsic(ia), args: aa },
             InstKind::Call { callee: Callee::Intrinsic(ib), args: ab },
@@ -426,12 +419,10 @@ mod tests {
     #[test]
     fn dce_preserves_side_effects_and_semantics() {
         let (mut m, _) = figure8_module();
-        let before = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let before = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         fold_redundant_compares(&mut m);
         flowery_ir::verify::verify_module(&m).unwrap();
-        let after = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let after = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         assert_eq!(before.status, after.status);
         assert_eq!(before.output, after.output);
         assert!(after.dyn_insts < before.dyn_insts);

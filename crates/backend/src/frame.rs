@@ -50,7 +50,12 @@ impl FrameLayout {
             }
         }
 
-        FrameLayout { size: align_up(off, 16), value_slot, param_slot, alloca_region }
+        FrameLayout {
+            size: align_up(off, 16),
+            value_slot,
+            param_slot,
+            alloca_region,
+        }
     }
 
     /// Home displacement of an instruction result.
@@ -94,7 +99,14 @@ mod tests {
         let layout = FrameLayout::compute(&m, fid, m.func(fid));
         assert_eq!(layout.size % 16, 0);
         let mut seen = std::collections::HashSet::new();
-        for d in [layout.param(0), layout.param(1), layout.slot(a), layout.slot(l), layout.slot(z), layout.alloca(a)] {
+        for d in [
+            layout.param(0),
+            layout.param(1),
+            layout.slot(a),
+            layout.slot(l),
+            layout.slot(z),
+            layout.alloca(a),
+        ] {
             assert!(d < 0);
             assert!((-d) as u64 <= layout.size);
             assert!(seen.insert(d), "slot collision at {d}");

@@ -85,27 +85,19 @@ fn check_for(inst: &AInst, cfg: &HardenConfig, stats: &mut HardenStats) -> Optio
         }
         // Callee parameter spill / return move / store write: memory
         // destination — read it back against the source register.
-        (AKind::Mov { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::ParamSpill)
-            if cfg.verify_param_spills =>
-        {
+        (AKind::Mov { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::ParamSpill) if cfg.verify_param_spills => {
             stats.spill_checks += 1;
             Some((AKind::Cmp { w: *w, lhs: AOp::Reg(*r), rhs: AOp::Mem(*m) }, *w))
         }
-        (AKind::Mov { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::RetMove)
-            if cfg.verify_ret_moves =>
-        {
+        (AKind::Mov { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::RetMove) if cfg.verify_ret_moves => {
             stats.ret_checks += 1;
             Some((AKind::Cmp { w: *w, lhs: AOp::Reg(*r), rhs: AOp::Mem(*m) }, *w))
         }
-        (AKind::Mov { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::Compute)
-            if cfg.verify_stores =>
-        {
+        (AKind::Mov { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::Compute) if cfg.verify_stores => {
             stats.store_checks += 1;
             Some((AKind::Cmp { w: *w, lhs: AOp::Reg(*r), rhs: AOp::Mem(*m) }, *w))
         }
-        (AKind::MovSd { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::Compute)
-            if cfg.verify_stores =>
-        {
+        (AKind::MovSd { w, dst: AOp::Mem(m), src: AOp::Reg(r) }, AsmRole::Compute) if cfg.verify_stores => {
             stats.store_checks += 1;
             Some((AKind::Ucomi { w: *w, lhs: *r, rhs: AOp::Mem(*m) }, *w))
         }
@@ -131,8 +123,7 @@ pub fn harden_program(prog: &AsmProgram, cfg: &HardenConfig) -> (AsmProgram, Har
     let mut stats = HardenStats::default();
     // Plan: for each old instruction, how many instructions are emitted
     // (1, or 3 with a check pair).
-    let checks: Vec<Option<(AKind, u8)>> =
-        prog.insts.iter().map(|i| check_for(i, cfg, &mut stats)).collect();
+    let checks: Vec<Option<(AKind, u8)>> = prog.insts.iter().map(|i| check_for(i, cfg, &mut stats)).collect();
 
     // Old index -> new index.
     let mut new_index = Vec::with_capacity(prog.insts.len() + 1);
@@ -148,10 +139,8 @@ pub fn harden_program(prog: &AsmProgram, cfg: &HardenConfig) -> (AsmProgram, Har
         let mut patched = *inst;
         // Retarget control flow through the mapping.
         match &mut patched.kind {
-            AKind::Jcc { target, .. } | AKind::Jmp { target } => {
-                if (*target as usize) < new_index.len() {
-                    *target = new_index[*target as usize];
-                }
+            AKind::Jcc { target, .. } | AKind::Jmp { target } if (*target as usize) < new_index.len() => {
+                *target = new_index[*target as usize];
             }
             AKind::Call { target, .. } => {
                 *target = new_index[*target as usize];
@@ -282,8 +271,8 @@ mod tests {
             let r = mach.run(&exec, Some(AsmFaultSpec::single(site, 3)));
             if let Some(idx) = r.injected_inst {
                 let inst = &hard.insts[idx as usize];
-                let is_store_write = inst.role == AsmRole::Compute
-                    && matches!(inst.kind, AKind::Mov { dst: AOp::Mem(_), .. });
+                let is_store_write =
+                    inst.role == AsmRole::Compute && matches!(inst.kind, AKind::Mov { dst: AOp::Mem(_), .. });
                 if is_store_write {
                     if let ExecStatus::Completed(_) = r.status {
                         if r.output != golden.output {

@@ -17,8 +17,7 @@
 
 use crate::frame::FrameLayout;
 use crate::mir::{
-    AInst, AKind, AOp, AluOp, AsmFunc, AsmProgram, AsmRole, MathKind, MemRef, OutKind, Reg,
-    ShiftOp, SseOp, CC,
+    AInst, AKind, AOp, AluOp, AsmFunc, AsmProgram, AsmRole, MathKind, MemRef, OutKind, Reg, ShiftOp, SseOp, CC,
 };
 use crate::regcache::RegCache;
 use flowery_ir::inst::{BinOp, Callee, CastKind, FPred, IPred, InstKind, Intrinsic, Terminator};
@@ -183,7 +182,8 @@ impl<'m> FnLower<'m> {
     }
 
     fn emit(&mut self, kind: AKind, role: AsmRole) -> usize {
-        self.code.push(AInst { kind, role, prov: self.cur_prov, ir_role: self.cur_role });
+        self.code
+            .push(AInst { kind, role, prov: self.cur_prov, ir_role: self.cur_role });
         self.code.len() - 1
     }
 
@@ -195,7 +195,12 @@ impl<'m> FnLower<'m> {
         self.emit(AKind::Mov { w: 8, dst: AOp::Reg(Reg::Rbp), src: AOp::Reg(Reg::Rsp) }, AsmRole::Prologue);
         if self.frame.size > 0 {
             self.emit(
-                AKind::Alu { op: AluOp::Sub, w: 8, dst: Reg::Rsp, src: AOp::Imm(self.frame.size as i64) },
+                AKind::Alu {
+                    op: AluOp::Sub,
+                    w: 8,
+                    dst: Reg::Rsp,
+                    src: AOp::Imm(self.frame.size as i64),
+                },
                 AsmRole::Prologue,
             );
         }
@@ -350,11 +355,17 @@ impl<'m> FnLower<'m> {
                 let mem = MemRef { base: Some(p), disp: 0 };
                 if ty.is_float() {
                     let dst = self.take_xmm(&[]);
-                    self.emit(AKind::MovSd { w: ty.size() as u8, dst: AOp::Reg(dst), src: AOp::Mem(mem) }, AsmRole::Compute);
+                    self.emit(
+                        AKind::MovSd { w: ty.size() as u8, dst: AOp::Reg(dst), src: AOp::Mem(mem) },
+                        AsmRole::Compute,
+                    );
                     self.finish_xmm(iid, dst, AsmRole::ResultSpill);
                 } else {
                     let dst = self.take_gpr(&[p]);
-                    self.emit(AKind::Mov { w: ty.size() as u8, dst: AOp::Reg(dst), src: AOp::Mem(mem) }, AsmRole::Compute);
+                    self.emit(
+                        AKind::Mov { w: ty.size() as u8, dst: AOp::Reg(dst), src: AOp::Mem(mem) },
+                        AsmRole::Compute,
+                    );
                     self.finish_gpr(iid, dst, AsmRole::ResultSpill);
                 }
             }
@@ -366,12 +377,18 @@ impl<'m> FnLower<'m> {
                     let v = self.load_xmm(*val, AsmRole::OperandReload, &[]);
                     let p = self.load_gpr(*ptr, AsmRole::OperandReload, &[]);
                     let mem = MemRef { base: Some(p), disp: 0 };
-                    self.emit(AKind::MovSd { w: ty.size() as u8, dst: AOp::Mem(mem), src: AOp::Reg(v) }, AsmRole::Compute);
+                    self.emit(
+                        AKind::MovSd { w: ty.size() as u8, dst: AOp::Mem(mem), src: AOp::Reg(v) },
+                        AsmRole::Compute,
+                    );
                 } else {
                     let v = self.load_gpr(*val, AsmRole::OperandReload, &[]);
                     let p = self.load_gpr(*ptr, AsmRole::OperandReload, &[v]);
                     let mem = MemRef { base: Some(p), disp: 0 };
-                    self.emit(AKind::Mov { w: ty.size() as u8, dst: AOp::Mem(mem), src: AOp::Reg(v) }, AsmRole::Compute);
+                    self.emit(
+                        AKind::Mov { w: ty.size() as u8, dst: AOp::Mem(mem), src: AOp::Reg(v) },
+                        AsmRole::Compute,
+                    );
                 }
             }
             InstKind::Bin { op, ty, lhs, rhs } => {
@@ -423,11 +440,19 @@ impl<'m> FnLower<'m> {
                     if size > 1 {
                         if size.is_power_of_two() {
                             self.emit(
-                                AKind::Shift { op: ShiftOp::Shl, w: 8, dst, amt: AOp::Imm(size.trailing_zeros() as i64) },
+                                AKind::Shift {
+                                    op: ShiftOp::Shl,
+                                    w: 8,
+                                    dst,
+                                    amt: AOp::Imm(size.trailing_zeros() as i64),
+                                },
                                 AsmRole::AddrCompute,
                             );
                         } else {
-                            self.emit(AKind::Alu { op: AluOp::Imul, w: 8, dst, src: AOp::Imm(size as i64) }, AsmRole::AddrCompute);
+                            self.emit(
+                                AKind::Alu { op: AluOp::Imul, w: 8, dst, src: AOp::Imm(size as i64) },
+                                AsmRole::AddrCompute,
+                            );
                         }
                     }
                     self.emit(AKind::Alu { op: AluOp::Add, w: 8, dst, src: AOp::Reg(b) }, AsmRole::AddrCompute);
@@ -498,7 +523,11 @@ impl<'m> FnLower<'m> {
                     self.emit(AKind::ZeroRdx, AsmRole::Compute);
                 }
                 self.emit(AKind::Div { w: 8, signed, src: AOp::Reg(d) }, AsmRole::Compute);
-                let res = if matches!(op, BinOp::SDiv | BinOp::UDiv) { Reg::Rax } else { Reg::Rdx };
+                let res = if matches!(op, BinOp::SDiv | BinOp::UDiv) {
+                    Reg::Rax
+                } else {
+                    Reg::Rdx
+                };
                 if w < 8 {
                     // Re-canonicalize at width (e.g. `mov eax, eax`).
                     self.emit(AKind::Mov { w, dst: AOp::Reg(res), src: AOp::Reg(res) }, AsmRole::Compute);
@@ -589,7 +618,12 @@ impl<'m> FnLower<'m> {
                 let a = self.load_gpr(val, AsmRole::OperandReload, &[]);
                 let dst = self.take_gpr(&[a]);
                 self.emit(
-                    AKind::MovSx { wd: to.size() as u8, ws: from.size() as u8, dst, src: AOp::Reg(a) },
+                    AKind::MovSx {
+                        wd: to.size() as u8,
+                        ws: from.size() as u8,
+                        dst,
+                        src: AOp::Reg(a),
+                    },
                     AsmRole::Compute,
                 );
                 self.finish_gpr(iid, dst, AsmRole::ResultSpill);
@@ -615,7 +649,10 @@ impl<'m> FnLower<'m> {
                 let dst = self.take_gpr(&[]);
                 self.emit(AKind::Cvtf2si { wf: from.size() as u8, dst, src: AOp::Reg(a) }, AsmRole::Compute);
                 if to.size() < 8 {
-                    self.emit(AKind::Mov { w: to.size() as u8, dst: AOp::Reg(dst), src: AOp::Reg(dst) }, AsmRole::Compute);
+                    self.emit(
+                        AKind::Mov { w: to.size() as u8, dst: AOp::Reg(dst), src: AOp::Reg(dst) },
+                        AsmRole::Compute,
+                    );
                 }
                 self.finish_gpr(iid, dst, AsmRole::ResultSpill);
             }
@@ -641,7 +678,10 @@ impl<'m> FnLower<'m> {
                 _ => {
                     let a = self.load_gpr(val, AsmRole::OperandReload, &[]);
                     let dst = self.take_gpr(&[a]);
-                    self.emit(AKind::Mov { w: to.size() as u8, dst: AOp::Reg(dst), src: AOp::Reg(a) }, AsmRole::Compute);
+                    self.emit(
+                        AKind::Mov { w: to.size() as u8, dst: AOp::Reg(dst), src: AOp::Reg(a) },
+                        AsmRole::Compute,
+                    );
                     self.finish_gpr(iid, dst, AsmRole::ResultSpill);
                 }
             },
@@ -652,7 +692,11 @@ impl<'m> FnLower<'m> {
         match intr {
             Intrinsic::OutputI64 | Intrinsic::OutputByte => {
                 let a = self.load_gpr(args[0], AsmRole::OperandReload, &[]);
-                let kind = if intr == Intrinsic::OutputI64 { OutKind::I64 } else { OutKind::Byte };
+                let kind = if intr == Intrinsic::OutputI64 {
+                    OutKind::I64
+                } else {
+                    OutKind::Byte
+                };
                 self.emit(AKind::Out { kind, src: AOp::Reg(a) }, AsmRole::Compute);
             }
             Intrinsic::OutputF64 => {
@@ -776,7 +820,10 @@ impl<'m> FnLower<'m> {
                         let r = self.load_xmm(*v, AsmRole::OperandReload, &[]);
                         if r != Reg::Xmm0 {
                             self.cache.invalidate_reg(Reg::Xmm0);
-                            self.emit(AKind::MovSd { w: 8, dst: AOp::Reg(Reg::Xmm0), src: AOp::Reg(r) }, AsmRole::RetMove);
+                            self.emit(
+                                AKind::MovSd { w: 8, dst: AOp::Reg(Reg::Xmm0), src: AOp::Reg(r) },
+                                AsmRole::RetMove,
+                            );
                         }
                     } else {
                         let r = self.load_gpr(*v, AsmRole::OperandReload, &[]);

@@ -7,7 +7,9 @@
 //! a condition flag, or the value just written to memory — mirroring
 //! PIN-based injectors (paper §4.3).
 
-use crate::mir::{flags, AInst, AKind, AOp, AluOp, AsmProgram, FaultDest, MathKind, MemRef, OutKind, Reg, ShiftOp, SseOp, CC};
+use crate::mir::{
+    flags, AInst, AKind, AOp, AluOp, AsmProgram, FaultDest, MathKind, MemRef, OutKind, Reg, ShiftOp, SseOp, CC,
+};
 use flowery_ir::inst::{BinOp, CastKind, Intrinsic};
 use flowery_ir::interp::memory::TrapKind;
 use flowery_ir::interp::{ops, ExecConfig, ExecStatus, Memory};
@@ -116,7 +118,7 @@ impl<'p> Machine<'p> {
             st.cycles += inst.kind.cycles();
 
             let is_site = inst.kind.is_fault_site();
-            let inject_now = is_site && fault.map_or(false, |f| st.fault_sites == f.site_index);
+            let inject_now = is_site && fault.is_some_and(|f| st.fault_sites == f.site_index);
 
             match self.step(&mut st, inst, &mut ip, config) {
                 Ok(()) => {}
@@ -343,8 +345,7 @@ impl<'p> Machine<'p> {
             }
             AKind::Cvtff { wd, dst, src } => {
                 let v = st.read_reg(*src, 8);
-                let (from, to) =
-                    if *wd == 8 { (Type::F32, Type::F64) } else { (Type::F64, Type::F32) };
+                let (from, to) = if *wd == 8 { (Type::F32, Type::F64) } else { (Type::F64, Type::F32) };
                 let r = ops::eval_cast(CastKind::FpCast, from, to, v);
                 st.write_reg(*dst, 8, r);
             }
@@ -469,9 +470,7 @@ impl State {
     }
 
     fn load_mem(&mut self, addr: u64, w: u8) -> Result<u64, Halt> {
-        self.mem
-            .load(addr, w as u64)
-            .map_err(|t| Halt::Status(ExecStatus::Trapped(t)))
+        self.mem.load(addr, w as u64).map_err(|t| Halt::Status(ExecStatus::Trapped(t)))
     }
 
     fn store_mem(&mut self, addr: u64, w: u8, v: u64) -> Result<(), Halt> {
@@ -560,8 +559,7 @@ fn apply_fault(st: &mut State, inst: &AInst, spec: AsmFaultSpec) {
             st.regs[r.index()] ^= mask(w as u32 * 8);
         }
         FaultDest::Flags => {
-            let mut which =
-                flags::CONDITION_BITS[(spec.bit as usize) % flags::CONDITION_BITS.len()];
+            let mut which = flags::CONDITION_BITS[(spec.bit as usize) % flags::CONDITION_BITS.len()];
             if let Some(b2) = spec.second_bit {
                 which |= flags::CONDITION_BITS[(b2 as usize) % flags::CONDITION_BITS.len()];
             }
@@ -697,10 +695,7 @@ mod tests {
         let mut flipped = false;
         for site in 0..golden.fault_sites {
             for bit in 0..4 {
-                let r = mach.run(
-                    &ExecConfig::default(),
-                    Some(AsmFaultSpec::single(site, bit)),
-                );
+                let r = mach.run(&ExecConfig::default(), Some(AsmFaultSpec::single(site, bit)));
                 if r.status == ExecStatus::Completed(222) {
                     flipped = true;
                 }

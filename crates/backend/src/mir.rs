@@ -397,11 +397,7 @@ impl AKind {
             AKind::Mov { src: AOp::Mem(_), .. }
             | AKind::MovSd { src: AOp::Mem(_), .. }
             | AKind::MovSx { src: AOp::Mem(_), .. } => 3,
-            AKind::Mov { .. }
-            | AKind::MovSd { .. }
-            | AKind::MovSx { .. }
-            | AKind::Lea { .. }
-            | AKind::MovQ { .. } => 1,
+            AKind::Mov { .. } | AKind::MovSd { .. } | AKind::MovSx { .. } | AKind::Lea { .. } | AKind::MovQ { .. } => 1,
             AKind::Alu { op: AluOp::Imul, .. } => 3,
             AKind::Alu { .. } | AKind::Shift { .. } | AKind::Cqo { .. } | AKind::ZeroRdx => 1,
             AKind::Div { .. } => 20,
@@ -605,9 +601,17 @@ mod tests {
 
     #[test]
     fn fault_dest_classification() {
-        let mov_rm = AKind::Mov { w: 8, dst: AOp::Reg(Reg::Rax), src: AOp::Mem(MemRef::rbp(-8)) };
+        let mov_rm = AKind::Mov {
+            w: 8,
+            dst: AOp::Reg(Reg::Rax),
+            src: AOp::Mem(MemRef::rbp(-8)),
+        };
         assert_eq!(mov_rm.fault_dest(), FaultDest::Gpr(Reg::Rax, 8));
-        let mov_mr = AKind::Mov { w: 4, dst: AOp::Mem(MemRef::rbp(-16)), src: AOp::Reg(Reg::Rcx) };
+        let mov_mr = AKind::Mov {
+            w: 4,
+            dst: AOp::Mem(MemRef::rbp(-16)),
+            src: AOp::Reg(Reg::Rcx),
+        };
         assert_eq!(mov_mr.fault_dest(), FaultDest::MemVal(4));
         let cmp = AKind::Cmp { w: 8, lhs: AOp::Reg(Reg::Rax), rhs: AOp::Imm(0) };
         assert_eq!(cmp.fault_dest(), FaultDest::Flags);
@@ -620,14 +624,26 @@ mod tests {
     fn cycle_model_sane() {
         assert!(AKind::Div { w: 8, signed: true, src: AOp::Reg(Reg::Rcx) }.cycles() > 10);
         assert_eq!(AKind::Lea { dst: Reg::Rax, mem: MemRef::rbp(0) }.cycles(), 1);
-        let load = AKind::Mov { w: 8, dst: AOp::Reg(Reg::Rax), src: AOp::Mem(MemRef::rbp(-8)) };
-        let store = AKind::Mov { w: 8, dst: AOp::Mem(MemRef::rbp(-8)), src: AOp::Reg(Reg::Rax) };
+        let load = AKind::Mov {
+            w: 8,
+            dst: AOp::Reg(Reg::Rax),
+            src: AOp::Mem(MemRef::rbp(-8)),
+        };
+        let store = AKind::Mov {
+            w: 8,
+            dst: AOp::Mem(MemRef::rbp(-8)),
+            src: AOp::Reg(Reg::Rax),
+        };
         assert!(load.cycles() > store.cycles());
     }
 
     #[test]
     fn display_att_flavour() {
-        let i = AKind::Mov { w: 8, dst: AOp::Reg(Reg::Rax), src: AOp::Mem(MemRef::rbp(-0x40)) };
+        let i = AKind::Mov {
+            w: 8,
+            dst: AOp::Reg(Reg::Rax),
+            src: AOp::Mem(MemRef::rbp(-0x40)),
+        };
         assert_eq!(i.to_string(), "movq -0x40(%rbp), %rax");
         let c = AKind::Cmp { w: 4, lhs: AOp::Reg(Reg::Rax), rhs: AOp::Imm(10) };
         assert_eq!(c.to_string(), "cmpl $10, %rax");

@@ -37,10 +37,7 @@ fn control_flow_matches() {
         ret_of("int main() { int s = 0; int i; for (i = 0; i < 50; i = i + 1) { if (i % 7 == 0) { s = s + i; } } return s; }"),
         (0..50).filter(|i| i % 7 == 0).sum::<i64>()
     );
-    assert_eq!(
-        ret_of("int main() { int x = 100; while (x > 3) { x = x / 2; } return x; }"),
-        3
-    );
+    assert_eq!(ret_of("int main() { int x = 100; while (x > 3) { x = x / 2; } return x; }"), 3);
 }
 
 #[test]
@@ -98,7 +95,10 @@ fn division_by_zero_traps_identically() {
 
 #[test]
 fn logical_operators_match() {
-    assert_eq!(ret_of("int main() { int a = 5; int b = 0; return (a > 3 && b == 0) + (a < 3 || b != 0); }"), 1);
+    assert_eq!(
+        ret_of("int main() { int a = 5; int b = 0; return (a > 3 && b == 0) + (a < 3 || b != 0); }"),
+        1
+    );
 }
 
 #[test]
@@ -127,13 +127,19 @@ fn six_int_args_supported() {
 
 #[test]
 fn select_free_programs_run_with_all_configs() {
-    let src = "int main() { int s = 0; int i; for (i = 0; i < 30; i = i + 1) { s = s + i * i; } output(s); return s % 251; }";
+    let src =
+        "int main() { int s = 0; int i; for (i = 0; i < 30; i = i + 1) { s = s + i * i; } output(s); return s % 251; }";
     let m = flowery_lang::compile("t", src).unwrap();
     let golden = Interpreter::new(&m).run(&ExecConfig::default(), None);
     for reg_cache in [false, true] {
         for fuse in [false, true] {
             for fold in [false, true] {
-                let cfg = BackendConfig { reg_cache, fuse_cmp_branch: fuse, fold_compares: fold, ..Default::default() };
+                let cfg = BackendConfig {
+                    reg_cache,
+                    fuse_cmp_branch: fuse,
+                    fold_compares: fold,
+                    ..Default::default()
+                };
                 let prog = compile_module(&m, &cfg);
                 let r = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
                 assert_eq!(r.status, golden.status, "cfg {cfg:?}");
@@ -145,7 +151,8 @@ fn select_free_programs_run_with_all_configs() {
 
 #[test]
 fn reg_cache_reduces_instruction_count() {
-    let src = "int main() { int s = 0; int i; for (i = 0; i < 100; i = i + 1) { s = s + i * 3 - 1; } return s % 1000; }";
+    let src =
+        "int main() { int s = 0; int i; for (i = 0; i < 100; i = i + 1) { s = s + i * 3 - 1; } return s % 1000; }";
     let m = flowery_lang::compile("t", src).unwrap();
     let with = compile_module(&m, &BackendConfig::default());
     let without = compile_module(&m, &BackendConfig { reg_cache: false, ..Default::default() });

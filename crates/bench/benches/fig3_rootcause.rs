@@ -25,9 +25,7 @@ fn bench(c: &mut Criterion) {
     let prog = compile_module(&m, &cfg.backend);
     let camp = run_asm_campaign(&m, &prog, &CampaignConfig::with_trials(400));
 
-    c.bench_function("fig3_classify_400_cases", |b| {
-        b.iter(|| classify_campaign(&m, &prog, &camp.sdc_insts))
-    });
+    c.bench_function("fig3_classify_400_cases", |b| b.iter(|| classify_campaign(&m, &prog, &camp.sdc_insts)));
 }
 
 criterion_group! {

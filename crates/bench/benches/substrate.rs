@@ -31,9 +31,7 @@ fn bench(c: &mut Criterion) {
         let src = workload("pathfinder", Scale::Standard).source;
         b.iter(|| flowery_lang::compile("bench", &src).unwrap())
     });
-    group.bench_function("backend_isel", |b| {
-        b.iter(|| compile_module(&m, &BackendConfig::default()))
-    });
+    group.bench_function("backend_isel", |b| b.iter(|| compile_module(&m, &BackendConfig::default())));
     group.bench_function("duplication_pass", |b| {
         b.iter(|| {
             let mut mm = m.clone();

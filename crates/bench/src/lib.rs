@@ -19,7 +19,7 @@ pub const SUBSET: [&str; 6] = ["bfs", "pathfinder", "is", "quicksort", "crc32", 
 
 /// Is the full 16-benchmark mode requested?
 pub fn full_mode() -> bool {
-    std::env::var("FLOWERY_BENCH_FULL").map_or(false, |v| v == "1")
+    std::env::var("FLOWERY_BENCH_FULL").is_ok_and(|v| v == "1")
 }
 
 /// The experiment configuration for bench-time figure generation.

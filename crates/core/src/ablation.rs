@@ -40,7 +40,11 @@ pub fn ablation_configs() -> Vec<(String, BackendConfig)> {
 
 /// Run every ablation over the given benchmarks at full protection.
 pub fn ablation_study(names: &[&str], cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    let names: Vec<&str> = if names.is_empty() { vec!["is", "quicksort"] } else { names.to_vec() };
+    let names: Vec<&str> = if names.is_empty() {
+        vec!["is", "quicksort"]
+    } else {
+        names.to_vec()
+    };
     let camp = cfg.campaign();
     let mut rows = Vec::new();
     for name in names {

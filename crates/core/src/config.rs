@@ -21,6 +21,13 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads for campaigns (0 = all cores).
     pub threads: usize,
+    /// Trials per scheduling batch of the campaign harness.
+    pub batch_size: u64,
+    /// Adaptive stopping: target half-width of the 95% Wilson CI on each
+    /// unit's SDC rate. `None` runs the full `trials` everywhere.
+    pub ci_target: Option<f64>,
+    /// Floor below which adaptive stopping never fires.
+    pub min_trials: u64,
     /// Backend knobs (ablation axes).
     #[serde(skip)]
     pub backend: BackendConfig,
@@ -37,6 +44,9 @@ impl Default for ExperimentConfig {
             levels: vec![0.3, 0.5, 0.7, 1.0],
             seed: 0x51C2_3001,
             threads: 0,
+            batch_size: 250,
+            ci_target: None,
+            min_trials: 500,
             backend: BackendConfig::default(),
             verbose: false,
         }
@@ -58,6 +68,20 @@ impl ExperimentConfig {
             levels: vec![1.0],
             scale: Scale::Tiny,
             ..Default::default()
+        }
+    }
+
+    /// Harness parameters for the campaign engine.
+    pub fn harness(&self) -> flowery_harness::HarnessConfig {
+        flowery_harness::HarnessConfig {
+            batch_size: self.batch_size.clamp(1, self.trials.max(1)),
+            max_trials: self.trials,
+            min_trials: self.min_trials.min(self.trials),
+            ci_target: self.ci_target,
+            seed: self.seed,
+            threads: self.threads,
+            double_bit: false,
+            exec: Default::default(),
         }
     }
 

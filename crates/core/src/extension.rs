@@ -10,9 +10,7 @@
 use crate::config::ExperimentConfig;
 use flowery_backend::{compile_module, harden_program, HardenConfig};
 use flowery_inject::{run_asm_campaign, run_ir_campaign, Coverage};
-use flowery_passes::{
-    apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan,
-};
+use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
 use flowery_workloads::workload;
 use serde::{Deserialize, Serialize};
 
@@ -36,8 +34,11 @@ pub struct HardeningRow {
 
 /// Run the hardening ladder for the given benchmarks (all 16 when empty).
 pub fn asm_hardening_study(names: &[&str], cfg: &ExperimentConfig) -> Vec<HardeningRow> {
-    let names: Vec<&str> =
-        if names.is_empty() { flowery_workloads::NAMES.to_vec() } else { names.to_vec() };
+    let names: Vec<&str> = if names.is_empty() {
+        flowery_workloads::NAMES.to_vec()
+    } else {
+        names.to_vec()
+    };
     let camp = cfg.campaign();
     let mut rows = Vec::new();
     for name in names {
@@ -69,10 +70,7 @@ pub fn asm_hardening_study(names: &[&str], cfg: &ExperimentConfig) -> Vec<Harden
             flowery_pct: Coverage::compute(&raw_asm.counts, &fl_asm.counts).percent(),
             hardened_pct: Coverage::compute(&raw_asm.counts, &hd_asm.counts).percent(),
             id_ir_pct: Coverage::compute(&raw_ir.counts, &id_ir.counts).percent(),
-            harden_overhead: flowery_inject::relative_overhead(
-                fl_asm.golden_dyn_insts,
-                hd_asm.golden_dyn_insts,
-            ),
+            harden_overhead: flowery_inject::relative_overhead(fl_asm.golden_dyn_insts, hd_asm.golden_dyn_insts),
             checks: hstats.total(),
         });
     }
@@ -130,7 +128,11 @@ pub struct MultiBitRow {
 
 /// Does the cross-layer protection story survive double-bit faults?
 pub fn multi_bit_study(names: &[&str], cfg: &ExperimentConfig) -> Vec<MultiBitRow> {
-    let names: Vec<&str> = if names.is_empty() { vec!["is", "quicksort"] } else { names.to_vec() };
+    let names: Vec<&str> = if names.is_empty() {
+        vec!["is", "quicksort"]
+    } else {
+        names.to_vec()
+    };
     let single = cfg.campaign();
     let double = flowery_inject::CampaignConfig { double_bit: true, ..single.clone() };
     let mut rows = Vec::new();

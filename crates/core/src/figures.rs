@@ -361,9 +361,7 @@ pub fn render_pass_time(rows: &[PassTimeRow]) -> String {
         &["Benchmark", "Static insts", "Flowery µs"],
         &rows
             .iter()
-            .map(|r| {
-                vec![r.benchmark.clone(), r.static_insts.to_string(), format!("{:.1}", r.seconds * 1e6)]
-            })
+            .map(|r| vec![r.benchmark.clone(), r.static_insts.to_string(), format!("{:.1}", r.seconds * 1e6)])
             .collect::<Vec<_>>(),
     );
     let avg = if rows.is_empty() {

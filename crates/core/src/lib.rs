@@ -24,7 +24,9 @@ pub mod figures;
 pub mod pipeline;
 
 pub use config::ExperimentConfig;
-pub use pipeline::{prepare, run_bench, run_prepared, run_study, BenchResults, LevelResults, PreparedBench, StudyResults};
+pub use pipeline::{
+    prepare, run_bench, run_prepared, run_study, BenchResults, LevelResults, PreparedBench, StudyResults,
+};
 
 // Re-export the layer crates for downstream users of the facade.
 pub use flowery_analysis as analysis;

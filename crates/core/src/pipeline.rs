@@ -1,21 +1,27 @@
 //! The per-benchmark experiment pipeline: compile → profile → protect at
 //! each level (ID, then ID+Flowery) → fault-inject at both layers →
 //! coverage, overhead, and root-cause statistics.
+//!
+//! Campaign execution is delegated to the `flowery-harness` engine: every
+//! (benchmark, variant, layer) cell becomes one [`TrialUnit`] and the
+//! whole matrix drains under a single work-stealing scheduler, with golden
+//! runs shared through a content-addressed [`GoldenCache`] (the overhead
+//! measurements below reuse the campaign goldens for free).
 
 use crate::config::ExperimentConfig;
 use flowery_analysis::PenetrationBreakdown;
-use flowery_backend::{compile_module, Machine};
-use flowery_inject::{
-    run_asm_campaign, run_ir_campaign, Coverage, OutcomeCounts,
-};
-use flowery_ir::interp::ExecConfig;
+use flowery_backend::{compile_module, AsmProgram};
+use flowery_harness::{run_units, Control, GoldenCache, Layer, RunOptions, TrialUnit, UnitKey, UnitResult, Variant};
+use flowery_inject::{Coverage, OutcomeCounts};
 use flowery_ir::Module;
 use flowery_passes::{
-    apply_flowery, choose_protection, duplicate_module, DupConfig, DupStats, FloweryConfig,
-    FloweryStats, ProtectionPlan,
+    apply_flowery, choose_protection, duplicate_module, DupConfig, DupStats, FloweryConfig, FloweryStats,
+    ProtectionPlan,
 };
 use flowery_workloads::Workload;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Protected modules for one protection level.
@@ -59,7 +65,15 @@ pub fn prepare(w: &Workload, cfg: &ExperimentConfig) -> PreparedBench {
         let t0 = Instant::now();
         let flowery_stats = apply_flowery(&mut flowery, &FloweryConfig::default());
         let flowery_secs = t0.elapsed().as_secs_f64();
-        levels.push(LevelModules { level, selected, id, flowery, dup_stats, flowery_stats, flowery_secs });
+        levels.push(LevelModules {
+            level,
+            selected,
+            id,
+            flowery,
+            dup_stats,
+            flowery_stats,
+            flowery_secs,
+        });
     }
     PreparedBench { name: w.name, static_insts: raw.static_size(), raw, levels }
 }
@@ -127,36 +141,71 @@ pub fn run_bench(w: &Workload, cfg: &ExperimentConfig) -> BenchResults {
     run_prepared(&prepared, cfg)
 }
 
-/// Run campaigns over a prepared benchmark.
-pub fn run_prepared(p: &PreparedBench, cfg: &ExperimentConfig) -> BenchResults {
-    let camp = cfg.campaign();
-    if cfg.verbose {
-        eprintln!("[{}] raw campaigns ({} trials/config)", p.name, cfg.trials);
-    }
-    // Baselines.
-    let raw_ir = run_ir_campaign(&p.raw, &camp);
-    let raw_prog = compile_module(&p.raw, &cfg.backend);
-    let raw_asm = run_asm_campaign(&p.raw, &raw_prog, &camp);
+/// Compiled programs for one prepared benchmark, kept for root-cause
+/// classification and golden-cache overhead lookups after the campaigns.
+struct BenchPrograms {
+    raw: Arc<AsmProgram>,
+    /// Per level: (ID program, ID+Flowery program).
+    levels: Vec<(Arc<AsmProgram>, Arc<AsmProgram>)>,
+}
 
+/// Decompose one prepared benchmark into schedulable trial units.
+fn bench_units(p: &PreparedBench, cfg: &ExperimentConfig) -> (Vec<TrialUnit>, BenchPrograms) {
+    let raw = Arc::new(p.raw.clone());
+    let raw_prog = Arc::new(compile_module(&p.raw, &cfg.backend));
+    let mut units = vec![
+        TrialUnit::ir(UnitKey::new(p.name, Variant::Raw, 0.0, Layer::Ir), raw.clone()),
+        TrialUnit::asm(UnitKey::new(p.name, Variant::Raw, 0.0, Layer::Asm), raw, raw_prog.clone()),
+    ];
     let mut levels = Vec::with_capacity(p.levels.len());
     for lm in &p.levels {
-        if cfg.verbose {
-            eprintln!("[{}] level {:.0}%", p.name, lm.level * 100.0);
-        }
-        let id_ir = run_ir_campaign(&lm.id, &camp);
-        let id_prog = compile_module(&lm.id, &cfg.backend);
-        let id_asm = run_asm_campaign(&lm.id, &id_prog, &camp);
-        let fl_prog = compile_module(&lm.flowery, &cfg.backend);
-        let fl_asm = run_asm_campaign(&lm.flowery, &fl_prog, &camp);
+        let id = Arc::new(lm.id.clone());
+        let id_prog = Arc::new(compile_module(&lm.id, &cfg.backend));
+        let fl = Arc::new(lm.flowery.clone());
+        let fl_prog = Arc::new(compile_module(&lm.flowery, &cfg.backend));
+        units.push(TrialUnit::ir(UnitKey::new(p.name, Variant::Id, lm.level, Layer::Ir), id.clone()));
+        units.push(TrialUnit::asm(
+            UnitKey::new(p.name, Variant::Id, lm.level, Layer::Asm),
+            id,
+            id_prog.clone(),
+        ));
+        units.push(TrialUnit::asm(
+            UnitKey::new(p.name, Variant::Flowery, lm.level, Layer::Asm),
+            fl,
+            fl_prog.clone(),
+        ));
+        levels.push((id_prog, fl_prog));
+    }
+    (units, BenchPrograms { raw: raw_prog, levels })
+}
+
+/// Assemble [`BenchResults`] from the harness unit results. Overhead
+/// goldens come from the cache the engine already populated.
+fn assemble_bench(
+    p: &PreparedBench,
+    cfg: &ExperimentConfig,
+    progs: &BenchPrograms,
+    results: &HashMap<UnitKey, &UnitResult>,
+    cache: &GoldenCache,
+) -> BenchResults {
+    let get = |variant, level: f64, layer| -> &UnitResult {
+        let key = UnitKey::new(p.name, variant, level, layer);
+        results.get(&key).unwrap_or_else(|| panic!("missing unit result {key}"))
+    };
+    let raw_ir = get(Variant::Raw, 0.0, Layer::Ir);
+    let raw_asm = get(Variant::Raw, 0.0, Layer::Asm);
+    let exec = Default::default();
+    let raw_golden = cache.asm_golden(&p.raw, &progs.raw, &exec);
+
+    let mut levels = Vec::with_capacity(p.levels.len());
+    for (lm, (id_prog, fl_prog)) in p.levels.iter().zip(&progs.levels) {
+        let id_ir = get(Variant::Id, lm.level, Layer::Ir);
+        let id_asm = get(Variant::Id, lm.level, Layer::Asm);
+        let fl_asm = get(Variant::Flowery, lm.level, Layer::Asm);
         let rootcause =
-            flowery_analysis::classify_campaign_with(&lm.id, &id_prog, &id_asm.sdc_insts, cfg.backend.fold_compares);
-
-        // Golden-run overhead measurements.
-        let exec = ExecConfig::default();
-        let id_golden = Machine::new(&lm.id, &id_prog).run(&exec, None);
-        let fl_golden = Machine::new(&lm.flowery, &fl_prog).run(&exec, None);
-        let raw_golden = Machine::new(&p.raw, &raw_prog).run(&exec, None);
-
+            flowery_analysis::classify_campaign_with(&lm.id, id_prog, &id_asm.sdc_insts, cfg.backend.fold_compares);
+        let id_golden = cache.asm_golden(&lm.id, id_prog, &exec);
+        let fl_golden = cache.asm_golden(&lm.flowery, fl_prog, &exec);
         levels.push(LevelResults {
             level: lm.level,
             selected: lm.selected,
@@ -186,6 +235,35 @@ pub fn run_prepared(p: &PreparedBench, cfg: &ExperimentConfig) -> BenchResults {
         raw_asm_dyn: raw_asm.golden_dyn_insts,
         levels,
     }
+}
+
+/// Progress callback printing a throttled status line to stderr.
+fn stderr_progress() -> impl Fn(&flowery_harness::MetricsSnapshot) -> Control + Sync {
+    let last = std::sync::Mutex::new(Instant::now());
+    move |snap| {
+        let mut last = last.lock().unwrap();
+        if last.elapsed().as_secs_f64() >= 1.0 {
+            eprintln!("[harness] {}", snap.render());
+            *last = Instant::now();
+        }
+        Control::Continue
+    }
+}
+
+/// Run campaigns over a prepared benchmark through the harness engine.
+pub fn run_prepared(p: &PreparedBench, cfg: &ExperimentConfig) -> BenchResults {
+    let (units, progs) = bench_units(p, cfg);
+    let cache = GoldenCache::new();
+    let progress = stderr_progress();
+    let opts = RunOptions {
+        progress: cfg
+            .verbose
+            .then_some(&progress as &(dyn Fn(&flowery_harness::MetricsSnapshot) -> Control + Sync)),
+        ..Default::default()
+    };
+    let report = run_units(&units, &cfg.harness(), &cache, opts);
+    let map: HashMap<UnitKey, &UnitResult> = report.units.iter().map(|u| (u.key.clone(), u)).collect();
+    assemble_bench(p, cfg, &progs, &map, &cache)
 }
 
 /// Results for every benchmark in the study.
@@ -243,14 +321,55 @@ impl StudyResults {
 }
 
 /// Run the study for the given benchmark names (or all 16 when empty).
+///
+/// All campaigns of all benchmarks share one work-stealing scheduler and
+/// one golden cache: no per-campaign (or per-benchmark) barrier ever
+/// leaves cores idle while a straggler finishes.
 pub fn run_study(names: &[&str], cfg: &ExperimentConfig) -> StudyResults {
-    let names: Vec<&str> =
-        if names.is_empty() { flowery_workloads::NAMES.to_vec() } else { names.to_vec() };
-    let mut benches = Vec::with_capacity(names.len());
-    for name in names {
-        let w = flowery_workloads::workload(name, cfg.scale);
-        benches.push(run_bench(&w, cfg));
+    let names: Vec<&str> = if names.is_empty() {
+        flowery_workloads::NAMES.to_vec()
+    } else {
+        names.to_vec()
+    };
+    let prepared: Vec<PreparedBench> = names
+        .iter()
+        .map(|name| {
+            if cfg.verbose {
+                eprintln!("[{name}] preparing protected variants");
+            }
+            prepare(&flowery_workloads::workload(name, cfg.scale), cfg)
+        })
+        .collect();
+    run_prepared_study(&prepared, cfg)
+}
+
+/// Run one engine pass over every unit of every prepared benchmark.
+pub fn run_prepared_study(prepared: &[PreparedBench], cfg: &ExperimentConfig) -> StudyResults {
+    let mut all_units = Vec::new();
+    let mut all_progs = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        let (units, progs) = bench_units(p, cfg);
+        all_units.extend(units);
+        all_progs.push(progs);
     }
+    let cache = GoldenCache::new();
+    let progress = stderr_progress();
+    let opts = RunOptions {
+        progress: cfg
+            .verbose
+            .then_some(&progress as &(dyn Fn(&flowery_harness::MetricsSnapshot) -> Control + Sync)),
+        ..Default::default()
+    };
+    let report = run_units(&all_units, &cfg.harness(), &cache, opts);
+    if cfg.verbose {
+        eprintln!("[harness] done: {}", report.metrics.render());
+    }
+    let map: HashMap<UnitKey, &UnitResult> = report.units.iter().map(|u| (u.key.clone(), u)).collect();
+    let benches = prepared
+        .iter()
+        .zip(&all_progs)
+        .map(|(p, progs)| assemble_bench(p, cfg, progs, &map, &cache))
+        .collect();
     StudyResults { benches, trials: cfg.trials, levels: cfg.levels.clone() }
 }
 
@@ -273,10 +392,7 @@ mod tests {
             full.id_asm.coverage,
             full.id_ir.coverage
         );
-        assert!(
-            full.flowery_asm.coverage >= full.id_asm.coverage,
-            "Flowery must not reduce coverage"
-        );
+        assert!(full.flowery_asm.coverage >= full.id_asm.coverage, "Flowery must not reduce coverage");
         assert!(full.id_dyn > full.raw_dyn, "duplication costs dynamic instructions");
         assert!(full.flowery_dyn >= full.id_dyn);
         assert!(full.rootcause.total() > 0, "assembly SDCs exist to classify");

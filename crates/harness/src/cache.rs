@@ -1,0 +1,136 @@
+//! Golden-run cache keyed by program content.
+//!
+//! Every campaign needs a fault-free reference execution (the *golden
+//! run*) to classify outcomes against and to derive the fault-site count.
+//! Golden runs are pure functions of the program text, so the cache keys
+//! them by a content hash of the printed IR / machine listing: two units
+//! over byte-identical programs share one golden execution, and the
+//! pipeline's overhead measurements reuse the campaign goldens for free.
+
+use flowery_backend::{print_program, AsmProgram, MachResult, Machine};
+use flowery_ir::interp::{ExecConfig, ExecResult, Interpreter};
+use flowery_ir::printer::print_module;
+use flowery_ir::Module;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over the canonical textual form — stable across runs and
+/// platforms, which keeps checkpoint logs portable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of a module (its printed IR).
+pub fn module_hash(m: &Module) -> u64 {
+    fnv1a(print_module(m).as_bytes())
+}
+
+/// Content hash of a compiled program (its machine listing).
+pub fn program_hash(p: &AsmProgram) -> u64 {
+    fnv1a(print_program(p).as_bytes())
+}
+
+/// Thread-safe golden-run / fault-site cache with hit-rate accounting.
+#[derive(Default)]
+pub struct GoldenCache {
+    ir: Mutex<HashMap<u64, Arc<ExecResult>>>,
+    asm: Mutex<HashMap<u64, Arc<MachResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GoldenCache {
+    pub fn new() -> GoldenCache {
+        GoldenCache::default()
+    }
+
+    /// Golden run of `m` at the IR layer, computed at most once per
+    /// distinct program content.
+    pub fn ir_golden(&self, m: &Module, exec: &ExecConfig) -> Arc<ExecResult> {
+        let key = module_hash(m);
+        if let Some(g) = self.ir.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return g.clone();
+        }
+        // Run outside the lock: golden executions are the expensive part.
+        let g = Arc::new(Interpreter::new(m).run(exec, None));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.ir.lock().unwrap().entry(key).or_insert(g).clone()
+    }
+
+    /// Golden run of `p` at the assembly layer.
+    pub fn asm_golden(&self, m: &Module, p: &AsmProgram, exec: &ExecConfig) -> Arc<MachResult> {
+        let key = program_hash(p);
+        if let Some(g) = self.asm.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return g.clone();
+        }
+        let g = Arc::new(Machine::new(m, p).run(exec, None));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.asm.lock().unwrap().entry(key).or_insert(g).clone()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> Module {
+        flowery_lang::compile("t", src).unwrap()
+    }
+
+    #[test]
+    fn identical_content_hits_distinct_content_misses() {
+        let a = module("int main() { output(7); return 0; }");
+        let b = module("int main() { output(7); return 0; }");
+        let c = module("int main() { output(8); return 0; }");
+        let cache = GoldenCache::new();
+        let exec = ExecConfig::default();
+        let g1 = cache.ir_golden(&a, &exec);
+        let g2 = cache.ir_golden(&b, &exec);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!(Arc::ptr_eq(&g1, &g2), "same content must share one golden run");
+        let _ = cache.ir_golden(&c, &exec);
+        assert_eq!(cache.misses(), 2);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layers_are_cached_independently() {
+        let m = module("int main() { output(3); return 0; }");
+        let p = flowery_backend::compile_module(&m, &flowery_backend::BackendConfig::default());
+        let cache = GoldenCache::new();
+        let exec = ExecConfig::default();
+        let _ = cache.ir_golden(&m, &exec);
+        let _ = cache.asm_golden(&m, &p, &exec);
+        assert_eq!(cache.misses(), 2, "IR and assembly goldens are distinct entries");
+        let _ = cache.asm_golden(&m, &p, &exec);
+        assert_eq!(cache.hits(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Append-only JSONL checkpoint log.
+//!
+//! Line 1 is a [`Header`] recording every parameter that shapes the trial
+//! schedule; each further line is one completed [`BatchRecord`]. Because
+//! every batch is a pure function of `(seed, trial indices)`, replaying
+//! the log into a fresh engine reproduces the interrupted run exactly —
+//! `--resume` validates the header, preloads the batches, and only
+//! executes what is missing. A torn final line (process killed mid-write)
+//! is detected and ignored.
+
+use crate::plan::UnitKey;
+use flowery_inject::OutcomeCounts;
+use flowery_ir::value::{FuncId, InstId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+pub const MAGIC: &str = "flowery-harness-checkpoint";
+pub const VERSION: u32 = 1;
+
+/// Schedule-defining parameters; a resume must match them exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Header {
+    pub magic: String,
+    pub version: u32,
+    pub seed: u64,
+    pub batch_size: u64,
+    pub max_trials: u64,
+    pub min_trials: u64,
+    pub ci_target: Option<f64>,
+    pub double_bit: bool,
+}
+
+/// One completed batch of one unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    pub unit: UnitKey,
+    pub batch: u64,
+    pub counts: OutcomeCounts,
+    /// IR layer: SDC attributions by static instruction, in this batch.
+    pub sdc_by_inst: HashMap<(FuncId, InstId), u64>,
+    /// Assembly layer: program indices of SDC injections, in trial order.
+    pub sdc_insts: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Record {
+    Header(Header),
+    Batch(BatchRecord),
+}
+
+/// Writer half: shared by workers, flushed per line so a kill loses at
+/// most the line being written.
+pub struct CheckpointLog {
+    file: Mutex<File>,
+}
+
+impl CheckpointLog {
+    /// Start a fresh log (truncates), writing the header line.
+    pub fn create(path: &Path, header: &Header) -> Result<CheckpointLog, String> {
+        let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        let log = CheckpointLog { file: Mutex::new(file) };
+        log.write(&Record::Header(header.clone()))?;
+        Ok(log)
+    }
+
+    /// Reopen an existing log for appending (after [`load`]).
+    pub fn append_to(path: &Path) -> Result<CheckpointLog, String> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        Ok(CheckpointLog { file: Mutex::new(file) })
+    }
+
+    pub fn record_batch(&self, rec: &BatchRecord) -> Result<(), String> {
+        self.write(&Record::Batch(rec.clone()))
+    }
+
+    fn write(&self, rec: &Record) -> Result<(), String> {
+        let line = serde_json::to_string(rec).map_err(|e| format!("checkpoint encode: {e:?}"))?;
+        let mut f = self.file.lock().unwrap();
+        writeln!(f, "{line}")
+            .and_then(|_| f.flush())
+            .map_err(|e| format!("checkpoint write: {e}"))
+    }
+}
+
+/// Read a log back: the header plus every intact batch record, in file
+/// order. The final line is allowed to be torn; a corrupt line anywhere
+/// else is an error (the log is otherwise append-only).
+pub fn load(path: &Path) -> Result<(Header, Vec<BatchRecord>), String> {
+    let f = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let lines: Vec<String> = BufReader::new(f)
+        .lines()
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut header = None;
+    let mut batches = Vec::new();
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: Record = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(_) if i == last => break, // torn tail from an interrupted write
+            Err(e) => return Err(format!("{}:{}: corrupt record: {e:?}", path.display(), i + 1)),
+        };
+        match rec {
+            Record::Header(h) => {
+                if h.magic != MAGIC {
+                    return Err(format!("{}: not a harness checkpoint", path.display()));
+                }
+                if h.version != VERSION {
+                    return Err(format!("{}: unsupported version {}", path.display(), h.version));
+                }
+                header = Some(h);
+            }
+            Record::Batch(b) => batches.push(b),
+        }
+    }
+    let header = header.ok_or_else(|| format!("{}: missing header line", path.display()))?;
+    Ok((header, batches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Layer, Variant};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("flowery-ckpt-{}-{name}.jsonl", std::process::id()))
+    }
+
+    fn header() -> Header {
+        Header {
+            magic: MAGIC.into(),
+            version: VERSION,
+            seed: 42,
+            batch_size: 250,
+            max_trials: 1000,
+            min_trials: 500,
+            ci_target: Some(0.02),
+            double_bit: false,
+        }
+    }
+
+    fn record(batch: u64) -> BatchRecord {
+        BatchRecord {
+            unit: UnitKey::new("crc32", Variant::Raw, 0.0, Layer::Asm),
+            batch,
+            counts: OutcomeCounts { benign: 200, sdc: 30, detected: 0, due: 20 },
+            sdc_by_inst: HashMap::new(),
+            sdc_insts: vec![3, 17, 17],
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_resume_load() {
+        let path = tmp("roundtrip");
+        let log = CheckpointLog::create(&path, &header()).unwrap();
+        log.record_batch(&record(0)).unwrap();
+        drop(log);
+        let log = CheckpointLog::append_to(&path).unwrap();
+        log.record_batch(&record(1)).unwrap();
+        drop(log);
+        let (h, batches) = load(&path).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], record(0));
+        assert_eq!(batches[1].batch, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_mid_file_corruption_is_not() {
+        let path = tmp("torn");
+        let log = CheckpointLog::create(&path, &header()).unwrap();
+        log.record_batch(&record(0)).unwrap();
+        drop(log);
+        // Simulate a kill mid-write: a truncated final line.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"Batch\":{{\"unit\"").unwrap();
+        drop(f);
+        let (_, batches) = load(&path).unwrap();
+        assert_eq!(batches.len(), 1, "torn tail dropped, intact records kept");
+
+        // But garbage before the end must fail loudly.
+        std::fs::write(&path, "{\"Header\"garbage}\n{}\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let path = tmp("magic");
+        let mut h = header();
+        h.magic = "something-else".into();
+        CheckpointLog::create(&path, &h).unwrap();
+        assert!(load(&path).unwrap_err().contains("not a harness checkpoint"));
+        std::fs::remove_file(&path).ok();
+    }
+}

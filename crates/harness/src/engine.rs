@@ -1,0 +1,545 @@
+//! The work-stealing campaign engine.
+//!
+//! Every unit's trial schedule is cut into fixed-size batches; worker
+//! threads claim batches from a shared per-unit cursor, preferring "their"
+//! unit but stealing from any unfinished one, so a single pool drains the
+//! whole matrix without per-campaign barriers. Trial `i` of a unit is a
+//! pure function of `(seed, i)`, which makes three properties fall out:
+//!
+//! * **thread independence** — results are identical for any worker count;
+//! * **resumability** — completed batches replayed from a checkpoint log
+//!   are indistinguishable from freshly executed ones;
+//! * **deterministic early stop** — the adaptive rule walks completed
+//!   batches in index order and keeps the shortest prefix whose Wilson
+//!   95% half-width on the SDC rate meets the target, so the stop point
+//!   never depends on execution order. Batches that finished beyond the
+//!   chosen prefix are simply discarded.
+
+use crate::cache::GoldenCache;
+use crate::checkpoint::{BatchRecord, CheckpointLog, Header, MAGIC, VERSION};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan::{Layer, TrialUnit, UnitKey};
+use flowery_inject::campaign::{AsmTrialRunner, IrTrialRunner};
+use flowery_inject::stats::wilson_half_width;
+use flowery_inject::{Estimate, Outcome, OutcomeCounts};
+use flowery_ir::interp::ExecConfig;
+use flowery_ir::value::{FuncId, InstId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Engine parameters. Everything here (except `threads`) shapes the trial
+/// schedule and is recorded in checkpoint headers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HarnessConfig {
+    /// Trials per scheduling batch (also the early-stop granularity).
+    pub batch_size: u64,
+    /// Trial cap per unit (the paper's 3,000).
+    pub max_trials: u64,
+    /// Floor below which the adaptive rule never stops.
+    pub min_trials: u64,
+    /// Target half-width of the 95% CI on the SDC rate; `None` disables
+    /// adaptive stopping (every unit runs `max_trials`).
+    pub ci_target: Option<f64>,
+    /// Base seed; trial `i` of every unit derives from `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (0 = all cores). Does not affect results.
+    pub threads: usize,
+    /// Two bit flips per fault instead of one.
+    pub double_bit: bool,
+    pub exec: ExecConfig,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> HarnessConfig {
+        HarnessConfig {
+            batch_size: 250,
+            max_trials: 3000,
+            min_trials: 500,
+            ci_target: None,
+            seed: 0x0F10_EE41,
+            threads: 0,
+            double_bit: false,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// The checkpoint header this configuration demands.
+    pub fn header(&self) -> Header {
+        Header {
+            magic: MAGIC.to_string(),
+            version: VERSION,
+            seed: self.seed,
+            batch_size: self.batch_size,
+            max_trials: self.max_trials,
+            min_trials: self.min_trials,
+            ci_target: self.ci_target,
+            double_bit: self.double_bit,
+        }
+    }
+
+    fn max_batches(&self) -> u64 {
+        self.max_trials.div_ceil(self.batch_size)
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Verdict of the progress callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    Continue,
+    /// Stop claiming new batches; in-flight batches finish and are
+    /// checkpointed, then the engine returns with `interrupted = true`.
+    Stop,
+}
+
+/// Optional engine inputs.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Log to append completed batches to.
+    pub checkpoint: Option<&'a CheckpointLog>,
+    /// Batches replayed from a previous run (see [`crate::checkpoint::load`]).
+    pub preloaded: Vec<BatchRecord>,
+    /// Called after every batch with fresh metrics; may stop the run.
+    pub progress: Option<&'a (dyn Fn(&MetricsSnapshot) -> Control + Sync)>,
+}
+
+/// Final tally for one completed unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitResult {
+    pub key: UnitKey,
+    /// Trials actually counted (a batch-aligned prefix of the schedule).
+    pub trials: u64,
+    pub counts: OutcomeCounts,
+    /// SDC rate with Wilson 95% half-width.
+    pub sdc: Estimate,
+    pub stopped_early: bool,
+    /// IR layer: SDC attributions by static instruction.
+    pub sdc_by_inst: HashMap<(FuncId, InstId), u64>,
+    /// Assembly layer: program indices of SDC injections, in trial order.
+    pub sdc_insts: Vec<u32>,
+    pub golden_dyn_insts: u64,
+    pub golden_sites: u64,
+    /// Assembly layer only; 0 at IR.
+    pub golden_cycles: u64,
+}
+
+/// Outcome of one engine run.
+pub struct CampaignReport {
+    /// Completed units, in input order. When `interrupted`, units whose
+    /// schedule did not finish are listed in `pending` instead.
+    pub units: Vec<UnitResult>,
+    pub pending: Vec<UnitKey>,
+    pub metrics: MetricsSnapshot,
+    pub interrupted: bool,
+    /// First checkpoint I/O error, if any (the run stops on one).
+    pub error: Option<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BatchData {
+    counts: OutcomeCounts,
+    sdc_by_inst: HashMap<(FuncId, InstId), u64>,
+    sdc_insts: Vec<u32>,
+}
+
+struct UnitProgress {
+    batches: Vec<Option<BatchData>>,
+    /// Contiguous completed batches from index 0.
+    prefix: u64,
+    /// Cumulative counts over the prefix (drives the stopping rule).
+    cum: OutcomeCounts,
+    /// Number of batches in the final result, once decided.
+    decided: Option<u64>,
+}
+
+impl UnitProgress {
+    /// Store a finished batch and advance the stopping rule. Returns true
+    /// when this insertion decided the unit. The rule is evaluated at each
+    /// prefix boundary in index order, so the decision depends only on
+    /// batch contents — never on completion order or thread count.
+    fn insert(&mut self, batch: u64, data: BatchData, cfg: &HarnessConfig) -> bool {
+        let slot = &mut self.batches[batch as usize];
+        if slot.is_none() {
+            *slot = Some(data);
+        }
+        let was_decided = self.decided.is_some();
+        while (self.prefix as usize) < self.batches.len() {
+            let Some(done) = &self.batches[self.prefix as usize] else {
+                break;
+            };
+            self.cum.merge(&done.counts);
+            self.prefix += 1;
+            if self.decided.is_none() {
+                let trials = (self.prefix * cfg.batch_size).min(cfg.max_trials);
+                let full = self.prefix as usize == self.batches.len();
+                let hit = cfg
+                    .ci_target
+                    .is_some_and(|t| trials >= cfg.min_trials && wilson_half_width(self.cum.sdc, trials) <= t);
+                if full || hit {
+                    self.decided = Some(self.prefix);
+                }
+            }
+        }
+        !was_decided && self.decided.is_some()
+    }
+}
+
+struct UnitState {
+    cursor: AtomicU64,
+    done: AtomicBool,
+    /// Batches recorded (executed or reused) — feeds the ETA estimate.
+    recorded: AtomicU64,
+    progress: Mutex<UnitProgress>,
+}
+
+struct Shared<'a> {
+    units: &'a [TrialUnit],
+    states: Vec<UnitState>,
+    cfg: &'a HarnessConfig,
+    max_batches: u64,
+    cache: &'a GoldenCache,
+    metrics: Metrics,
+    checkpoint: Option<&'a CheckpointLog>,
+    progress: Option<&'a (dyn Fn(&MetricsSnapshot) -> Control + Sync)>,
+    stop: AtomicBool,
+    error: Mutex<Option<String>>,
+}
+
+impl Shared<'_> {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut remaining = 0u64;
+        for st in &self.states {
+            if !st.done.load(Ordering::Relaxed) {
+                let rec = st.recorded.load(Ordering::Relaxed).min(self.max_batches);
+                remaining += (self.max_batches - rec) * self.cfg.batch_size;
+            }
+        }
+        self.metrics
+            .snapshot(self.units.len(), remaining, self.cache.hits(), self.cache.misses())
+    }
+
+    /// Record a finished batch: checkpoint it, fold it into the unit's
+    /// progress, update metrics, and poll the progress callback.
+    fn finish_batch(&self, ui: usize, batch: u64, data: BatchData) {
+        if let Some(log) = self.checkpoint {
+            let rec = BatchRecord {
+                unit: self.units[ui].key.clone(),
+                batch,
+                counts: data.counts,
+                sdc_by_inst: data.sdc_by_inst.clone(),
+                sdc_insts: data.sdc_insts.clone(),
+            };
+            if let Err(e) = log.record_batch(&rec) {
+                self.error.lock().unwrap().get_or_insert(e);
+                self.stop.store(true, Ordering::Relaxed);
+            }
+        }
+        self.metrics.record_batch(&data.counts, false);
+        let st = &self.states[ui];
+        st.recorded.fetch_add(1, Ordering::Relaxed);
+        let newly_done = st.progress.lock().unwrap().insert(batch, data, self.cfg);
+        if newly_done {
+            st.done.store(true, Ordering::Relaxed);
+            self.metrics.record_unit_done();
+        }
+        if let Some(cb) = self.progress {
+            if cb(&self.snapshot()) == Control::Stop {
+                self.stop.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A per-worker trial executor for one unit, built on the cached golden.
+enum Runner<'u> {
+    Ir(IrTrialRunner<'u>),
+    Asm(AsmTrialRunner<'u>),
+}
+
+impl<'u> Runner<'u> {
+    fn build(unit: &'u TrialUnit, cache: &GoldenCache, exec: &ExecConfig) -> Runner<'u> {
+        match unit.key.layer {
+            Layer::Ir => {
+                let g = cache.ir_golden(&unit.module, exec);
+                Runner::Ir(IrTrialRunner::with_golden(&unit.module, (*g).clone(), exec))
+            }
+            Layer::Asm => {
+                let p = unit.program.as_ref().expect("asm unit has a program");
+                let g = cache.asm_golden(&unit.module, p, exec);
+                Runner::Asm(AsmTrialRunner::with_golden(&unit.module, p, (*g).clone(), exec))
+            }
+        }
+    }
+
+    fn run_batch(&self, cfg: &HarnessConfig, batch: u64) -> BatchData {
+        let start = batch * cfg.batch_size;
+        let end = (start + cfg.batch_size).min(cfg.max_trials);
+        let mut data = BatchData::default();
+        for i in start..end {
+            match self {
+                Runner::Ir(r) => {
+                    let t = r.run_trial(cfg.seed, i, cfg.double_bit);
+                    data.counts.record(t.outcome);
+                    if t.outcome == Outcome::Sdc {
+                        if let Some(loc) = t.injected_at {
+                            *data.sdc_by_inst.entry(loc).or_insert(0) += 1;
+                        }
+                    }
+                }
+                Runner::Asm(r) => {
+                    let t = r.run_trial(cfg.seed, i, cfg.double_bit);
+                    data.counts.record(t.outcome);
+                    if t.outcome == Outcome::Sdc {
+                        if let Some(idx) = t.injected_inst {
+                            data.sdc_insts.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        data
+    }
+}
+
+fn worker(windex: usize, sh: &Shared<'_>) {
+    let mut runners: HashMap<usize, Runner<'_>> = HashMap::new();
+    let n = sh.units.len();
+    loop {
+        if sh.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // Prefer unit `windex % n`, steal from the rest in round-robin.
+        let mut claimed = None;
+        'scan: for off in 0..n {
+            let ui = (windex + off) % n;
+            let st = &sh.states[ui];
+            if st.done.load(Ordering::Relaxed) {
+                continue;
+            }
+            loop {
+                let b = st.cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= sh.max_batches {
+                    continue 'scan;
+                }
+                // Batches satisfied by a checkpoint are skipped, not re-run.
+                if sh.states[ui].progress.lock().unwrap().batches[b as usize].is_some() {
+                    continue;
+                }
+                claimed = Some((ui, b));
+                break 'scan;
+            }
+        }
+        let Some((ui, b)) = claimed else { return };
+        let runner = runners
+            .entry(ui)
+            .or_insert_with(|| Runner::build(&sh.units[ui], sh.cache, &sh.cfg.exec));
+        let data = runner.run_batch(sh.cfg, b);
+        sh.finish_batch(ui, b, data);
+    }
+}
+
+/// Run every unit's campaign under one scheduler. See the module docs for
+/// the determinism guarantees.
+pub fn run_units(
+    units: &[TrialUnit],
+    cfg: &HarnessConfig,
+    cache: &GoldenCache,
+    opts: RunOptions<'_>,
+) -> CampaignReport {
+    assert!(cfg.batch_size > 0 && cfg.max_trials > 0, "empty schedule");
+    let max_batches = cfg.max_batches();
+    let metrics = Metrics::new();
+    if units.is_empty() {
+        return CampaignReport {
+            units: Vec::new(),
+            pending: Vec::new(),
+            metrics: metrics.snapshot(0, 0, cache.hits(), cache.misses()),
+            interrupted: false,
+            error: None,
+        };
+    }
+
+    let states: Vec<UnitState> = units
+        .iter()
+        .map(|_| UnitState {
+            cursor: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            recorded: AtomicU64::new(0),
+            progress: Mutex::new(UnitProgress {
+                batches: vec![None; max_batches as usize],
+                prefix: 0,
+                cum: OutcomeCounts::default(),
+                decided: None,
+            }),
+        })
+        .collect();
+
+    let sh = Shared {
+        units,
+        states,
+        cfg,
+        max_batches,
+        cache,
+        metrics,
+        checkpoint: opts.checkpoint,
+        progress: opts.progress,
+        stop: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+
+    // Replay checkpointed batches before any worker starts.
+    let key_index: HashMap<&UnitKey, usize> = units.iter().enumerate().map(|(i, u)| (&u.key, i)).collect();
+    for rec in &opts.preloaded {
+        let Some(&ui) = key_index.get(&rec.unit) else { continue };
+        if rec.batch >= max_batches {
+            continue;
+        }
+        let st = &sh.states[ui];
+        let mut p = st.progress.lock().unwrap();
+        if p.batches[rec.batch as usize].is_some() {
+            continue;
+        }
+        sh.metrics.record_batch(&rec.counts, true);
+        st.recorded.fetch_add(1, Ordering::Relaxed);
+        let data = BatchData {
+            counts: rec.counts,
+            sdc_by_inst: rec.sdc_by_inst.clone(),
+            sdc_insts: rec.sdc_insts.clone(),
+        };
+        if p.insert(rec.batch, data, cfg) {
+            st.done.store(true, Ordering::Relaxed);
+            sh.metrics.record_unit_done();
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for w in 0..cfg.effective_threads() {
+            let sh = &sh;
+            scope.spawn(move || worker(w, sh));
+        }
+    });
+
+    // Merge: for each decided unit, fold batches 0..k in index order.
+    let mut results = Vec::new();
+    let mut pending = Vec::new();
+    for (ui, unit) in units.iter().enumerate() {
+        let p = sh.states[ui].progress.lock().unwrap();
+        let Some(k) = p.decided else {
+            pending.push(unit.key.clone());
+            continue;
+        };
+        let mut counts = OutcomeCounts::default();
+        let mut sdc_by_inst: HashMap<(FuncId, InstId), u64> = HashMap::new();
+        let mut sdc_insts = Vec::new();
+        for b in 0..k as usize {
+            let data = p.batches[b].as_ref().expect("decided prefix is complete");
+            counts.merge(&data.counts);
+            for (loc, n) in &data.sdc_by_inst {
+                *sdc_by_inst.entry(*loc).or_insert(0) += n;
+            }
+            sdc_insts.extend_from_slice(&data.sdc_insts);
+        }
+        let trials = (k * cfg.batch_size).min(cfg.max_trials);
+        let (golden_dyn_insts, golden_sites, golden_cycles) = match unit.key.layer {
+            Layer::Ir => {
+                let g = cache.ir_golden(&unit.module, &cfg.exec);
+                (g.dyn_insts, g.fault_sites, 0)
+            }
+            Layer::Asm => {
+                let prog = unit.program.as_ref().expect("asm unit has a program");
+                let g = cache.asm_golden(&unit.module, prog, &cfg.exec);
+                (g.dyn_insts, g.fault_sites, g.cycles)
+            }
+        };
+        results.push(UnitResult {
+            key: unit.key.clone(),
+            trials,
+            counts,
+            sdc: Estimate::proportion(counts.sdc, trials),
+            stopped_early: trials < cfg.max_trials,
+            sdc_by_inst,
+            sdc_insts,
+            golden_dyn_insts,
+            golden_sites,
+            golden_cycles,
+        });
+    }
+
+    let interrupted = sh.stop.load(Ordering::Relaxed);
+    let metrics = sh.snapshot();
+    let error = sh.error.lock().unwrap().clone();
+    CampaignReport { units: results, pending, metrics, interrupted, error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_rule_is_order_independent() {
+        let cfg = HarnessConfig {
+            batch_size: 10,
+            max_trials: 40,
+            min_trials: 20,
+            ci_target: Some(0.2),
+            ..Default::default()
+        };
+        let quiet = || BatchData {
+            counts: OutcomeCounts { benign: 10, ..Default::default() },
+            ..Default::default()
+        };
+        let mk = || UnitProgress {
+            batches: vec![None; 4],
+            prefix: 0,
+            cum: OutcomeCounts::default(),
+            decided: None,
+        };
+        // In-order completion: batch 1 decides (20 trials, 0 SDC).
+        let mut a = mk();
+        assert!(!a.insert(0, quiet(), &cfg));
+        assert!(a.insert(1, quiet(), &cfg));
+        // Out-of-order completion decides identically.
+        let mut b = mk();
+        assert!(!b.insert(3, quiet(), &cfg));
+        assert!(!b.insert(1, quiet(), &cfg));
+        assert!(b.insert(0, quiet(), &cfg));
+        assert_eq!(a.decided, b.decided);
+        // 0 SDC in 20 trials: Wilson half-width ~0.087 <= 0.2.
+        assert_eq!(a.decided, Some(2));
+    }
+
+    #[test]
+    fn without_ci_target_only_the_full_schedule_decides() {
+        let cfg = HarnessConfig {
+            batch_size: 10,
+            max_trials: 25,
+            ci_target: None,
+            ..Default::default()
+        };
+        let mut p = UnitProgress {
+            batches: vec![None; 3],
+            prefix: 0,
+            cum: OutcomeCounts::default(),
+            decided: None,
+        };
+        let full = |n| BatchData {
+            counts: OutcomeCounts { benign: n, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(!p.insert(0, full(10), &cfg));
+        assert!(!p.insert(1, full(10), &cfg));
+        assert!(p.insert(2, full(5), &cfg));
+        assert_eq!(p.decided, Some(3));
+    }
+}

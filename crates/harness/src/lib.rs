@@ -1,0 +1,36 @@
+//! # flowery-harness
+//!
+//! The campaign engine behind the cross-layer study: it decomposes the
+//! experiment matrix (benchmark × variant × layer) into fixed-size trial
+//! batches and drains them with a single work-stealing scheduler, instead
+//! of running each campaign behind its own thread-pool barrier.
+//!
+//! The subsystem is built from four pieces:
+//!
+//! * [`plan`] — [`UnitKey`]/[`TrialUnit`]: the schedulable atoms, plus
+//!   [`build_matrix`] for the standard study matrix;
+//! * [`cache`] — [`GoldenCache`]: golden runs keyed by program content
+//!   hash, shared across units and with the pipeline's overhead
+//!   measurements;
+//! * [`checkpoint`] — an append-only JSONL log of completed batches that
+//!   makes interrupted campaigns resumable bit-for-bit;
+//! * [`engine`] — [`run_units`]: batch scheduling, adaptive trial counts
+//!   (Wilson 95% CI early stop), and live [`metrics`].
+//!
+//! Because each trial is a pure function of `(seed, trial index)`, the
+//! engine's results are identical for any thread count, any interleaving,
+//! and any interrupt/resume split — a campaign stopped early by the CI
+//! rule reports exactly the counts a fixed-length campaign of the same
+//! prefix would.
+
+pub mod cache;
+pub mod checkpoint;
+pub mod engine;
+pub mod metrics;
+pub mod plan;
+
+pub use cache::{module_hash, program_hash, GoldenCache};
+pub use checkpoint::{load as load_checkpoint, BatchRecord, CheckpointLog, Header};
+pub use engine::{run_units, CampaignReport, Control, HarnessConfig, RunOptions, UnitResult};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use plan::{build_matrix, Layer, MatrixSpec, TrialUnit, UnitKey, Variant};

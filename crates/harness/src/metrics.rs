@@ -1,0 +1,159 @@
+//! Live campaign metrics: lock-free counters updated by workers, sampled
+//! into [`MetricsSnapshot`]s for the progress callback and final report.
+
+use flowery_inject::OutcomeCounts;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared counters; one instance per engine run.
+pub struct Metrics {
+    start: Instant,
+    benign: AtomicU64,
+    sdc: AtomicU64,
+    detected: AtomicU64,
+    due: AtomicU64,
+    batches: AtomicU64,
+    /// Batches satisfied from a checkpoint instead of being executed.
+    batches_reused: AtomicU64,
+    units_done: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            benign: AtomicU64::new(0),
+            sdc: AtomicU64::new(0),
+            detected: AtomicU64::new(0),
+            due: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batches_reused: AtomicU64::new(0),
+            units_done: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub fn record_batch(&self, counts: &OutcomeCounts, reused: bool) {
+        self.benign.fetch_add(counts.benign, Ordering::Relaxed);
+        self.sdc.fetch_add(counts.sdc, Ordering::Relaxed);
+        self.detected.fetch_add(counts.detected, Ordering::Relaxed);
+        self.due.fetch_add(counts.due, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if reused {
+            self.batches_reused.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_unit_done(&self) {
+        self.units_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sample the counters. `units_total` and `remaining_trials` come from
+    /// the engine, which knows the schedule; `remaining_trials` is an
+    /// upper bound (adaptive stopping can cut it short).
+    pub fn snapshot(
+        &self,
+        units_total: usize,
+        remaining_trials: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+    ) -> MetricsSnapshot {
+        let counts = OutcomeCounts {
+            benign: self.benign.load(Ordering::Relaxed),
+            sdc: self.sdc.load(Ordering::Relaxed),
+            detected: self.detected.load(Ordering::Relaxed),
+            due: self.due.load(Ordering::Relaxed),
+        };
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let trials = counts.total();
+        let rate = if elapsed > 0.0 { trials as f64 / elapsed } else { 0.0 };
+        let lookups = cache_hits + cache_misses;
+        MetricsSnapshot {
+            elapsed_secs: elapsed,
+            trials,
+            counts,
+            trials_per_sec: rate,
+            batches: self.batches.load(Ordering::Relaxed),
+            batches_reused: self.batches_reused.load(Ordering::Relaxed),
+            units_done: self.units_done.load(Ordering::Relaxed),
+            units_total: units_total as u64,
+            remaining_trials,
+            eta_secs: (rate > 0.0).then(|| remaining_trials as f64 / rate),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
+        }
+    }
+}
+
+/// A point-in-time view of campaign progress.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub elapsed_secs: f64,
+    /// Trials counted so far (executed + reused from checkpoints).
+    pub trials: u64,
+    pub counts: OutcomeCounts,
+    pub trials_per_sec: f64,
+    pub batches: u64,
+    pub batches_reused: u64,
+    pub units_done: u64,
+    pub units_total: u64,
+    /// Upper bound on trials still scheduled.
+    pub remaining_trials: u64,
+    pub eta_secs: Option<f64>,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_rate: f64,
+}
+
+impl MetricsSnapshot {
+    /// One-line human rendering for progress displays.
+    pub fn render(&self) -> String {
+        let eta = match self.eta_secs {
+            Some(s) if s >= 1.0 => format!(" eta {:.0}s", s),
+            _ => String::new(),
+        };
+        format!(
+            "{}/{} units | {} trials @ {:.0}/s | sdc {} due {} det {} | cache {:.0}%{}",
+            self.units_done,
+            self.units_total,
+            self.trials,
+            self.trials_per_sec,
+            self.counts.sdc,
+            self.counts.due,
+            self.counts.detected,
+            self.cache_hit_rate * 100.0,
+            eta
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let m = Metrics::new();
+        let c = OutcomeCounts { benign: 7, sdc: 2, detected: 1, due: 0 };
+        m.record_batch(&c, false);
+        m.record_batch(&c, true);
+        m.record_unit_done();
+        let s = m.snapshot(4, 100, 3, 1);
+        assert_eq!(s.trials, 20);
+        assert_eq!(s.counts.sdc, 4);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batches_reused, 1);
+        assert_eq!(s.units_done, 1);
+        assert_eq!(s.units_total, 4);
+        assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert!(s.trials_per_sec >= 0.0);
+        assert!(!s.render().is_empty());
+    }
+}

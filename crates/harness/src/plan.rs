@@ -1,0 +1,199 @@
+//! The experiment matrix: benchmark × variant × layer decomposed into
+//! [`TrialUnit`]s, the schedulable atoms of a campaign.
+
+use flowery_backend::{compile_module, AsmProgram, BackendConfig};
+use flowery_ir::Module;
+use flowery_passes::{apply_flowery, choose_protection, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
+use flowery_workloads::Scale;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The execution layer a unit injects faults at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Layer {
+    /// IR interpreter — the "LLVM level" of the paper.
+    Ir,
+    /// Machine simulator — the "assembly level".
+    Asm,
+}
+
+/// The protection variant of a unit's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Variant {
+    /// Unprotected baseline.
+    Raw,
+    /// Instruction duplication.
+    Id,
+    /// Instruction duplication + the Flowery mitigation.
+    Flowery,
+}
+
+/// Stable identity of one cell of the experiment matrix. Keys are plain
+/// data (no floats) so they hash, order, and round-trip exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UnitKey {
+    pub bench: String,
+    pub variant: Variant,
+    /// Protection level in permille (1000 = full); 0 for [`Variant::Raw`].
+    pub level_permille: u32,
+    pub layer: Layer,
+}
+
+impl UnitKey {
+    pub fn new(bench: &str, variant: Variant, level: f64, layer: Layer) -> UnitKey {
+        UnitKey {
+            bench: bench.to_string(),
+            variant,
+            level_permille: (level * 1000.0).round() as u32,
+            layer,
+        }
+    }
+
+    /// Protection level as a fraction.
+    pub fn level(&self) -> f64 {
+        self.level_permille as f64 / 1000.0
+    }
+
+    /// The string form used in checkpoint logs and progress output,
+    /// e.g. `quicksort/Id@700/Asm`.
+    pub fn id(&self) -> String {
+        format!("{}/{:?}@{}/{:?}", self.bench, self.variant, self.level_permille, self.layer)
+    }
+}
+
+impl fmt::Display for UnitKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// One schedulable campaign: a program and the layer to inject at.
+#[derive(Clone)]
+pub struct TrialUnit {
+    pub key: UnitKey,
+    pub module: Arc<Module>,
+    /// Compiled program; present exactly when `key.layer == Layer::Asm`.
+    pub program: Option<Arc<AsmProgram>>,
+}
+
+impl TrialUnit {
+    pub fn ir(key: UnitKey, module: Arc<Module>) -> TrialUnit {
+        assert_eq!(key.layer, Layer::Ir);
+        TrialUnit { key, module, program: None }
+    }
+
+    pub fn asm(key: UnitKey, module: Arc<Module>, program: Arc<AsmProgram>) -> TrialUnit {
+        assert_eq!(key.layer, Layer::Asm);
+        TrialUnit { key, module, program: Some(program) }
+    }
+}
+
+/// Parameters for building the standard study matrix from workload names.
+#[derive(Debug, Clone)]
+pub struct MatrixSpec {
+    /// Workload names; empty means all benchmarks.
+    pub benches: Vec<String>,
+    pub scale: Scale,
+    /// Protection levels for the Id / Flowery variants.
+    pub levels: Vec<f64>,
+    /// Trials for the per-instruction SDC profile driving selective
+    /// protection (only used for levels below 1.0).
+    pub profile_trials: u64,
+    pub profile_seed: u64,
+    pub backend: BackendConfig,
+    pub threads: usize,
+}
+
+impl Default for MatrixSpec {
+    fn default() -> MatrixSpec {
+        MatrixSpec {
+            benches: Vec::new(),
+            scale: Scale::Standard,
+            levels: vec![1.0],
+            profile_trials: 1200,
+            profile_seed: 0x51C2_3001 ^ 0x9E37_79B9,
+            backend: BackendConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// Build the standard matrix: for every benchmark, Raw at both layers,
+/// Id at both layers per level, and Id+Flowery at the assembly layer per
+/// level (the paper's protagonist configuration).
+pub fn build_matrix(spec: &MatrixSpec) -> Vec<TrialUnit> {
+    let names: Vec<&str> = if spec.benches.is_empty() {
+        flowery_workloads::NAMES.to_vec()
+    } else {
+        spec.benches.iter().map(|s| s.as_str()).collect()
+    };
+    let mut units = Vec::new();
+    for name in names {
+        let raw = Arc::new(flowery_workloads::workload(name, spec.scale).compile());
+        let raw_prog = Arc::new(compile_module(&raw, &spec.backend));
+        units.push(TrialUnit::ir(UnitKey::new(name, Variant::Raw, 0.0, Layer::Ir), raw.clone()));
+        units.push(TrialUnit::asm(UnitKey::new(name, Variant::Raw, 0.0, Layer::Asm), raw.clone(), raw_prog));
+        let needs_profile = spec.levels.iter().any(|&l| (l - 1.0).abs() >= 1e-9);
+        let profile = needs_profile.then(|| {
+            let mut cfg = flowery_inject::CampaignConfig::with_trials(spec.profile_trials);
+            cfg.seed = spec.profile_seed;
+            cfg.threads = spec.threads;
+            flowery_inject::profile_sdc(&raw, &cfg)
+        });
+        for &level in &spec.levels {
+            let plan = if (level - 1.0).abs() < 1e-9 {
+                ProtectionPlan::full(&raw)
+            } else {
+                choose_protection(&raw, profile.as_ref().unwrap(), level)
+            };
+            let mut id = (*raw).clone();
+            duplicate_module(&mut id, &plan, &DupConfig::default());
+            let mut flowery = id.clone();
+            apply_flowery(&mut flowery, &FloweryConfig::default());
+            let id = Arc::new(id);
+            let id_prog = Arc::new(compile_module(&id, &spec.backend));
+            let fl = Arc::new(flowery);
+            let fl_prog = Arc::new(compile_module(&fl, &spec.backend));
+            units.push(TrialUnit::ir(UnitKey::new(name, Variant::Id, level, Layer::Ir), id.clone()));
+            units.push(TrialUnit::asm(UnitKey::new(name, Variant::Id, level, Layer::Asm), id, id_prog));
+            units.push(TrialUnit::asm(UnitKey::new(name, Variant::Flowery, level, Layer::Asm), fl, fl_prog));
+        }
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_keys_are_stable_and_exact() {
+        let k = UnitKey::new("quicksort", Variant::Id, 0.7, Layer::Asm);
+        assert_eq!(k.level_permille, 700);
+        assert!((k.level() - 0.7).abs() < 1e-12);
+        assert_eq!(k.id(), "quicksort/Id@700/Asm");
+        let json = serde_json::to_string(&k).unwrap();
+        let back: UnitKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(k, back);
+    }
+
+    #[test]
+    fn matrix_shape_for_one_bench() {
+        let spec = MatrixSpec {
+            benches: vec!["crc32".into()],
+            scale: Scale::Tiny,
+            levels: vec![1.0],
+            ..Default::default()
+        };
+        let units = build_matrix(&spec);
+        // Raw@Ir, Raw@Asm, Id@Ir, Id@Asm, Flowery@Asm.
+        assert_eq!(units.len(), 5);
+        for u in &units {
+            assert_eq!(u.program.is_some(), u.key.layer == Layer::Asm, "{}", u.key);
+        }
+        let ids: Vec<String> = units.iter().map(|u| u.key.id()).collect();
+        assert!(ids.contains(&"crc32/Raw@0/Ir".to_string()));
+        assert!(ids.contains(&"crc32/Flowery@1000/Asm".to_string()));
+    }
+}

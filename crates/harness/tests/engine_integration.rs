@@ -1,0 +1,215 @@
+//! End-to-end engine guarantees: thread-count invariance, agreement with
+//! the single-campaign primitives, checkpoint/resume equivalence, and
+//! deterministic adaptive early stopping.
+
+use flowery_harness::{
+    load_checkpoint, run_units, CheckpointLog, Control, GoldenCache, HarnessConfig, Layer, RunOptions, TrialUnit,
+    UnitKey, UnitResult, Variant,
+};
+use flowery_inject::{run_asm_campaign, run_ir_campaign, CampaignConfig};
+use flowery_ir::Module;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SRC_A: &str =
+    "int main() { int s = 0; int i; for (i = 0; i < 25; i = i + 1) { s = s + i * i; } output(s); return s % 251; }";
+const SRC_B: &str =
+    "int main() { int p = 1; int i; for (i = 1; i < 12; i = i + 1) { p = p * i % 1009; } output(p); return p % 17; }";
+
+fn module(src: &str) -> Arc<Module> {
+    Arc::new(flowery_lang::compile("t", src).unwrap())
+}
+
+fn small_matrix() -> Vec<TrialUnit> {
+    let backend = flowery_backend::BackendConfig::default();
+    let a = module(SRC_A);
+    let b = module(SRC_B);
+    let a_prog = Arc::new(flowery_backend::compile_module(&a, &backend));
+    let b_prog = Arc::new(flowery_backend::compile_module(&b, &backend));
+    vec![
+        TrialUnit::ir(UnitKey::new("a", Variant::Raw, 0.0, Layer::Ir), a.clone()),
+        TrialUnit::asm(UnitKey::new("a", Variant::Raw, 0.0, Layer::Asm), a, a_prog),
+        TrialUnit::ir(UnitKey::new("b", Variant::Raw, 0.0, Layer::Ir), b.clone()),
+        TrialUnit::asm(UnitKey::new("b", Variant::Raw, 0.0, Layer::Asm), b, b_prog),
+    ]
+}
+
+fn cfg(trials: u64, batch: u64, threads: usize) -> HarnessConfig {
+    HarnessConfig {
+        batch_size: batch,
+        max_trials: trials,
+        min_trials: trials.min(100),
+        ci_target: None,
+        seed: 0xABCD,
+        threads,
+        ..Default::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("flowery-harness-it-{}-{name}.jsonl", std::process::id()))
+}
+
+fn serialized(units: &[UnitResult]) -> String {
+    serde_json::to_string(&units.to_vec()).unwrap()
+}
+
+#[test]
+fn results_are_byte_identical_across_thread_counts() {
+    let units = small_matrix();
+    let cache1 = GoldenCache::new();
+    let cache4 = GoldenCache::new();
+    let r1 = run_units(&units, &cfg(300, 64, 1), &cache1, RunOptions::default());
+    let r4 = run_units(&units, &cfg(300, 64, 4), &cache4, RunOptions::default());
+    assert!(!r1.interrupted && !r4.interrupted);
+    assert_eq!(r1.units.len(), 4);
+    // The acceptance bar: serialized results match byte for byte.
+    assert_eq!(serialized(&r1.units), serialized(&r4.units));
+}
+
+#[test]
+fn engine_matches_single_campaign_primitives_and_hits_cache() {
+    let units = small_matrix();
+    let cache = GoldenCache::new();
+    let hcfg = cfg(400, 100, 2);
+    let report = run_units(&units, &hcfg, &cache, RunOptions::default());
+
+    let mut ccfg = CampaignConfig::with_trials(400);
+    ccfg.seed = hcfg.seed;
+    let ir = run_ir_campaign(&units[0].module, &ccfg);
+    let u = &report.units[0];
+    assert_eq!(u.counts, ir.counts, "batched IR unit equals one-shot campaign");
+    assert_eq!(u.sdc_by_inst, ir.sdc_by_inst);
+    assert_eq!(u.golden_sites, ir.golden_sites);
+
+    let asm = run_asm_campaign(&units[1].module, units[1].program.as_ref().unwrap(), &ccfg);
+    let u = &report.units[1];
+    assert_eq!(u.counts, asm.counts, "batched asm unit equals one-shot campaign");
+    assert_eq!(u.sdc_insts, asm.sdc_insts, "SDC sites in trial order");
+    assert_eq!(u.golden_cycles, asm.golden_cycles);
+
+    // Golden runs are fetched again at merge time, so any executed run
+    // reports cache hits.
+    assert!(report.metrics.cache_hits > 0, "{:?}", report.metrics);
+    assert_eq!(report.metrics.cache_misses, 4, "one golden per unit");
+}
+
+#[test]
+fn interrupted_run_resumes_to_identical_results() {
+    let units = small_matrix();
+    let hcfg = cfg(300, 50, 2); // 6 batches per unit, 24 total
+
+    // Uninterrupted reference.
+    let full = run_units(&units, &hcfg, &GoldenCache::new(), RunOptions::default());
+    assert!(!full.interrupted);
+
+    // Interrupted run: stop after 5 completed batches ("kill" mid-flight).
+    let path = tmp("resume");
+    let log = CheckpointLog::create(&path, &hcfg.header()).unwrap();
+    let seen = AtomicU64::new(0);
+    let stopper = |_: &flowery_harness::MetricsSnapshot| {
+        if seen.fetch_add(1, Ordering::Relaxed) + 1 >= 5 {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    };
+    let partial = run_units(
+        &units,
+        &hcfg,
+        &GoldenCache::new(),
+        RunOptions {
+            checkpoint: Some(&log),
+            preloaded: Vec::new(),
+            progress: Some(&stopper),
+        },
+    );
+    drop(log);
+    assert!(partial.interrupted);
+    assert!(!partial.pending.is_empty(), "interrupt left unfinished units");
+
+    // Resume: replay the log, finish the rest, keep checkpointing.
+    let (header, preloaded) = load_checkpoint(&path).unwrap();
+    assert_eq!(header, hcfg.header(), "resume validates the schedule parameters");
+    assert!(preloaded.len() >= 5, "every finished batch was persisted");
+    let log = CheckpointLog::append_to(&path).unwrap();
+    let resumed = run_units(
+        &units,
+        &hcfg,
+        &GoldenCache::new(),
+        RunOptions { checkpoint: Some(&log), preloaded, progress: None },
+    );
+    assert!(!resumed.interrupted);
+    assert!(resumed.metrics.batches_reused >= 5);
+    assert_eq!(
+        serialized(&full.units),
+        serialized(&resumed.units),
+        "resumed campaign is bit-identical to the uninterrupted one"
+    );
+
+    // And a second resume of the now-complete log re-runs nothing.
+    let (_, preloaded) = load_checkpoint(&path).unwrap();
+    let replayed = run_units(
+        &units,
+        &hcfg,
+        &GoldenCache::new(),
+        RunOptions { checkpoint: None, preloaded, progress: None },
+    );
+    assert_eq!(replayed.metrics.batches, replayed.metrics.batches_reused, "pure replay");
+    assert_eq!(serialized(&full.units), serialized(&replayed.units));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn adaptive_early_stop_is_a_prefix_of_the_full_schedule() {
+    let units = small_matrix();
+    let mut hcfg = cfg(2000, 100, 2);
+    hcfg.min_trials = 200;
+    hcfg.ci_target = Some(0.05);
+    let report = run_units(&units, &hcfg, &GoldenCache::new(), RunOptions::default());
+    assert!(!report.interrupted);
+
+    let mut any_early = false;
+    for u in &report.units {
+        assert_eq!(u.trials % hcfg.batch_size, 0, "stop points are batch-aligned");
+        if u.stopped_early {
+            any_early = true;
+            assert!(u.trials < hcfg.max_trials);
+            assert!(u.trials >= hcfg.min_trials);
+            assert!(u.sdc.ci95 <= 0.05, "{}: reported half-width {} exceeds target", u.key, u.sdc.ci95);
+            // The counts are exactly what a fixed campaign of the same
+            // length produces: the stop point discards, never reorders.
+            if u.key.layer == Layer::Ir {
+                let mut ccfg = CampaignConfig::with_trials(u.trials);
+                ccfg.seed = hcfg.seed;
+                let fixed = run_ir_campaign(&units[0].module, &ccfg);
+                if u.key == units[0].key {
+                    assert_eq!(u.counts, fixed.counts);
+                }
+            }
+        }
+    }
+    assert!(any_early, "5pp target on ~2000-trial units should stop early");
+
+    // Tighter target -> never fewer trials per unit.
+    let mut tight = hcfg.clone();
+    tight.ci_target = Some(0.02);
+    let report2 = run_units(&units, &tight, &GoldenCache::new(), RunOptions::default());
+    for (a, b) in report.units.iter().zip(&report2.units) {
+        assert!(b.trials >= a.trials, "{}: {} < {}", a.key, b.trials, a.trials);
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_schedule() {
+    let path = tmp("mismatch");
+    let hcfg = cfg(300, 50, 1);
+    CheckpointLog::create(&path, &hcfg.header()).unwrap();
+    let (header, _) = load_checkpoint(&path).unwrap();
+    let mut other = cfg(300, 50, 4); // thread count is NOT part of the schedule
+    assert_eq!(header, other.header());
+    other.seed ^= 1;
+    assert_ne!(header, other.header(), "seed change invalidates the log");
+    std::fs::remove_file(&path).ok();
+}

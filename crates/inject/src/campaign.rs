@@ -2,26 +2,30 @@
 //!
 //! Each campaign (paper §4.3): pick a random executed *fault site*, pick a
 //! random bit of its destination, run to completion, classify the outcome
-//! against the golden run. Campaigns are embarrassingly parallel; shards
-//! run on crossbeam scoped threads with independent deterministically
-//! seeded RNGs, so results are reproducible regardless of thread count.
+//! against the golden run. Every trial's fault spec is derived purely from
+//! `(base seed, trial index)` — see [`ir_fault_spec`] / [`asm_fault_spec`] —
+//! so campaign results are **bit-identical regardless of thread count,
+//! shard layout, or early-stop point**. The large-matrix scheduler in
+//! `flowery-harness` builds on the same per-trial primitives; the functions
+//! here remain the convenient single-campaign entry points.
 
 use crate::outcome::{classify, Outcome, OutcomeCounts};
-use flowery_backend::{AsmFaultSpec, AsmProgram, Machine};
-use flowery_ir::interp::{ExecConfig, FaultSpec, Interpreter};
+use flowery_backend::{AsmFaultSpec, AsmProgram, MachResult, Machine};
+use flowery_ir::interp::{ExecConfig, ExecResult, FaultSpec, Interpreter};
 use flowery_ir::module::Module;
 use flowery_ir::value::{FuncId, InstId};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{splitmix64, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Number of fault injections (the paper uses 3,000 per configuration).
     pub trials: u64,
-    /// Base RNG seed; shard `i` uses `seed + i`.
+    /// Base RNG seed; trial `i` derives its fault from `(seed, i)`.
     pub seed: u64,
     /// Worker threads (0 = use all available cores).
     pub threads: usize,
@@ -37,7 +41,7 @@ impl Default for CampaignConfig {
     fn default() -> CampaignConfig {
         CampaignConfig {
             trials: 3000,
-            seed: 0xF10E_E41,
+            seed: 0x0F10_EE41,
             threads: 0,
             double_bit: false,
             exec: ExecConfig::default(),
@@ -83,157 +87,289 @@ pub struct AsmCampaign {
     pub golden_cycles: u64,
 }
 
+/// Layer-domain separators folded into per-trial seeds so the IR and
+/// assembly campaigns over the same module explore independent streams.
+const IR_STREAM: u64 = 0x49_52;
+const ASM_STREAM: u64 = 0x41_53_4D;
+
+/// Per-trial RNG: mixes the base seed, a stream tag, and the trial index
+/// through SplitMix64 so each trial's randomness is independent of how
+/// trials are sharded across threads or batches.
+fn trial_rng(seed: u64, stream: u64, trial_index: u64) -> SmallRng {
+    let mixed = splitmix64(seed ^ splitmix64(stream) ^ splitmix64(trial_index.wrapping_add(1)));
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// The fault injected by IR-level trial `trial_index` — a pure function of
+/// `(seed, trial_index)`.
+pub fn ir_fault_spec(seed: u64, trial_index: u64, sites: u64, double_bit: bool) -> FaultSpec {
+    let mut rng = trial_rng(seed, IR_STREAM, trial_index);
+    FaultSpec {
+        site_index: rng.gen_range(0..sites),
+        bit: rng.gen_range(0..64),
+        second_bit: double_bit.then(|| rng.gen_range(0..64)),
+    }
+}
+
+/// The fault injected by assembly-level trial `trial_index`.
+pub fn asm_fault_spec(seed: u64, trial_index: u64, sites: u64, double_bit: bool) -> AsmFaultSpec {
+    let mut rng = trial_rng(seed, ASM_STREAM, trial_index);
+    AsmFaultSpec {
+        site_index: rng.gen_range(0..sites),
+        bit: rng.gen_range(0..64),
+        second_bit: double_bit.then(|| rng.gen_range(0..64)),
+    }
+}
+
+/// Outcome of one IR-level trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrTrialOutcome {
+    pub outcome: Outcome,
+    /// Static location of the injection when it landed.
+    pub injected_at: Option<(FuncId, InstId)>,
+}
+
+/// Outcome of one assembly-level trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsmTrialOutcome {
+    pub outcome: Outcome,
+    /// Program instruction index of the injection when it landed.
+    pub injected_inst: Option<u32>,
+}
+
+/// Reusable single-trial executor for IR-level injections. Construct once
+/// per (module, golden) pair, then run any subset of trial indices in any
+/// order — results depend only on the trial index and seed.
+pub struct IrTrialRunner<'m> {
+    interp: Interpreter<'m>,
+    golden: ExecResult,
+    exec: ExecConfig,
+    sites: u64,
+}
+
+impl<'m> IrTrialRunner<'m> {
+    /// Runs the golden execution.
+    pub fn new(module: &'m Module, exec: &ExecConfig) -> IrTrialRunner<'m> {
+        let interp = Interpreter::new(module);
+        let golden = interp.run(exec, None);
+        Self::with_golden(module, golden, exec)
+    }
+
+    /// Build from an already-computed golden run (e.g. the harness's
+    /// golden-run cache). `exec` supplies the base limits; the dynamic
+    /// instruction budget is tightened around the golden run to catch
+    /// fault-induced livelock quickly.
+    pub fn with_golden(module: &'m Module, golden: ExecResult, exec: &ExecConfig) -> IrTrialRunner<'m> {
+        assert!(golden.status.is_completed(), "golden run must complete: {:?}", golden.status);
+        let sites = golden.fault_sites;
+        assert!(sites > 0, "program has no IR fault sites");
+        let exec = ExecConfig {
+            max_dyn_insts: golden.dyn_insts.saturating_mul(4).max(100_000),
+            ..exec.clone()
+        };
+        IrTrialRunner { interp: Interpreter::new(module), golden, exec, sites }
+    }
+
+    pub fn golden(&self) -> &ExecResult {
+        &self.golden
+    }
+
+    pub fn sites(&self) -> u64 {
+        self.sites
+    }
+
+    /// Execute trial `trial_index` of the campaign identified by `seed`.
+    pub fn run_trial(&self, seed: u64, trial_index: u64, double_bit: bool) -> IrTrialOutcome {
+        let spec = ir_fault_spec(seed, trial_index, self.sites, double_bit);
+        let r = self.interp.run(&self.exec, Some(spec));
+        let outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
+        IrTrialOutcome { outcome, injected_at: r.injected_at }
+    }
+}
+
+/// Reusable single-trial executor for assembly-level injections.
+pub struct AsmTrialRunner<'p> {
+    mach: Machine<'p>,
+    golden: MachResult,
+    exec: ExecConfig,
+    sites: u64,
+}
+
+impl<'p> AsmTrialRunner<'p> {
+    pub fn new(module: &'p Module, program: &'p AsmProgram, exec: &ExecConfig) -> AsmTrialRunner<'p> {
+        let mach = Machine::new(module, program);
+        let golden = mach.run(exec, None);
+        Self::with_golden(module, program, golden, exec)
+    }
+
+    pub fn with_golden(
+        module: &'p Module,
+        program: &'p AsmProgram,
+        golden: MachResult,
+        exec: &ExecConfig,
+    ) -> AsmTrialRunner<'p> {
+        assert!(golden.status.is_completed(), "golden run must complete: {:?}", golden.status);
+        let sites = golden.fault_sites;
+        assert!(sites > 0, "program has no assembly fault sites");
+        let exec = ExecConfig {
+            max_dyn_insts: golden.dyn_insts.saturating_mul(4).max(100_000),
+            ..exec.clone()
+        };
+        AsmTrialRunner { mach: Machine::new(module, program), golden, exec, sites }
+    }
+
+    pub fn golden(&self) -> &MachResult {
+        &self.golden
+    }
+
+    pub fn sites(&self) -> u64 {
+        self.sites
+    }
+
+    pub fn run_trial(&self, seed: u64, trial_index: u64, double_bit: bool) -> AsmTrialOutcome {
+        let spec = asm_fault_spec(seed, trial_index, self.sites, double_bit);
+        let r = self.mach.run(&self.exec, Some(spec));
+        let outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
+        AsmTrialOutcome { outcome, injected_inst: r.injected_inst }
+    }
+}
+
+/// Dynamic work distribution over the trial-index space: threads claim
+/// fixed-size chunks from a shared cursor, so a slow chunk on one thread
+/// never leaves the others idle.
+fn for_each_trial<R, W>(
+    trials: u64,
+    threads: usize,
+    make_worker: impl Fn() -> W + Sync,
+    collect: impl Fn(u64, R) + Sync,
+) where
+    R: Send,
+    W: FnMut(u64) -> R + Send,
+{
+    const CHUNK: u64 = 32;
+    let threads = threads.max(1);
+    let cursor = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let make_worker = &make_worker;
+            let collect = &collect;
+            scope.spawn(move || {
+                let mut work = make_worker();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= trials {
+                        return;
+                    }
+                    let end = (start + CHUNK).min(trials);
+                    for i in start..end {
+                        collect(i, work(i));
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Run an IR-level ("LLVM level") campaign.
 pub fn run_ir_campaign(m: &Module, cfg: &CampaignConfig) -> IrCampaign {
-    let interp = Interpreter::new(m);
-    let golden = interp.run(&cfg.exec, None);
-    assert!(golden.status.is_completed(), "golden run must complete: {:?}", golden.status);
-    let sites = golden.fault_sites;
-    assert!(sites > 0, "program has no IR fault sites");
-    let exec = ExecConfig {
-        max_dyn_insts: golden.dyn_insts.saturating_mul(4).max(100_000),
-        ..cfg.exec.clone()
-    };
-
-    let shards = shard_trials(cfg.trials, cfg.effective_threads());
-    let results: Vec<(OutcomeCounts, HashMap<(FuncId, InstId), u64>)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .enumerate()
-                .map(|(i, &n)| {
-                    let exec = exec.clone();
-                    let golden = &golden;
-                    let interp = Interpreter::new(m);
-                    let seed = cfg.seed.wrapping_add(i as u64);
-                    let double_bit = cfg.double_bit;
-                    scope.spawn(move |_| {
-                        let mut rng = SmallRng::seed_from_u64(seed);
-                        let mut counts = OutcomeCounts::default();
-                        let mut by_inst: HashMap<(FuncId, InstId), u64> = HashMap::new();
-                        for _ in 0..n {
-                            let spec = FaultSpec {
-                                site_index: rng.gen_range(0..sites),
-                                bit: rng.gen_range(0..64),
-                                second_bit: double_bit.then(|| rng.gen_range(0..64)),
-                            };
-                            let r = interp.run(&exec, Some(spec));
-                            let o = classify(r.status, &r.output, golden.status, &golden.output);
-                            counts.record(o);
-                            if o == Outcome::Sdc {
-                                if let Some(loc) = r.injected_at {
-                                    *by_inst.entry(loc).or_insert(0) += 1;
-                                }
-                            }
-                        }
-                        (counts, by_inst)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
-        })
-        .expect("campaign scope");
+    let runner = IrTrialRunner::new(m, &cfg.exec);
+    let results = std::sync::Mutex::new(Vec::<(u64, IrTrialOutcome)>::with_capacity(cfg.trials as usize));
+    for_each_trial(
+        cfg.trials,
+        cfg.effective_threads(),
+        || {
+            let local = IrTrialRunner::with_golden(m, runner.golden().clone(), &cfg.exec);
+            let seed = cfg.seed;
+            let double_bit = cfg.double_bit;
+            move |i| local.run_trial(seed, i, double_bit)
+        },
+        |i, r| results.lock().unwrap().push((i, r)),
+    );
+    let mut results = results.into_inner().unwrap();
+    // Merge in trial order so aggregate structures are deterministic.
+    results.sort_unstable_by_key(|(i, _)| *i);
 
     let mut counts = OutcomeCounts::default();
     let mut sdc_by_inst: HashMap<(FuncId, InstId), u64> = HashMap::new();
-    for (c, by) in results {
-        counts.merge(&c);
-        for (k, v) in by {
-            *sdc_by_inst.entry(k).or_insert(0) += v;
+    for (_, t) in &results {
+        counts.record(t.outcome);
+        if t.outcome == Outcome::Sdc {
+            if let Some(loc) = t.injected_at {
+                *sdc_by_inst.entry(loc).or_insert(0) += 1;
+            }
         }
     }
-    IrCampaign { counts, sdc_by_inst, golden_dyn_insts: golden.dyn_insts, golden_sites: sites }
+    IrCampaign {
+        counts,
+        sdc_by_inst,
+        golden_dyn_insts: runner.golden().dyn_insts,
+        golden_sites: runner.sites(),
+    }
 }
 
 /// Run an assembly-level campaign on a compiled program.
 pub fn run_asm_campaign(m: &Module, program: &AsmProgram, cfg: &CampaignConfig) -> AsmCampaign {
-    let mach = Machine::new(m, program);
-    let golden = mach.run(&cfg.exec, None);
-    assert!(golden.status.is_completed(), "golden run must complete: {:?}", golden.status);
-    let sites = golden.fault_sites;
-    assert!(sites > 0, "program has no assembly fault sites");
-    let exec = ExecConfig {
-        max_dyn_insts: golden.dyn_insts.saturating_mul(4).max(100_000),
-        ..cfg.exec.clone()
-    };
-
-    let shards = shard_trials(cfg.trials, cfg.effective_threads());
-    let results: Vec<(OutcomeCounts, Vec<u32>)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| {
-                let exec = exec.clone();
-                let golden = &golden;
-                let mach = Machine::new(m, program);
-                let seed = cfg.seed.wrapping_add(0x5151_0000).wrapping_add(i as u64);
-                let double_bit = cfg.double_bit;
-                scope.spawn(move |_| {
-                    let mut rng = SmallRng::seed_from_u64(seed);
-                    let mut counts = OutcomeCounts::default();
-                    let mut sdc_insts = Vec::new();
-                    for _ in 0..n {
-                        let spec = AsmFaultSpec {
-                            site_index: rng.gen_range(0..sites),
-                            bit: rng.gen_range(0..64),
-                            second_bit: double_bit.then(|| rng.gen_range(0..64)),
-                        };
-                        let r = mach.run(&exec, Some(spec));
-                        let o = classify(r.status, &r.output, golden.status, &golden.output);
-                        counts.record(o);
-                        if o == Outcome::Sdc {
-                            if let Some(idx) = r.injected_inst {
-                                sdc_insts.push(idx);
-                            }
-                        }
-                    }
-                    (counts, sdc_insts)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
-    })
-    .expect("campaign scope");
+    let runner = AsmTrialRunner::new(m, program, &cfg.exec);
+    let results = std::sync::Mutex::new(Vec::<(u64, AsmTrialOutcome)>::with_capacity(cfg.trials as usize));
+    for_each_trial(
+        cfg.trials,
+        cfg.effective_threads(),
+        || {
+            let local = AsmTrialRunner::with_golden(m, program, runner.golden().clone(), &cfg.exec);
+            let seed = cfg.seed;
+            let double_bit = cfg.double_bit;
+            move |i| local.run_trial(seed, i, double_bit)
+        },
+        |i, r| results.lock().unwrap().push((i, r)),
+    );
+    let mut results = results.into_inner().unwrap();
+    results.sort_unstable_by_key(|(i, _)| *i);
 
     let mut counts = OutcomeCounts::default();
     let mut sdc_insts = Vec::new();
-    for (c, v) in results {
-        counts.merge(&c);
-        sdc_insts.extend(v);
+    for (_, t) in &results {
+        counts.record(t.outcome);
+        if t.outcome == Outcome::Sdc {
+            if let Some(idx) = t.injected_inst {
+                sdc_insts.push(idx);
+            }
+        }
     }
     AsmCampaign {
         counts,
         sdc_insts,
-        golden_dyn_insts: golden.dyn_insts,
-        golden_sites: sites,
-        golden_cycles: golden.cycles,
+        golden_dyn_insts: runner.golden().dyn_insts,
+        golden_sites: runner.sites(),
+        golden_cycles: runner.golden().cycles,
     }
-}
-
-/// Split `trials` across `threads` as evenly as possible.
-fn shard_trials(trials: u64, threads: usize) -> Vec<u64> {
-    let threads = threads.max(1) as u64;
-    let base = trials / threads;
-    let extra = trials % threads;
-    (0..threads).map(|i| base + u64::from(i < extra)).filter(|&n| n > 0).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const SRC: &str = "int main() { int s = 0; int i; for (i = 0; i < 20; i = i + 1) { s = s + i * i; } output(s); return s % 251; }";
+    const SRC: &str =
+        "int main() { int s = 0; int i; for (i = 0; i < 20; i = i + 1) { s = s + i * i; } output(s); return s % 251; }";
 
     fn module() -> Module {
         flowery_lang::compile("t", SRC).unwrap()
     }
 
     #[test]
-    fn shards_cover_all_trials() {
-        assert_eq!(shard_trials(10, 3), vec![4, 3, 3]);
-        assert_eq!(shard_trials(2, 8), vec![1, 1]);
-        assert_eq!(shard_trials(0, 4), Vec::<u64>::new());
-        assert_eq!(shard_trials(9, 1), vec![9]);
+    fn fault_specs_are_pure_functions_of_seed_and_index() {
+        for trial in [0u64, 1, 7, 2999] {
+            let a = ir_fault_spec(42, trial, 100, false);
+            let b = ir_fault_spec(42, trial, 100, false);
+            assert_eq!(a, b);
+            assert!(a.site_index < 100 && a.bit < 64 && a.second_bit.is_none());
+            let d = ir_fault_spec(42, trial, 100, true);
+            assert!(d.second_bit.is_some());
+        }
+        // The layers draw from distinct streams.
+        let ir = ir_fault_spec(42, 0, 1000, false);
+        let asm = asm_fault_spec(42, 0, 1000, false);
+        assert!(ir.site_index != asm.site_index || ir.bit != asm.bit);
     }
 
     #[test]
@@ -245,14 +381,17 @@ mod tests {
         c4.threads = 4;
         let r1 = run_ir_campaign(&m, &c1);
         let r4 = run_ir_campaign(&m, &c4);
-        // Seeds are per-shard, so exact equality needs equal shard counts;
-        // verify totals and rough agreement instead.
-        assert_eq!(r1.counts.total(), 200);
-        assert_eq!(r4.counts.total(), 200);
+        // Trials are seeded by index, not by shard: any thread count gives
+        // exactly the same campaign.
+        assert_eq!(r1.counts, r4.counts);
+        assert_eq!(r1.sdc_by_inst, r4.sdc_by_inst);
         assert_eq!(r1.golden_sites, r4.golden_sites);
-        // Same shard layout => identical results.
-        let r1b = run_ir_campaign(&m, &c1);
-        assert_eq!(r1.counts, r1b.counts);
+
+        let prog = flowery_backend::compile_module(&m, &flowery_backend::BackendConfig::default());
+        let a1 = run_asm_campaign(&m, &prog, &c1);
+        let a4 = run_asm_campaign(&m, &prog, &c4);
+        assert_eq!(a1.counts, a4.counts);
+        assert_eq!(a1.sdc_insts, a4.sdc_insts);
     }
 
     #[test]

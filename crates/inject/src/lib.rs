@@ -11,7 +11,10 @@ pub mod outcome;
 pub mod profile;
 pub mod stats;
 
-pub use campaign::{run_asm_campaign, run_ir_campaign, AsmCampaign, CampaignConfig, IrCampaign};
+pub use campaign::{
+    asm_fault_spec, ir_fault_spec, run_asm_campaign, run_ir_campaign, AsmCampaign, AsmTrialRunner, CampaignConfig,
+    IrCampaign, IrTrialRunner,
+};
 pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use profile::profile_sdc;
-pub use stats::{relative_overhead, Coverage, Estimate};
+pub use stats::{relative_overhead, wilson_half_width, Coverage, Estimate};

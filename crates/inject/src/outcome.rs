@@ -20,12 +20,7 @@ pub enum Outcome {
 ///
 /// The return value of `main` counts as program output (the benchmarks
 /// also emit explicit `output()` records; both must match for Benign).
-pub fn classify(
-    status: ExecStatus,
-    output: &[u8],
-    golden_status: ExecStatus,
-    golden_output: &[u8],
-) -> Outcome {
+pub fn classify(status: ExecStatus, output: &[u8], golden_status: ExecStatus, golden_output: &[u8]) -> Outcome {
     match status {
         ExecStatus::Detected => Outcome::Detected,
         ExecStatus::Trapped(_) => Outcome::Due,
@@ -109,10 +104,7 @@ mod tests {
         assert_eq!(classify(ExecStatus::Completed(41), &out, g, &out), Outcome::Sdc);
         assert_eq!(classify(ExecStatus::Completed(42), &[1], g, &out), Outcome::Sdc);
         assert_eq!(classify(ExecStatus::Detected, &out, g, &out), Outcome::Detected);
-        assert_eq!(
-            classify(ExecStatus::Trapped(TrapKind::OobLoad), &out, g, &out),
-            Outcome::Due
-        );
+        assert_eq!(classify(ExecStatus::Trapped(TrapKind::OobLoad), &out, g, &out), Outcome::Due);
     }
 
     #[test]

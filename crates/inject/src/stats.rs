@@ -4,24 +4,45 @@
 use crate::outcome::OutcomeCounts;
 use serde::{Deserialize, Serialize};
 
+/// z-score for a two-sided 95% interval.
+const Z95: f64 = 1.959963984540054;
+
 /// A proportion estimate with a 95% confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Estimate {
     pub value: f64,
-    /// Half-width of the 95% CI (normal approximation).
+    /// Half-width of the 95% Wilson score interval.
     pub ci95: f64,
 }
 
 impl Estimate {
     /// Estimate a proportion from `hits` out of `n`.
+    ///
+    /// `value` is the plain point estimate `hits / n`; `ci95` is the
+    /// half-width of the Wilson score interval. The Wald (normal
+    /// approximation) interval degenerates to width zero at p = 0 and
+    /// p = 1, which would make an adaptive stopping rule declare perfect
+    /// confidence after a single trial; Wilson stays strictly positive
+    /// for any finite `n`.
     pub fn proportion(hits: u64, n: u64) -> Estimate {
         if n == 0 {
             return Estimate { value: 0.0, ci95: 0.0 };
         }
         let p = hits as f64 / n as f64;
-        let se = (p * (1.0 - p) / n as f64).sqrt();
-        Estimate { value: p, ci95: 1.96 * se }
+        Estimate { value: p, ci95: wilson_half_width(hits, n) }
     }
+}
+
+/// Half-width of the 95% Wilson score interval for `hits` successes out
+/// of `n` trials. Strictly positive for all `hits` whenever `n > 0`.
+pub fn wilson_half_width(hits: u64, n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let p = hits as f64 / n;
+    let z2 = Z95 * Z95;
+    (Z95 / (1.0 + z2 / n)) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
 }
 
 /// SDC coverage of a protection technique given raw (unprotected) and
@@ -69,10 +90,26 @@ mod tests {
     fn proportion_estimates() {
         let e = Estimate::proportion(50, 100);
         assert!((e.value - 0.5).abs() < 1e-12);
-        assert!((e.ci95 - 1.96 * (0.25f64 / 100.0).sqrt()).abs() < 1e-12);
+        // Wilson at p = 0.5, n = 100: close to but slightly below Wald.
+        let wald = 1.96 * (0.25f64 / 100.0).sqrt();
+        assert!(e.ci95 > 0.9 * wald && e.ci95 < wald, "{}", e.ci95);
         assert_eq!(Estimate::proportion(0, 0).value, 0.0);
-        let certain = Estimate::proportion(100, 100);
-        assert_eq!(certain.ci95, 0.0);
+        assert_eq!(Estimate::proportion(0, 0).ci95, 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_is_positive_at_extremes() {
+        // The Wald interval collapses to zero width at p = 0 and p = 1;
+        // Wilson must not, or adaptive stopping would fire after 1 trial.
+        for n in [1u64, 10, 100, 10_000] {
+            assert!(wilson_half_width(0, n) > 0.0, "n={n}");
+            assert!(wilson_half_width(n, n) > 0.0, "n={n}");
+        }
+        // Width shrinks roughly as 1/sqrt(n).
+        assert!(wilson_half_width(0, 10_000) < wilson_half_width(0, 100));
+        // Point estimate stays the plain proportion even at the extremes.
+        assert_eq!(Estimate::proportion(100, 100).value, 1.0);
+        assert_eq!(Estimate::proportion(0, 100).value, 0.0);
     }
 
     #[test]

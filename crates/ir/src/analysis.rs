@@ -108,7 +108,7 @@ impl DomTree {
 
     /// Is `a` reachable from the entry?
     pub fn reachable(&self, b: BlockId) -> bool {
-        self.idom.get(b.index()).map_or(false, |i| i.is_some())
+        self.idom.get(b.index()).is_some_and(|i| i.is_some())
     }
 
     /// Immediate dominator (entry maps to itself).
@@ -135,12 +135,7 @@ impl DomTree {
     }
 }
 
-fn self_intersect(
-    idom: &[Option<BlockId>],
-    rpo_number: &[usize],
-    mut a: BlockId,
-    mut b: BlockId,
-) -> BlockId {
+fn self_intersect(idom: &[Option<BlockId>], rpo_number: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while rpo_number[a.index()] > rpo_number[b.index()] {
             a = idom[a.index()].expect("processed block");

@@ -15,8 +15,13 @@ pub struct FuncBuilder {
 impl FuncBuilder {
     /// Start a function. The entry block is created and made current.
     pub fn new(name: impl Into<String>, params: Vec<Type>, ret_ty: Option<Type>) -> FuncBuilder {
-        let mut func =
-            Function { name: name.into(), params, ret_ty, insts: Vec::new(), blocks: Vec::new() };
+        let mut func = Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            insts: Vec::new(),
+            blocks: Vec::new(),
+        };
         let entry = func.add_block("entry");
         FuncBuilder { func, cur: Some(entry) }
     }
@@ -170,16 +175,12 @@ impl ModuleBuilder {
 
     /// Add a zero-initialized global array.
     pub fn global_zeroed(&mut self, name: impl Into<String>, elem: Type, count: u64) -> GlobalId {
-        self.module.add_global(Global { name: name.into(), elem, count, init: GlobalInit::Zero })
+        self.module
+            .add_global(Global { name: name.into(), elem, count, init: GlobalInit::Zero })
     }
 
     /// Add a global with explicit element values (canonical bit patterns).
-    pub fn global_init(
-        &mut self,
-        name: impl Into<String>,
-        elem: Type,
-        values: Vec<u64>,
-    ) -> GlobalId {
+    pub fn global_init(&mut self, name: impl Into<String>, elem: Type, values: Vec<u64>) -> GlobalId {
         let count = values.len() as u64;
         self.module.add_global(Global {
             name: name.into(),
@@ -201,12 +202,7 @@ impl ModuleBuilder {
 
     /// Reserve a function slot so calls can reference it before its body is
     /// built (needed for recursion / forward references).
-    pub fn declare_func(
-        &mut self,
-        name: impl Into<String>,
-        params: Vec<Type>,
-        ret_ty: Option<Type>,
-    ) -> FuncId {
+    pub fn declare_func(&mut self, name: impl Into<String>, params: Vec<Type>, ret_ty: Option<Type>) -> FuncId {
         self.module.add_function(Function {
             name: name.into(),
             params,
@@ -279,7 +275,10 @@ mod tests {
         let f = fb.finish();
         assert_eq!(f.blocks.len(), 4);
         assert_eq!(f.name, "sum_to_n");
-        assert!(matches!(f.block(BlockId(3)).term, Terminator::Ret { val: Some(Op::Value(Value::Inst(_))) }));
+        assert!(matches!(
+            f.block(BlockId(3)).term,
+            Terminator::Ret { val: Some(Op::Value(Value::Inst(_))) }
+        ));
     }
 
     #[test]

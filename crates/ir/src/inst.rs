@@ -396,9 +396,9 @@ impl InstData {
             InstKind::Alloca { .. } => vec![],
             InstKind::Load { ptr, .. } => vec![ptr],
             InstKind::Store { val, ptr, .. } => vec![val, ptr],
-            InstKind::Bin { lhs, rhs, .. }
-            | InstKind::ICmp { lhs, rhs, .. }
-            | InstKind::FCmp { lhs, rhs, .. } => vec![lhs, rhs],
+            InstKind::Bin { lhs, rhs, .. } | InstKind::ICmp { lhs, rhs, .. } | InstKind::FCmp { lhs, rhs, .. } => {
+                vec![lhs, rhs]
+            }
             InstKind::Cast { val, .. } => vec![val],
             InstKind::Gep { base, index, .. } => vec![base, index],
             InstKind::Select { cond, t, f, .. } => vec![cond, t, f],
@@ -412,9 +412,9 @@ impl InstData {
             InstKind::Alloca { .. } => vec![],
             InstKind::Load { ptr, .. } => vec![*ptr],
             InstKind::Store { val, ptr, .. } => vec![*val, *ptr],
-            InstKind::Bin { lhs, rhs, .. }
-            | InstKind::ICmp { lhs, rhs, .. }
-            | InstKind::FCmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            InstKind::Bin { lhs, rhs, .. } | InstKind::ICmp { lhs, rhs, .. } | InstKind::FCmp { lhs, rhs, .. } => {
+                vec![*lhs, *rhs]
+            }
             InstKind::Cast { val, .. } => vec![*val],
             InstKind::Gep { base, index, .. } => vec![*base, *index],
             InstKind::Select { cond, t, f, .. } => vec![*cond, *t, *f],

@@ -177,23 +177,15 @@ impl<'m> Interpreter<'m> {
                             }
                         }
                     }
-                    InstKind::ICmp { pred, ty, lhs, rhs } => {
-                        Some(ops::eval_icmp(*pred, *ty, opv!(*lhs), opv!(*rhs)))
-                    }
-                    InstKind::FCmp { pred, ty, lhs, rhs } => {
-                        Some(ops::eval_fcmp(*pred, *ty, opv!(*lhs), opv!(*rhs)))
-                    }
-                    InstKind::Cast { kind, from, to, val } => {
-                        Some(ops::eval_cast(*kind, *from, *to, opv!(*val)))
-                    }
+                    InstKind::ICmp { pred, ty, lhs, rhs } => Some(ops::eval_icmp(*pred, *ty, opv!(*lhs), opv!(*rhs))),
+                    InstKind::FCmp { pred, ty, lhs, rhs } => Some(ops::eval_fcmp(*pred, *ty, opv!(*lhs), opv!(*rhs))),
+                    InstKind::Cast { kind, from, to, val } => Some(ops::eval_cast(*kind, *from, *to, opv!(*val))),
                     InstKind::Gep { base, index, elem } => {
                         let b = opv!(*base);
                         let i = opv!(*index) as i64;
                         Some(b.wrapping_add_signed(i.wrapping_mul(elem.size() as i64)))
                     }
-                    InstKind::Select { cond, t, f, .. } => {
-                        Some(if opv!(*cond) & 1 == 1 { opv!(*t) } else { opv!(*f) })
-                    }
+                    InstKind::Select { cond, t, f, .. } => Some(if opv!(*cond) & 1 == 1 { opv!(*t) } else { opv!(*f) }),
                     InstKind::Call { callee, args } => match callee {
                         Callee::Intrinsic(intr) => match intr {
                             Intrinsic::OutputI64 => {
@@ -289,18 +281,14 @@ impl<'m> Interpreter<'m> {
 
                 if let Some(mut v) = result {
                     let fr_func = stack.last().unwrap().func;
-                    let ty = self
-                        .module
-                        .result_ty(fr_func, iid)
-                        .expect("instruction with result has a type");
+                    let ty = self.module.result_ty(fr_func, iid).expect("instruction with result has a type");
                     // ---- fault injection hook (IR level) -------------------
                     // LLFI-style site selection: only *compute* results are
                     // fault sites. `alloca` addresses are excluded (frame
                     // bookkeeping, not datapath), as are function-call
                     // returns (handled at `Ret`, also excluded) — matching
                     // the instruction-duplication literature's fault model.
-                    let is_site =
-                        !matches!(self.module.func(fr_func).inst(iid).kind, InstKind::Alloca { .. });
+                    let is_site = !matches!(self.module.func(fr_func).inst(iid).kind, InstKind::Alloca { .. });
                     if is_site {
                         if let Some(spec) = fault {
                             if fault_sites == spec.site_index {
@@ -553,11 +541,7 @@ mod tests {
         let m = mb.finish();
         let interp = Interpreter::new(&m);
         let r = interp.run(&ExecConfig::default(), Some(FaultSpec::single(0, 60)));
-        assert!(
-            matches!(r.status, ExecStatus::Trapped(TrapKind::OobLoad)),
-            "{:?}",
-            r.status
-        );
+        assert!(matches!(r.status, ExecStatus::Trapped(TrapKind::OobLoad)), "{:?}", r.status);
     }
 
     #[test]

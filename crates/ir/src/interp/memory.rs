@@ -56,7 +56,10 @@ impl Memory {
     /// the module's globals materialized at [`GLOBAL_BASE`].
     pub fn new(m: &Module, size: u64, stack_size: u64) -> Memory {
         assert!(size >= GLOBAL_BASE + stack_size + 0x1000, "memory too small");
-        let mut mem = Memory { bytes: vec![0u8; size as usize], stack_limit: size - stack_size };
+        let mut mem = Memory {
+            bytes: vec![0u8; size as usize],
+            stack_limit: size - stack_size,
+        };
         let mut cursor = GLOBAL_BASE;
         for g in &m.globals {
             cursor = align_up(cursor, g.elem.align());
@@ -112,7 +115,7 @@ impl Memory {
     }
 
     fn in_bounds(&self, addr: u64, width: u64) -> bool {
-        addr >= GLOBAL_BASE && addr.checked_add(width).map_or(false, |end| end <= self.size())
+        addr >= GLOBAL_BASE && addr.checked_add(width).is_some_and(|end| end <= self.size())
     }
 
     /// Checked load of `width` bytes (1/2/4/8), little-endian, zero-extended.

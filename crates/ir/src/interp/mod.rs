@@ -54,7 +54,10 @@ impl ExecConfig {
     /// generous enough to never clip healthy runs, tight enough to catch
     /// fault-induced livelock quickly.
     pub fn with_budget_for(golden_dyn_insts: u64) -> ExecConfig {
-        ExecConfig { max_dyn_insts: golden_dyn_insts.saturating_mul(4).max(100_000), ..Default::default() }
+        ExecConfig {
+            max_dyn_insts: golden_dyn_insts.saturating_mul(4).max(100_000),
+            ..Default::default()
+        }
     }
 }
 

@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn sdiv_semantics() {
-        assert_eq!(eval_bin(BinOp::SDiv, Type::I32, Type::I32.canon(-7i64 as u64), 2).unwrap(), Type::I32.canon(-3i64 as u64));
+        assert_eq!(
+            eval_bin(BinOp::SDiv, Type::I32, Type::I32.canon(-7i64 as u64), 2).unwrap(),
+            Type::I32.canon(-3i64 as u64)
+        );
         assert_eq!(eval_bin(BinOp::SDiv, Type::I32, 5, 0), Err(TrapKind::DivFault));
         let int_min = Type::I32.canon(i32::MIN as i64 as u64);
         let neg1 = Type::I32.canon(-1i64 as u64);
@@ -204,7 +207,10 @@ mod tests {
 
     #[test]
     fn srem_and_urem() {
-        assert_eq!(eval_bin(BinOp::SRem, Type::I32, Type::I32.canon(-7i64 as u64), 3).unwrap(), Type::I32.canon(-1i64 as u64));
+        assert_eq!(
+            eval_bin(BinOp::SRem, Type::I32, Type::I32.canon(-7i64 as u64), 3).unwrap(),
+            Type::I32.canon(-1i64 as u64)
+        );
         assert_eq!(eval_bin(BinOp::URem, Type::I32, 7, 3).unwrap(), 1);
         assert_eq!(eval_bin(BinOp::URem, Type::I32, 7, 0), Err(TrapKind::DivFault));
     }
@@ -240,14 +246,23 @@ mod tests {
         assert_eq!(eval_cast(CastKind::Sext, Type::I8, Type::I32, 0xFF), 0xFFFF_FFFF);
         assert_eq!(eval_cast(CastKind::Zext, Type::I8, Type::I32, 0xFF), 0xFF);
         assert_eq!(eval_cast(CastKind::Trunc, Type::I32, Type::I8, 0x1FF), 0xFF);
-        assert_eq!(f64::from_bits(eval_cast(CastKind::SiToFp, Type::I32, Type::F64, Type::I32.canon(-2i64 as u64))), -2.0);
+        assert_eq!(
+            f64::from_bits(eval_cast(CastKind::SiToFp, Type::I32, Type::F64, Type::I32.canon(-2i64 as u64))),
+            -2.0
+        );
         assert_eq!(eval_cast(CastKind::FpToSi, Type::F64, Type::I32, 3.99f64.to_bits()), 3);
-        assert_eq!(f64::from_bits(eval_cast(CastKind::FpCast, Type::F32, Type::F64, 1.5f32.to_bits() as u64)), 1.5);
+        assert_eq!(
+            f64::from_bits(eval_cast(CastKind::FpCast, Type::F32, Type::F64, 1.5f32.to_bits() as u64)),
+            1.5
+        );
     }
 
     #[test]
     fn fp_to_si_saturates() {
-        assert_eq!(eval_cast(CastKind::FpToSi, Type::F64, Type::I32, 1e300f64.to_bits()), Type::I32.canon(i64::MAX as u64));
+        assert_eq!(
+            eval_cast(CastKind::FpToSi, Type::F64, Type::I32, 1e300f64.to_bits()),
+            Type::I32.canon(i64::MAX as u64)
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl Function {
     /// Append a fresh, empty block and return its id.
     pub fn add_block(&mut self, label: impl Into<String>) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { label: label.into(), insts: Vec::new(), term: Terminator::Unreachable });
+        self.blocks.push(Block {
+            label: label.into(),
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        });
         id
     }
 
@@ -172,7 +176,11 @@ pub struct Module {
 
 impl Module {
     pub fn new(name: impl Into<String>) -> Module {
-        Module { name: name.into(), globals: Vec::new(), functions: Vec::new() }
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            functions: Vec::new(),
+        }
     }
 
     pub fn add_global(&mut self, g: Global) -> GlobalId {
@@ -216,7 +224,9 @@ impl Module {
 
     /// Result type of instruction `id` in function `f`.
     pub fn result_ty(&self, f: FuncId, id: InstId) -> Option<Type> {
-        self.functions[f.index()].inst(id).result_ty(|callee| self.functions[callee.index()].ret_ty)
+        self.functions[f.index()]
+            .inst(id)
+            .result_ty(|callee| self.functions[callee.index()].ret_ty)
     }
 
     /// The type of an operand in the context of function `f`.

@@ -29,8 +29,7 @@ pub fn print_module(m: &Module) -> String {
 /// Render one function.
 pub fn print_function(m: &Module, fid: FuncId, f: &Function) -> String {
     let mut out = String::new();
-    let params: Vec<String> =
-        f.params.iter().enumerate().map(|(i, t)| format!("{t} %arg{i}")).collect();
+    let params: Vec<String> = f.params.iter().enumerate().map(|(i, t)| format!("{t} %arg{i}")).collect();
     let ret = f.ret_ty.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
     let _ = writeln!(out, "define {ret} @{}({}) {{", f.name, params.join(", "));
     for (_bid, block) in f.iter_blocks() {

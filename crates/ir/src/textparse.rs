@@ -5,9 +5,7 @@
 //! The accepted grammar is exactly what the printer emits (one instruction
 //! per line, `; ...` comments ignored), not a general assembler.
 
-use crate::inst::{
-    BinOp, Callee, CastKind, FPred, IPred, InstData, InstKind, Intrinsic, IrRole, Terminator,
-};
+use crate::inst::{BinOp, Callee, CastKind, FPred, IPred, InstData, InstKind, Intrinsic, IrRole, Terminator};
 use crate::module::{Function, Global, GlobalInit, Module};
 use crate::types::Type;
 use crate::value::{BlockId, FuncId, GlobalId, InstId, Op};
@@ -108,19 +106,25 @@ fn parse_global(line: &str, lineno: usize) -> Result<Global, ParseError> {
         .split_once('=')
         .ok_or_else(|| ParseError { line: lineno, msg: "expected '=' in global".into() })?;
     let name = lhs.trim().trim_start_matches('@').to_string();
-    let rhs = rhs.trim().strip_prefix("global").map(str::trim).ok_or_else(|| ParseError {
-        line: lineno,
-        msg: "expected 'global'".into(),
-    })?;
-    let open = rhs.find('[').ok_or_else(|| ParseError { line: lineno, msg: "expected '['".into() })?;
-    let close =
-        rhs.find(']').ok_or_else(|| ParseError { line: lineno, msg: "expected ']'".into() })?;
+    let rhs = rhs
+        .trim()
+        .strip_prefix("global")
+        .map(str::trim)
+        .ok_or_else(|| ParseError { line: lineno, msg: "expected 'global'".into() })?;
+    let open = rhs
+        .find('[')
+        .ok_or_else(|| ParseError { line: lineno, msg: "expected '['".into() })?;
+    let close = rhs
+        .find(']')
+        .ok_or_else(|| ParseError { line: lineno, msg: "expected ']'".into() })?;
     let decl = &rhs[open + 1..close];
     let (count_s, ty_s) = decl
         .split_once(" x ")
         .ok_or_else(|| ParseError { line: lineno, msg: "expected 'N x ty'".into() })?;
-    let count: u64 =
-        count_s.trim().parse().map_err(|_| ParseError { line: lineno, msg: "bad count".into() })?;
+    let count: u64 = count_s
+        .trim()
+        .parse()
+        .map_err(|_| ParseError { line: lineno, msg: "bad count".into() })?;
     let elem = parse_type(ty_s.trim(), lineno)?;
     let init_s = rhs[close + 1..].trim();
     let init = if init_s == "zeroinitializer" {
@@ -162,9 +166,15 @@ fn parse_function(
     let (ret_s, rest) = rest
         .split_once(" @")
         .ok_or_else(|| ParseError { line: lineno, msg: "bad define header".into() })?;
-    let ret_ty = if ret_s.trim() == "void" { None } else { Some(parse_type(ret_s.trim(), lineno)?) };
-    let name =
-        rest.split('(').next().ok_or_else(|| ParseError { line: lineno, msg: "bad name".into() })?;
+    let ret_ty = if ret_s.trim() == "void" {
+        None
+    } else {
+        Some(parse_type(ret_s.trim(), lineno)?)
+    };
+    let name = rest
+        .split('(')
+        .next()
+        .ok_or_else(|| ParseError { line: lineno, msg: "bad name".into() })?;
     let params_s = rest
         .split_once('(')
         .and_then(|(_, r)| r.rsplit_once(')'))
@@ -240,13 +250,11 @@ impl FuncParser<'_> {
     fn operand(&mut self, s: &str, line: usize) -> Result<Op, ParseError> {
         let s = s.trim();
         if let Some(arg) = s.strip_prefix("%arg") {
-            let n: u32 =
-                arg.parse().map_err(|_| ParseError { line, msg: format!("bad param '{s}'") })?;
+            let n: u32 = arg.parse().map_err(|_| ParseError { line, msg: format!("bad param '{s}'") })?;
             return Ok(Op::param(n));
         }
         if let Some(v) = s.strip_prefix('%') {
-            let n: u32 =
-                v.parse().map_err(|_| ParseError { line, msg: format!("bad value '{s}'") })?;
+            let n: u32 = v.parse().map_err(|_| ParseError { line, msg: format!("bad value '{s}'") })?;
             let id = self
                 .value_map
                 .get(&n)
@@ -255,8 +263,7 @@ impl FuncParser<'_> {
             return Ok(Op::inst(id));
         }
         if let Some(g) = s.strip_prefix("@g") {
-            let n: u32 =
-                g.parse().map_err(|_| ParseError { line, msg: format!("bad global '{s}'") })?;
+            let n: u32 = g.parse().map_err(|_| ParseError { line, msg: format!("bad global '{s}'") })?;
             return Ok(Op::Global(GlobalId(n)));
         }
         // Typed constant: `ty value`.
@@ -288,11 +295,7 @@ impl FuncParser<'_> {
         Ok(Op::cint(ty, v as u64))
     }
 
-    fn try_parse_terminator(
-        &mut self,
-        line: &str,
-        lineno: usize,
-    ) -> Result<Option<Terminator>, ParseError> {
+    fn try_parse_terminator(&mut self, line: &str, lineno: usize) -> Result<Option<Terminator>, ParseError> {
         if line == "unreachable" {
             return Ok(Some(Terminator::Unreachable));
         }
@@ -369,7 +372,10 @@ impl FuncParser<'_> {
                 let (ty_s, ptr_s) = rest
                     .split_once(',')
                     .ok_or_else(|| ParseError { line: lineno, msg: "bad load".into() })?;
-                InstKind::Load { ty: parse_type(ty_s.trim(), lineno)?, ptr: self.operand(ptr_s, lineno)? }
+                InstKind::Load {
+                    ty: parse_type(ty_s.trim(), lineno)?,
+                    ptr: self.operand(ptr_s, lineno)?,
+                }
             }
             "store" => {
                 // store <ty> <val>, <ptr>
@@ -389,8 +395,8 @@ impl FuncParser<'_> {
                 let ty_s = it.next().unwrap_or("");
                 let ops = it.next().unwrap_or("");
                 let ty = parse_type(ty_s, lineno)?;
-                let (a_s, b_s) = split_top_level(ops)
-                    .ok_or_else(|| ParseError { line: lineno, msg: "bad compare".into() })?;
+                let (a_s, b_s) =
+                    split_top_level(ops).ok_or_else(|| ParseError { line: lineno, msg: "bad compare".into() })?;
                 let lhs = self.typed_or_plain(&a_s, ty, lineno)?;
                 let rhs = self.typed_or_plain(&b_s, ty, lineno)?;
                 if mnemonic == "icmp" {
@@ -404,8 +410,8 @@ impl FuncParser<'_> {
                 let mut parts = rest.splitn(2, ',');
                 let elem = parse_type(parts.next().unwrap_or("").trim(), lineno)?;
                 let ops = parts.next().unwrap_or("");
-                let (base_s, idx_s) = split_top_level(ops)
-                    .ok_or_else(|| ParseError { line: lineno, msg: "bad gep".into() })?;
+                let (base_s, idx_s) =
+                    split_top_level(ops).ok_or_else(|| ParseError { line: lineno, msg: "bad gep".into() })?;
                 InstKind::Gep {
                     elem,
                     base: self.operand(&base_s, lineno)?,
@@ -418,10 +424,10 @@ impl FuncParser<'_> {
                     .split_once(' ')
                     .ok_or_else(|| ParseError { line: lineno, msg: "bad select".into() })?;
                 let ty = parse_type(ty_s, lineno)?;
-                let (cond_s, rest2) = split_top_level(ops)
-                    .ok_or_else(|| ParseError { line: lineno, msg: "bad select".into() })?;
-                let (t_s, f_s) = split_top_level(&rest2)
-                    .ok_or_else(|| ParseError { line: lineno, msg: "bad select".into() })?;
+                let (cond_s, rest2) =
+                    split_top_level(ops).ok_or_else(|| ParseError { line: lineno, msg: "bad select".into() })?;
+                let (t_s, f_s) =
+                    split_top_level(&rest2).ok_or_else(|| ParseError { line: lineno, msg: "bad select".into() })?;
                 InstKind::Select {
                     ty,
                     cond: self.operand(&cond_s, lineno)?,
@@ -520,16 +526,14 @@ impl FuncParser<'_> {
         }
         // Bare literal with contextual type.
         if ty.is_float() {
-            let v: f64 =
-                s.parse().map_err(|_| ParseError { line, msg: format!("bad float '{s}'") })?;
+            let v: f64 = s.parse().map_err(|_| ParseError { line, msg: format!("bad float '{s}'") })?;
             return Ok(if ty == Type::F64 {
                 Op::Const(Const::F64(v))
             } else {
                 Op::Const(Const::F32(v as f32))
             });
         }
-        let v: i64 =
-            s.parse().map_err(|_| ParseError { line, msg: format!("bad literal '{s}'") })?;
+        let v: i64 = s.parse().map_err(|_| ParseError { line, msg: format!("bad literal '{s}'") })?;
         Ok(Op::cint(ty, v as u64))
     }
 }
@@ -736,6 +740,6 @@ entry:
         assert!(parse_module(bad2).unwrap_err().msg.contains("unknown callee"));
     }
 
-    use crate::inst::{BinOp, CastKind, Intrinsic, IPred};
+    use crate::inst::{BinOp, CastKind, IPred, Intrinsic};
     use crate::value::Op;
 }

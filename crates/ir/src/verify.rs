@@ -80,17 +80,7 @@ fn verify_function(m: &Module, fid: FuncId, f: &Function) -> Result<(), VerifyEr
                 if ty != Type::I1 {
                     return Err(err(f, format!("br cond must be i1, got {ty}")));
                 }
-                check_operand_defs(
-                    m,
-                    fid,
-                    f,
-                    &dt,
-                    &placement,
-                    bid,
-                    block.insts.len(),
-                    InstId(u32::MAX),
-                    &[*cond],
-                )?;
+                check_operand_defs(m, fid, f, &dt, &placement, bid, block.insts.len(), InstId(u32::MAX), &[*cond])?;
             }
             Terminator::Ret { val } => match (val, f.ret_ty) {
                 (None, None) => {}
@@ -99,17 +89,7 @@ fn verify_function(m: &Module, fid: FuncId, f: &Function) -> Result<(), VerifyEr
                     if ty != rt {
                         return Err(err(f, format!("ret type {ty} != declared {rt}")));
                     }
-                    check_operand_defs(
-                        m,
-                        fid,
-                        f,
-                        &dt,
-                        &placement,
-                        bid,
-                        block.insts.len(),
-                        InstId(u32::MAX),
-                        &[*v],
-                    )?;
+                    check_operand_defs(m, fid, f, &dt, &placement, bid, block.insts.len(), InstId(u32::MAX), &[*v])?;
                 }
                 (None, Some(rt)) => return Err(err(f, format!("missing return value of type {rt}"))),
                 (Some(_), None) => return Err(err(f, "returning a value from a void function")),
@@ -144,10 +124,7 @@ fn check_operand_defs(
             }
             Op::Value(Value::Inst(def)) => {
                 let Some(&def_block) = placement.get(def) else {
-                    return Err(err(
-                        f,
-                        format!("%{} uses %{} which is not placed in any block", user.0, def.0),
-                    ));
+                    return Err(err(f, format!("%{} uses %{} which is not placed in any block", user.0, def.0)));
                 };
                 if def_block == use_block {
                     let def_pos = f
@@ -239,9 +216,7 @@ fn check_types(m: &Module, fid: FuncId, f: &Function, iid: InstId) -> Result<(),
         InstKind::Cast { kind, from, to, val } => {
             expect(val, *from, "cast input")?;
             let ok = match kind {
-                CastKind::Zext | CastKind::Sext => {
-                    from.is_int() && to.is_int() && to.bits() > from.bits()
-                }
+                CastKind::Zext | CastKind::Sext => from.is_int() && to.is_int() && to.bits() > from.bits(),
                 CastKind::Trunc => from.is_int() && to.is_int() && to.bits() < from.bits(),
                 CastKind::SiToFp => from.is_int() && to.is_float(),
                 CastKind::FpToSi => from.is_float() && to.is_int(),
@@ -285,10 +260,7 @@ fn check_types(m: &Module, fid: FuncId, f: &Function, iid: InstId) -> Result<(),
             }
             Callee::Intrinsic(intr) => {
                 if args.len() != intr.arity() {
-                    return Err(err(
-                        f,
-                        format!("%{}: intrinsic {} expects {} args", iid.0, intr.name(), intr.arity()),
-                    ));
+                    return Err(err(f, format!("%{}: intrinsic {} expects {} args", iid.0, intr.name(), intr.arity())));
                 }
             }
         },

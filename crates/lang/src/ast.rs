@@ -91,11 +91,26 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// `int x;` / `int x = e;` / `int a[10];`
-    Decl { name: String, scalar: Scalar, array: Option<u32>, init: Option<Expr> },
+    Decl {
+        name: String,
+        scalar: Scalar,
+        array: Option<u32>,
+        init: Option<Expr>,
+    },
     /// `x = e;` / `a[i] = e;`
-    Assign { target: LValue, value: Expr },
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
-    While { cond: Expr, body: Vec<Stmt> },
+    Assign {
+        target: LValue,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     For {
         init: Option<Box<Stmt>>,
         cond: Option<Expr>,

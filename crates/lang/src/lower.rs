@@ -124,7 +124,11 @@ pub fn lower(name: &str, prog: &Program) -> Result<Module, LangError> {
         let id = lw.mb.declare_func(&f.name, ir_params, ret_ty);
         lw.funcs.insert(
             f.name.clone(),
-            FuncSig { id, params: f.params.iter().map(|p| p.ty).collect(), ret: f.ret },
+            FuncSig {
+                id,
+                params: f.params.iter().map(|p| p.ty).collect(),
+                ret: f.ret,
+            },
         );
     }
 
@@ -266,16 +270,14 @@ impl Lowerer<'_> {
                 let v = self.lower_expr(cx, value)?;
                 match target {
                     LValue::Var(name) => match cx.lookup(name) {
-                        Some(Binding::Local(slot, sc)) => {
-                            self.store_scalar(cx, Op::inst(slot), sc, v, s.line)
-                        }
+                        Some(Binding::Local(slot, sc)) => self.store_scalar(cx, Op::inst(slot), sc, v, s.line),
                         Some(_) => err(s.line, format!("cannot assign to array '{name}'")),
                         None => err(s.line, format!("unknown variable '{name}'")),
                     },
                     LValue::Index(name, idx) => {
                         let (base, sc) = self.array_base(cx, name, s.line)?;
                         let i = self.lower_expr(cx, idx)?;
-                        let i = self.to_int(cx, i, s.line)?;
+                        let i = self.coerce_int(cx, i, s.line)?;
                         let p = cx.fb.gep(base, i.op, scalar_ir(sc));
                         self.store_scalar(cx, Op::inst(p), sc, v, s.line)
                     }
@@ -283,7 +285,7 @@ impl Lowerer<'_> {
             }
             StmtKind::If { cond, then_body, else_body } => {
                 let c = self.lower_expr(cx, cond)?;
-                let c = self.to_bool(cx, c, s.line)?;
+                let c = self.coerce_bool(cx, c, s.line)?;
                 let then_bb_l = cx.fresh("if.then");
                 let then_bb = cx.fb.new_block(then_bb_l);
                 let else_bb_l = cx.fresh("if.else");
@@ -322,7 +324,7 @@ impl Lowerer<'_> {
                 cx.fb.jmp(header);
                 cx.fb.switch_to(header);
                 let c = self.lower_expr(cx, cond)?;
-                let c = self.to_bool(cx, c, s.line)?;
+                let c = self.coerce_bool(cx, c, s.line)?;
                 cx.fb.br(c.op, body_bb, exit);
                 cx.fb.switch_to(body_bb);
                 cx.scopes.push(HashMap::new());
@@ -354,7 +356,7 @@ impl Lowerer<'_> {
                 match cond {
                     Some(c) => {
                         let c = self.lower_expr(cx, c)?;
-                        let c = self.to_bool(cx, c, s.line)?;
+                        let c = self.coerce_bool(cx, c, s.line)?;
                         cx.fb.br(c.op, body_bb, exit);
                     }
                     None => cx.fb.jmp(body_bb),
@@ -388,8 +390,8 @@ impl Lowerer<'_> {
                     (Some(e), TypeName::Scalar(sc)) => {
                         let v = self.lower_expr(cx, e)?;
                         let v = match sc {
-                            Scalar::Float => self.to_float(cx, v, s.line)?,
-                            _ => self.to_int(cx, v, s.line)?,
+                            Scalar::Float => self.coerce_float(cx, v, s.line)?,
+                            _ => self.coerce_int(cx, v, s.line)?,
                         };
                         cx.fb.ret(Some(v.op));
                     }
@@ -434,25 +436,18 @@ impl Lowerer<'_> {
     }
 
     /// Store a value into a scalar slot, applying implicit conversions.
-    fn store_scalar(
-        &mut self,
-        cx: &mut FnCtx,
-        ptr: Op,
-        sc: Scalar,
-        v: TV,
-        line: u32,
-    ) -> Result<(), LangError> {
+    fn store_scalar(&mut self, cx: &mut FnCtx, ptr: Op, sc: Scalar, v: TV, line: u32) -> Result<(), LangError> {
         match sc {
             Scalar::Float => {
-                let v = self.to_float(cx, v, line)?;
+                let v = self.coerce_float(cx, v, line)?;
                 cx.fb.store(Type::F64, v.op, ptr);
             }
             Scalar::Int => {
-                let v = self.to_int(cx, v, line)?;
+                let v = self.coerce_int(cx, v, line)?;
                 cx.fb.store(Type::I64, v.op, ptr);
             }
             Scalar::Byte => {
-                let v = self.to_int(cx, v, line)?;
+                let v = self.coerce_int(cx, v, line)?;
                 let t = cx.fb.cast(CastKind::Trunc, Type::I64, Type::I8, v.op);
                 cx.fb.store(Type::I8, Op::inst(t), ptr);
             }
@@ -462,7 +457,7 @@ impl Lowerer<'_> {
 
     // ---- conversions ----------------------------------------------------
 
-    fn to_bool(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
+    fn coerce_bool(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
         match v.ty {
             ETy::Bool => Ok(v),
             ETy::Int => {
@@ -477,7 +472,7 @@ impl Lowerer<'_> {
         }
     }
 
-    fn to_int(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
+    fn coerce_int(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
         match v.ty {
             ETy::Int => Ok(v),
             ETy::Bool => {
@@ -489,7 +484,7 @@ impl Lowerer<'_> {
         }
     }
 
-    fn to_float(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
+    fn coerce_float(&mut self, cx: &mut FnCtx, v: TV, line: u32) -> Result<TV, LangError> {
         match v.ty {
             ETy::Float => Ok(v),
             ETy::Int => {
@@ -497,8 +492,8 @@ impl Lowerer<'_> {
                 Ok(TV { op: Op::inst(c), ty: ETy::Float })
             }
             ETy::Bool => {
-                let i = self.to_int(cx, v, line)?;
-                self.to_float(cx, i, line)
+                let i = self.coerce_int(cx, v, line)?;
+                self.coerce_float(cx, i, line)
             }
             ETy::Ptr(_) => err(line, "pointer used as float"),
         }
@@ -543,7 +538,7 @@ impl Lowerer<'_> {
             ExprKind::Index(name, idx) => {
                 let (base, sc) = self.array_base(cx, name, e.line)?;
                 let i = self.lower_expr(cx, idx)?;
-                let i = self.to_int(cx, i, e.line)?;
+                let i = self.coerce_int(cx, i, e.line)?;
                 let p = cx.fb.gep(base, i.op, scalar_ir(sc));
                 let l = cx.fb.load(scalar_ir(sc), Op::inst(p));
                 match sc {
@@ -563,7 +558,7 @@ impl Lowerer<'_> {
                         Ok(TV { op: Op::inst(r), ty: ETy::Float })
                     }
                     _ => {
-                        let v = self.to_int(cx, v, e.line)?;
+                        let v = self.coerce_int(cx, v, e.line)?;
                         let r = cx.fb.bin(BinOp::Sub, Type::I64, Op::ci64(0), v.op);
                         Ok(TV { op: Op::inst(r), ty: ETy::Int })
                     }
@@ -571,7 +566,7 @@ impl Lowerer<'_> {
             }
             ExprKind::Unary(UnKind::Not, inner) => {
                 let v = self.lower_expr(cx, inner)?;
-                let b = self.to_bool(cx, v, e.line)?;
+                let b = self.coerce_bool(cx, v, e.line)?;
                 let r = cx.fb.bin(BinOp::Xor, Type::I1, b.op, Op::Const(flowery_ir::Const::bool(true)));
                 Ok(TV { op: Op::inst(r), ty: ETy::Bool })
             }
@@ -590,13 +585,13 @@ impl Lowerer<'_> {
             ExprKind::Cast(sc, inner) => {
                 let v = self.lower_expr(cx, inner)?;
                 match sc {
-                    Scalar::Float => self.to_float(cx, v, e.line),
+                    Scalar::Float => self.coerce_float(cx, v, e.line),
                     Scalar::Int => match v.ty {
                         ETy::Float => {
                             let c = cx.fb.cast(CastKind::FpToSi, Type::F64, Type::I64, v.op);
                             Ok(TV { op: Op::inst(c), ty: ETy::Int })
                         }
-                        _ => self.to_int(cx, v, e.line),
+                        _ => self.coerce_int(cx, v, e.line),
                     },
                     Scalar::Byte => {
                         let v = match v.ty {
@@ -604,7 +599,7 @@ impl Lowerer<'_> {
                                 let c = cx.fb.cast(CastKind::FpToSi, Type::F64, Type::I64, v.op);
                                 TV { op: Op::inst(c), ty: ETy::Int }
                             }
-                            _ => self.to_int(cx, v, e.line)?,
+                            _ => self.coerce_int(cx, v, e.line)?,
                         };
                         let t = cx.fb.cast(CastKind::Trunc, Type::I64, Type::I8, v.op);
                         let z = cx.fb.cast(CastKind::Zext, Type::I8, Type::I64, Op::inst(t));
@@ -626,13 +621,13 @@ impl Lowerer<'_> {
         // -O0-style: a temporary i8 slot holds the result.
         let slot = cx.fb.alloca_entry(Type::I8, 1);
         let lv = self.lower_expr(cx, l)?;
-        let lb = self.to_bool(cx, lv, line)?;
+        let lb = self.coerce_bool(cx, lv, line)?;
         let z = cx.fb.cast(CastKind::Zext, Type::I1, Type::I8, lb.op);
         cx.fb.store(Type::I8, Op::inst(z), Op::inst(slot));
         let rhs_bb_l = cx.fresh("sc.rhs");
-                let rhs_bb = cx.fb.new_block(rhs_bb_l);
+        let rhs_bb = cx.fb.new_block(rhs_bb_l);
         let end_bb_l = cx.fresh("sc.end");
-                let end_bb = cx.fb.new_block(end_bb_l);
+        let end_bb = cx.fb.new_block(end_bb_l);
         match op {
             BinKind::LogAnd => cx.fb.br(lb.op, rhs_bb, end_bb),
             BinKind::LogOr => cx.fb.br(lb.op, end_bb, rhs_bb),
@@ -640,7 +635,7 @@ impl Lowerer<'_> {
         }
         cx.fb.switch_to(rhs_bb);
         let rv = self.lower_expr(cx, r)?;
-        let rb = self.to_bool(cx, rv, line)?;
+        let rb = self.coerce_bool(cx, rv, line)?;
         let z2 = cx.fb.cast(CastKind::Zext, Type::I1, Type::I8, rb.op);
         cx.fb.store(Type::I8, Op::inst(z2), Op::inst(slot));
         cx.fb.jmp(end_bb);
@@ -650,22 +645,12 @@ impl Lowerer<'_> {
         Ok(TV { op: Op::inst(c), ty: ETy::Bool })
     }
 
-    fn lower_binary(
-        &mut self,
-        cx: &mut FnCtx,
-        op: BinKind,
-        lv: TV,
-        rv: TV,
-        line: u32,
-    ) -> Result<TV, LangError> {
+    fn lower_binary(&mut self, cx: &mut FnCtx, op: BinKind, lv: TV, rv: TV, line: u32) -> Result<TV, LangError> {
         let float = lv.ty == ETy::Float || rv.ty == ETy::Float;
-        let is_cmp = matches!(
-            op,
-            BinKind::Eq | BinKind::Ne | BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge
-        );
+        let is_cmp = matches!(op, BinKind::Eq | BinKind::Ne | BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge);
         if float {
-            let a = self.to_float(cx, lv, line)?;
-            let b = self.to_float(cx, rv, line)?;
+            let a = self.coerce_float(cx, lv, line)?;
+            let b = self.coerce_float(cx, rv, line)?;
             if is_cmp {
                 let pred = match op {
                     BinKind::Eq => FPred::Oeq,
@@ -689,8 +674,8 @@ impl Lowerer<'_> {
             let r = cx.fb.bin(bop, Type::F64, a.op, b.op);
             return Ok(TV { op: Op::inst(r), ty: ETy::Float });
         }
-        let a = self.to_int(cx, lv, line)?;
-        let b = self.to_int(cx, rv, line)?;
+        let a = self.coerce_int(cx, lv, line)?;
+        let b = self.coerce_int(cx, rv, line)?;
         if is_cmp {
             let pred = match op {
                 BinKind::Eq => IPred::Eq,
@@ -722,13 +707,7 @@ impl Lowerer<'_> {
         Ok(TV { op: Op::inst(r), ty: ETy::Int })
     }
 
-    fn lower_call(
-        &mut self,
-        cx: &mut FnCtx,
-        name: &str,
-        args: &[Expr],
-        line: u32,
-    ) -> Result<Option<TV>, LangError> {
+    fn lower_call(&mut self, cx: &mut FnCtx, name: &str, args: &[Expr], line: u32) -> Result<Option<TV>, LangError> {
         // Builtins.
         match name {
             "output" => {
@@ -741,7 +720,7 @@ impl Lowerer<'_> {
                         cx.fb.output_f64(v.op);
                     }
                     _ => {
-                        let v = self.to_int(cx, v, line)?;
+                        let v = self.coerce_int(cx, v, line)?;
                         cx.fb.output_i64(v.op);
                     }
                 }
@@ -752,7 +731,7 @@ impl Lowerer<'_> {
                     return err(line, "outputb() takes one argument");
                 }
                 let v = self.lower_expr(cx, &args[0])?;
-                let v = self.to_int(cx, v, line)?;
+                let v = self.coerce_int(cx, v, line)?;
                 cx.fb.intrinsic(Intrinsic::OutputByte, vec![v.op]);
                 return Ok(None);
             }
@@ -773,7 +752,7 @@ impl Lowerer<'_> {
                 let mut ir_args = Vec::with_capacity(args.len());
                 for a in args {
                     let v = self.lower_expr(cx, a)?;
-                    let v = self.to_float(cx, v, line)?;
+                    let v = self.coerce_float(cx, v, line)?;
                     ir_args.push(v.op);
                 }
                 let r = cx.fb.intrinsic(which, ir_args);
@@ -794,8 +773,8 @@ impl Lowerer<'_> {
         for (a, want) in args.iter().zip(&param_tys) {
             let v = self.lower_expr(cx, a)?;
             let converted = match want {
-                TypeName::Scalar(Scalar::Float) => self.to_float(cx, v, line)?,
-                TypeName::Scalar(_) => self.to_int(cx, v, line)?,
+                TypeName::Scalar(Scalar::Float) => self.coerce_float(cx, v, line)?,
+                TypeName::Scalar(_) => self.coerce_int(cx, v, line)?,
                 TypeName::Ptr(want_sc) => match v.ty {
                     ETy::Ptr(have) if have == *want_sc => v,
                     ETy::Ptr(_) => return err(line, "pointer element type mismatch"),

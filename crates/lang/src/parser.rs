@@ -296,7 +296,10 @@ impl Parser {
                 self.bump();
                 let rhs = self.expr()?;
                 let value = desugar_compound(op, LValue::Var(name.clone()), rhs, line);
-                return Ok(Stmt { kind: StmtKind::Assign { target: LValue::Var(name), value }, line });
+                return Ok(Stmt {
+                    kind: StmtKind::Assign { target: LValue::Var(name), value },
+                    line,
+                });
             }
             if *self.peek2() == Tok::LBracket {
                 // Could be `a[i] = e` / `a[i] op= e` or an expression.
@@ -357,7 +360,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.bin_expr(prec + 1)?;
-            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), line };
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
         }
         Ok(lhs)
     }
@@ -456,7 +462,10 @@ fn desugar_compound(op: Option<BinKind>, target: LValue, rhs: Expr, line: u32) -
                 LValue::Var(n) => Expr { kind: ExprKind::Ident(n), line },
                 LValue::Index(n, i) => Expr { kind: ExprKind::Index(n, i), line },
             };
-            Expr { kind: ExprKind::Binary(op, Box::new(read), Box::new(rhs)), line }
+            Expr {
+                kind: ExprKind::Binary(op, Box::new(read), Box::new(rhs)),
+                line,
+            }
         }
     }
 }
@@ -500,10 +509,18 @@ mod tests {
     fn precedence_is_c_like() {
         let p = parse("int f() { return 1 + 2 * 3 < 4 && 5 == 5; }").unwrap();
         // ((1 + (2*3)) < 4) && (5 == 5)
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else { panic!() };
-        let ExprKind::Binary(BinKind::LogAnd, l, _) = &e.kind else { panic!("{:?}", e.kind) };
-        let ExprKind::Binary(BinKind::Lt, a, _) = &l.kind else { panic!("{:?}", l.kind) };
-        let ExprKind::Binary(BinKind::Add, _, m) = &a.kind else { panic!("{:?}", a.kind) };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary(BinKind::LogAnd, l, _) = &e.kind else {
+            panic!("{:?}", e.kind)
+        };
+        let ExprKind::Binary(BinKind::Lt, a, _) = &l.kind else {
+            panic!("{:?}", l.kind)
+        };
+        let ExprKind::Binary(BinKind::Add, _, m) = &a.kind else {
+            panic!("{:?}", a.kind)
+        };
         assert!(matches!(m.kind, ExprKind::Binary(BinKind::Mul, _, _)));
     }
 
@@ -519,8 +536,12 @@ mod tests {
     #[test]
     fn parses_casts() {
         let p = parse("float f(int x) { return float(x) * 0.5; }").unwrap();
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else { panic!() };
-        let ExprKind::Binary(BinKind::Mul, l, _) = &e.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary(BinKind::Mul, l, _) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(l.kind, ExprKind::Cast(Scalar::Float, _)));
     }
 
@@ -532,8 +553,11 @@ mod tests {
 
     #[test]
     fn else_if_chains() {
-        let p = parse("int f(int x) { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }").unwrap();
-        let StmtKind::If { else_body, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        let p = parse("int f(int x) { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }")
+            .unwrap();
+        let StmtKind::If { else_body, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert_eq!(else_body.len(), 1);
         assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
     }

@@ -139,7 +139,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).map_or(false, |b| b.is_ascii_digit()) {
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -161,15 +161,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
                 }
                 let text = &src[start..i];
                 let tok = if is_float {
-                    Tok::Float(text.parse().map_err(|_| LangError {
-                        line,
-                        msg: format!("bad float literal {text}"),
-                    })?)
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| LangError { line, msg: format!("bad float literal {text}") })?,
+                    )
                 } else {
-                    Tok::Int(text.parse().map_err(|_| LangError {
-                        line,
-                        msg: format!("bad int literal {text}"),
-                    })?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| LangError { line, msg: format!("bad int literal {text}") })?,
+                    )
                 };
                 out.push(Spanned { tok, line });
             }
@@ -269,41 +269,39 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("42 3.5 1e3 2.5e-2"), vec![
-            Tok::Int(42),
-            Tok::Float(3.5),
-            Tok::Float(1000.0),
-            Tok::Float(0.025),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Float(1000.0), Tok::Float(0.025), Tok::Eof]
+        );
     }
 
     #[test]
     fn lexes_keywords_and_idents() {
-        assert_eq!(toks("int foo while_x"), vec![
-            Tok::KwInt,
-            Tok::Ident("foo".into()),
-            Tok::Ident("while_x".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("int foo while_x"),
+            vec![Tok::KwInt, Tok::Ident("foo".into()), Tok::Ident("while_x".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn lexes_operators() {
-        assert_eq!(toks("<= >= == != << >> && || ! < >"), vec![
-            Tok::Le,
-            Tok::Ge,
-            Tok::Eq,
-            Tok::Ne,
-            Tok::Shl,
-            Tok::Shr,
-            Tok::AndAnd,
-            Tok::OrOr,
-            Tok::Not,
-            Tok::Lt,
-            Tok::Gt,
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("<= >= == != << >> && || ! < >"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Not,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
@@ -326,11 +324,6 @@ mod tests {
 
     #[test]
     fn division_not_comment() {
-        assert_eq!(toks("a / b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Slash,
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(toks("a / b"), vec![Tok::Ident("a".into()), Tok::Slash, Tok::Ident("b".into()), Tok::Eof]);
     }
 }

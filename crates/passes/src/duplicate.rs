@@ -33,7 +33,12 @@ pub struct DupConfig {
 
 impl Default for DupConfig {
     fn default() -> DupConfig {
-        DupConfig { check_stores: true, check_branches: true, check_calls: true, check_rets: true }
+        DupConfig {
+            check_stores: true,
+            check_branches: true,
+            check_calls: true,
+            check_rets: true,
+        }
     }
 }
 
@@ -58,22 +63,13 @@ pub fn duplicate_module(m: &mut Module, plan: &ProtectionPlan, cfg: &DupConfig) 
 }
 
 /// Phase A: allocate and place shadow instructions; returns orig -> shadow.
-fn insert_shadows(
-    m: &mut Module,
-    fid: FuncId,
-    plan: &ProtectionPlan,
-    stats: &mut DupStats,
-) -> HashMap<InstId, InstId> {
+fn insert_shadows(m: &mut Module, fid: FuncId, plan: &ProtectionPlan, stats: &mut DupStats) -> HashMap<InstId, InstId> {
     let f = m.func_mut(fid);
     // Pass 1: allocate shadow ids for every selected duplicable instruction.
     let selected: Vec<InstId> = f
         .live_insts()
         .into_iter()
-        .filter(|&iid| {
-            f.inst(iid).role == IrRole::App
-                && is_duplicable(&f.inst(iid).kind)
-                && plan.contains(fid, iid)
-        })
+        .filter(|&iid| f.inst(iid).role == IrRole::App && is_duplicable(&f.inst(iid).kind) && plan.contains(fid, iid))
         .collect();
     let mut shadow_map: HashMap<InstId, InstId> = HashMap::with_capacity(selected.len());
     for &iid in &selected {
@@ -120,8 +116,7 @@ fn insert_checkers(
     stats: &mut DupStats,
 ) {
     // Worklist of (block, first unprocessed position).
-    let initial: Vec<(BlockId, usize)> =
-        (0..m.func(fid).blocks.len()).map(|i| (BlockId(i as u32), 0)).collect();
+    let initial: Vec<(BlockId, usize)> = (0..m.func(fid).blocks.len()).map(|i| (BlockId(i as u32), 0)).collect();
     let mut work = initial;
     while let Some((bid, start)) = work.pop() {
         let mut pos = start;
@@ -167,9 +162,7 @@ fn insert_checkers(
         // Terminator synchronization points (conditional branch / return).
         let f = m.func(fid);
         let term_checked: Vec<(Op, Op)> = match &f.block(bid).term {
-            Terminator::Br { cond, .. } if cfg.check_branches => {
-                checked_operands(&[*cond], shadow_map)
-            }
+            Terminator::Br { cond, .. } if cfg.check_branches => checked_operands(&[*cond], shadow_map),
             Terminator::Ret { val: Some(v) } if cfg.check_rets => checked_operands(&[*v], shadow_map),
             _ => Vec::new(),
         };
@@ -219,14 +212,7 @@ fn emit_checker_chain(
 /// Emit `if (orig != shadow) detect_error()` before position `pos`,
 /// splitting the block. Returns the continuation block (which starts with
 /// the instruction previously at `pos`).
-fn emit_one_checker(
-    m: &mut Module,
-    fid: FuncId,
-    bid: BlockId,
-    pos: usize,
-    orig: Op,
-    shadow: Op,
-) -> BlockId {
+fn emit_one_checker(m: &mut Module, fid: FuncId, bid: BlockId, pos: usize, orig: Op, shadow: Op) -> BlockId {
     let ty = m.op_ty(fid, orig).expect("checked operand has a type");
     let f = m.func_mut(fid);
 
@@ -234,7 +220,10 @@ fn emit_one_checker(
     // Detector block.
     let detect = f.add_block(format!("detect{}", f.blocks.len()));
     let call = f.add_inst(InstData::with_role(
-        InstKind::Call { callee: Callee::Intrinsic(Intrinsic::DetectError), args: vec![] },
+        InstKind::Call {
+            callee: Callee::Intrinsic(Intrinsic::DetectError),
+            args: vec![],
+        },
         IrRole::Checker,
     ));
     f.block_mut(detect).insts.push(call);
@@ -277,7 +266,8 @@ mod tests {
         flowery_lang::compile("t", src).unwrap()
     }
 
-    const LOOP_SRC: &str = "int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { s = s + i; } output(s); return s; }";
+    const LOOP_SRC: &str =
+        "int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { s = s + i; } output(s); return s; }";
 
     #[test]
     fn full_duplication_preserves_semantics() {
@@ -329,10 +319,7 @@ mod tests {
         let mut detected = 0;
         for site in 0..golden.fault_sites {
             for bit in 0..8 {
-                let r = interp.run(
-                    &ExecConfig::default(),
-                    Some(flowery_ir::interp::FaultSpec::single(site, bit)),
-                );
+                let r = interp.run(&ExecConfig::default(), Some(flowery_ir::interp::FaultSpec::single(site, bit)));
                 match r.status {
                     ExecStatus::Completed(_) => {
                         assert_eq!(r.output, golden.output, "SDC escaped at site {site} bit {bit}");
@@ -354,10 +341,7 @@ mod tests {
         let interp = Interpreter::new(&m);
         let golden = interp.run(&ExecConfig::default(), None);
         for site in 0..golden.fault_sites {
-            let r = interp.run(
-                &ExecConfig::default(),
-                Some(flowery_ir::interp::FaultSpec::single(site, 51)),
-            );
+            let r = interp.run(&ExecConfig::default(), Some(flowery_ir::interp::FaultSpec::single(site, 51)));
             if let ExecStatus::Completed(_) = r.status {
                 assert_eq!(r.output, golden.output, "float SDC escaped at site {site}");
             }
@@ -385,7 +369,10 @@ mod tests {
         let m = compile(LOOP_SRC);
         let full = ProtectionPlan::full(&m);
         // Take roughly half the instructions.
-        let mut partial = ProtectionPlan { per_func: vec![Default::default(); m.functions.len()], level: 0.5 };
+        let mut partial = ProtectionPlan {
+            per_func: vec![Default::default(); m.functions.len()],
+            level: 0.5,
+        };
         for (fi, set) in full.per_func.iter().enumerate() {
             let mut v: Vec<_> = set.iter().copied().collect();
             v.sort();
@@ -410,7 +397,12 @@ mod tests {
         let s = duplicate_module(
             &mut none_checked,
             &plan,
-            &DupConfig { check_stores: false, check_branches: false, check_calls: false, check_rets: false },
+            &DupConfig {
+                check_stores: false,
+                check_branches: false,
+                check_calls: false,
+                check_rets: false,
+            },
         );
         assert_eq!(s.checkers, 0);
         assert!(s.shadows > 0);
@@ -418,7 +410,12 @@ mod tests {
         let s2 = duplicate_module(
             &mut stores_only,
             &plan,
-            &DupConfig { check_stores: true, check_branches: false, check_calls: false, check_rets: false },
+            &DupConfig {
+                check_stores: true,
+                check_branches: false,
+                check_calls: false,
+                check_rets: false,
+            },
         );
         assert!(s2.checkers > 0);
         verify_module(&stores_only).unwrap();

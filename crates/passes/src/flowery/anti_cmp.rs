@@ -58,13 +58,17 @@ fn patch_function(m: &mut Module, fid: FuncId, opaque: GlobalId) -> usize {
             IrRole::Patch,
         ));
         let guard = f.add_inst(InstData::with_role(
-            InstKind::ICmp { pred: IPred::Eq, ty: Type::I64, lhs: Op::inst(load), rhs: Op::ci64(1) },
+            InstKind::ICmp {
+                pred: IPred::Eq,
+                ty: Type::I64,
+                lhs: Op::inst(load),
+                rhs: Op::ci64(1),
+            },
             IrRole::Patch,
         ));
         f.block_mut(bid).insts.push(load);
         f.block_mut(bid).insts.push(guard);
-        f.block_mut(bid).term =
-            Terminator::Br { cond: Op::inst(guard), then_bb: cmp_block, else_bb: detect };
+        f.block_mut(bid).term = Terminator::Br { cond: Op::inst(guard), then_bb: cmp_block, else_bb: detect };
         isolated += 1;
     }
     isolated
@@ -79,12 +83,11 @@ fn patch_function(m: &mut Module, fid: FuncId, opaque: GlobalId) -> usize {
 /// ```
 ///
 /// Returns the position of the shadow compare and the detector block.
-fn find_comparison_checker(
-    f: &flowery_ir::Function,
-    bid: BlockId,
-) -> Option<(usize, BlockId)> {
+fn find_comparison_checker(f: &flowery_ir::Function, bid: BlockId) -> Option<(usize, BlockId)> {
     let block = f.block(bid);
-    let Terminator::Br { cond, else_bb, .. } = &block.term else { return None };
+    let Terminator::Br { cond, else_bb, .. } = &block.term else {
+        return None;
+    };
     let chk = cond.as_inst()?;
     let chk_data = f.inst(chk);
     if chk_data.role != IrRole::Checker {
@@ -95,15 +98,13 @@ fn find_comparison_checker(
     }
     // The checker must validate a *comparison*: one of its compared values
     // is a Shadow compare instruction.
-    let InstKind::ICmp { lhs, rhs, .. } = &chk_data.kind else { return None };
-    let shadow_cmp = [lhs, rhs]
-        .into_iter()
-        .filter_map(|o| o.as_inst())
-        .find(|&i| {
-            let d = f.inst(i);
-            d.role == IrRole::Shadow
-                && matches!(d.kind, InstKind::ICmp { .. } | InstKind::FCmp { .. })
-        })?;
+    let InstKind::ICmp { lhs, rhs, .. } = &chk_data.kind else {
+        return None;
+    };
+    let shadow_cmp = [lhs, rhs].into_iter().filter_map(|o| o.as_inst()).find(|&i| {
+        let d = f.inst(i);
+        d.role == IrRole::Shadow && matches!(d.kind, InstKind::ICmp { .. } | InstKind::FCmp { .. })
+    })?;
     // The shadow compare must be in this very block (otherwise the folder
     // could not fold it and no isolation is needed).
     let shadow_pos = block.insts.iter().position(|&i| i == shadow_cmp)?;
@@ -117,12 +118,10 @@ fn find_comparison_checker(
 }
 
 fn is_detector_block(f: &flowery_ir::Function, b: BlockId) -> bool {
-    f.block(b).insts.iter().any(|&i| {
-        matches!(
-            &f.inst(i).kind,
-            InstKind::Call { callee: Callee::Intrinsic(Intrinsic::DetectError), .. }
-        )
-    })
+    f.block(b)
+        .insts
+        .iter()
+        .any(|&i| matches!(&f.inst(i).kind, InstKind::Call { callee: Callee::Intrinsic(Intrinsic::DetectError), .. }))
 }
 
 /// Statistics helper for experiments: count comparison checkers that
@@ -147,7 +146,9 @@ pub fn surviving_compare_checkers(m: &Module) -> usize {
 }
 
 fn checker_compares_shadow_cmp(f: &flowery_ir::Function, chk: InstId) -> bool {
-    let InstKind::ICmp { lhs, rhs, .. } = &f.inst(chk).kind else { return false };
+    let InstKind::ICmp { lhs, rhs, .. } = &f.inst(chk).kind else {
+        return false;
+    };
     [lhs, rhs].into_iter().filter_map(|o| o.as_inst()).any(|i| {
         let d = f.inst(i);
         d.role == IrRole::Shadow && matches!(d.kind, InstKind::ICmp { .. } | InstKind::FCmp { .. })

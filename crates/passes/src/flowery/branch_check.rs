@@ -51,7 +51,9 @@ fn patch_function(m: &mut Module, fid: FuncId, expect: GlobalId) -> usize {
         let f = m.func(fid);
         f.iter_blocks()
             .filter(|(bid, block)| {
-                let Terminator::Br { cond, .. } = &block.term else { return false };
+                let Terminator::Br { cond, .. } = &block.term else {
+                    return false;
+                };
                 // Skip checker/patch branches: those guard detectors.
                 if let Some(ci) = cond.as_inst() {
                     if f.inst(ci).role != IrRole::App {
@@ -75,7 +77,12 @@ fn patch_function(m: &mut Module, fid: FuncId, expect: GlobalId) -> usize {
         };
         // Record intent: zext the condition and store it to the global.
         let z = f.add_inst(InstData::with_role(
-            InstKind::Cast { kind: CastKind::Zext, from: Type::I1, to: Type::I64, val: cond },
+            InstKind::Cast {
+                kind: CastKind::Zext,
+                from: Type::I1,
+                to: Type::I64,
+                val: cond,
+            },
             IrRole::Patch,
         ));
         let st = f.add_inst(InstData::with_role(
@@ -97,7 +104,9 @@ fn patch_function(m: &mut Module, fid: FuncId, expect: GlobalId) -> usize {
 /// the immediately preceding single-use compare.)
 fn at_risk(f: &flowery_ir::Function, bid: BlockId) -> bool {
     let block = f.block(bid);
-    let Terminator::Br { cond, .. } = &block.term else { return false };
+    let Terminator::Br { cond, .. } = &block.term else {
+        return false;
+    };
     let Some(ci) = cond.as_inst() else { return true };
     let last = match block.insts.last() {
         Some(&l) => l,
@@ -123,12 +132,7 @@ fn at_risk(f: &flowery_ir::Function, bid: BlockId) -> bool {
 }
 
 /// Build `tramp: if (load @expect == want) goto dest; else detect`.
-fn make_trampoline(
-    f: &mut flowery_ir::Function,
-    expect: GlobalId,
-    dest: BlockId,
-    want: i64,
-) -> BlockId {
+fn make_trampoline(f: &mut flowery_ir::Function, expect: GlobalId, dest: BlockId, want: i64) -> BlockId {
     let tramp = f.add_block(format!("br.check{}", f.blocks.len()));
     let detect = f.add_block(format!("br.detect{}", f.blocks.len()));
     let load = f.add_inst(InstData::with_role(
@@ -136,13 +140,21 @@ fn make_trampoline(
         IrRole::Patch,
     ));
     let cmp = f.add_inst(InstData::with_role(
-        InstKind::ICmp { pred: IPred::Eq, ty: Type::I64, lhs: Op::inst(load), rhs: Op::ci64(want) },
+        InstKind::ICmp {
+            pred: IPred::Eq,
+            ty: Type::I64,
+            lhs: Op::inst(load),
+            rhs: Op::ci64(want),
+        },
         IrRole::Patch,
     ));
     f.block_mut(tramp).insts = vec![load, cmp];
     f.block_mut(tramp).term = Terminator::Br { cond: Op::inst(cmp), then_bb: dest, else_bb: detect };
     let call = f.add_inst(InstData::with_role(
-        InstKind::Call { callee: Callee::Intrinsic(Intrinsic::DetectError), args: vec![] },
+        InstKind::Call {
+            callee: Callee::Intrinsic(Intrinsic::DetectError),
+            args: vec![],
+        },
         IrRole::Patch,
     ));
     f.block_mut(detect).insts.push(call);
@@ -190,11 +202,8 @@ mod tests {
     fn fused_branches_are_not_patched() {
         // Without duplication, the loop compare feeds its branch directly:
         // fusable, not at risk, no patch.
-        let mut m = flowery_lang::compile(
-            "t",
-            "int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }",
-        )
-        .unwrap();
+        let mut m =
+            flowery_lang::compile("t", "int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }").unwrap();
         let n = apply(&mut m);
         assert_eq!(n, 0, "fusable branches must not be patched");
     }

@@ -29,7 +29,9 @@ pub fn apply(m: &mut Module) -> usize {
         loop {
             let mut change: Option<(BlockId, BlockId)> = None;
             for (bi, block) in f.blocks.iter().enumerate() {
-                let Terminator::Br { cond, then_bb, else_bb } = &block.term else { continue };
+                let Terminator::Br { cond, then_bb, else_bb } = &block.term else {
+                    continue;
+                };
                 let Some(cond_id) = cond.as_inst() else { continue };
                 if f.inst(cond_id).role != IrRole::Checker {
                     continue;
@@ -39,12 +41,16 @@ pub fn apply(m: &mut Module) -> usize {
                     continue;
                 }
                 let cont = *then_bb;
-                let Some(&first) = f.block(cont).insts.first() else { continue };
+                let Some(&first) = f.block(cont).insts.first() else {
+                    continue;
+                };
                 let finst = f.inst(first);
                 if finst.role != IrRole::App {
                     continue;
                 }
-                let InstKind::Store { val, .. } = &finst.kind else { continue };
+                let InstKind::Store { val, .. } = &finst.kind else {
+                    continue;
+                };
                 // Only swap when the checker guards this store's value:
                 // the checker compare must read `val` (directly, or through
                 // a bitcast for floats).
@@ -180,11 +186,8 @@ mod tests {
                 .filter(|i| {
                     i.role == AsmRole::OperandReload
                         && matches!(i.kind, AKind::Mov { src: AOp::Mem(_), dst: AOp::Reg(_), .. })
-                        && i.prov.map_or(false, |(fid, iid)| {
-                            matches!(
-                                m.functions[fid.index()].inst(iid).kind,
-                                InstKind::Store { .. }
-                            )
+                        && i.prov.is_some_and(|(fid, iid)| {
+                            matches!(m.functions[fid.index()].inst(iid).kind, InstKind::Store { .. })
                         })
                 })
                 .count()

@@ -77,11 +77,14 @@ impl ProtectionPlan {
 
     /// Protect nothing.
     pub fn none(m: &Module) -> ProtectionPlan {
-        ProtectionPlan { per_func: vec![HashSet::new(); m.functions.len()], level: 0.0 }
+        ProtectionPlan {
+            per_func: vec![HashSet::new(); m.functions.len()],
+            level: 0.0,
+        }
     }
 
     pub fn contains(&self, f: FuncId, i: InstId) -> bool {
-        self.per_func.get(f.index()).map_or(false, |s| s.contains(&i))
+        self.per_func.get(f.index()).is_some_and(|s| s.contains(&i))
     }
 
     /// Number of selected instructions.
@@ -116,10 +119,19 @@ pub fn choose_protection(m: &Module, profile: &SdcProfile, level: f64) -> Protec
         if e.inst.index() >= f.insts.len() || !is_duplicable(&f.inst(e.inst).kind) {
             continue;
         }
-        let benefit = if profile.trials > 0 { e.sdc_hits as f64 / profile.trials as f64 } else { 0.0 };
+        let benefit = if profile.trials > 0 {
+            e.sdc_hits as f64 / profile.trials as f64
+        } else {
+            0.0
+        };
         // Never-executed instructions cost nothing and protect nothing; a
         // minimum cost of 1 keeps ratios finite and selection stable.
-        cands.push(Cand { func: e.func, inst: e.inst, cost: e.exec_count.max(1), benefit });
+        cands.push(Cand {
+            func: e.func,
+            inst: e.inst,
+            cost: e.exec_count.max(1),
+            benefit,
+        });
     }
 
     let total_cost: u64 = cands.iter().map(|c| c.cost).sum();

@@ -111,8 +111,7 @@ mod tests {
             global_zero("scratch", "int", 4),
         );
         let m = flowery_lang::compile("fmt", &src).unwrap();
-        let r = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let r = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         assert_eq!(r.status, flowery_ir::interp::ExecStatus::Completed(5 + 2 + 7));
     }
 
@@ -124,8 +123,7 @@ mod tests {
             global_float("w", &vals)
         );
         let m = flowery_lang::compile("rt", &src).unwrap();
-        let r = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let r = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         let out = flowery_ir::interp::decode_output(&r.output);
         assert_eq!(out[0], format!("f64:{}", 0.1));
         assert_eq!(out[2], format!("f64:{}", 123456.789));

@@ -365,8 +365,7 @@ mod tests {
     fn quicksort_runs_and_sorts() {
         check_workload(&quicksort(Scale::Standard), "quicksort");
         let m = flowery_lang::compile("q", &quicksort(Scale::Tiny)).unwrap();
-        let r = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let r = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         let out = flowery_ir::interp::decode_output(&r.output);
         assert_eq!(out[0], "i64:1", "sortedness flag: {out:?}");
     }
@@ -400,8 +399,7 @@ mod tests {
         }
         crc ^= 0xFFFF_FFFF;
         let m = flowery_lang::compile("c", &crc32(Scale::Tiny)).unwrap();
-        let r = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let r = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         let out = flowery_ir::interp::decode_output(&r.output);
         assert_eq!(out[0], format!("i64:{crc}"), "{out:?}");
     }
@@ -410,8 +408,7 @@ mod tests {
     fn stringsearch_finds_planted_pattern() {
         check_workload(&stringsearch(Scale::Standard), "stringsearch");
         let m = flowery_lang::compile("s", &stringsearch(Scale::Standard)).unwrap();
-        let r = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let r = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         let out = flowery_ir::interp::decode_output(&r.output);
         assert_eq!(out[0], "i64:110", "planted at n/2: {out:?}");
         assert_eq!(out[1], "i64:-1", "absent pattern: {out:?}");
@@ -421,8 +418,7 @@ mod tests {
     fn patricia_counts_hits() {
         check_workload(&patricia(Scale::Standard), "patricia");
         let m = flowery_lang::compile("p", &patricia(Scale::Tiny)).unwrap();
-        let r = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let r = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         let out = flowery_ir::interp::decode_output(&r.output);
         // At least the planted half of lookups hit.
         let hits: i64 = out[1].strip_prefix("i64:").unwrap().parse().unwrap();

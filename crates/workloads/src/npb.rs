@@ -184,8 +184,7 @@ mod tests {
     fn is_actually_sorts() {
         // The `ok` output must be 1.
         let m = flowery_lang::compile("is", &is(Scale::Tiny)).unwrap();
-        let r = flowery_ir::interp::Interpreter::new(&m)
-            .run(&flowery_ir::interp::ExecConfig::default(), None);
+        let r = flowery_ir::interp::Interpreter::new(&m).run(&flowery_ir::interp::ExecConfig::default(), None);
         let out = flowery_ir::interp::decode_output(&r.output);
         assert_eq!(out[0], "i64:1", "{out:?}");
     }

@@ -278,6 +278,8 @@ int main() {{\n\
     )
 }
 
+use rand::Rng;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +316,3 @@ mod tests {
         check_workload(&knn(Scale::Standard), "knn");
     }
 }
-
-use rand::Rng;

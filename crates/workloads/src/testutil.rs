@@ -7,8 +7,7 @@ use flowery_ir::interp::{ExecConfig, Interpreter};
 /// completion, non-trivial output, and bit-identical behaviour between the
 /// IR interpreter and the machine simulator.
 pub fn check_workload(src: &str, name: &str) {
-    let m = flowery_lang::compile(name, src)
-        .unwrap_or_else(|e| panic!("{name} failed to compile: {e}\n{src}"));
+    let m = flowery_lang::compile(name, src).unwrap_or_else(|e| panic!("{name} failed to compile: {e}\n{src}"));
     let ir = Interpreter::new(&m).run(&ExecConfig::default(), None);
     assert!(ir.status.is_completed(), "{name} IR run: {:?}", ir.status);
     assert!(!ir.output.is_empty(), "{name} produced no output");

@@ -12,9 +12,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(800);
     let names: Vec<&str> = args.iter().skip(2).map(|s| s.as_str()).collect();
-    let mut cfg = ExperimentConfig::default();
-    cfg.trials = trials;
-    cfg.verbose = true;
+    let cfg = ExperimentConfig { trials, verbose: true, ..Default::default() };
     let rows = ablation_study(&names, &cfg);
     println!("{}", render_ablation(&rows));
     println!(

@@ -16,11 +16,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
     let names: Vec<&str> = args.iter().skip(2).map(|s| s.as_str()).collect();
-    let names = if names.is_empty() { vec!["quicksort", "is", "needle", "patricia"] } else { names };
+    let names = if names.is_empty() {
+        vec!["quicksort", "is", "needle", "patricia"]
+    } else {
+        names
+    };
 
-    let mut cfg = ExperimentConfig::default();
-    cfg.trials = trials;
-    cfg.verbose = true;
+    let cfg = ExperimentConfig { trials, verbose: true, ..Default::default() };
 
     let rows = asm_hardening_study(&names, &cfg);
     println!("{}", render_hardening(&rows));

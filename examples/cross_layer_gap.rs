@@ -16,10 +16,12 @@ fn main() {
     let name = args.get(1).map(|s| s.as_str()).unwrap_or("quicksort");
     let trials: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
 
-    let mut cfg = ExperimentConfig::default();
-    cfg.trials = trials;
-    cfg.profile_trials = (trials / 2).max(100);
-    cfg.verbose = true;
+    let cfg = ExperimentConfig {
+        trials,
+        profile_trials: (trials / 2).max(100),
+        verbose: true,
+        ..Default::default()
+    };
 
     println!("benchmark: {name}, {} trials per configuration\n", cfg.trials);
     let w = workload(name, cfg.scale);
@@ -30,10 +32,7 @@ fn main() {
         r.raw_ir_counts.sdc_rate() * 100.0,
         r.raw_asm_counts.sdc_rate() * 100.0
     );
-    println!(
-        "{:<8} {:>10} {:>12} {:>12} {:>9}",
-        "level", "ID-IR", "ID-Assembly", "Flowery", "gap"
-    );
+    println!("{:<8} {:>10} {:>12} {:>12} {:>9}", "level", "ID-IR", "ID-Assembly", "Flowery", "gap");
     for l in &r.levels {
         println!(
             "{:<8} {:>9.2}% {:>11.2}% {:>11.2}% {:>8.2}%",

@@ -1,0 +1,96 @@
+//! Wall-clock comparison: the per-campaign baseline (each campaign runs
+//! behind its own thread-pool barrier, the pre-harness architecture)
+//! versus the flowery-harness engine (one work-stealing scheduler over
+//! all campaigns' batches). Also cross-checks that both produce exactly
+//! the same counts — the scheduler changes timing, never results.
+//!
+//! Run with `cargo run --release --example harness_speedup`.
+
+use flowery::harness::{build_matrix, run_units, GoldenCache, HarnessConfig, Layer, MatrixSpec, RunOptions};
+use flowery::inject::{run_asm_campaign, run_ir_campaign, CampaignConfig, OutcomeCounts};
+use flowery::workloads::Scale;
+use std::time::Instant;
+
+fn main() {
+    let trials = 2000u64;
+    let spec = MatrixSpec {
+        benches: vec!["crc32".into(), "is".into(), "quicksort".into(), "pathfinder".into()],
+        scale: Scale::Tiny,
+        levels: vec![1.0],
+        ..Default::default()
+    };
+    let units = build_matrix(&spec);
+    let seed = 0x51C2_3001;
+    println!(
+        "{} units x {} trials, {} threads\n",
+        units.len(),
+        trials,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // Baseline: campaigns one after another, each parallel internally.
+    // Every campaign ends with a barrier — at its tail, most cores idle
+    // while the last chunk finishes; goldens are recomputed per campaign.
+    let mut ccfg = CampaignConfig::with_trials(trials);
+    ccfg.seed = seed;
+    let t0 = Instant::now();
+    let mut baseline: Vec<OutcomeCounts> = Vec::new();
+    for u in &units {
+        baseline.push(match u.key.layer {
+            Layer::Ir => run_ir_campaign(&u.module, &ccfg).counts,
+            Layer::Asm => run_asm_campaign(&u.module, u.program.as_ref().unwrap(), &ccfg).counts,
+        });
+    }
+    let base = t0.elapsed();
+    println!("per-campaign baseline: {base:>8.2?}");
+
+    // Harness: all batches of all campaigns drain under one scheduler.
+    let hcfg = HarnessConfig {
+        max_trials: trials,
+        ci_target: None,
+        seed,
+        ..Default::default()
+    };
+    let cache = GoldenCache::new();
+    let t0 = Instant::now();
+    let report = run_units(&units, &hcfg, &cache, RunOptions::default());
+    let engine = t0.elapsed();
+    println!("harness engine:        {engine:>8.2?}");
+    println!(
+        "speedup: {:.2}x | golden cache: {} hits / {} lookups",
+        base.as_secs_f64() / engine.as_secs_f64(),
+        report.metrics.cache_hits,
+        report.metrics.cache_hits + report.metrics.cache_misses,
+    );
+
+    for (u, b) in report.units.iter().zip(&baseline) {
+        assert_eq!(u.counts, *b, "{}: engine and baseline disagree", u.key);
+    }
+    println!("\nall {} units: counts identical to the baseline", units.len());
+
+    // Adaptive trial counts: stop each unit once the 95% Wilson CI on its
+    // SDC rate is within 2 percentage points. Low-variance units (e.g.
+    // fully protected programs with ~0% SDC) finish in a fraction of the
+    // fixed schedule; the trials saved are pure wall-clock profit on any
+    // number of cores.
+    let adaptive = HarnessConfig { ci_target: Some(0.02), min_trials: 500, ..hcfg };
+    let cache = GoldenCache::new();
+    let t0 = Instant::now();
+    let report2 = run_units(&units, &adaptive, &cache, RunOptions::default());
+    let ad = t0.elapsed();
+    let total: u64 = report2.units.iter().map(|u| u.trials).sum();
+    println!(
+        "\nadaptive (ci <= 2pp):  {ad:>8.2?}  ({total} of {} scheduled trials, {:.2}x vs fixed engine)",
+        trials * units.len() as u64,
+        engine.as_secs_f64() / ad.as_secs_f64(),
+    );
+    for u in &report2.units {
+        // Units that exhaust max_trials may stay above the target — the
+        // cap wins; every early stop must have met it.
+        if u.stopped_early {
+            assert!(u.sdc.ci95 <= 0.02, "{}: half-width {} above target", u.key, u.sdc.ci95);
+        }
+    }
+    let early = report2.units.iter().filter(|u| u.stopped_early).count();
+    println!("{early}/{} units stopped early, each with CI half-width <= 2pp", units.len());
+}

@@ -10,8 +10,8 @@
 //! ```
 
 use flowery_core::figures::{
-    fig17, fig2, fig3, overhead, pass_time, render_fig17, render_fig2, render_fig3,
-    render_overhead, render_pass_time, render_table1, table1,
+    fig17, fig2, fig3, overhead, pass_time, render_fig17, render_fig2, render_fig3, render_overhead, render_pass_time,
+    render_table1, table1,
 };
 use flowery_core::{run_study, ExperimentConfig};
 
@@ -20,10 +20,12 @@ fn main() {
     let trials: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3000);
     let json_path = args.get(2);
 
-    let mut cfg = ExperimentConfig::default();
-    cfg.trials = trials;
-    cfg.profile_trials = (trials / 3).max(200);
-    cfg.verbose = true;
+    let cfg = ExperimentConfig {
+        trials,
+        profile_trials: (trials / 3).max(200),
+        verbose: true,
+        ..Default::default()
+    };
 
     println!("=== Table 1: benchmarks (simulation scale) ===");
     let t1 = table1(&cfg);

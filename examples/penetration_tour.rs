@@ -9,9 +9,7 @@
 use flowery::backend::mir::{AKind, AOp};
 use flowery::backend::{compile_module, AsmRole, BackendConfig};
 use flowery::ir::{InstKind, Module};
-use flowery::passes::{
-    apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan,
-};
+use flowery::passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
 
 fn protect(src: &str) -> Module {
     let mut m = flowery::lang::compile("tour", src).expect("compile");
@@ -35,7 +33,7 @@ fn main() {
     let is_store_reload = |i: &flowery::backend::AInst| {
         i.role == AsmRole::OperandReload
             && matches!(i.kind, AKind::Mov { src: AOp::Mem(_), dst: AOp::Reg(_), .. })
-            && matches!(i.prov, Some(_))
+            && i.prov.is_some()
     };
     let before = count_sites(&m, is_store_reload);
     let mut fixed = m.clone();
@@ -84,8 +82,7 @@ fn main() {
     // ---- 5. Mapping penetration -----------------------------------------
     println!("== 5. mapping penetration (paper Figure 12) ==");
     let m = protect("int id(int x) { return x; } int main() { return id(7); }");
-    let prologue =
-        count_sites(&m, |i| matches!(i.role, AsmRole::Prologue | AsmRole::Epilogue));
+    let prologue = count_sites(&m, |i| matches!(i.role, AsmRole::Prologue | AsmRole::Epilogue));
     println!(
         "  prologue/epilogue instructions with no IR counterpart: {prologue} \
          (push/pop/ret; unfixable at IR level)\n"
@@ -104,7 +101,11 @@ fn main() {
                 .unwrap_or(false);
         if feeding_store && shown < 2 {
             for j in i.saturating_sub(2)..(i + 2).min(prog.insts.len()) {
-                let marker = if j == i { "  <-- unprotected reload (store penetration)" } else { "" };
+                let marker = if j == i {
+                    "  <-- unprotected reload (store penetration)"
+                } else {
+                    ""
+                };
                 println!("  .L{j}: {}{marker}", prog.insts[j].kind);
             }
             println!();

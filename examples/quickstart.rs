@@ -53,7 +53,10 @@ fn main() {
     let machine = Machine::new(&module, &program);
     let golden = machine.run(&ExecConfig::default(), None);
     assert_eq!(golden.output, golden_ir.output);
-    println!("golden asm run: {:?}  ({} dyn insts, {} cycles)", golden.status, golden.dyn_insts, golden.cycles);
+    println!(
+        "golden asm run: {:?}  ({} dyn insts, {} cycles)",
+        golden.status, golden.dyn_insts, golden.cycles
+    );
 
     // 6. Inject a few single-bit faults into random dynamic instructions.
     println!("\n== fault injections ==");

@@ -1,0 +1,24 @@
+//! Regenerates the pinned table in `tests/workload_goldens.rs`. Run with
+//! `cargo run --release --example regen_goldens` and paste the output over
+//! the `GOLDENS` entries whenever a workload or the RNG substrate changes
+//! intentionally. Also cross-checks that IR and assembly outputs agree.
+
+use flowery_backend::{compile_module, BackendConfig, Machine};
+use flowery_ir::interp::{decode_output, ExecConfig, Interpreter};
+use flowery_workloads::{workload, Scale, NAMES};
+
+fn main() {
+    for &scale in &[Scale::Tiny, Scale::Standard] {
+        let sname = if matches!(scale, Scale::Tiny) { "Tiny" } else { "Standard" };
+        for name in NAMES {
+            let m = workload(name, scale).compile();
+            let ir = Interpreter::new(&m).run(&ExecConfig::default(), None);
+            let got = decode_output(&ir.output).join(" | ");
+            let prog = compile_module(&m, &BackendConfig::default());
+            let asm = Machine::new(&m, &prog).run(&ExecConfig::default(), None);
+            let asm_got = decode_output(&asm.output).join(" | ");
+            assert_eq!(got, asm_got, "{name}/{sname} IR vs asm mismatch");
+            println!("    (\"{name}\", \"{sname}\", \"{got}\"),");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the parts of `criterion` this workspace's bench
+//! targets use. Each benchmark runs `sample_size` timed iterations and
+//! prints min/mean wall-clock times — no warmup, outlier analysis, or
+//! HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration (a tiny subset of criterion's).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs the closure under test and records sample durations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed shakedown iteration, then the timed samples.
+        let _ = black_box(f());
+        for _ in 0..default_iters() {
+            let t0 = Instant::now();
+            let _ = black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn default_iters() -> usize {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Opaque value sink, like `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {id:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!("bench {id:<40} min {:>10.3?}  mean {:>10.3?}  ({} samples)", min, mean, samples.len());
+}
+
+/// Declares the benchmark groups; both criterion invocation forms are
+/// accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,863 @@
+//! Offline stand-in for `serde` + `serde_derive`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal self-consistent serialization framework under the same crate
+//! name. Unlike real serde's visitor architecture, this shim serializes
+//! through an owned [`Value`] tree and renders/parses JSON from it (see the
+//! sibling `serde_json` shim). The derive macros generate impls of the two
+//! traits below and support the `#[serde(skip)]` attribute used in this
+//! workspace. The JSON wire format matches serde_json's defaults for every
+//! shape the workspace uses (maps for named structs, transparent newtypes,
+//! `"Variant"` / `{"Variant": ...}` enum encoding), except that non-string
+//! map keys are encoded as embedded JSON strings.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An owned JSON-like value tree: the serialization interchange format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map; keys are strings (non-string keys are
+    /// embedded as JSON text).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization error (currently only produced on deserialize).
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field key is absent from the
+    /// map. Defaults to an error; `Option<T>` overrides it to `None`,
+    /// mirroring serde's tolerant handling of omitted optional fields.
+    fn deserialize_missing(ty: &str, field: &str) -> Result<Self, Error> {
+        Err(Error(format!("missing field `{field}` while deserializing {ty}")))
+    }
+}
+
+impl Value {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::Str(ref s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Look up a key in a map value.
+pub fn map_get<'v>(m: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Encode `{"Variant": value}`.
+pub fn variant(tag: &str, value: Value) -> Value {
+    Value::Map(vec![(tag.to_string(), value)])
+}
+
+/// Decode `{"Variant": value}` into `(tag, value)`.
+pub fn as_variant(v: &Value) -> Option<(&str, &Value)> {
+    match v {
+        Value::Map(m) if m.len() == 1 => Some((m[0].0.as_str(), &m[0].1)),
+        _ => None,
+    }
+}
+
+/// Fetch element `i` of a tuple-variant payload that may be a bare value
+/// (arity 1) or a sequence (arity > 1).
+pub fn seq_elem(v: &Value, i: usize, arity: usize) -> Result<&Value, Error> {
+    if arity == 1 {
+        return Ok(v);
+    }
+    match v.as_seq() {
+        Some(s) if s.len() == arity => Ok(&s[i]),
+        _ => Err(Error::expected("tuple payload", v)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive / container impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, Error> {
+                let raw = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, Error> {
+                let raw = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<f64, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("float", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<f32, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::expected("float", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<bool, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<String, Error> {
+        Ok(v.as_str().ok_or_else(|| Error::expected("string", v))?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<char, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Box<T>, Error> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+
+    fn deserialize_missing(_ty: &str, _field: &str) -> Result<Option<T>, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident : $i:tt),*) => {
+        impl<$($t: Serialize),*> Serialize for ($($t,)*) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.serialize_value()),*])
+            }
+        }
+        impl<$($t: Deserialize),*> Deserialize for ($($t,)*) {
+            fn deserialize_value(v: &Value) -> Result<($($t,)*), Error> {
+                let s = v.as_seq().ok_or_else(|| Error::expected("tuple", v))?;
+                if s.len() != $n {
+                    return Err(Error(format!("expected tuple of {}, got {}", $n, s.len())));
+                }
+                Ok(($($t::deserialize_value(&s[$i])?,)*))
+            }
+        }
+    };
+}
+
+impl_tuple!(2 => A:0, B:1);
+impl_tuple!(3 => A:0, B:1, C:2);
+impl_tuple!(4 => A:0, B:1, C:2, D:3);
+
+/// Serialize a map key: string keys pass through, anything else is
+/// embedded as compact JSON.
+fn key_to_string<K: Serialize>(k: &K) -> String {
+    match k.serialize_value() {
+        Value::Str(s) => s,
+        other => json::to_string(&other),
+    }
+}
+
+/// Deserialize a map key produced by [`key_to_string`].
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    let direct = Value::Str(s.to_string());
+    if let Ok(k) = K::deserialize_value(&direct) {
+        return Ok(k);
+    }
+    let parsed = json::parse(s)?;
+    K::deserialize_value(&parsed)
+}
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: Serialize + Ord,
+    V: Serialize,
+{
+    fn serialize_value(&self) -> Value {
+        // Deterministic key order so serialized output is reproducible.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (key_to_string(k), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<HashMap<K, V, S>, Error> {
+        let m = v.as_map().ok_or_else(|| Error::expected("map", v))?;
+        let mut out = HashMap::with_capacity_and_hasher(m.len(), S::default());
+        for (k, val) in m {
+            out.insert(key_from_string(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (key_to_string(k), v.serialize_value())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<BTreeMap<K, V>, Error> {
+        let m = v.as_map().ok_or_else(|| Error::expected("map", v))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in m {
+            out.insert(key_from_string(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T, S> Serialize for std::collections::HashSet<T, S>
+where
+    T: Serialize + Ord,
+{
+    fn serialize_value(&self) -> Value {
+        // Deterministic element order so serialized output is reproducible.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Seq(items.into_iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<std::collections::HashSet<T, S>, Error> {
+        let s = v.as_seq().ok_or_else(|| Error::expected("sequence", v))?;
+        let mut out = std::collections::HashSet::with_capacity_and_hasher(s.len(), S::default());
+        for item in s {
+            out.insert(T::deserialize_value(item)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<std::collections::BTreeSet<T>, Error> {
+        let s = v.as_seq().ok_or_else(|| Error::expected("sequence", v))?;
+        s.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering/parsing of the value tree (used by the serde_json shim).
+// ---------------------------------------------------------------------------
+
+pub mod json {
+    use super::{Error, Value};
+    use std::fmt::Write;
+
+    /// Render compact JSON.
+    pub fn to_string(v: &Value) -> String {
+        let mut out = String::new();
+        write_value(&mut out, v, None, 0);
+        out
+    }
+
+    /// Render human-readable JSON with two-space indentation.
+    pub fn to_string_pretty(v: &Value) -> String {
+        let mut out = String::new();
+        write_value(&mut out, v, Some(2), 0);
+        out
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(x) => write_f64(out, *x),
+            Value::Str(s) => write_string(out, s),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_value(out, item, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, val)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, depth + 1);
+                }
+                if !entries.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * depth {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_f64(out: &mut String, x: f64) {
+        if x.is_nan() {
+            out.push_str("\"NaN\"");
+        } else if x == f64::INFINITY {
+            out.push_str("\"inf\"");
+        } else if x == f64::NEG_INFINITY {
+            out.push_str("\"-inf\"");
+        } else {
+            // `{}` prints the shortest decimal that round-trips exactly.
+            let s = format!("{x}");
+            out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                // Keep a float marker so 1.0 doesn't re-parse as an integer
+                // when the target type is an untyped `Value`.
+                out.push_str(".0");
+            }
+        }
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parse a JSON document into a [`Value`].
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while self.pos < self.bytes.len() && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error(format!(
+                    "expected '{}' at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                )))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'{') => self.map(),
+                Some(b'[') => self.seq(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.lit("true", Value::Bool(true)),
+                Some(b'f') => self.lit("false", Value::Bool(false)),
+                Some(b'n') => self.lit("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(Error(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos))),
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(Error(format!("invalid literal at byte {}", self.pos)))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error("invalid utf8 in number".into()))?;
+            if is_float {
+                text.parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|e| Error(format!("bad float {text}: {e}")))
+            } else if text.starts_with('-') {
+                text.parse::<i64>()
+                    .map(Value::I64)
+                    .map_err(|e| Error(format!("bad integer {text}: {e}")))
+            } else {
+                match text.parse::<u64>() {
+                    Ok(v) => Ok(Value::U64(v)),
+                    Err(_) => text
+                        .parse::<f64>()
+                        .map(Value::F64)
+                        .map_err(|e| Error(format!("bad number {text}: {e}"))),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(c) = self.peek() else {
+                    return Err(Error("unterminated string".into()));
+                };
+                self.pos += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(esc) = self.peek() else {
+                            return Err(Error("unterminated escape".into()));
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|s| std::str::from_utf8(s).ok())
+                                    .ok_or_else(|| Error("bad \\u escape".into()))?;
+                                let code = u32::from_str_radix(hex, 16).map_err(|_| Error("bad \\u escape".into()))?;
+                                self.pos += 4;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(Error(format!("bad escape \\{}", other as char))),
+                        }
+                    }
+                    _ => {
+                        // Re-decode the UTF-8 sequence starting here.
+                        let start = self.pos - 1;
+                        let len = utf8_len(c);
+                        let end = start + len;
+                        let s = self
+                            .bytes
+                            .get(start..end)
+                            .and_then(|b| std::str::from_utf8(b).ok())
+                            .ok_or_else(|| Error("invalid utf8 in string".into()))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn seq(&mut self) -> Result<Value, Error> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    other => {
+                        return Err(Error(format!(
+                            "expected ',' or ']' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|c| c as char)
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn map(&mut self) -> Result<Value, Error> {
+            self.eat(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                entries.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    other => {
+                        return Err(Error(format!(
+                            "expected ',' or '}}' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|c| c as char)
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip() {
+            let v = Value::Map(vec![
+                ("a".into(), Value::Seq(vec![Value::I64(-3), Value::U64(7), Value::F64(1.5)])),
+                ("s".into(), Value::Str("he\"llo\n".into())),
+                ("n".into(), Value::Null),
+                ("b".into(), Value::Bool(true)),
+            ]);
+            let s = to_string(&v);
+            assert_eq!(parse(&s).unwrap(), v);
+            let p = to_string_pretty(&v);
+            assert_eq!(parse(&p).unwrap(), v);
+        }
+
+        #[test]
+        fn float_roundtrip_is_exact() {
+            for x in [0.1, 1.0 / 3.0, 1e300, -2.5e-300, 12345.6789, 1.0] {
+                let s = to_string(&Value::F64(x));
+                match parse(&s).unwrap() {
+                    Value::F64(y) => assert_eq!(x.to_bits(), y.to_bits(), "{s}"),
+                    other => panic!("expected float from {s}, got {other:?}"),
+                }
+            }
+        }
+    }
+}

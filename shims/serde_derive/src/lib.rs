@@ -1,0 +1,472 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the container image
+//! has no `syn`/`quote`), which is feasible because the workspace only
+//! derives on non-generic named structs, tuple structs, and enums whose
+//! variants are unit, tuple, or struct-like. Supported field attribute:
+//! `#[serde(skip)]` (omit on serialize, `Default::default()` on
+//! deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip outer attributes, reporting whether any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.next() {
+                        if attr_is_serde_skip(&g.stream()) {
+                            skip = true;
+                        }
+                    }
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Skip a `pub` / `pub(crate)` visibility prefix.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consume tokens of a type (or discriminant expression) until a
+    /// top-level comma, tracking `<...>` depth. Parens/brackets/braces are
+    /// single Group tokens, so only angle brackets need manual depth.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle == 0 => return,
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Parse the fields of a `{ ... }` group (named struct or struct variant).
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after field `{name}`, got {other:?}"),
+        }
+        c.skip_until_comma();
+        c.next(); // the comma, if present
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count the fields of a `( ... )` tuple group at top level.
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut arity = 0;
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_until_comma();
+        c.next();
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                c.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        c.skip_until_comma();
+        c.next();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    // Generic parameters are not supported (none exist in this workspace);
+    // skip them if present so the error surfaces in generated code instead.
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0;
+            while let Some(t) = c.next() {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: parse_tuple_arity(g.stream()) }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), serde::Serialize::serialize_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         let mut __m: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                         fn serialize_value(&self) -> serde::Value {{\n\
+                             serde::Serialize::serialize_value(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                         fn serialize_value(&self) -> serde::Value {{\n\
+                             serde::Value::Seq(vec![{}])\n\
+                         }}\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serde::variant(\"{vname}\", serde::Serialize::serialize_value(__f0)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::variant(\"{vname}\", serde::Value::Seq(vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), serde::Serialize::serialize_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => serde::variant(\"{vname}\", serde::Value::Map(vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: match serde::map_get(__m, \"{0}\") {{\n\
+                             Some(__v) => serde::Deserialize::deserialize_value(__v)?,\n\
+                             None => serde::Deserialize::deserialize_missing(\"{name}\", \"{0}\")?,\n\
+                         }},\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                         let __m = __v.as_map().ok_or_else(|| serde::Error::expected(\"map for {name}\", __v))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                         fn deserialize_value(__v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                             Ok({name}(serde::Deserialize::deserialize_value(__v)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::deserialize_value(serde::seq_elem(__v, {i}, {arity})?)?"))
+                    .collect();
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                         fn deserialize_value(__v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                             Ok({name}({}))\n\
+                         }}\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(_: &serde::Value) -> Result<{name}, serde::Error> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n")),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::deserialize_value(serde::seq_elem(__payload, {i}, {arity})?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms
+                            .push_str(&format!("\"{vname}\" => return Ok({name}::{vname}({})),\n", items.join(", ")));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{0}: match serde::map_get(__fm, \"{0}\") {{\n\
+                                     Some(__fv) => serde::Deserialize::deserialize_value(__fv)?,\n\
+                                     None => serde::Deserialize::deserialize_missing(\"{name}::{vname}\", \"{0}\")?,\n\
+                                 }},\n",
+                                f.name
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __fm = __payload.as_map().ok_or_else(|| serde::Error::expected(\"map for {name}::{vname}\", __payload))?;\n\
+                                 return Ok({name}::{vname} {{\n{inits}}});\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                         if let Some(__s) = __v.as_str() {{\n\
+                             match __s {{\n{unit_arms}_ => {{}}\n}}\n\
+                         }}\n\
+                         if let Some((__tag, __payload)) = serde::as_variant(__v) {{\n\
+                             match __tag {{\n{tagged_arms}_ => {{}}\n}}\n\
+                         }}\n\
+                         Err(serde::Error::expected(\"variant of {name}\", __v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for the parts of `serde_json` this workspace uses:
+//! `to_string`, `to_string_pretty`, `from_str`, and the `Value`/`Error`
+//! types. Rendering and parsing live in the serde shim's `json` module so
+//! map keys can embed JSON without a circular dependency.
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{json, Deserialize, Serialize};
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(json::to_string(&value.serialize_value()))
+}
+
+/// Serialize a value to pretty-printed JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(json::to_string_pretty(&value.serialize_value()))
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize_value(&json::parse(text)?)
+}
+
+/// Parse arbitrary JSON into a [`Value`].
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    json::parse(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn containers_roundtrip() {
+        let mut m: HashMap<(u32, u32), u64> = HashMap::new();
+        m.insert((1, 2), 10);
+        m.insert((3, 4), 20);
+        let s = to_string(&m).unwrap();
+        let back: HashMap<(u32, u32), u64> = from_str(&s).unwrap();
+        assert_eq!(back, m);
+
+        let v: Vec<Option<i64>> = vec![Some(-5), None, Some(7)];
+        let s = to_string(&v).unwrap();
+        let back: Vec<Option<i64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}

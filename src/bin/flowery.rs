@@ -6,6 +6,7 @@
 //! flowery run <file.mc>                     execute at both layers
 //! flowery inject <file.mc> [options]        fault-injection campaign
 //! flowery study [--trials N] [bench ...]    the paper's full study
+//! flowery campaign [options] [bench ...]    resumable harness campaign
 //! flowery workloads                         list the 16 benchmarks
 //! flowery source <bench>                    print a benchmark's MiniC
 //! ```
@@ -17,9 +18,7 @@ use flowery::backend::{compile_module, harden_program, BackendConfig, HardenConf
 use flowery::inject::{run_asm_campaign, run_ir_campaign, CampaignConfig, Coverage};
 use flowery::ir::interp::{decode_output, ExecConfig, Interpreter};
 use flowery::ir::Module;
-use flowery::passes::{
-    apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan,
-};
+use flowery::passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
 use flowery::workloads::{workload, Scale, NAMES};
 use std::process::ExitCode;
 
@@ -36,6 +35,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "inject" => cmd_inject(rest),
         "study" => cmd_study(rest),
+        "campaign" => cmd_campaign(rest),
         "workloads" => cmd_workloads(),
         "vuln" => cmd_vuln(rest),
         "source" => cmd_source(rest),
@@ -63,6 +63,14 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
   inject <file.mc | bench> [--trials N] [--id] [--flowery] [--harden]
                                       fault-injection campaign at both layers
   study [--trials N] [bench ...]      the paper's full cross-layer study
+  campaign [bench ...] [--trials N] [--ci-target H] [--threads N]
+           [--batch N] [--levels a,b] [--tiny] [--json]
+           [--checkpoint FILE] [--resume]
+                                      run the experiment matrix on the
+                                      work-stealing harness; --ci-target
+                                      stops each unit once the 95% CI
+                                      half-width on its SDC rate is <= H;
+                                      --checkpoint/--resume survive kills
   vuln <file.mc | bench> [--trials N] [--top K]
                                       rank the most SDC-vulnerable instructions
   workloads                           list the 16 Table-1 benchmarks
@@ -183,15 +191,164 @@ fn cmd_study(rest: &[String]) -> Result<(), String> {
         .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
         .map(|s| s.as_str())
         .collect();
-    let mut cfg = flowery::core::ExperimentConfig::default();
-    cfg.trials = trials;
-    cfg.profile_trials = (trials / 3).max(100);
-    cfg.verbose = true;
+    let cfg = flowery::core::ExperimentConfig {
+        trials,
+        profile_trials: (trials / 3).max(100),
+        verbose: true,
+        ..Default::default()
+    };
     let study = flowery::core::run_study(&names, &cfg);
     println!("{}", fig::render_fig2(&fig::fig2(&study)));
     println!("{}", fig::render_fig3(&fig::fig3(&study)));
     println!("{}", fig::render_fig17(&fig::fig17(&study)));
     println!("{}", fig::render_overhead(&fig::overhead(&study)));
+    Ok(())
+}
+
+fn opt_str<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn cmd_campaign(rest: &[String]) -> Result<(), String> {
+    use flowery::harness::{
+        build_matrix, load_checkpoint, run_units, CheckpointLog, Control, GoldenCache, HarnessConfig, MatrixSpec,
+        MetricsSnapshot, RunOptions,
+    };
+    use std::path::Path;
+
+    let benches: Vec<String> = {
+        let mut names = Vec::new();
+        let mut skip = false;
+        for a in rest {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if let Some(flag) = a.strip_prefix("--") {
+                skip = !matches!(flag, "resume" | "tiny" | "json");
+                continue;
+            }
+            if !NAMES.contains(&a.as_str()) {
+                return Err(format!("unknown benchmark '{a}'; see `flowery workloads`"));
+            }
+            names.push(a.clone());
+        }
+        names
+    };
+    let trials = opt_u64(rest, "--trials", 3000);
+    let mut cfg = HarnessConfig {
+        max_trials: trials,
+        batch_size: opt_u64(rest, "--batch", 250).clamp(1, trials.max(1)),
+        min_trials: opt_u64(rest, "--min-trials", 500).min(trials),
+        threads: opt_u64(rest, "--threads", 0) as usize,
+        seed: opt_u64(rest, "--seed", 0x51C2_3001),
+        ..Default::default()
+    };
+    cfg.ci_target = opt_str(rest, "--ci-target")
+        .map(|v| v.parse::<f64>().map_err(|_| format!("bad --ci-target '{v}'")))
+        .transpose()?;
+    let levels: Vec<f64> = match opt_str(rest, "--levels") {
+        None => vec![1.0],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| s.trim().parse::<f64>().map_err(|_| format!("bad level '{s}'")))
+            .collect::<Result<_, _>>()?,
+    };
+
+    // Checkpoint / resume plumbing.
+    let ckpt_path = opt_str(rest, "--checkpoint").map(Path::new);
+    let resume = flag(rest, "--resume");
+    let mut preloaded = Vec::new();
+    let log = match (ckpt_path, resume) {
+        (None, true) => return Err("--resume needs --checkpoint FILE".into()),
+        (None, false) => None,
+        (Some(p), true) => {
+            let (header, batches) = load_checkpoint(p)?;
+            if header != cfg.header() {
+                return Err(format!("{}: checkpoint was written with different campaign parameters", p.display()));
+            }
+            eprintln!("[harness] resuming: {} batches from {}", batches.len(), p.display());
+            preloaded = batches;
+            Some(CheckpointLog::append_to(p)?)
+        }
+        (Some(p), false) => Some(CheckpointLog::create(p, &cfg.header())?),
+    };
+
+    eprintln!(
+        "[harness] building matrix ({} benches)",
+        if benches.is_empty() { NAMES.len() } else { benches.len() }
+    );
+    let spec = MatrixSpec {
+        benches,
+        scale: if flag(rest, "--tiny") { Scale::Tiny } else { Scale::Standard },
+        levels,
+        profile_trials: (trials / 3).max(100),
+        threads: cfg.threads,
+        ..Default::default()
+    };
+    let units = build_matrix(&spec);
+    eprintln!("[harness] {} units x <= {} trials", units.len(), cfg.max_trials);
+
+    let last_print = std::sync::Mutex::new(std::time::Instant::now());
+    let progress = |snap: &MetricsSnapshot| {
+        let mut last = last_print.lock().unwrap();
+        if last.elapsed().as_secs_f64() >= 1.0 {
+            eprintln!("[harness] {}", snap.render());
+            *last = std::time::Instant::now();
+        }
+        Control::Continue
+    };
+    let cache = GoldenCache::new();
+    let report = run_units(
+        &units,
+        &cfg,
+        &cache,
+        RunOptions {
+            checkpoint: log.as_ref(),
+            preloaded,
+            progress: Some(&progress),
+        },
+    );
+    if let Some(e) = report.error {
+        return Err(e);
+    }
+
+    if flag(rest, "--json") {
+        println!("{}", flowery::serde_json::to_string_pretty(&report.units).map_err(|e| format!("{e:?}"))?);
+        return Ok(());
+    }
+    println!(
+        "{:<28} {:>7} {:>9} {:>10} {:>8} {:>8} {:>8}  ",
+        "unit", "trials", "sdc", "ci95", "benign", "det", "due"
+    );
+    for u in &report.units {
+        println!(
+            "{:<28} {:>7} {:>8.2}% {:>9.2}pp {:>8} {:>8} {:>8}  {}",
+            u.key.id(),
+            u.trials,
+            u.sdc.value * 100.0,
+            u.sdc.ci95 * 100.0,
+            u.counts.benign,
+            u.counts.detected,
+            u.counts.due,
+            if u.stopped_early { "early-stop" } else { "" }
+        );
+    }
+    let m = &report.metrics;
+    println!(
+        "\n{} trials in {:.1}s ({:.0}/s) | batches {} ({} from checkpoint) | golden cache {}/{} hits ({:.0}%)",
+        m.trials,
+        m.elapsed_secs,
+        m.trials_per_sec,
+        m.batches,
+        m.batches_reused,
+        m.cache_hits,
+        m.cache_hits + m.cache_misses,
+        m.cache_hit_rate * 100.0
+    );
     Ok(())
 }
 
@@ -208,7 +365,9 @@ fn cmd_vuln(rest: &[String]) -> Result<(), String> {
     let ranking = flowery::analysis::vulnerability_ranking(&m, &camp, &prof, top);
     println!(
         "{} SDCs across {} trials; top {} instructions by SDC contribution:",
-        camp.counts.sdc, trials, ranking.len()
+        camp.counts.sdc,
+        trials,
+        ranking.len()
     );
     print!("{}", flowery::analysis::render_vulnerability(&ranking));
     Ok(())

@@ -14,6 +14,9 @@
 //! - [`passes`] — instruction duplication, selective protection, and the
 //!   three Flowery patches,
 //! - [`inject`] — parallel fault-injection campaigns and coverage stats,
+//! - [`harness`] — the resumable work-stealing campaign engine: batched
+//!   trials, golden-run caching, adaptive trial counts (Wilson CI early
+//!   stop), JSONL checkpoints, and live metrics,
 //! - [`workloads`] — the Table 1 benchmarks,
 //! - [`analysis`] — penetration root-cause classification,
 //! - [`core`] — the experiment pipelines for every table and figure.
@@ -24,8 +27,10 @@
 pub use flowery_analysis as analysis;
 pub use flowery_backend as backend;
 pub use flowery_core as core;
+pub use flowery_harness as harness;
 pub use flowery_inject as inject;
 pub use flowery_ir as ir;
 pub use flowery_lang as lang;
 pub use flowery_passes as passes;
 pub use flowery_workloads as workloads;
+pub use serde_json;

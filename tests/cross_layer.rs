@@ -39,10 +39,7 @@ fn observation2_assembly_coverage_falls_short() {
             full.id_ir.coverage,
             full.id_asm.coverage
         );
-        assert!(
-            full.id_asm_counts.sdc > 0,
-            "{name}: assembly-level SDCs must exist under full protection"
-        );
+        assert!(full.id_asm_counts.sdc > 0, "{name}: assembly-level SDCs must exist under full protection");
     }
 }
 
@@ -91,10 +88,7 @@ fn rootcause_distribution_shape_matches_paper() {
     let defic = agg.deficiency_total();
     assert!(defic > 0);
     let big3 = agg.store + agg.branch + agg.comparison;
-    assert!(
-        big3 as f64 >= 0.7 * defic as f64,
-        "store/branch/comparison must dominate: {agg:?}"
-    );
+    assert!(big3 as f64 >= 0.7 * defic as f64, "store/branch/comparison must dominate: {agg:?}");
     // Store penetration is the single largest category in the paper (39.1%).
     assert!(agg.store > 0);
 }

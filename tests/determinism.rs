@@ -48,10 +48,7 @@ fn study_results_round_trip_json() {
     assert_eq!(back.benches.len(), study.benches.len());
     assert_eq!(back.benches[0].name, "is");
     assert_eq!(back.benches[0].levels.len(), study.benches[0].levels.len());
-    assert_eq!(
-        back.benches[0].full_level().id_asm_counts,
-        study.benches[0].full_level().id_asm_counts
-    );
+    assert_eq!(back.benches[0].full_level().id_asm_counts, study.benches[0].full_level().id_asm_counts);
 }
 
 #[test]

@@ -128,25 +128,16 @@ fn detected_status_is_terminal_and_immediate() {
     // A program that calls detect_error through protection: once Detected,
     // output must reflect only what happened before.
     use flowery_passes::{duplicate_module, DupConfig, ProtectionPlan};
-    let mut m = flowery_lang::compile(
-        "e",
-        "int main() { int a = 1; output(a); int b = a + 1; output(b); return b; }",
-    )
-    .unwrap();
+    let mut m =
+        flowery_lang::compile("e", "int main() { int a = 1; output(a); int b = a + 1; output(b); return b; }").unwrap();
     let plan = ProtectionPlan::full(&m);
     duplicate_module(&mut m, &plan, &DupConfig::default());
     let interp = Interpreter::new(&m);
     let golden = interp.run(&ExecConfig::default(), None);
     for site in 0..golden.fault_sites {
-        let r = interp.run(
-            &ExecConfig::default(),
-            Some(flowery_ir::interp::FaultSpec::single(site, 13)),
-        );
+        let r = interp.run(&ExecConfig::default(), Some(flowery_ir::interp::FaultSpec::single(site, 13)));
         if r.status == ExecStatus::Detected {
-            assert!(
-                r.output.len() <= golden.output.len(),
-                "a detected run cannot out-produce the golden run"
-            );
+            assert!(r.output.len() <= golden.output.len(), "a detected run cannot out-produce the golden run");
         }
     }
 }

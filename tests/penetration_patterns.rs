@@ -5,9 +5,7 @@
 use flowery_backend::mir::{AKind, AOp};
 use flowery_backend::{compile_module, AsmRole, BackendConfig};
 use flowery_ir::{InstKind, Module};
-use flowery_passes::{
-    apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan,
-};
+use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
 use flowery_workloads::{workload, Scale};
 
 fn protected(name: &str) -> Module {
@@ -24,9 +22,8 @@ fn count_store_reloads(m: &Module) -> usize {
         .filter(|i| {
             i.role == AsmRole::OperandReload
                 && matches!(i.kind, AKind::Mov { src: AOp::Mem(_), dst: AOp::Reg(_), .. })
-                && i.prov.map_or(false, |(f, id)| {
-                    matches!(m.functions[f.index()].inst(id).kind, InstKind::Store { .. })
-                })
+                && i.prov
+                    .is_some_and(|(f, id)| matches!(m.functions[f.index()].inst(id).kind, InstKind::Store { .. }))
         })
         .count()
 }
@@ -80,7 +77,11 @@ fn comparison_checkers_fold_away_without_anti_cmp() {
 fn call_and_mapping_sites_exist_and_flowery_does_not_touch_them() {
     let m = protected("quicksort"); // recursive: plenty of calls
     let count = |m: &Module, role: AsmRole| {
-        compile_module(m, &BackendConfig::default()).insts.iter().filter(|i| i.role == role).count()
+        compile_module(m, &BackendConfig::default())
+            .insts
+            .iter()
+            .filter(|i| i.role == role)
+            .count()
     };
     let args_before = count(&m, AsmRole::ArgMove);
     let prologue_before = count(&m, AsmRole::Prologue);
@@ -126,9 +127,8 @@ fn reg_cache_ablation_removes_eager_store_benefit() {
             .iter()
             .filter(|i| {
                 i.role == AsmRole::OperandReload
-                    && i.prov.map_or(false, |(f, id)| {
-                        matches!(m.functions[f.index()].inst(id).kind, InstKind::Store { .. })
-                    })
+                    && i.prov
+                        .is_some_and(|(f, id)| matches!(m.functions[f.index()].inst(id).kind, InstKind::Store { .. }))
             })
             .count()
     };

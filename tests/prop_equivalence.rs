@@ -135,18 +135,14 @@ fn render_program(stmts: &[Stmt]) -> String {
 }
 
 fn iexpr_strategy(depth: u32) -> impl Strategy<Value = IExpr> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(IExpr::Const),
-        (0u8..4).prop_map(IExpr::Var),
-    ];
+    let leaf = prop_oneof![(-50i64..50).prop_map(IExpr::Const), (0u8..4).prop_map(IExpr::Var),];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| IExpr::ArrA(Box::new(e))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::DivSafe(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::DivSafe(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Xor(Box::new(a), Box::new(b))),
             (inner.clone(), 0u8..8).prop_map(|(a, s)| IExpr::Shl(Box::new(a), s)),
@@ -160,10 +156,7 @@ fn fexpr_leaf() -> impl Strategy<Value = FExpr> {
 }
 
 fn fexpr_strategy() -> impl Strategy<Value = FExpr> {
-    let leaf = prop_oneof![
-        (-4.0f64..4.0).prop_map(FExpr::Const),
-        (0u8..2).prop_map(FExpr::Var),
-    ];
+    let leaf = prop_oneof![(-4.0f64..4.0).prop_map(FExpr::Const), (0u8..2).prop_map(FExpr::Var),];
     leaf.prop_recursive(2, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Add(Box::new(a), Box::new(b))),

@@ -4,9 +4,7 @@
 
 use flowery_backend::{compile_module, BackendConfig, Machine};
 use flowery_ir::interp::{ExecConfig, Interpreter};
-use flowery_passes::{
-    apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan,
-};
+use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
 use flowery_workloads::{all_workloads, Scale};
 
 #[test]
@@ -52,7 +50,10 @@ fn partial_protection_preserves_semantics() {
         let golden = Interpreter::new(&raw).run(&ExecConfig::default(), None);
         // A synthetic 50% plan: every other duplicable instruction.
         let full = ProtectionPlan::full(&raw);
-        let mut plan = ProtectionPlan { per_func: vec![Default::default(); raw.functions.len()], level: 0.5 };
+        let mut plan = ProtectionPlan {
+            per_func: vec![Default::default(); raw.functions.len()],
+            level: 0.5,
+        };
         for (fi, set) in full.per_func.iter().enumerate() {
             let mut v: Vec<_> = set.iter().copied().collect();
             v.sort();
@@ -84,7 +85,12 @@ fn backend_ablations_preserve_semantics_on_protected_code() {
     for reg_cache in [false, true] {
         for fold_compares in [false, true] {
             for fuse_cmp_branch in [false, true] {
-                let cfg = BackendConfig { reg_cache, fold_compares, fuse_cmp_branch, ..Default::default() };
+                let cfg = BackendConfig {
+                    reg_cache,
+                    fold_compares,
+                    fuse_cmp_branch,
+                    ..Default::default()
+                };
                 let prog = compile_module(&id, &cfg);
                 let r = Machine::new(&id, &prog).run(&ExecConfig::default(), None);
                 assert_eq!(r.status, golden.status, "{cfg:?}");

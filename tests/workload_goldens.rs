@@ -1,45 +1,55 @@
 //! Pinned golden outputs for every workload at every scale. These protect
 //! the experiments from accidental workload drift: any change to a
 //! benchmark's algorithm, inputs or the substrate's arithmetic shows up as
-//! a golden mismatch here, at both execution layers.
+//! a golden mismatch here, at both execution layers. Regenerate with
+//! `cargo run --release --example regen_goldens` after intentional changes
+//! (the table is pinned against the vendored `shims/rand` stream).
 
 use flowery_backend::{compile_module, BackendConfig, Machine};
 use flowery_ir::interp::{decode_output, ExecConfig, Interpreter};
 use flowery_workloads::{workload, Scale};
 
 const GOLDENS: &[(&str, &str, &str)] = &[
-    ("backprop", "Tiny", "f64:0.21108013014209054"),
-    ("bfs", "Tiny", "i64:195 | i64:12"),
-    ("pathfinder", "Tiny", "i64:13 | i64:128"),
-    ("lud", "Tiny", "f64:239.80843220955285"),
-    ("needle", "Tiny", "i64:-2 | i64:-51"),
-    ("knn", "Tiny", "f64:94.2870695882137 | i64:9"),
+    ("backprop", "Tiny", "f64:-0.5543987570575795"),
+    ("bfs", "Tiny", "i64:224 | i64:12"),
+    ("pathfinder", "Tiny", "i64:8 | i64:108"),
+    ("lud", "Tiny", "f64:234.39095139918317"),
+    ("needle", "Tiny", "i64:-2 | i64:-69"),
+    ("knn", "Tiny", "f64:213.81392473005948 | i64:8"),
     ("ep", "Tiny", "f64:-7.969907012117699 | f64:-9.807674480687652 | i64:33 | i64:59"),
-    ("cg", "Tiny", "f64:1.048385200697366 | f64:0.0000006830522869719836"),
-    ("is", "Tiny", "i64:1 | i64:933"),
-    ("fft2", "Tiny", "f64:21.13812004063062 | f64:-1.5659479903316131 | f64:-0.7387146218147043"),
-    ("quicksort", "Tiny", "i64:1 | i64:501 | i64:72058"),
+    ("cg", "Tiny", "f64:0.4915570805974099 | f64:0.000017635760395142048"),
+    ("is", "Tiny", "i64:1 | i64:1373"),
+    (
+        "fft2",
+        "Tiny",
+        "f64:21.741991157619392 | f64:-0.872619941213306 | f64:-0.13364399614790679",
+    ),
+    ("quicksort", "Tiny", "i64:1 | i64:-204 | i64:21820"),
     ("basicmath", "Tiny", "i64:100 | f64:22.142138451739996"),
-    ("susan", "Tiny", "i64:13 | i64:186"),
-    ("crc32", "Tiny", "i64:1446406974"),
+    ("susan", "Tiny", "i64:20 | i64:154"),
+    ("crc32", "Tiny", "i64:3969596994"),
     ("stringsearch", "Tiny", "i64:32 | i64:-1"),
-    ("patricia", "Tiny", "i64:10 | i64:7 | i64:140"),
-    ("backprop", "Standard", "f64:1.1638074195768187"),
-    ("bfs", "Standard", "i64:3928 | i64:48"),
-    ("pathfinder", "Standard", "i64:29 | i64:879"),
-    ("lud", "Standard", "f64:935.4948114135534"),
-    ("needle", "Standard", "i64:1 | i64:-228"),
-    ("knn", "Standard", "f64:142.08702166693317 | i64:91"),
+    ("patricia", "Tiny", "i64:10 | i64:7 | i64:131"),
+    ("backprop", "Standard", "f64:-2.0506563247531346"),
+    ("bfs", "Standard", "i64:5409 | i64:48"),
+    ("pathfinder", "Standard", "i64:30 | i64:882"),
+    ("lud", "Standard", "f64:932.088094929107"),
+    ("needle", "Standard", "i64:-2 | i64:-252"),
+    ("knn", "Standard", "f64:172.53265710276816 | i64:120"),
     ("ep", "Standard", "f64:-17.21106611520205 | f64:-30.359001669566382 | i64:173 | i64:284"),
-    ("cg", "Standard", "f64:-3.1115883419514887 | f64:0.00000000000003785880585399702"),
-    ("is", "Standard", "i64:1 | i64:29400"),
-    ("fft2", "Standard", "f64:163.78502828653637 | f64:-0.4329635605119595 | f64:1.5137082690362256"),
-    ("quicksort", "Standard", "i64:1 | i64:38 | i64:1085989"),
+    ("cg", "Standard", "f64:-5.528194087646466 | f64:0.00000000000019025440373348158"),
+    ("is", "Standard", "i64:1 | i64:30291"),
+    (
+        "fft2",
+        "Standard",
+        "f64:172.4779615859399 | f64:5.64962511536589 | f64:-7.467292061887733",
+    ),
+    ("quicksort", "Standard", "i64:1 | i64:26 | i64:1011185"),
     ("basicmath", "Standard", "i64:1037 | f64:141.19527028601834"),
-    ("susan", "Standard", "i64:80 | i64:1376"),
-    ("crc32", "Standard", "i64:3132796012"),
+    ("susan", "Standard", "i64:70 | i64:1460"),
+    ("crc32", "Standard", "i64:2417146312"),
     ("stringsearch", "Standard", "i64:110 | i64:-1"),
-    ("patricia", "Standard", "i64:40 | i64:28 | i64:463"),
+    ("patricia", "Standard", "i64:40 | i64:28 | i64:465"),
 ];
 
 fn scale_of(s: &str) -> Scale {
