@@ -23,8 +23,10 @@ pub mod isel;
 pub mod machine;
 pub mod mir;
 pub mod regcache;
+pub mod snapshot;
 
 pub use harden::{harden_program, HardenConfig, HardenStats};
 pub use isel::{compile_module, BackendConfig};
 pub use machine::{AsmFaultSpec, MachResult, Machine};
 pub use mir::{print_program, AInst, AKind, AsmProgram, AsmRole, FaultDest, Reg};
+pub use snapshot::{AsmScratch, AsmSnapshotSet};

@@ -10,8 +10,9 @@
 use crate::mir::{
     flags, AInst, AKind, AOp, AluOp, AsmProgram, FaultDest, MathKind, MemRef, OutKind, Reg, ShiftOp, SseOp, CC,
 };
+use crate::snapshot::{AsmScratch, AsmSnapshotRecorder, AsmSnapshotSet};
 use flowery_ir::inst::{BinOp, CastKind, Intrinsic};
-use flowery_ir::interp::memory::TrapKind;
+use flowery_ir::interp::memory::{PageMap, TrapKind};
 use flowery_ir::interp::{ops, ExecConfig, ExecStatus, Memory};
 use flowery_ir::module::Module;
 use flowery_ir::types::Type;
@@ -82,10 +83,96 @@ impl<'p> Machine<'p> {
 
     /// Execute from `main` under `config`, optionally injecting a fault.
     pub fn run(&self, config: &ExecConfig, fault: Option<AsmFaultSpec>) -> MachResult {
+        let mem = Memory::new(self.module, config.mem_size, config.stack_size);
+        let (st, ip) = self.boot(mem, Vec::new(), config);
+        self.exec(config, fault, st, ip, None).0
+    }
+
+    /// Like [`Machine::run`], but reuses `scratch`'s output buffer across
+    /// trials. Memory is still built fresh — only the snapshot path
+    /// ([`Machine::run_fast_forward`]) can reuse it.
+    pub fn run_scratch(
+        &self,
+        config: &ExecConfig,
+        fault: Option<AsmFaultSpec>,
+        scratch: &mut AsmScratch,
+    ) -> MachResult {
+        let mem = Memory::new(self.module, config.mem_size, config.stack_size);
+        let output = std::mem::take(&mut scratch.output);
+        let (st, ip) = self.boot(mem, output, config);
+        self.exec(config, fault, st, ip, None).0
+    }
+
+    /// One fault-free run that captures a snapshot every `interval` dynamic
+    /// instructions. Profiling is forced off.
+    pub fn capture_snapshots(&self, config: &ExecConfig, interval: u64) -> AsmSnapshotSet {
+        let cfg = ExecConfig { profile: false, ..config.clone() };
+        let base = Memory::new(self.module, cfg.mem_size, cfg.stack_size);
+        let mut rec = AsmSnapshotRecorder::new(interval);
+        let (st, ip) = self.boot(base.clone(), Vec::new(), &cfg);
+        let (golden, _mem) = self.exec(&cfg, None, st, ip, Some(&mut rec));
+        AsmSnapshotSet { base, golden, interval, snaps: rec.snaps }
+    }
+
+    /// Run one faulty trial, restoring the nearest snapshot at-or-before
+    /// the injection site instead of executing the golden prefix. Returns
+    /// the result plus the number of dynamic instructions skipped.
+    ///
+    /// The result is bit-identical to `run(config, Some(fault))`.
+    pub fn run_fast_forward(
+        &self,
+        config: &ExecConfig,
+        fault: AsmFaultSpec,
+        set: &AsmSnapshotSet,
+        scratch: &mut AsmScratch,
+    ) -> (MachResult, u64) {
+        assert!(!config.profile, "fast-forward does not support profiling");
+        let mut mem = scratch
+            .mem
+            .take()
+            .filter(|m| m.size() == set.base.size())
+            .unwrap_or_else(|| set.base.clone());
+        let mut output = std::mem::take(&mut scratch.output);
+        output.clear();
+        let (st, ip) = match set.nearest(fault.site_index) {
+            Some(snap) => {
+                mem.reset_to(&set.base, &snap.pages);
+                output.extend_from_slice(&set.golden.output[..snap.output_len]);
+                let st = State {
+                    regs: snap.regs,
+                    mem,
+                    output,
+                    dyn_insts: snap.dyn_insts,
+                    fault_sites: snap.fault_sites,
+                    cycles: snap.cycles,
+                    injected_inst: None,
+                    profile: None,
+                    last_ip: 0,
+                    last_mem_write: None,
+                };
+                (st, snap.ip)
+            }
+            None => {
+                // Site earlier than the first snapshot: run from the start,
+                // but still reuse the scratch image via a dirty-page reset.
+                mem.reset_to(&set.base, &PageMap::new());
+                self.boot(mem, output, config)
+            }
+        };
+        let skipped = st.dyn_insts;
+        let (res, mem) = self.exec(config, Some(fault), st, ip, None);
+        scratch.mem = Some(mem);
+        (res, skipped)
+    }
+
+    /// Fresh machine state: zeroed registers, sentinel return address
+    /// pushed for `main`, entry ip.
+    fn boot(&self, mem: Memory, mut output: Vec<u8>, config: &ExecConfig) -> (State, u32) {
+        output.clear();
         let mut st = State {
             regs: [0u64; Reg::COUNT],
-            mem: Memory::new(self.module, config.mem_size, config.stack_size),
-            output: Vec::new(),
+            mem,
+            output,
             dyn_insts: 0,
             fault_sites: 0,
             cycles: 0,
@@ -99,17 +186,36 @@ impl<'p> Machine<'p> {
         st.regs[Reg::Rsp.index()] -= 8;
         let sp = st.regs[Reg::Rsp.index()];
         st.mem.store(sp, 8, SENTINEL).expect("initial stack in bounds");
+        (st, self.program.main_entry)
+    }
 
-        let mut ip: u32 = self.program.main_entry;
+    /// The dispatch loop. Starts from `st`/`ip` (fresh or restored),
+    /// optionally capturing snapshots. Returns the result plus the memory
+    /// image so callers can recycle it.
+    fn exec(
+        &self,
+        config: &ExecConfig,
+        fault: Option<AsmFaultSpec>,
+        mut st: State,
+        mut ip: u32,
+        mut recorder: Option<&mut AsmSnapshotRecorder>,
+    ) -> (MachResult, Memory) {
         let insts = &self.program.insts;
 
-        loop {
+        let status = 'exec: loop {
+            // ---- snapshot hook: `st.dyn_insts` executed, `ip` next -------
+            if let Some(rec) = recorder.as_deref_mut() {
+                if rec.due(st.dyn_insts) {
+                    rec.capture(st.dyn_insts, st.fault_sites, st.cycles, ip, st.regs, st.output.len(), &mut st.mem);
+                }
+            }
+
             if ip as usize >= insts.len() {
-                return st.finish(ExecStatus::Trapped(TrapKind::BadControl));
+                break 'exec ExecStatus::Trapped(TrapKind::BadControl);
             }
             st.dyn_insts += 1;
             if st.dyn_insts > config.max_dyn_insts {
-                return st.finish(ExecStatus::Trapped(TrapKind::InstLimit));
+                break 'exec ExecStatus::Trapped(TrapKind::InstLimit);
             }
             let inst = &insts[ip as usize];
             if let Some(p) = st.profile.as_mut() {
@@ -122,7 +228,7 @@ impl<'p> Machine<'p> {
 
             match self.step(&mut st, inst, &mut ip, config) {
                 Ok(()) => {}
-                Err(Halt::Status(s)) => return st.finish(s),
+                Err(Halt::Status(s)) => break 'exec s,
             }
 
             if is_site {
@@ -135,9 +241,11 @@ impl<'p> Machine<'p> {
             }
 
             if st.output.len() > config.max_output {
-                return st.finish(ExecStatus::Trapped(TrapKind::OutputFlood));
+                break 'exec ExecStatus::Trapped(TrapKind::OutputFlood);
             }
-        }
+        };
+
+        st.finish(status)
     }
 
     /// Golden run with profiling.
@@ -416,19 +524,24 @@ struct State {
     last_mem_write: Option<(u64, u8)>,
 }
 
-// Manual Default-ish construction is in Machine::run; State has extra
+// Manual Default-ish construction is in Machine::boot; State has extra
 // transient fields initialised there.
 impl State {
-    fn finish(self, status: ExecStatus) -> MachResult {
-        MachResult {
-            status,
-            output: self.output,
-            dyn_insts: self.dyn_insts,
-            fault_sites: self.fault_sites,
-            cycles: self.cycles,
-            injected_inst: self.injected_inst,
-            profile: self.profile,
-        }
+    /// Consume the state into a result, handing the memory image back for
+    /// reuse.
+    fn finish(self, status: ExecStatus) -> (MachResult, Memory) {
+        (
+            MachResult {
+                status,
+                output: self.output,
+                dyn_insts: self.dyn_insts,
+                fault_sites: self.fault_sites,
+                cycles: self.cycles,
+                injected_inst: self.injected_inst,
+                profile: self.profile,
+            },
+            self.mem,
+        )
     }
 
     fn effective(&self, m: MemRef) -> u64 {
@@ -702,6 +815,93 @@ mod tests {
             }
         }
         assert!(flipped, "a flags fault must be able to steer the branch");
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical() {
+        // A loop with stores + calls so snapshots carry memory and stack
+        // state; every site restored vs scratch.
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare_func("sq", vec![Type::I64], Some(Type::I64));
+        let mut fb = FuncBuilder::new("sq", vec![Type::I64], Some(Type::I64));
+        let v = fb.bin(flowery_ir::BinOp::Mul, Type::I64, Op::param(0), Op::param(0));
+        fb.ret(Some(Op::inst(v)));
+        mb.define_func(f, fb.finish());
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let acc = fb.alloca(Type::I64, 1);
+        let i = fb.alloca(Type::I64, 1);
+        fb.store(Type::I64, Op::ci64(0), Op::inst(acc));
+        fb.store(Type::I64, Op::ci64(0), Op::inst(i));
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.jmp(header);
+        fb.switch_to(header);
+        let iv = fb.load(Type::I64, Op::inst(i));
+        let c = fb.icmp(flowery_ir::IPred::Slt, Type::I64, Op::inst(iv), Op::ci64(8));
+        fb.br(Op::inst(c), body, exit);
+        fb.switch_to(body);
+        let iv2 = fb.load(Type::I64, Op::inst(i));
+        let s = fb.call(f, vec![Op::inst(iv2)]);
+        let av = fb.load(Type::I64, Op::inst(acc));
+        let ns = fb.bin(flowery_ir::BinOp::Add, Type::I64, Op::inst(av), Op::inst(s));
+        fb.store(Type::I64, Op::inst(ns), Op::inst(acc));
+        let ni = fb.bin(flowery_ir::BinOp::Add, Type::I64, Op::inst(iv2), Op::ci64(1));
+        fb.store(Type::I64, Op::inst(ni), Op::inst(i));
+        fb.jmp(header);
+        fb.switch_to(exit);
+        let r = fb.load(Type::I64, Op::inst(acc));
+        fb.output_i64(Op::inst(r));
+        fb.ret(Some(Op::inst(r)));
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        flowery_ir::verify::verify_module(&m).unwrap();
+        let prog = compile_module(&m, &BackendConfig::default());
+        let mach = Machine::new(&m, &prog);
+
+        let cfg = ExecConfig { max_dyn_insts: 10_000, ..Default::default() };
+        let set = mach.capture_snapshots(&cfg, 16);
+        assert!(set.len() > 2, "expected several snapshots");
+        assert_eq!(set.golden().status, ExecStatus::Completed(140));
+        let mut scratch = AsmScratch::new();
+        for site in 0..set.golden().fault_sites {
+            for bit in [0u32, 5, 31, 62] {
+                let spec = AsmFaultSpec::single(site, bit);
+                let scratch_res = mach.run(&cfg, Some(spec));
+                let (ff_res, skipped) = mach.run_fast_forward(&cfg, spec, &set, &mut scratch);
+                assert_eq!(ff_res.status, scratch_res.status, "site {site} bit {bit}");
+                assert_eq!(ff_res.output, scratch_res.output, "site {site} bit {bit}");
+                assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site} bit {bit}");
+                assert_eq!(ff_res.fault_sites, scratch_res.fault_sites, "site {site} bit {bit}");
+                assert_eq!(ff_res.cycles, scratch_res.cycles, "site {site} bit {bit}");
+                assert_eq!(ff_res.injected_inst, scratch_res.injected_inst, "site {site} bit {bit}");
+                assert!(skipped <= scratch_res.dyn_insts);
+                scratch.recycle_output(ff_res.output);
+            }
+        }
+    }
+
+    #[test]
+    fn capture_golden_matches_plain_run() {
+        let r = {
+            let mut mb = ModuleBuilder::new("m");
+            let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+            let v = fb.bin(flowery_ir::BinOp::Add, Type::I64, Op::ci64(40), Op::ci64(2));
+            fb.output_i64(Op::inst(v));
+            fb.ret(Some(Op::inst(v)));
+            mb.add_func(fb.finish());
+            mb.finish()
+        };
+        let prog = compile_module(&r, &BackendConfig::default());
+        let mach = Machine::new(&r, &prog);
+        let cfg = ExecConfig::default();
+        let plain = mach.run(&cfg, None);
+        let set = mach.capture_snapshots(&cfg, 4);
+        assert_eq!(set.golden().status, plain.status);
+        assert_eq!(set.golden().output, plain.output);
+        assert_eq!(set.golden().dyn_insts, plain.dyn_insts);
+        assert_eq!(set.golden().fault_sites, plain.fault_sites);
+        assert_eq!(set.golden().cycles, plain.cycles);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Periodic machine-state snapshots for fast-forwarded injection trials.
+//!
+//! The asm-level twin of [`flowery_ir::interp::snapshot`]: during one
+//! instrumented golden run the [`Machine`](crate::machine::Machine)
+//! captures the register file, cycle/instruction counters, and a
+//! cumulative dirty-page memory overlay every `interval` dynamic
+//! instructions. A trial restores the nearest snapshot at-or-before its
+//! injection site and executes only the suffix, bit-identical to a
+//! scratch run.
+
+use crate::machine::MachResult;
+use crate::mir::Reg;
+use flowery_ir::interp::memory::{Memory, PageMap, PageRecorder};
+
+/// One point-in-time capture of machine state. Memory is a cumulative
+/// dirty-page overlay against the pristine post-init image; pages are
+/// `Arc`-shared across snapshots.
+pub struct AsmSnapshot {
+    /// Dynamic instructions executed before this point (absolute).
+    pub(crate) dyn_insts: u64,
+    /// Fault sites executed before this point (absolute).
+    pub(crate) fault_sites: u64,
+    /// Modelled cycles accumulated before this point.
+    pub(crate) cycles: u64,
+    /// Next instruction to execute.
+    pub(crate) ip: u32,
+    /// The whole register file, flags included.
+    pub(crate) regs: [u64; Reg::COUNT],
+    /// Output bytes emitted so far (restored from the golden output).
+    pub(crate) output_len: usize,
+    /// Cumulative dirty-page overlay against the base image.
+    pub(crate) pages: PageMap,
+}
+
+/// All snapshots from one golden machine run. Built once per cached
+/// golden, shared read-only across worker threads.
+pub struct AsmSnapshotSet {
+    pub(crate) base: Memory,
+    pub(crate) golden: MachResult,
+    pub(crate) interval: u64,
+    pub(crate) snaps: Vec<AsmSnapshot>,
+}
+
+impl AsmSnapshotSet {
+    /// The fault-free result of the capture run.
+    pub fn golden(&self) -> &MachResult {
+        &self.golden
+    }
+
+    /// Snapshot cadence in dynamic instructions.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of captured snapshots.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True when no snapshot was captured (program shorter than interval).
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// The last snapshot whose fault-site counter has not yet passed
+    /// `site_index`.
+    pub(crate) fn nearest(&self, site_index: u64) -> Option<&AsmSnapshot> {
+        let i = self.snaps.partition_point(|s| s.fault_sites <= site_index);
+        i.checked_sub(1).map(|i| &self.snaps[i])
+    }
+}
+
+/// Capture-side hook threaded through the machine's golden run.
+pub(crate) struct AsmSnapshotRecorder {
+    interval: u64,
+    next: u64,
+    pages: PageRecorder,
+    pub(crate) snaps: Vec<AsmSnapshot>,
+}
+
+impl AsmSnapshotRecorder {
+    pub(crate) fn new(interval: u64) -> AsmSnapshotRecorder {
+        assert!(interval > 0, "snapshot interval must be positive");
+        AsmSnapshotRecorder {
+            interval,
+            next: interval,
+            pages: PageRecorder::new(),
+            snaps: Vec::new(),
+        }
+    }
+
+    pub(crate) fn due(&self, dyn_insts: u64) -> bool {
+        dyn_insts >= self.next
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn capture(
+        &mut self,
+        dyn_insts: u64,
+        fault_sites: u64,
+        cycles: u64,
+        ip: u32,
+        regs: [u64; Reg::COUNT],
+        output_len: usize,
+        mem: &mut Memory,
+    ) {
+        let pages = self.pages.sync(mem);
+        self.snaps
+            .push(AsmSnapshot { dyn_insts, fault_sites, cycles, ip, regs, output_len, pages });
+        self.next = dyn_insts + self.interval;
+    }
+}
+
+/// Per-worker reusable buffers for machine trials: the scratch memory
+/// image (reset via dirty-page reverts) and the output buffer.
+#[derive(Default)]
+pub struct AsmScratch {
+    pub(crate) mem: Option<Memory>,
+    pub(crate) output: Vec<u8>,
+}
+
+impl AsmScratch {
+    pub fn new() -> AsmScratch {
+        AsmScratch::default()
+    }
+
+    /// Hand a trial's output buffer back for reuse once it has been
+    /// classified.
+    pub fn recycle_output(&mut self, mut output: Vec<u8>) {
+        output.clear();
+        self.output = output;
+    }
+}

@@ -31,6 +31,10 @@ pub struct ExperimentConfig {
     /// Backend knobs (ablation axes).
     #[serde(skip)]
     pub backend: BackendConfig,
+    /// Fast-forward trials from golden-run snapshots (bit-identical
+    /// results; default on — turn off to measure the speedup or to pin
+    /// down a suspected snapshot divergence).
+    pub snapshots: bool,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -48,6 +52,7 @@ impl Default for ExperimentConfig {
             ci_target: None,
             min_trials: 500,
             backend: BackendConfig::default(),
+            snapshots: true,
             verbose: false,
         }
     }
@@ -81,6 +86,7 @@ impl ExperimentConfig {
             seed: self.seed,
             threads: self.threads,
             double_bit: false,
+            snapshots: self.snapshots,
             exec: Default::default(),
         }
     }
@@ -91,6 +97,7 @@ impl ExperimentConfig {
             seed: self.seed,
             threads: self.threads,
             double_bit: false,
+            snapshots: self.snapshots,
             exec: Default::default(),
         }
     }
@@ -101,6 +108,7 @@ impl ExperimentConfig {
             seed: self.seed ^ 0x9E37_79B9,
             threads: self.threads,
             double_bit: false,
+            snapshots: self.snapshots,
             exec: Default::default(),
         }
     }

@@ -7,8 +7,8 @@
 //! over byte-identical programs share one golden execution, and the
 //! pipeline's overhead measurements reuse the campaign goldens for free.
 
-use flowery_backend::{print_program, AsmProgram, MachResult, Machine};
-use flowery_ir::interp::{ExecConfig, ExecResult, Interpreter};
+use flowery_backend::{print_program, AsmProgram, AsmSnapshotSet, MachResult, Machine};
+use flowery_ir::interp::{auto_interval, ExecConfig, ExecResult, Interpreter, IrSnapshotSet};
 use flowery_ir::printer::print_module;
 use flowery_ir::Module;
 use std::collections::HashMap;
@@ -41,6 +41,8 @@ pub fn program_hash(p: &AsmProgram) -> u64 {
 pub struct GoldenCache {
     ir: Mutex<HashMap<u64, Arc<ExecResult>>>,
     asm: Mutex<HashMap<u64, Arc<MachResult>>>,
+    ir_snaps: Mutex<HashMap<u64, Arc<IrSnapshotSet>>>,
+    asm_snaps: Mutex<HashMap<u64, Arc<AsmSnapshotSet>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -74,6 +76,38 @@ impl GoldenCache {
         let g = Arc::new(Machine::new(m, p).run(exec, None));
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.asm.lock().unwrap().entry(key).or_insert(g).clone()
+    }
+
+    /// Snapshot set for fast-forwarded IR trials over `m`, captured at most
+    /// once per distinct program content and shared across all units (and
+    /// worker threads) that run campaigns on that content. The cadence is
+    /// auto-tuned to the cached golden run's length.
+    pub fn ir_snapshots(&self, m: &Module, exec: &ExecConfig) -> Arc<IrSnapshotSet> {
+        let key = module_hash(m);
+        if let Some(s) = self.ir_snaps.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return s.clone();
+        }
+        // The capture run is budget-insensitive (fault-free, so it finishes
+        // within the golden instruction count); only the cadence needs the
+        // golden length.
+        let golden = self.ir_golden(m, exec);
+        let set = Arc::new(Interpreter::new(m).capture_snapshots(exec, auto_interval(golden.dyn_insts)));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.ir_snaps.lock().unwrap().entry(key).or_insert(set).clone()
+    }
+
+    /// Snapshot set for fast-forwarded assembly trials over `p`.
+    pub fn asm_snapshots(&self, m: &Module, p: &AsmProgram, exec: &ExecConfig) -> Arc<AsmSnapshotSet> {
+        let key = program_hash(p);
+        if let Some(s) = self.asm_snaps.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return s.clone();
+        }
+        let golden = self.asm_golden(m, p, exec);
+        let set = Arc::new(Machine::new(m, p).capture_snapshots(exec, auto_interval(golden.dyn_insts)));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.asm_snaps.lock().unwrap().entry(key).or_insert(set).clone()
     }
 
     pub fn hits(&self) -> u64 {
@@ -119,6 +153,23 @@ mod tests {
         let _ = cache.ir_golden(&c, &exec);
         assert_eq!(cache.misses(), 2);
         assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_sets_are_shared_by_content() {
+        let a = module(
+            "int main() { int i; int s = 0; for (i = 0; i < 900; i = i + 1) { s = s + i; } output(s); return 0; }",
+        );
+        let b = module(
+            "int main() { int i; int s = 0; for (i = 0; i < 900; i = i + 1) { s = s + i; } output(s); return 0; }",
+        );
+        let cache = GoldenCache::new();
+        let exec = ExecConfig::default();
+        let s1 = cache.ir_snapshots(&a, &exec);
+        let s2 = cache.ir_snapshots(&b, &exec);
+        assert!(Arc::ptr_eq(&s1, &s2), "same content must share one snapshot set");
+        assert!(!s1.is_empty(), "a multi-thousand-instruction run must snapshot");
+        assert_eq!(s1.golden().dyn_insts, cache.ir_golden(&a, &exec).dyn_insts);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct HarnessConfig {
     pub threads: usize,
     /// Two bit flips per fault instead of one.
     pub double_bit: bool,
+    /// Fast-forward trials from cached golden-run snapshots instead of
+    /// re-executing the golden prefix. Bit-identical results either way
+    /// (and therefore not part of the checkpoint header); default on.
+    pub snapshots: bool,
     pub exec: ExecConfig,
 }
 
@@ -61,6 +65,7 @@ impl Default for HarnessConfig {
             seed: 0x0F10_EE41,
             threads: 0,
             double_bit: false,
+            snapshots: true,
             exec: ExecConfig::default(),
         }
     }
@@ -151,6 +156,11 @@ struct BatchData {
     counts: OutcomeCounts,
     sdc_by_inst: HashMap<(FuncId, InstId), u64>,
     sdc_insts: Vec<u32>,
+    /// Golden-prefix instructions skipped by snapshot fast-forward.
+    /// Metrics-only: not checkpointed (replayed batches report 0).
+    ff_insts: u64,
+    /// Instructions actually executed.
+    exec_insts: u64,
 }
 
 struct UnitProgress {
@@ -245,7 +255,7 @@ impl Shared<'_> {
                 self.stop.store(true, Ordering::Relaxed);
             }
         }
-        self.metrics.record_batch(&data.counts, false);
+        self.metrics.record_batch(&data.counts, false, data.ff_insts, data.exec_insts);
         let st = &self.states[ui];
         st.recorded.fetch_add(1, Ordering::Relaxed);
         let newly_done = st.progress.lock().unwrap().insert(batch, data, self.cfg);
@@ -268,21 +278,30 @@ enum Runner<'u> {
 }
 
 impl<'u> Runner<'u> {
-    fn build(unit: &'u TrialUnit, cache: &GoldenCache, exec: &ExecConfig) -> Runner<'u> {
+    fn build(unit: &'u TrialUnit, cache: &GoldenCache, cfg: &HarnessConfig) -> Runner<'u> {
+        let exec = &cfg.exec;
         match unit.key.layer {
             Layer::Ir => {
                 let g = cache.ir_golden(&unit.module, exec);
-                Runner::Ir(IrTrialRunner::with_golden(&unit.module, (*g).clone(), exec))
+                let mut r = IrTrialRunner::with_golden(&unit.module, (*g).clone(), exec);
+                if cfg.snapshots {
+                    r.attach_snapshots(cache.ir_snapshots(&unit.module, exec));
+                }
+                Runner::Ir(r)
             }
             Layer::Asm => {
                 let p = unit.program.as_ref().expect("asm unit has a program");
                 let g = cache.asm_golden(&unit.module, p, exec);
-                Runner::Asm(AsmTrialRunner::with_golden(&unit.module, p, (*g).clone(), exec))
+                let mut r = AsmTrialRunner::with_golden(&unit.module, p, (*g).clone(), exec);
+                if cfg.snapshots {
+                    r.attach_snapshots(cache.asm_snapshots(&unit.module, p, exec));
+                }
+                Runner::Asm(r)
             }
         }
     }
 
-    fn run_batch(&self, cfg: &HarnessConfig, batch: u64) -> BatchData {
+    fn run_batch(&mut self, cfg: &HarnessConfig, batch: u64) -> BatchData {
         let start = batch * cfg.batch_size;
         let end = (start + cfg.batch_size).min(cfg.max_trials);
         let mut data = BatchData::default();
@@ -291,6 +310,8 @@ impl<'u> Runner<'u> {
                 Runner::Ir(r) => {
                     let t = r.run_trial(cfg.seed, i, cfg.double_bit);
                     data.counts.record(t.outcome);
+                    data.ff_insts += t.ff_insts;
+                    data.exec_insts += t.exec_insts;
                     if t.outcome == Outcome::Sdc {
                         if let Some(loc) = t.injected_at {
                             *data.sdc_by_inst.entry(loc).or_insert(0) += 1;
@@ -300,6 +321,8 @@ impl<'u> Runner<'u> {
                 Runner::Asm(r) => {
                     let t = r.run_trial(cfg.seed, i, cfg.double_bit);
                     data.counts.record(t.outcome);
+                    data.ff_insts += t.ff_insts;
+                    data.exec_insts += t.exec_insts;
                     if t.outcome == Outcome::Sdc {
                         if let Some(idx) = t.injected_inst {
                             data.sdc_insts.push(idx);
@@ -343,7 +366,7 @@ fn worker(windex: usize, sh: &Shared<'_>) {
         let Some((ui, b)) = claimed else { return };
         let runner = runners
             .entry(ui)
-            .or_insert_with(|| Runner::build(&sh.units[ui], sh.cache, &sh.cfg.exec));
+            .or_insert_with(|| Runner::build(&sh.units[ui], sh.cache, sh.cfg));
         let data = runner.run_batch(sh.cfg, b);
         sh.finish_batch(ui, b, data);
     }
@@ -410,12 +433,13 @@ pub fn run_units(
         if p.batches[rec.batch as usize].is_some() {
             continue;
         }
-        sh.metrics.record_batch(&rec.counts, true);
+        sh.metrics.record_batch(&rec.counts, true, 0, 0);
         st.recorded.fetch_add(1, Ordering::Relaxed);
         let data = BatchData {
             counts: rec.counts,
             sdc_by_inst: rec.sdc_by_inst.clone(),
             sdc_insts: rec.sdc_insts.clone(),
+            ..Default::default()
         };
         if p.insert(rec.batch, data, cfg) {
             st.done.store(true, Ordering::Relaxed);

@@ -17,6 +17,10 @@ pub struct Metrics {
     /// Batches satisfied from a checkpoint instead of being executed.
     batches_reused: AtomicU64,
     units_done: AtomicU64,
+    /// Golden-prefix instructions skipped by snapshot fast-forward.
+    ff_insts: AtomicU64,
+    /// Instructions actually executed by trials.
+    exec_insts: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -30,6 +34,8 @@ impl Default for Metrics {
             batches: AtomicU64::new(0),
             batches_reused: AtomicU64::new(0),
             units_done: AtomicU64::new(0),
+            ff_insts: AtomicU64::new(0),
+            exec_insts: AtomicU64::new(0),
         }
     }
 }
@@ -39,12 +45,17 @@ impl Metrics {
         Metrics::default()
     }
 
-    pub fn record_batch(&self, counts: &OutcomeCounts, reused: bool) {
+    /// `ff_insts`/`exec_insts` are the batch's skipped/executed dynamic
+    /// instruction totals (0 for checkpoint-replayed batches, which did
+    /// their work in an earlier run).
+    pub fn record_batch(&self, counts: &OutcomeCounts, reused: bool, ff_insts: u64, exec_insts: u64) {
         self.benign.fetch_add(counts.benign, Ordering::Relaxed);
         self.sdc.fetch_add(counts.sdc, Ordering::Relaxed);
         self.detected.fetch_add(counts.detected, Ordering::Relaxed);
         self.due.fetch_add(counts.due, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.ff_insts.fetch_add(ff_insts, Ordering::Relaxed);
+        self.exec_insts.fetch_add(exec_insts, Ordering::Relaxed);
         if reused {
             self.batches_reused.fetch_add(1, Ordering::Relaxed);
         }
@@ -74,6 +85,9 @@ impl Metrics {
         let trials = counts.total();
         let rate = if elapsed > 0.0 { trials as f64 / elapsed } else { 0.0 };
         let lookups = cache_hits + cache_misses;
+        let ff_insts = self.ff_insts.load(Ordering::Relaxed);
+        let exec_insts = self.exec_insts.load(Ordering::Relaxed);
+        let work = ff_insts + exec_insts;
         MetricsSnapshot {
             elapsed_secs: elapsed,
             trials,
@@ -88,6 +102,9 @@ impl Metrics {
             cache_hits,
             cache_misses,
             cache_hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
+            ff_insts,
+            exec_insts,
+            ff_ratio: if work == 0 { 0.0 } else { ff_insts as f64 / work as f64 },
         }
     }
 }
@@ -110,6 +127,13 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_hit_rate: f64,
+    /// Golden-prefix instructions skipped by snapshot fast-forward.
+    pub ff_insts: u64,
+    /// Instructions actually executed by trials.
+    pub exec_insts: u64,
+    /// Fraction of total trial work (skipped + executed) that snapshot
+    /// fast-forward avoided re-executing.
+    pub ff_ratio: f64,
 }
 
 impl MetricsSnapshot {
@@ -120,7 +144,7 @@ impl MetricsSnapshot {
             _ => String::new(),
         };
         format!(
-            "{}/{} units | {} trials @ {:.0}/s | sdc {} due {} det {} | cache {:.0}%{}",
+            "{}/{} units | {} trials @ {:.0}/s | sdc {} due {} det {} | cache {:.0}% ff {:.0}%{}",
             self.units_done,
             self.units_total,
             self.trials,
@@ -129,6 +153,7 @@ impl MetricsSnapshot {
             self.counts.due,
             self.counts.detected,
             self.cache_hit_rate * 100.0,
+            self.ff_ratio * 100.0,
             eta
         )
     }
@@ -142,8 +167,8 @@ mod tests {
     fn snapshot_aggregates_counters() {
         let m = Metrics::new();
         let c = OutcomeCounts { benign: 7, sdc: 2, detected: 1, due: 0 };
-        m.record_batch(&c, false);
-        m.record_batch(&c, true);
+        m.record_batch(&c, false, 300, 100);
+        m.record_batch(&c, true, 0, 0);
         m.record_unit_done();
         let s = m.snapshot(4, 100, 3, 1);
         assert_eq!(s.trials, 20);
@@ -153,6 +178,9 @@ mod tests {
         assert_eq!(s.units_done, 1);
         assert_eq!(s.units_total, 4);
         assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(s.ff_insts, 300);
+        assert_eq!(s.exec_insts, 100);
+        assert!((s.ff_ratio - 0.75).abs() < 1e-12);
         assert!(s.trials_per_sec >= 0.0);
         assert!(!s.render().is_empty());
     }

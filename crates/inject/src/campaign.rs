@@ -10,8 +10,8 @@
 //! here remain the convenient single-campaign entry points.
 
 use crate::outcome::{classify, Outcome, OutcomeCounts};
-use flowery_backend::{AsmFaultSpec, AsmProgram, MachResult, Machine};
-use flowery_ir::interp::{ExecConfig, ExecResult, FaultSpec, Interpreter};
+use flowery_backend::{AsmFaultSpec, AsmProgram, AsmScratch, AsmSnapshotSet, MachResult, Machine};
+use flowery_ir::interp::{auto_interval, ExecConfig, ExecResult, FaultSpec, Interpreter, IrScratch, IrSnapshotSet};
 use flowery_ir::module::Module;
 use flowery_ir::value::{FuncId, InstId};
 use rand::rngs::SmallRng;
@@ -19,6 +19,7 @@ use rand::{splitmix64, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +34,9 @@ pub struct CampaignConfig {
     /// multi-bit model the paper cites in §2.2; default off = the standard
     /// single-bit datapath model).
     pub double_bit: bool,
+    /// Fast-forward trials from golden-run snapshots instead of
+    /// re-executing the golden prefix (bit-identical results; default on).
+    pub snapshots: bool,
     /// Execution limits for each run.
     pub exec: ExecConfig,
 }
@@ -44,6 +48,7 @@ impl Default for CampaignConfig {
             seed: 0x0F10_EE41,
             threads: 0,
             double_bit: false,
+            snapshots: true,
             exec: ExecConfig::default(),
         }
     }
@@ -73,6 +78,11 @@ pub struct IrCampaign {
     pub golden_dyn_insts: u64,
     /// Golden-run fault-site count.
     pub golden_sites: u64,
+    /// Golden-prefix instructions skipped across all trials by snapshot
+    /// fast-forward (0 when snapshots are disabled).
+    pub ff_insts: u64,
+    /// Instructions actually executed across all trials.
+    pub exec_insts: u64,
 }
 
 /// Result of an assembly-level campaign.
@@ -85,6 +95,11 @@ pub struct AsmCampaign {
     pub golden_dyn_insts: u64,
     pub golden_sites: u64,
     pub golden_cycles: u64,
+    /// Golden-prefix instructions skipped across all trials by snapshot
+    /// fast-forward (0 when snapshots are disabled).
+    pub ff_insts: u64,
+    /// Instructions actually executed across all trials.
+    pub exec_insts: u64,
 }
 
 /// Layer-domain separators folded into per-trial seeds so the IR and
@@ -127,6 +142,10 @@ pub struct IrTrialOutcome {
     pub outcome: Outcome,
     /// Static location of the injection when it landed.
     pub injected_at: Option<(FuncId, InstId)>,
+    /// Golden-prefix instructions skipped by snapshot fast-forward.
+    pub ff_insts: u64,
+    /// Instructions actually executed by this trial.
+    pub exec_insts: u64,
 }
 
 /// Outcome of one assembly-level trial.
@@ -135,6 +154,10 @@ pub struct AsmTrialOutcome {
     pub outcome: Outcome,
     /// Program instruction index of the injection when it landed.
     pub injected_inst: Option<u32>,
+    /// Golden-prefix instructions skipped by snapshot fast-forward.
+    pub ff_insts: u64,
+    /// Instructions actually executed by this trial.
+    pub exec_insts: u64,
 }
 
 /// Reusable single-trial executor for IR-level injections. Construct once
@@ -145,6 +168,11 @@ pub struct IrTrialRunner<'m> {
     golden: ExecResult,
     exec: ExecConfig,
     sites: u64,
+    /// Golden-run snapshots for fast-forwarded trials (shared read-only
+    /// across the worker threads of a campaign).
+    snapshots: Option<Arc<IrSnapshotSet>>,
+    /// Per-runner reusable memory image, output buffer, and frame pool.
+    scratch: IrScratch,
 }
 
 impl<'m> IrTrialRunner<'m> {
@@ -167,7 +195,14 @@ impl<'m> IrTrialRunner<'m> {
             max_dyn_insts: golden.dyn_insts.saturating_mul(4).max(100_000),
             ..exec.clone()
         };
-        IrTrialRunner { interp: Interpreter::new(module), golden, exec, sites }
+        IrTrialRunner {
+            interp: Interpreter::new(module),
+            golden,
+            exec,
+            sites,
+            snapshots: None,
+            scratch: IrScratch::new(),
+        }
     }
 
     pub fn golden(&self) -> &ExecResult {
@@ -178,12 +213,51 @@ impl<'m> IrTrialRunner<'m> {
         self.sites
     }
 
+    /// Capture a snapshot set from this runner's golden execution, with the
+    /// cadence auto-tuned to its length. The set can be shared across the
+    /// campaign's worker threads via [`IrTrialRunner::attach_snapshots`].
+    pub fn build_snapshots(&self) -> IrSnapshotSet {
+        let set = self.interp.capture_snapshots(&self.exec, auto_interval(self.golden.dyn_insts));
+        debug_assert_eq!(set.golden().dyn_insts, self.golden.dyn_insts, "capture run diverged from golden");
+        debug_assert_eq!(set.golden().output, self.golden.output, "capture run diverged from golden");
+        set
+    }
+
+    /// Fast-forward subsequent trials from `set`. The set must stem from
+    /// the same program content as this runner's golden run.
+    pub fn attach_snapshots(&mut self, set: Arc<IrSnapshotSet>) {
+        debug_assert_eq!(set.golden().dyn_insts, self.golden.dyn_insts, "snapshot set golden mismatch");
+        debug_assert_eq!(set.golden().fault_sites, self.golden.fault_sites, "snapshot set golden mismatch");
+        self.snapshots = Some(set);
+    }
+
+    /// Capture and attach in one step (single-threaded convenience).
+    pub fn enable_snapshots(&mut self) {
+        let set = Arc::new(self.build_snapshots());
+        self.attach_snapshots(set);
+    }
+
+    /// The attached snapshot set, for sharing with sibling runners.
+    pub fn snapshots(&self) -> Option<Arc<IrSnapshotSet>> {
+        self.snapshots.clone()
+    }
+
     /// Execute trial `trial_index` of the campaign identified by `seed`.
-    pub fn run_trial(&self, seed: u64, trial_index: u64, double_bit: bool) -> IrTrialOutcome {
+    pub fn run_trial(&mut self, seed: u64, trial_index: u64, double_bit: bool) -> IrTrialOutcome {
         let spec = ir_fault_spec(seed, trial_index, self.sites, double_bit);
-        let r = self.interp.run(&self.exec, Some(spec));
+        let (r, skipped) = match self.snapshots.clone() {
+            Some(set) => self.interp.run_fast_forward(&self.exec, spec, &set, &mut self.scratch),
+            None => (self.interp.run_scratch(&self.exec, Some(spec), &mut self.scratch), 0),
+        };
         let outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
-        IrTrialOutcome { outcome, injected_at: r.injected_at }
+        let out = IrTrialOutcome {
+            outcome,
+            injected_at: r.injected_at,
+            ff_insts: skipped,
+            exec_insts: r.dyn_insts - skipped,
+        };
+        self.scratch.recycle_output(r.output);
+        out
     }
 }
 
@@ -193,6 +267,10 @@ pub struct AsmTrialRunner<'p> {
     golden: MachResult,
     exec: ExecConfig,
     sites: u64,
+    /// Golden-run snapshots for fast-forwarded trials.
+    snapshots: Option<Arc<AsmSnapshotSet>>,
+    /// Per-runner reusable memory image and output buffer.
+    scratch: AsmScratch,
 }
 
 impl<'p> AsmTrialRunner<'p> {
@@ -215,7 +293,14 @@ impl<'p> AsmTrialRunner<'p> {
             max_dyn_insts: golden.dyn_insts.saturating_mul(4).max(100_000),
             ..exec.clone()
         };
-        AsmTrialRunner { mach: Machine::new(module, program), golden, exec, sites }
+        AsmTrialRunner {
+            mach: Machine::new(module, program),
+            golden,
+            exec,
+            sites,
+            snapshots: None,
+            scratch: AsmScratch::new(),
+        }
     }
 
     pub fn golden(&self) -> &MachResult {
@@ -226,11 +311,48 @@ impl<'p> AsmTrialRunner<'p> {
         self.sites
     }
 
-    pub fn run_trial(&self, seed: u64, trial_index: u64, double_bit: bool) -> AsmTrialOutcome {
+    /// Capture a snapshot set from this runner's golden execution, with the
+    /// cadence auto-tuned to its length.
+    pub fn build_snapshots(&self) -> AsmSnapshotSet {
+        let set = self.mach.capture_snapshots(&self.exec, auto_interval(self.golden.dyn_insts));
+        debug_assert_eq!(set.golden().dyn_insts, self.golden.dyn_insts, "capture run diverged from golden");
+        debug_assert_eq!(set.golden().output, self.golden.output, "capture run diverged from golden");
+        set
+    }
+
+    /// Fast-forward subsequent trials from `set`.
+    pub fn attach_snapshots(&mut self, set: Arc<AsmSnapshotSet>) {
+        debug_assert_eq!(set.golden().dyn_insts, self.golden.dyn_insts, "snapshot set golden mismatch");
+        debug_assert_eq!(set.golden().fault_sites, self.golden.fault_sites, "snapshot set golden mismatch");
+        self.snapshots = Some(set);
+    }
+
+    /// Capture and attach in one step (single-threaded convenience).
+    pub fn enable_snapshots(&mut self) {
+        let set = Arc::new(self.build_snapshots());
+        self.attach_snapshots(set);
+    }
+
+    /// The attached snapshot set, for sharing with sibling runners.
+    pub fn snapshots(&self) -> Option<Arc<AsmSnapshotSet>> {
+        self.snapshots.clone()
+    }
+
+    pub fn run_trial(&mut self, seed: u64, trial_index: u64, double_bit: bool) -> AsmTrialOutcome {
         let spec = asm_fault_spec(seed, trial_index, self.sites, double_bit);
-        let r = self.mach.run(&self.exec, Some(spec));
+        let (r, skipped) = match self.snapshots.clone() {
+            Some(set) => self.mach.run_fast_forward(&self.exec, spec, &set, &mut self.scratch),
+            None => (self.mach.run_scratch(&self.exec, Some(spec), &mut self.scratch), 0),
+        };
         let outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
-        AsmTrialOutcome { outcome, injected_inst: r.injected_inst }
+        let out = AsmTrialOutcome {
+            outcome,
+            injected_inst: r.injected_inst,
+            ff_insts: skipped,
+            exec_insts: r.dyn_insts - skipped,
+        };
+        self.scratch.recycle_output(r.output);
+        out
     }
 }
 
@@ -274,12 +396,18 @@ fn for_each_trial<R, W>(
 /// Run an IR-level ("LLVM level") campaign.
 pub fn run_ir_campaign(m: &Module, cfg: &CampaignConfig) -> IrCampaign {
     let runner = IrTrialRunner::new(m, &cfg.exec);
+    // Snapshots are captured once from the golden run and shared read-only
+    // across every worker's runner.
+    let snaps = cfg.snapshots.then(|| Arc::new(runner.build_snapshots()));
     let results = std::sync::Mutex::new(Vec::<(u64, IrTrialOutcome)>::with_capacity(cfg.trials as usize));
     for_each_trial(
         cfg.trials,
         cfg.effective_threads(),
         || {
-            let local = IrTrialRunner::with_golden(m, runner.golden().clone(), &cfg.exec);
+            let mut local = IrTrialRunner::with_golden(m, runner.golden().clone(), &cfg.exec);
+            if let Some(set) = &snaps {
+                local.attach_snapshots(set.clone());
+            }
             let seed = cfg.seed;
             let double_bit = cfg.double_bit;
             move |i| local.run_trial(seed, i, double_bit)
@@ -292,8 +420,11 @@ pub fn run_ir_campaign(m: &Module, cfg: &CampaignConfig) -> IrCampaign {
 
     let mut counts = OutcomeCounts::default();
     let mut sdc_by_inst: HashMap<(FuncId, InstId), u64> = HashMap::new();
+    let (mut ff_insts, mut exec_insts) = (0u64, 0u64);
     for (_, t) in &results {
         counts.record(t.outcome);
+        ff_insts += t.ff_insts;
+        exec_insts += t.exec_insts;
         if t.outcome == Outcome::Sdc {
             if let Some(loc) = t.injected_at {
                 *sdc_by_inst.entry(loc).or_insert(0) += 1;
@@ -305,18 +436,24 @@ pub fn run_ir_campaign(m: &Module, cfg: &CampaignConfig) -> IrCampaign {
         sdc_by_inst,
         golden_dyn_insts: runner.golden().dyn_insts,
         golden_sites: runner.sites(),
+        ff_insts,
+        exec_insts,
     }
 }
 
 /// Run an assembly-level campaign on a compiled program.
 pub fn run_asm_campaign(m: &Module, program: &AsmProgram, cfg: &CampaignConfig) -> AsmCampaign {
     let runner = AsmTrialRunner::new(m, program, &cfg.exec);
+    let snaps = cfg.snapshots.then(|| Arc::new(runner.build_snapshots()));
     let results = std::sync::Mutex::new(Vec::<(u64, AsmTrialOutcome)>::with_capacity(cfg.trials as usize));
     for_each_trial(
         cfg.trials,
         cfg.effective_threads(),
         || {
-            let local = AsmTrialRunner::with_golden(m, program, runner.golden().clone(), &cfg.exec);
+            let mut local = AsmTrialRunner::with_golden(m, program, runner.golden().clone(), &cfg.exec);
+            if let Some(set) = &snaps {
+                local.attach_snapshots(set.clone());
+            }
             let seed = cfg.seed;
             let double_bit = cfg.double_bit;
             move |i| local.run_trial(seed, i, double_bit)
@@ -328,8 +465,11 @@ pub fn run_asm_campaign(m: &Module, program: &AsmProgram, cfg: &CampaignConfig) 
 
     let mut counts = OutcomeCounts::default();
     let mut sdc_insts = Vec::new();
+    let (mut ff_insts, mut exec_insts) = (0u64, 0u64);
     for (_, t) in &results {
         counts.record(t.outcome);
+        ff_insts += t.ff_insts;
+        exec_insts += t.exec_insts;
         if t.outcome == Outcome::Sdc {
             if let Some(idx) = t.injected_inst {
                 sdc_insts.push(idx);
@@ -342,6 +482,8 @@ pub fn run_asm_campaign(m: &Module, program: &AsmProgram, cfg: &CampaignConfig) 
         golden_dyn_insts: runner.golden().dyn_insts,
         golden_sites: runner.sites(),
         golden_cycles: runner.golden().cycles,
+        ff_insts,
+        exec_insts,
     }
 }
 
@@ -392,6 +534,38 @@ mod tests {
         let a4 = run_asm_campaign(&m, &prog, &c4);
         assert_eq!(a1.counts, a4.counts);
         assert_eq!(a1.sdc_insts, a4.sdc_insts);
+    }
+
+    #[test]
+    fn snapshot_campaigns_match_scratch_campaigns() {
+        // Long enough that the auto-tuned cadence (>= 512 insts) captures
+        // snapshots; the short `module()` program finishes before the first.
+        let m = flowery_lang::compile(
+            "t",
+            "int main() { int s = 0; int i; for (i = 0; i < 1500; i = i + 1) { s = s + i * i; } output(s); return s % 251; }",
+        )
+        .unwrap();
+        let mut on = CampaignConfig::with_trials(200);
+        on.threads = 2;
+        let mut off = on.clone();
+        off.snapshots = false;
+        let r_on = run_ir_campaign(&m, &on);
+        let r_off = run_ir_campaign(&m, &off);
+        assert_eq!(r_on.counts, r_off.counts);
+        assert_eq!(r_on.sdc_by_inst, r_off.sdc_by_inst);
+        // Fast-forward must actually skip work, and the totals must agree:
+        // a trial's skipped + executed instructions is independent of path.
+        assert!(r_on.ff_insts > 0, "expected fast-forwarded instructions");
+        assert_eq!(r_off.ff_insts, 0);
+        assert_eq!(r_on.ff_insts + r_on.exec_insts, r_off.exec_insts);
+
+        let prog = flowery_backend::compile_module(&m, &flowery_backend::BackendConfig::default());
+        let a_on = run_asm_campaign(&m, &prog, &on);
+        let a_off = run_asm_campaign(&m, &prog, &off);
+        assert_eq!(a_on.counts, a_off.counts);
+        assert_eq!(a_on.sdc_insts, a_off.sdc_insts);
+        assert!(a_on.ff_insts > 0);
+        assert_eq!(a_on.ff_insts + a_on.exec_insts, a_off.exec_insts);
     }
 
     #[test]

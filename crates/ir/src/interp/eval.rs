@@ -1,27 +1,100 @@
 //! The evaluation engine: an explicit-stack interpreter over verified IR.
 
 use crate::inst::{Callee, InstKind, Intrinsic, Terminator};
-use crate::interp::memory::{align_up, Memory, TrapKind};
+use crate::interp::memory::{align_up, Memory, PageMap, TrapKind};
 use crate::interp::ops;
+use crate::interp::snapshot::{IrScratch, IrSnapshotSet, SnapshotRecorder};
 use crate::interp::{ExecConfig, ExecResult, ExecStatus, FaultSpec, Profile, TAG_BYTE, TAG_F64, TAG_I64};
 use crate::module::Module;
 use crate::types::Type;
 use crate::value::{BlockId, FuncId, InstId, Op, Value};
 
-/// One activation record.
-struct Frame {
-    func: FuncId,
-    block: BlockId,
+/// One activation record. `Clone` deep-copies the value/param vectors —
+/// used when a snapshot captures the call stack.
+#[derive(Clone)]
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
+    pub(crate) block: BlockId,
     /// Index of the next instruction within the block.
-    ip: usize,
+    pub(crate) ip: usize,
     /// Result slots, one per instruction-arena entry (canonical bits).
-    values: Vec<u64>,
+    pub(crate) values: Vec<u64>,
     /// Parameter values.
-    params: Vec<u64>,
+    pub(crate) params: Vec<u64>,
     /// Stack pointer to restore when this frame returns.
-    saved_sp: u64,
+    pub(crate) saved_sp: u64,
     /// Instruction in the *caller* that receives the return value.
-    ret_dest: Option<InstId>,
+    pub(crate) ret_dest: Option<InstId>,
+}
+
+/// Recycles frame value/param buffers (and the stack vector itself) across
+/// calls and across trials, so steady-state execution allocates nothing.
+#[derive(Default)]
+pub(crate) struct FramePool {
+    bufs: Vec<Vec<u64>>,
+    stacks: Vec<Vec<Frame>>,
+}
+
+impl FramePool {
+    /// An empty buffer, reusing a retired one when available.
+    fn take_buf(&mut self) -> Vec<u64> {
+        let mut v = self.bufs.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// A zero-filled buffer of length `n`.
+    fn take_zeroed(&mut self, n: usize) -> Vec<u64> {
+        let mut v = self.take_buf();
+        v.resize(n, 0);
+        v
+    }
+
+    /// A copy of `src` in a recycled buffer.
+    fn take_copy(&mut self, src: &[u64]) -> Vec<u64> {
+        let mut v = self.take_buf();
+        v.extend_from_slice(src);
+        v
+    }
+
+    fn free_frame(&mut self, f: Frame) {
+        self.bufs.push(f.values);
+        self.bufs.push(f.params);
+    }
+
+    fn take_stack(&mut self) -> Vec<Frame> {
+        self.stacks.pop().unwrap_or_default()
+    }
+
+    fn free_stack(&mut self, mut s: Vec<Frame>) {
+        for f in s.drain(..) {
+            self.free_frame(f);
+        }
+        self.stacks.push(s);
+    }
+
+    /// Deep-copy a snapshot's call stack into recycled buffers.
+    pub(crate) fn clone_stack(&mut self, src: &[Frame]) -> Vec<Frame> {
+        let mut s = self.take_stack();
+        for f in src {
+            let values = self.take_copy(&f.values);
+            let params = self.take_copy(&f.params);
+            s.push(Frame { values, params, ..*f });
+        }
+        s
+    }
+}
+
+/// Everything mutable a run starts from — either fresh program state or a
+/// restored snapshot. All counters are absolute, which is what makes
+/// restored runs bit-identical to scratch runs.
+struct ExecInit {
+    mem: Memory,
+    sp: u64,
+    output: Vec<u8>,
+    dyn_insts: u64,
+    fault_sites: u64,
+    stack: Vec<Frame>,
 }
 
 /// Interpreter for one module. Reusable across runs; each [`Interpreter::run`]
@@ -39,12 +112,118 @@ impl<'m> Interpreter<'m> {
     /// Execute `main` to completion under `config`, optionally injecting a
     /// fault.
     pub fn run(&self, config: &ExecConfig, fault: Option<FaultSpec>) -> ExecResult {
+        let mut pool = FramePool::default();
+        let mem = Memory::new(self.module, config.mem_size, config.stack_size);
+        let init = self.fresh_init(mem, Vec::new(), &mut pool);
+        self.exec(config, fault, init, None, &mut pool).0
+    }
+
+    /// Like [`Interpreter::run`], but reuses `scratch`'s output buffer and
+    /// frame pool across trials. Memory is still built fresh — only the
+    /// snapshot path ([`Interpreter::run_fast_forward`]) can reuse it.
+    pub fn run_scratch(&self, config: &ExecConfig, fault: Option<FaultSpec>, scratch: &mut IrScratch) -> ExecResult {
+        let mem = Memory::new(self.module, config.mem_size, config.stack_size);
+        let output = std::mem::take(&mut scratch.output);
+        let init = self.fresh_init(mem, output, &mut scratch.pool);
+        self.exec(config, fault, init, None, &mut scratch.pool).0
+    }
+
+    /// One fault-free run that captures a snapshot every `interval` dynamic
+    /// instructions (see [`crate::interp::snapshot::auto_interval`]).
+    /// Profiling is forced off: snapshots are for trial execution, and
+    /// per-instruction counts would not survive a mid-run restore.
+    pub fn capture_snapshots(&self, config: &ExecConfig, interval: u64) -> IrSnapshotSet {
+        let cfg = ExecConfig { profile: false, ..config.clone() };
+        let base = Memory::new(self.module, cfg.mem_size, cfg.stack_size);
+        let mut pool = FramePool::default();
+        let mut rec = SnapshotRecorder::new(interval);
+        let init = self.fresh_init(base.clone(), Vec::new(), &mut pool);
+        let (golden, _mem) = self.exec(&cfg, None, init, Some(&mut rec), &mut pool);
+        IrSnapshotSet { base, golden, interval, snaps: rec.snaps }
+    }
+
+    /// Run one faulty trial, restoring the nearest snapshot at-or-before
+    /// the injection site instead of executing the golden prefix. Returns
+    /// the result plus the number of dynamic instructions skipped.
+    ///
+    /// The result is bit-identical to `run(config, Some(fault))`.
+    pub fn run_fast_forward(
+        &self,
+        config: &ExecConfig,
+        fault: FaultSpec,
+        set: &IrSnapshotSet,
+        scratch: &mut IrScratch,
+    ) -> (ExecResult, u64) {
+        assert!(!config.profile, "fast-forward does not support profiling");
+        let mut mem = scratch
+            .mem
+            .take()
+            .filter(|m| m.size() == set.base.size())
+            .unwrap_or_else(|| set.base.clone());
+        let mut output = std::mem::take(&mut scratch.output);
+        output.clear();
+        let init = match set.nearest(fault.site_index) {
+            Some(snap) => {
+                mem.reset_to(&set.base, &snap.pages);
+                output.extend_from_slice(&set.golden.output[..snap.output_len]);
+                ExecInit {
+                    mem,
+                    sp: snap.sp,
+                    output,
+                    dyn_insts: snap.dyn_insts,
+                    fault_sites: snap.fault_sites,
+                    stack: scratch.pool.clone_stack(&snap.stack),
+                }
+            }
+            None => {
+                // Site earlier than the first snapshot: run from the start,
+                // but still reuse the scratch image via a dirty-page reset.
+                mem.reset_to(&set.base, &PageMap::new());
+                self.fresh_init(mem, output, &mut scratch.pool)
+            }
+        };
+        let skipped = init.dyn_insts;
+        let (res, mem) = self.exec(config, Some(fault), init, None, &mut scratch.pool);
+        scratch.mem = Some(mem);
+        (res, skipped)
+    }
+
+    fn fresh_init(&self, mem: Memory, mut output: Vec<u8>, pool: &mut FramePool) -> ExecInit {
         let main = self.module.main_func().expect("module has no @main");
-        let mut mem = Memory::new(self.module, config.mem_size, config.stack_size);
-        let mut sp = mem.initial_sp();
-        let mut output: Vec<u8> = Vec::new();
-        let mut dyn_insts: u64 = 0;
-        let mut fault_sites: u64 = 0;
+        let sp = mem.initial_sp();
+        output.clear();
+        let mut stack = pool.take_stack();
+        stack.push(Frame {
+            func: main,
+            block: BlockId(0),
+            ip: 0,
+            values: pool.take_zeroed(self.module.func(main).insts.len()),
+            params: pool.take_buf(),
+            saved_sp: sp,
+            ret_dest: None,
+        });
+        ExecInit { mem, sp, output, dyn_insts: 0, fault_sites: 0, stack }
+    }
+
+    /// The dispatch loop. Starts from `init` (fresh or restored), optionally
+    /// capturing snapshots into `recorder`. Returns the result plus the
+    /// memory image so callers can recycle it.
+    fn exec(
+        &self,
+        config: &ExecConfig,
+        fault: Option<FaultSpec>,
+        init: ExecInit,
+        mut recorder: Option<&mut SnapshotRecorder>,
+        pool: &mut FramePool,
+    ) -> (ExecResult, Memory) {
+        let ExecInit {
+            mut mem,
+            mut sp,
+            mut output,
+            mut dyn_insts,
+            mut fault_sites,
+            mut stack,
+        } = init;
         let mut injected_at: Option<(FuncId, InstId)> = None;
         let mut profile = if config.profile {
             Some(Profile {
@@ -54,42 +233,18 @@ impl<'m> Interpreter<'m> {
             None
         };
 
-        let mut stack: Vec<Frame> = Vec::new();
-        stack.push(Frame {
-            func: main,
-            block: BlockId(0),
-            ip: 0,
-            values: vec![0; self.module.func(main).insts.len()],
-            params: Vec::new(),
-            saved_sp: sp,
-            ret_dest: None,
-        });
+        let status = 'exec: loop {
+            // ---- snapshot hook: state here is "dyn_insts executed, the
+            // instruction with index dyn_insts not yet started" -----------
+            if let Some(rec) = recorder.as_deref_mut() {
+                if rec.due(dyn_insts) {
+                    rec.capture(dyn_insts, fault_sites, sp, output.len(), &stack, &mut mem);
+                }
+            }
 
-        let finish = |status: ExecStatus,
-                      output: Vec<u8>,
-                      dyn_insts: u64,
-                      fault_sites: u64,
-                      injected_at: Option<(FuncId, InstId)>,
-                      profile: Option<Profile>| ExecResult {
-            status,
-            output,
-            dyn_insts,
-            fault_sites,
-            injected_at,
-            profile,
-        };
-
-        loop {
             dyn_insts += 1;
             if dyn_insts > config.max_dyn_insts {
-                return finish(
-                    ExecStatus::Trapped(TrapKind::InstLimit),
-                    output,
-                    dyn_insts,
-                    fault_sites,
-                    injected_at,
-                    profile,
-                );
+                break 'exec ExecStatus::Trapped(TrapKind::InstLimit);
             }
 
             let depth = stack.len();
@@ -119,14 +274,7 @@ impl<'m> Interpreter<'m> {
                         sp = sp.saturating_sub(bytes);
                         sp &= !(elem.align() - 1);
                         if sp < mem.stack_limit() {
-                            return finish(
-                                ExecStatus::Trapped(TrapKind::StackOverflow),
-                                output,
-                                dyn_insts,
-                                fault_sites,
-                                injected_at,
-                                profile,
-                            );
+                            break 'exec ExecStatus::Trapped(TrapKind::StackOverflow);
                         }
                         Some(sp)
                     }
@@ -134,30 +282,14 @@ impl<'m> Interpreter<'m> {
                         let addr = opv!(*ptr);
                         match mem.load_ty(addr, *ty) {
                             Ok(v) => Some(v),
-                            Err(t) => {
-                                return finish(
-                                    ExecStatus::Trapped(t),
-                                    output,
-                                    dyn_insts,
-                                    fault_sites,
-                                    injected_at,
-                                    profile,
-                                )
-                            }
+                            Err(t) => break 'exec ExecStatus::Trapped(t),
                         }
                     }
                     InstKind::Store { val, ptr, ty } => {
                         let v = opv!(*val);
                         let addr = opv!(*ptr);
                         if let Err(t) = mem.store_ty(addr, *ty, v) {
-                            return finish(
-                                ExecStatus::Trapped(t),
-                                output,
-                                dyn_insts,
-                                fault_sites,
-                                injected_at,
-                                profile,
-                            );
+                            break 'exec ExecStatus::Trapped(t);
                         }
                         None
                     }
@@ -165,16 +297,7 @@ impl<'m> Interpreter<'m> {
                         let (a, b) = (opv!(*lhs), opv!(*rhs));
                         match ops::eval_bin(*op, *ty, a, b) {
                             Ok(v) => Some(v),
-                            Err(t) => {
-                                return finish(
-                                    ExecStatus::Trapped(t),
-                                    output,
-                                    dyn_insts,
-                                    fault_sites,
-                                    injected_at,
-                                    profile,
-                                )
-                            }
+                            Err(t) => break 'exec ExecStatus::Trapped(t),
                         }
                     }
                     InstKind::ICmp { pred, ty, lhs, rhs } => Some(ops::eval_icmp(*pred, *ty, opv!(*lhs), opv!(*rhs))),
@@ -192,14 +315,7 @@ impl<'m> Interpreter<'m> {
                                 output.push(TAG_I64);
                                 output.extend_from_slice(&opv!(args[0]).to_le_bytes());
                                 if output.len() > config.max_output {
-                                    return finish(
-                                        ExecStatus::Trapped(TrapKind::OutputFlood),
-                                        output,
-                                        dyn_insts,
-                                        fault_sites,
-                                        injected_at,
-                                        profile,
-                                    );
+                                    break 'exec ExecStatus::Trapped(TrapKind::OutputFlood);
                                 }
                                 None
                             }
@@ -207,14 +323,7 @@ impl<'m> Interpreter<'m> {
                                 output.push(TAG_F64);
                                 output.extend_from_slice(&opv!(args[0]).to_le_bytes());
                                 if output.len() > config.max_output {
-                                    return finish(
-                                        ExecStatus::Trapped(TrapKind::OutputFlood),
-                                        output,
-                                        dyn_insts,
-                                        fault_sites,
-                                        injected_at,
-                                        profile,
-                                    );
+                                    break 'exec ExecStatus::Trapped(TrapKind::OutputFlood);
                                 }
                                 None
                             }
@@ -222,27 +331,11 @@ impl<'m> Interpreter<'m> {
                                 output.push(TAG_BYTE);
                                 output.push(opv!(args[0]) as u8);
                                 if output.len() > config.max_output {
-                                    return finish(
-                                        ExecStatus::Trapped(TrapKind::OutputFlood),
-                                        output,
-                                        dyn_insts,
-                                        fault_sites,
-                                        injected_at,
-                                        profile,
-                                    );
+                                    break 'exec ExecStatus::Trapped(TrapKind::OutputFlood);
                                 }
                                 None
                             }
-                            Intrinsic::DetectError => {
-                                return finish(
-                                    ExecStatus::Detected,
-                                    output,
-                                    dyn_insts,
-                                    fault_sites,
-                                    injected_at,
-                                    profile,
-                                )
-                            }
+                            Intrinsic::DetectError => break 'exec ExecStatus::Detected,
                             math => {
                                 let vals: Vec<u64> = args.iter().map(|a| opv!(*a)).collect();
                                 Some(ops::eval_math(*math, &vals))
@@ -252,29 +345,26 @@ impl<'m> Interpreter<'m> {
                             // Push a frame; the call instruction id receives the
                             // return value when the callee returns.
                             if depth >= config.max_call_depth {
-                                return finish(
-                                    ExecStatus::Trapped(TrapKind::CallDepth),
-                                    output,
-                                    dyn_insts,
-                                    fault_sites,
-                                    injected_at,
-                                    profile,
-                                );
+                                break 'exec ExecStatus::Trapped(TrapKind::CallDepth);
                             }
-                            let params: Vec<u64> = args.iter().map(|a| opv!(*a)).collect();
                             let callee = *callee_id;
                             let has_ret = self.module.func(callee).ret_ty.is_some();
+                            let mut params = pool.take_buf();
+                            for a in args {
+                                params.push(opv!(*a));
+                            }
+                            let values = pool.take_zeroed(self.module.func(callee).insts.len());
                             let new_frame = Frame {
                                 func: callee,
                                 block: BlockId(0),
                                 ip: 0,
-                                values: vec![0; self.module.func(callee).insts.len()],
+                                values,
                                 params,
                                 saved_sp: sp,
                                 ret_dest: has_ret.then_some(iid),
                             };
                             stack.push(new_frame);
-                            continue; // do not fall through to result write
+                            continue 'exec; // do not fall through to result write
                         }
                     },
                 };
@@ -321,18 +411,10 @@ impl<'m> Interpreter<'m> {
                         let rv = val.map(|v| self.op_value(frame, v));
                         let ret_dest = frame.ret_dest;
                         sp = frame.saved_sp;
-                        stack.pop();
+                        let done = stack.pop().expect("nonempty call stack");
+                        pool.free_frame(done);
                         match stack.last_mut() {
-                            None => {
-                                return finish(
-                                    ExecStatus::Completed(rv.unwrap_or(0)),
-                                    output,
-                                    dyn_insts,
-                                    fault_sites,
-                                    injected_at,
-                                    profile,
-                                );
-                            }
+                            None => break 'exec ExecStatus::Completed(rv.unwrap_or(0)),
                             Some(caller) => {
                                 if let (Some(dest), Some(v)) = (ret_dest, rv) {
                                     let ty = self
@@ -347,19 +429,13 @@ impl<'m> Interpreter<'m> {
                             }
                         }
                     }
-                    Terminator::Unreachable => {
-                        return finish(
-                            ExecStatus::Trapped(TrapKind::BadControl),
-                            output,
-                            dyn_insts,
-                            fault_sites,
-                            injected_at,
-                            profile,
-                        );
-                    }
+                    Terminator::Unreachable => break 'exec ExecStatus::Trapped(TrapKind::BadControl),
                 }
             }
-        }
+        };
+
+        pool.free_stack(stack);
+        (ExecResult { status, output, dyn_insts, fault_sites, injected_at, profile }, mem)
     }
 
     /// Count fault sites and dynamic instructions of a fault-free run.
@@ -621,5 +697,90 @@ mod tests {
         let m = mb.finish();
         let r = Interpreter::new(&m).run(&ExecConfig::default(), None);
         assert_eq!(r.status, ExecStatus::Trapped(TrapKind::CallDepth));
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical() {
+        // Every site of the loop module, restored vs scratch, tiny interval
+        // so several snapshots exist.
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let cfg = ExecConfig { max_dyn_insts: 10_000, ..Default::default() };
+        let set = interp.capture_snapshots(&cfg, 16);
+        assert!(set.len() > 2, "expected several snapshots");
+        let mut scratch = IrScratch::new();
+        for site in 0..set.golden().fault_sites {
+            for bit in [0u32, 1, 17, 63] {
+                let spec = FaultSpec::single(site, bit);
+                let scratch_res = interp.run(&cfg, Some(spec));
+                let (ff_res, skipped) = interp.run_fast_forward(&cfg, spec, &set, &mut scratch);
+                assert_eq!(ff_res.status, scratch_res.status, "site {site} bit {bit}");
+                assert_eq!(ff_res.output, scratch_res.output, "site {site} bit {bit}");
+                assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site} bit {bit}");
+                assert_eq!(ff_res.fault_sites, scratch_res.fault_sites, "site {site} bit {bit}");
+                assert_eq!(ff_res.injected_at, scratch_res.injected_at, "site {site} bit {bit}");
+                assert!(skipped <= scratch_res.dyn_insts);
+                scratch.recycle_output(ff_res.output);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_recursion_restores_deep_stacks() {
+        // fib(12): snapshots land mid-recursion, so restore must rebuild a
+        // multi-frame call stack with correct saved_sp/ret_dest chains.
+        let mut mb = ModuleBuilder::new("fib");
+        let fib = mb.declare_func("fib", vec![Type::I64], Some(Type::I64));
+        let mut fb = FuncBuilder::new("fib", vec![Type::I64], Some(Type::I64));
+        let base = fb.new_block("base");
+        let rec = fb.new_block("rec");
+        let c = fb.icmp(IPred::Slt, Type::I64, Op::param(0), Op::ci64(2));
+        fb.br(Op::inst(c), base, rec);
+        fb.switch_to(base);
+        fb.ret(Some(Op::param(0)));
+        fb.switch_to(rec);
+        let n1 = fb.bin(BinOp::Sub, Type::I64, Op::param(0), Op::ci64(1));
+        let n2 = fb.bin(BinOp::Sub, Type::I64, Op::param(0), Op::ci64(2));
+        let f1 = fb.call(fib, vec![Op::inst(n1)]);
+        let f2 = fb.call(fib, vec![Op::inst(n2)]);
+        let s = fb.bin(BinOp::Add, Type::I64, Op::inst(f1), Op::inst(f2));
+        fb.ret(Some(Op::inst(s)));
+        mb.define_func(fib, fb.finish());
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let r = fb.call(fib, vec![Op::ci64(12)]);
+        fb.output_i64(Op::inst(r));
+        fb.ret(Some(Op::inst(r)));
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+
+        let interp = Interpreter::new(&m);
+        let cfg = ExecConfig { max_dyn_insts: 100_000, ..Default::default() };
+        let set = interp.capture_snapshots(&cfg, 64);
+        assert!(set.snaps.iter().any(|s| s.stack.len() > 2), "snapshots should catch deep recursion");
+        let mut scratch = IrScratch::new();
+        let golden = set.golden();
+        for site in (0..golden.fault_sites).step_by(31) {
+            let spec = FaultSpec::double(site, 3, 41);
+            let scratch_res = interp.run(&cfg, Some(spec));
+            let (ff_res, _) = interp.run_fast_forward(&cfg, spec, &set, &mut scratch);
+            assert_eq!(ff_res.status, scratch_res.status, "site {site}");
+            assert_eq!(ff_res.output, scratch_res.output, "site {site}");
+            assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site}");
+            assert_eq!(ff_res.fault_sites, scratch_res.fault_sites, "site {site}");
+            assert_eq!(ff_res.injected_at, scratch_res.injected_at, "site {site}");
+        }
+    }
+
+    #[test]
+    fn capture_golden_matches_plain_run() {
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let cfg = ExecConfig::default();
+        let plain = interp.run(&cfg, None);
+        let set = interp.capture_snapshots(&cfg, 32);
+        assert_eq!(set.golden().status, plain.status);
+        assert_eq!(set.golden().output, plain.output);
+        assert_eq!(set.golden().dyn_insts, plain.dyn_insts);
+        assert_eq!(set.golden().fault_sites, plain.fault_sites);
     }
 }

@@ -17,9 +17,19 @@
 use crate::module::{GlobalInit, Module};
 use crate::types::Type;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Base address of the globals segment.
 pub const GLOBAL_BASE: u64 = 0x1000;
+
+/// Granularity of dirty tracking and snapshot deltas.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A sparse page image: page index → page contents. Pages absent from the
+/// map are identical to the base image. Contents are `Arc`-shared so
+/// successive snapshots of a stable working set cost one pointer per page.
+pub type PageMap = HashMap<u32, Arc<[u8]>>;
 
 /// Why an execution stopped abnormally. These map to the paper's DUE
 /// (detected unrecoverable error) failure class.
@@ -49,16 +59,26 @@ pub struct Memory {
     bytes: Vec<u8>,
     /// Lowest valid stack address; below this is the heap/global area.
     stack_limit: u64,
+    /// One bit per [`PAGE_SIZE`] page, set by every successful store. The
+    /// snapshot machinery uses it to capture cheap deltas and to revert a
+    /// scratch image between trials; plain executions pay only the two
+    /// bit-set operations per store.
+    dirty: Vec<u64>,
 }
 
 impl Memory {
     /// Create an image of `size` bytes with the given stack reservation and
     /// the module's globals materialized at [`GLOBAL_BASE`].
+    ///
+    /// The fresh image has an empty dirty set: globals materialized here
+    /// are part of the *base* state that snapshot deltas are relative to.
     pub fn new(m: &Module, size: u64, stack_size: u64) -> Memory {
         assert!(size >= GLOBAL_BASE + stack_size + 0x1000, "memory too small");
+        let pages = size.div_ceil(PAGE_SIZE) as usize;
         let mut mem = Memory {
             bytes: vec![0u8; size as usize],
             stack_limit: size - stack_size,
+            dirty: vec![0u64; pages.div_ceil(64)],
         };
         let mut cursor = GLOBAL_BASE;
         for g in &m.globals {
@@ -131,6 +151,7 @@ impl Memory {
         if !self.in_bounds(addr, width) {
             return Err(TrapKind::OobStore);
         }
+        self.mark_dirty(addr, width);
         self.write_unchecked(addr, width, val);
         Ok(())
     }
@@ -155,6 +176,100 @@ impl Memory {
     fn write_unchecked(&mut self, addr: u64, width: u64, val: u64) {
         let a = addr as usize;
         self.bytes[a..a + width as usize].copy_from_slice(&val.to_le_bytes()[..width as usize]);
+    }
+
+    // ---- page-granular dirty tracking (snapshot fast-forward) ----------
+
+    #[inline]
+    fn mark_dirty(&mut self, addr: u64, width: u64) {
+        let first = (addr / PAGE_SIZE) as usize;
+        let last = ((addr + width - 1) / PAGE_SIZE) as usize;
+        self.dirty[first >> 6] |= 1 << (first & 63);
+        if last != first {
+            self.dirty[last >> 6] |= 1 << (last & 63);
+        }
+    }
+
+    #[inline]
+    fn mark_page(&mut self, page: u32) {
+        self.dirty[page as usize >> 6] |= 1 << (page as usize & 63);
+    }
+
+    /// Number of [`PAGE_SIZE`] pages (the last one may be partial).
+    pub fn page_count(&self) -> u32 {
+        (self.size().div_ceil(PAGE_SIZE)) as u32
+    }
+
+    /// The bytes of one page (shorter for a trailing partial page).
+    pub fn page_slice(&self, page: u32) -> &[u8] {
+        let start = page as usize * PAGE_SIZE as usize;
+        let end = (start + PAGE_SIZE as usize).min(self.bytes.len());
+        &self.bytes[start..end]
+    }
+
+    /// Pages written since the last drain, in ascending order; clears the
+    /// dirty set.
+    pub fn drain_dirty_pages(&mut self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((w as u32) * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Revert this image to `base` overlaid with `pages`, touching only
+    /// pages known to differ: every currently dirty page is restored from
+    /// `base`, then the overlay pages are applied (and marked dirty, so a
+    /// later `reset_to` knows to revert them again).
+    ///
+    /// Correctness rests on the invariant that a page never marked dirty
+    /// is byte-identical to `base` — which holds because this image
+    /// started as a clone of `base` and every store marks its pages.
+    pub fn reset_to(&mut self, base: &Memory, pages: &PageMap) {
+        debug_assert_eq!(self.size(), base.size(), "snapshot base size mismatch");
+        for page in self.drain_dirty_pages() {
+            if !pages.contains_key(&page) {
+                let start = page as usize * PAGE_SIZE as usize;
+                let end = (start + PAGE_SIZE as usize).min(self.bytes.len());
+                self.bytes[start..end].copy_from_slice(&base.bytes[start..end]);
+            }
+        }
+        for (&page, data) in pages {
+            let start = page as usize * PAGE_SIZE as usize;
+            self.bytes[start..start + data.len()].copy_from_slice(data);
+            self.mark_page(page);
+        }
+    }
+}
+
+/// Accumulates the cumulative page overlay of a snapshot chain: after each
+/// [`PageRecorder::sync`], the returned map turns the base image into the
+/// current one. Pages unchanged since the previous sync are shared by
+/// `Arc`, so a run with a stable working set pays one page copy per page
+/// actually rewritten, not per snapshot.
+#[derive(Default)]
+pub struct PageRecorder {
+    cum: PageMap,
+}
+
+impl PageRecorder {
+    pub fn new() -> PageRecorder {
+        PageRecorder::default()
+    }
+
+    /// Fold the pages dirtied since the last sync into the cumulative
+    /// overlay and return a snapshot of it.
+    pub fn sync(&mut self, mem: &mut Memory) -> PageMap {
+        for page in mem.drain_dirty_pages() {
+            self.cum.insert(page, Arc::from(mem.page_slice(page)));
+        }
+        self.cum.clone()
     }
 }
 
@@ -222,6 +337,41 @@ mod tests {
         assert_eq!(align_up(1, 8), 8);
         assert_eq!(align_up(8, 8), 8);
         assert_eq!(align_up(9, 4), 12);
+    }
+
+    #[test]
+    fn dirty_tracking_and_reset_roundtrip() {
+        let m = Module::default();
+        let base = Memory::new(&m, 1 << 20, 1 << 16);
+        let mut mem = base.clone();
+        assert!(mem.drain_dirty_pages().is_empty(), "fresh image is clean");
+        // A store spanning a page boundary dirties both pages.
+        mem.store(2 * PAGE_SIZE - 4, 8, 0xAABBCCDD_EEFF0011).unwrap();
+        mem.store(0x2000, 8, 42).unwrap();
+        let dirty = mem.drain_dirty_pages();
+        assert_eq!(dirty, vec![1, 2]);
+        assert!(mem.drain_dirty_pages().is_empty(), "drain clears the set");
+
+        // Build an overlay from a recorder, then reset a scratch image.
+        let mut golden = base.clone();
+        let mut rec = PageRecorder::new();
+        golden.store(0x2000, 8, 7).unwrap();
+        let pages1 = rec.sync(&mut golden);
+        golden.store(0x5000, 8, 9).unwrap();
+        let pages2 = rec.sync(&mut golden);
+        assert_eq!(pages1.len(), 1);
+        assert_eq!(pages2.len(), 2);
+
+        let mut scratch = base.clone();
+        scratch.store(0x7000, 8, 0xDEAD).unwrap(); // trial-local damage
+        scratch.reset_to(&base, &pages2);
+        assert_eq!(scratch.load(0x2000, 8).unwrap(), 7);
+        assert_eq!(scratch.load(0x5000, 8).unwrap(), 9);
+        assert_eq!(scratch.load(0x7000, 8).unwrap(), 0, "trial damage reverted");
+        // Resetting to the earlier overlay must undo the later one.
+        scratch.reset_to(&base, &pages1);
+        assert_eq!(scratch.load(0x2000, 8).unwrap(), 7);
+        assert_eq!(scratch.load(0x5000, 8).unwrap(), 0);
     }
 
     #[test]

@@ -9,11 +9,13 @@
 
 pub mod memory;
 pub mod ops;
+pub mod snapshot;
 
 mod eval;
 
 pub use eval::Interpreter;
-pub use memory::{Memory, TrapKind, GLOBAL_BASE};
+pub use memory::{Memory, TrapKind, GLOBAL_BASE, PAGE_SIZE};
+pub use snapshot::{auto_interval, IrScratch, IrSnapshotSet};
 
 use crate::value::{FuncId, InstId};
 use serde::{Deserialize, Serialize};

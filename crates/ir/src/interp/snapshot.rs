@@ -1,0 +1,159 @@
+//! Periodic execution snapshots for fast-forwarded fault-injection trials.
+//!
+//! A fault-injection trial is bit-identical to the golden run up to its
+//! injection site, so re-executing that prefix is pure waste — for late
+//! sites, >90% of the trial. During one instrumented golden run the
+//! interpreter captures a snapshot every `interval` dynamic instructions:
+//! the call stack, stack pointer, output length, and the memory image as a
+//! *cumulative* dirty-page overlay against the pristine post-init image.
+//! A trial then restores the nearest snapshot at-or-before its injection
+//! site and executes only the suffix.
+//!
+//! The invariant (enforced by differential tests): restored execution is
+//! **byte-identical** to scratch execution — same status, output bytes,
+//! `dyn_insts`, `fault_sites`, and `injected_at` — because every counter in
+//! the snapshot is absolute and every restored byte equals what a scratch
+//! run would have computed at that point.
+
+use crate::interp::eval::{Frame, FramePool};
+use crate::interp::memory::{Memory, PageMap, PageRecorder};
+use crate::interp::ExecResult;
+
+/// Snapshot cadence from a golden dynamic-instruction count: aim for ~64
+/// snapshots per golden run, but never snapshot more often than every 512
+/// instructions (capture overhead) or less often than every 2^20 (restore
+/// cost for long programs).
+pub fn auto_interval(golden_dyn_insts: u64) -> u64 {
+    (golden_dyn_insts / 64).clamp(512, 1 << 20)
+}
+
+/// One point-in-time capture of interpreter state.
+///
+/// `pages` is cumulative: it holds every page dirtied since program start,
+/// so a restore is `base + pages`, never a walk over earlier snapshots.
+/// Pages are `Arc`-shared across snapshots — each snapshot only pays for
+/// pages dirtied since the previous one.
+pub struct IrSnapshot {
+    /// Dynamic instructions executed before this point (absolute).
+    pub(crate) dyn_insts: u64,
+    /// Fault sites executed before this point (absolute). The site with
+    /// this index has *not* yet executed.
+    pub(crate) fault_sites: u64,
+    /// Stack pointer.
+    pub(crate) sp: u64,
+    /// Output bytes emitted so far; the bytes themselves are a prefix of
+    /// the golden output and are restored from there.
+    pub(crate) output_len: usize,
+    /// The call stack, deep-cloned.
+    pub(crate) stack: Vec<Frame>,
+    /// Cumulative dirty-page overlay against the base image.
+    pub(crate) pages: PageMap,
+}
+
+/// All snapshots from one golden run, plus what a restore needs: the
+/// pristine post-init memory image and the golden result. Built once per
+/// cached golden, shared read-only across worker threads.
+pub struct IrSnapshotSet {
+    pub(crate) base: Memory,
+    pub(crate) golden: ExecResult,
+    pub(crate) interval: u64,
+    pub(crate) snaps: Vec<IrSnapshot>,
+}
+
+impl IrSnapshotSet {
+    /// The fault-free result of the capture run.
+    pub fn golden(&self) -> &ExecResult {
+        &self.golden
+    }
+
+    /// Snapshot cadence in dynamic instructions.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of captured snapshots.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True when no snapshot was captured (program shorter than interval).
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// The last snapshot whose fault-site counter has not yet passed
+    /// `site_index` — i.e. the injection site is still in the future.
+    pub(crate) fn nearest(&self, site_index: u64) -> Option<&IrSnapshot> {
+        let i = self.snaps.partition_point(|s| s.fault_sites <= site_index);
+        i.checked_sub(1).map(|i| &self.snaps[i])
+    }
+}
+
+/// Capture-side hook threaded through the interpreter's golden run.
+pub(crate) struct SnapshotRecorder {
+    interval: u64,
+    next: u64,
+    pages: PageRecorder,
+    pub(crate) snaps: Vec<IrSnapshot>,
+}
+
+impl SnapshotRecorder {
+    pub(crate) fn new(interval: u64) -> SnapshotRecorder {
+        assert!(interval > 0, "snapshot interval must be positive");
+        SnapshotRecorder {
+            interval,
+            next: interval,
+            pages: PageRecorder::new(),
+            snaps: Vec::new(),
+        }
+    }
+
+    /// Called at the top of the dispatch loop, before the next instruction.
+    pub(crate) fn due(&self, dyn_insts: u64) -> bool {
+        dyn_insts >= self.next
+    }
+
+    pub(crate) fn capture(
+        &mut self,
+        dyn_insts: u64,
+        fault_sites: u64,
+        sp: u64,
+        output_len: usize,
+        stack: &[Frame],
+        mem: &mut Memory,
+    ) {
+        let pages = self.pages.sync(mem);
+        self.snaps.push(IrSnapshot {
+            dyn_insts,
+            fault_sites,
+            sp,
+            output_len,
+            stack: stack.to_vec(),
+            pages,
+        });
+        self.next = dyn_insts + self.interval;
+    }
+}
+
+/// Per-worker reusable buffers for trial execution: the scratch memory
+/// image (reset via dirty-page reverts, never reallocated), the output
+/// buffer, and a pool of frame value/param vectors.
+#[derive(Default)]
+pub struct IrScratch {
+    pub(crate) mem: Option<Memory>,
+    pub(crate) output: Vec<u8>,
+    pub(crate) pool: FramePool,
+}
+
+impl IrScratch {
+    pub fn new() -> IrScratch {
+        IrScratch::default()
+    }
+
+    /// Hand a trial's output buffer back for reuse once it has been
+    /// classified (the `ExecResult` no longer needs it).
+    pub fn recycle_output(&mut self, mut output: Vec<u8>) {
+        output.clear();
+        self.output = output;
+    }
+}

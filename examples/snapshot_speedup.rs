@@ -1,0 +1,84 @@
+//! Wall-clock comparison: injection campaigns with snapshot fast-forward
+//! versus from-scratch execution of every trial, on workloads whose
+//! golden runs are long enough that the average trial skips a large
+//! prefix. Cross-checks that both modes produce exactly the same counts —
+//! snapshots change timing, never results.
+//!
+//! Run with `cargo run --release --example snapshot_speedup`.
+
+use flowery::backend::{compile_module, BackendConfig};
+use flowery::inject::{run_asm_campaign, run_ir_campaign, CampaignConfig};
+use flowery::workloads::{workload, Scale};
+use std::time::Instant;
+
+fn main() {
+    let trials = 2000u64;
+    let benches = ["crc32", "pathfinder", "quicksort", "fft2"];
+    let mut cfg = CampaignConfig::with_trials(trials);
+    cfg.seed = 0x51C2_3001;
+    let mut off = cfg.clone();
+    off.snapshots = false;
+
+    println!(
+        "{} trials per campaign, {} threads\n",
+        trials,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>9} {:>8}",
+        "bench", "layer", "scratch", "fast-fwd", "speedup", "skipped"
+    );
+
+    let (mut total_off, mut total_on) = (0.0f64, 0.0f64);
+    for name in benches {
+        let m = workload(name, Scale::Standard).compile();
+
+        let t0 = Instant::now();
+        let ir_off = run_ir_campaign(&m, &off);
+        let d_off = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let ir_on = run_ir_campaign(&m, &cfg);
+        let d_on = t0.elapsed().as_secs_f64();
+        assert_eq!(ir_off.counts, ir_on.counts, "{name}: IR counts must not change");
+        assert_eq!(ir_off.sdc_by_inst, ir_on.sdc_by_inst);
+        let skipped = ir_on.ff_insts as f64 / (ir_on.ff_insts + ir_on.exec_insts).max(1) as f64;
+        println!(
+            "{:<12} {:>10} {:>11.2}s {:>11.2}s {:>8.2}x {:>7.0}%",
+            name,
+            "ir",
+            d_off,
+            d_on,
+            d_off / d_on,
+            skipped * 100.0
+        );
+        total_off += d_off;
+        total_on += d_on;
+
+        let prog = compile_module(&m, &BackendConfig::default());
+        let t0 = Instant::now();
+        let asm_off = run_asm_campaign(&m, &prog, &off);
+        let d_off = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let asm_on = run_asm_campaign(&m, &prog, &cfg);
+        let d_on = t0.elapsed().as_secs_f64();
+        assert_eq!(asm_off.counts, asm_on.counts, "{name}: asm counts must not change");
+        assert_eq!(asm_off.sdc_insts, asm_on.sdc_insts);
+        let skipped = asm_on.ff_insts as f64 / (asm_on.ff_insts + asm_on.exec_insts).max(1) as f64;
+        println!(
+            "{:<12} {:>10} {:>11.2}s {:>11.2}s {:>8.2}x {:>7.0}%",
+            name,
+            "asm",
+            d_off,
+            d_on,
+            d_off / d_on,
+            skipped * 100.0
+        );
+        total_off += d_off;
+        total_on += d_on;
+    }
+
+    println!(
+        "\ntotal: {total_off:.2}s from scratch vs {total_on:.2}s fast-forwarded ({:.2}x)",
+        total_off / total_on
+    );
+}

@@ -65,12 +65,14 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
   study [--trials N] [bench ...]      the paper's full cross-layer study
   campaign [bench ...] [--trials N] [--ci-target H] [--threads N]
            [--batch N] [--levels a,b] [--tiny] [--json]
-           [--checkpoint FILE] [--resume]
+           [--checkpoint FILE] [--resume] [--no-snapshots]
                                       run the experiment matrix on the
                                       work-stealing harness; --ci-target
                                       stops each unit once the 95% CI
                                       half-width on its SDC rate is <= H;
-                                      --checkpoint/--resume survive kills
+                                      --checkpoint/--resume survive kills;
+                                      --no-snapshots disables golden-run
+                                      fast-forward (bit-identical, slower)
   vuln <file.mc | bench> [--trials N] [--top K]
                                       rank the most SDC-vulnerable instructions
   workloads                           list the 16 Table-1 benchmarks
@@ -228,7 +230,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
                 continue;
             }
             if let Some(flag) = a.strip_prefix("--") {
-                skip = !matches!(flag, "resume" | "tiny" | "json");
+                skip = !matches!(flag, "resume" | "tiny" | "json" | "no-snapshots");
                 continue;
             }
             if !NAMES.contains(&a.as_str()) {
@@ -245,6 +247,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         min_trials: opt_u64(rest, "--min-trials", 500).min(trials),
         threads: opt_u64(rest, "--threads", 0) as usize,
         seed: opt_u64(rest, "--seed", 0x51C2_3001),
+        snapshots: !flag(rest, "--no-snapshots"),
         ..Default::default()
     };
     cfg.ci_target = opt_str(rest, "--ci-target")
@@ -339,7 +342,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     }
     let m = &report.metrics;
     println!(
-        "\n{} trials in {:.1}s ({:.0}/s) | batches {} ({} from checkpoint) | golden cache {}/{} hits ({:.0}%)",
+        "\n{} trials in {:.1}s ({:.0}/s) | batches {} ({} from checkpoint) | golden cache {}/{} hits ({:.0}%) | fast-forward skipped {:.0}% of work",
         m.trials,
         m.elapsed_secs,
         m.trials_per_sec,
@@ -347,7 +350,8 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         m.batches_reused,
         m.cache_hits,
         m.cache_hits + m.cache_misses,
-        m.cache_hit_rate * 100.0
+        m.cache_hit_rate * 100.0,
+        m.ff_ratio * 100.0
     );
     Ok(())
 }
