@@ -108,10 +108,15 @@ impl<'p> Machine<'p> {
     pub fn capture_snapshots(&self, config: &ExecConfig, interval: u64) -> AsmSnapshotSet {
         let cfg = ExecConfig { profile: false, ..config.clone() };
         let base = Memory::new(self.module, cfg.mem_size, cfg.stack_size);
-        let mut rec = AsmSnapshotRecorder::new(interval);
+        let mut rec = AsmSnapshotRecorder::new(interval, cfg.snapshot_budget);
         let (st, ip) = self.boot(base.clone(), Vec::new(), &cfg);
         let (golden, _mem) = self.exec(&cfg, None, st, ip, Some(&mut rec));
-        AsmSnapshotSet { base, golden, interval, snaps: rec.snaps }
+        AsmSnapshotSet {
+            base,
+            golden,
+            interval: rec.final_interval(),
+            snaps: rec.snaps,
+        }
     }
 
     /// Run one faulty trial, restoring the nearest snapshot at-or-before
@@ -902,6 +907,93 @@ mod tests {
         assert_eq!(set.golden().dyn_insts, plain.dyn_insts);
         assert_eq!(set.golden().fault_sites, plain.fault_sites);
         assert_eq!(set.golden().cycles, plain.cycles);
+    }
+
+    /// Bytes of distinct page copies held across all snapshots of a set.
+    fn overlay_bytes(set: &AsmSnapshotSet) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for s in &set.snaps {
+            for p in s.pages.values() {
+                if seen.insert(std::sync::Arc::as_ptr(p)) {
+                    total += p.len() as u64;
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn snapshot_budget_widens_cadence_on_store_heavy_runs() {
+        // The asm twin of the IR-level budget test: a loop cycling writes
+        // through an 8-page global array blows any fixed overlay budget
+        // unless the recorder widens its cadence.
+        let mut mb = ModuleBuilder::new("stores");
+        let g = mb.global_i64("arr", &vec![0i64; 4096]);
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let i = fb.alloca(Type::I64, 1);
+        fb.store(Type::I64, Op::ci64(0), Op::inst(i));
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.jmp(header);
+        fb.switch_to(header);
+        let iv = fb.load(Type::I64, Op::inst(i));
+        let c = fb.icmp(flowery_ir::IPred::Slt, Type::I64, Op::inst(iv), Op::ci64(4096));
+        fb.br(Op::inst(c), body, exit);
+        fb.switch_to(body);
+        let iv2 = fb.load(Type::I64, Op::inst(i));
+        let idx = fb.bin(flowery_ir::BinOp::And, Type::I64, Op::inst(iv2), Op::ci64(4095));
+        let p = fb.gep(Op::Global(g), Op::inst(idx), Type::I64);
+        fb.store(Type::I64, Op::inst(iv2), Op::inst(p));
+        let ni = fb.bin(flowery_ir::BinOp::Add, Type::I64, Op::inst(iv2), Op::ci64(1));
+        fb.store(Type::I64, Op::inst(ni), Op::inst(i));
+        fb.jmp(header);
+        fb.switch_to(exit);
+        let p7 = fb.gep(Op::Global(g), Op::ci64(7), Type::I64);
+        let r = fb.load(Type::I64, Op::inst(p7));
+        fb.output_i64(Op::inst(r));
+        fb.ret(Some(Op::inst(r)));
+        mb.add_func(fb.finish());
+        let m = mb.finish();
+        let prog = compile_module(&m, &BackendConfig::default());
+        let mach = Machine::new(&m, &prog);
+
+        let cfg = ExecConfig { max_dyn_insts: 2_000_000, ..Default::default() };
+        let unbounded = mach.capture_snapshots(&cfg, 512);
+        assert_eq!(unbounded.interval(), 512);
+        let budget = 16 * flowery_ir::interp::PAGE_SIZE;
+        assert!(
+            overlay_bytes(&unbounded) > budget,
+            "workload must be store-heavy enough to blow the budget: {} bytes",
+            overlay_bytes(&unbounded)
+        );
+
+        let capped_cfg = ExecConfig { snapshot_budget: Some(budget), ..cfg.clone() };
+        let capped = mach.capture_snapshots(&capped_cfg, 512);
+        assert!(capped.interval() > 512, "budget pressure must widen the cadence");
+        assert!(capped.len() < unbounded.len(), "{} vs {}", capped.len(), unbounded.len());
+        assert!(capped.len() > 1, "widening must not degenerate to a single snapshot");
+        assert!(
+            overlay_bytes(&capped) <= budget,
+            "{} bytes over a {budget} budget",
+            overlay_bytes(&capped)
+        );
+        assert_eq!(capped.golden().output, unbounded.golden().output, "the budget must not perturb execution");
+        assert_eq!(capped.golden().dyn_insts, unbounded.golden().dyn_insts);
+
+        // The thinned set still fast-forwards bit-identically.
+        let mut scratch = AsmScratch::new();
+        for site in (0..capped.golden().fault_sites).step_by(4999) {
+            let spec = AsmFaultSpec::single(site, 21);
+            let scratch_res = mach.run(&cfg, Some(spec));
+            let (ff_res, _) = mach.run_fast_forward(&cfg, spec, &capped, &mut scratch);
+            assert_eq!(ff_res.status, scratch_res.status, "site {site}");
+            assert_eq!(ff_res.output, scratch_res.output, "site {site}");
+            assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site}");
+            assert_eq!(ff_res.cycles, scratch_res.cycles, "site {site}");
+            scratch.recycle_output(ff_res.output);
+        }
     }
 
     #[test]

@@ -74,16 +74,18 @@ impl AsmSnapshotSet {
 pub(crate) struct AsmSnapshotRecorder {
     interval: u64,
     next: u64,
+    budget: Option<u64>,
     pages: PageRecorder,
     pub(crate) snaps: Vec<AsmSnapshot>,
 }
 
 impl AsmSnapshotRecorder {
-    pub(crate) fn new(interval: u64) -> AsmSnapshotRecorder {
+    pub(crate) fn new(interval: u64, budget: Option<u64>) -> AsmSnapshotRecorder {
         assert!(interval > 0, "snapshot interval must be positive");
         AsmSnapshotRecorder {
             interval,
             next: interval,
+            budget,
             pages: PageRecorder::new(),
             snaps: Vec::new(),
         }
@@ -91,6 +93,11 @@ impl AsmSnapshotRecorder {
 
     pub(crate) fn due(&self, dyn_insts: u64) -> bool {
         dyn_insts >= self.next
+    }
+
+    /// The cadence after any budget-driven widening.
+    pub(crate) fn final_interval(&self) -> u64 {
+        self.interval
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -107,7 +114,22 @@ impl AsmSnapshotRecorder {
         let pages = self.pages.sync(mem);
         self.snaps
             .push(AsmSnapshot { dyn_insts, fault_sites, cycles, ip, regs, output_len, pages });
+        while self.budget.is_some_and(|b| self.pages.live_bytes() > b) && self.snaps.len() > 1 {
+            self.widen();
+        }
         self.next = dyn_insts + self.interval;
+    }
+
+    /// Double the cadence and keep every other snapshot, reclaiming the
+    /// page copies the dropped snapshots were the sole owners of. See the
+    /// IR twin in `flowery_ir::interp::snapshot` for the rationale.
+    fn widen(&mut self) {
+        self.interval = self.interval.saturating_mul(2);
+        let mut keep = false;
+        self.snaps.retain(|_| {
+            keep = !keep;
+            keep
+        });
     }
 }
 

@@ -35,6 +35,11 @@ pub struct ExperimentConfig {
     /// results; default on — turn off to measure the speedup or to pin
     /// down a suspected snapshot divergence).
     pub snapshots: bool,
+    /// Byte budget for each snapshot set's page overlays (`None` =
+    /// unbounded): capture runs widen their cadence and drop every other
+    /// snapshot while over budget, bounding memory on store-heavy
+    /// workloads at some fast-forward granularity cost.
+    pub snapshot_budget: Option<u64>,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -53,6 +58,7 @@ impl Default for ExperimentConfig {
             min_trials: 500,
             backend: BackendConfig::default(),
             snapshots: true,
+            snapshot_budget: None,
             verbose: false,
         }
     }
@@ -87,8 +93,12 @@ impl ExperimentConfig {
             threads: self.threads,
             double_bit: false,
             snapshots: self.snapshots,
-            exec: Default::default(),
+            exec: self.exec(),
         }
+    }
+
+    fn exec(&self) -> flowery_ir::interp::ExecConfig {
+        flowery_ir::interp::ExecConfig { snapshot_budget: self.snapshot_budget, ..Default::default() }
     }
 
     pub(crate) fn campaign(&self) -> flowery_inject::CampaignConfig {
@@ -98,7 +108,7 @@ impl ExperimentConfig {
             threads: self.threads,
             double_bit: false,
             snapshots: self.snapshots,
-            exec: Default::default(),
+            exec: self.exec(),
         }
     }
 
@@ -109,7 +119,7 @@ impl ExperimentConfig {
             threads: self.threads,
             double_bit: false,
             snapshots: self.snapshots,
-            exec: Default::default(),
+            exec: self.exec(),
         }
     }
 }

@@ -1,0 +1,466 @@
+//! The campaign coordinator: owns the experiment plan, the checkpoint,
+//! and the lease table; workers connect over TCP and drain the schedule.
+//!
+//! ## Determinism
+//!
+//! The coordinator never trusts arrival order. Results are merged
+//! idempotently into the same [`UnitProgress`] fold the in-process engine
+//! uses (duplicates are dropped after an equality check; conflicting
+//! duplicates abort the campaign), and at the end the checkpoint is
+//! [`compact`]ed into canonical form — so a distributed run's checkpoint
+//! is byte-identical to a single-process run of the same plan, including
+//! after worker deaths and lease requeues.
+//!
+//! ## Failure model
+//!
+//! Worker death is detected two ways, whichever fires first: the
+//! per-connection read timeout (3× the heartbeat interval) and the lease
+//! deadline in the [`LeaseTable`] (refreshed by any frame from the
+//! holder). Both paths requeue the worker's outstanding batches; because
+//! every batch is a pure function of `(seed, indices)`, a batch that was
+//! secretly completed anyway just merges as a duplicate.
+//!
+//! Ctrl-C (or [`flowery_harness::shutdown::request`]) starts a drain:
+//! workers get `Shutdown` at their next lease request, in-flight results
+//! are still merged, and the checkpoint is flushed in the same format
+//! `--resume` reads.
+
+use crate::lease::LeaseTable;
+use crate::protocol::{ClientMsg, PlanSpec, ServerMsg, PROTO_VERSION};
+use crate::{framing, FrameError};
+use flowery_harness::checkpoint::{compact, load as load_checkpoint, CheckpointLog, Header};
+use flowery_harness::{
+    build_matrix, matrix_fingerprint, run_units, BatchOutcome, BatchRecord, CampaignReport, DistStats, GoldenCache,
+    HarnessConfig, RunOptions, TrialUnit, UnitKey, UnitProgress, WorkerStats,
+};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coordinator knobs. The defaults suit a LAN; tests shrink the
+/// intervals.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Address to listen on, e.g. `0.0.0.0:7070` (`:0` for an ephemeral
+    /// port, see [`Coordinator::local_addr`]).
+    pub addr: String,
+    /// Checkpoint path; written during the run, compacted at the end.
+    pub checkpoint: PathBuf,
+    /// Preload an existing checkpoint instead of truncating it.
+    pub resume: bool,
+    /// Expected heartbeat cadence; the per-connection read timeout is 3×
+    /// this and lease deadlines are 4×.
+    pub heartbeat_ms: u64,
+    /// Batches granted per lease (all from one unit).
+    pub lease_batches: usize,
+    /// How long a drain waits for workers to disconnect before
+    /// finalizing anyway.
+    pub drain_grace_ms: u64,
+    /// Local threads for building the matrix (profiling campaigns).
+    pub threads: usize,
+    /// Print live progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            addr: "127.0.0.1:7070".into(),
+            checkpoint: PathBuf::from("campaign.jsonl"),
+            resume: false,
+            heartbeat_ms: 2000,
+            lease_batches: 4,
+            drain_grace_ms: 30_000,
+            threads: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// What `run` hands back: the deterministic report plus the
+/// distribution-side counters.
+pub struct DistReport {
+    pub report: CampaignReport,
+    pub stats: DistStats,
+    /// True when the run drained early (Ctrl-C / requested shutdown) and
+    /// undecided units remain.
+    pub interrupted: bool,
+}
+
+struct CoordState {
+    progress: Vec<UnitProgress>,
+    leases: LeaseTable,
+    workers: HashMap<u64, WorkerStats>,
+    next_worker_id: u64,
+    log: Option<CheckpointLog>,
+    batches_merged: u64,
+    shutting_down: bool,
+    finalized: bool,
+    error: Option<String>,
+}
+
+impl CoordState {
+    fn all_decided(&self) -> bool {
+        self.progress.iter().all(|p| p.decided().is_some())
+    }
+
+    fn live_workers(&self) -> u64 {
+        self.workers.values().filter(|w| w.live).count() as u64
+    }
+
+    fn dist_stats(&self) -> DistStats {
+        let mut per_worker: Vec<WorkerStats> = self.workers.values().cloned().collect();
+        per_worker.sort_by_key(|w| w.id);
+        DistStats {
+            workers_live: self.live_workers(),
+            leases_outstanding: self.leases.outstanding(),
+            batches_requeued: self.leases.requeues(),
+            per_worker,
+        }
+    }
+}
+
+struct Ctx {
+    units: Vec<TrialUnit>,
+    key_index: HashMap<UnitKey, usize>,
+    plan: PlanSpec,
+    hcfg: HarnessConfig,
+    header: Header,
+    fingerprint: u64,
+    ccfg: CoordinatorConfig,
+    start: Instant,
+    state: Mutex<CoordState>,
+}
+
+impl Ctx {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn lease_ttl_ms(&self) -> u64 {
+        self.ccfg.heartbeat_ms * 4
+    }
+}
+
+/// A bound coordinator, ready to [`run`](Coordinator::run). Binding is
+/// split from running so callers (tests, scripts) can learn the actual
+/// port of an `:0` listen address before starting workers.
+pub struct Coordinator {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+}
+
+impl Coordinator {
+    pub fn bind(plan: PlanSpec, hcfg: HarnessConfig, ccfg: CoordinatorConfig) -> Result<Coordinator, String> {
+        let units = build_matrix(&plan.to_spec(ccfg.threads));
+        if units.is_empty() {
+            return Err("plan produces an empty matrix".into());
+        }
+        let fingerprint = matrix_fingerprint(&units);
+        let header = hcfg.header();
+        let max_batches = hcfg.max_batches();
+        let mut progress: Vec<UnitProgress> = units.iter().map(|_| UnitProgress::new(max_batches)).collect();
+        let key_index: HashMap<UnitKey, usize> = units.iter().enumerate().map(|(i, u)| (u.key.clone(), i)).collect();
+
+        // Resume: preload the existing log; otherwise start fresh.
+        let log = if ccfg.resume && ccfg.checkpoint.exists() {
+            let (h, records) = load_checkpoint(&ccfg.checkpoint)?;
+            if h != header {
+                return Err(format!("{}: checkpoint schedule differs from this campaign", ccfg.checkpoint.display()));
+            }
+            for rec in &records {
+                let Some(&ui) = key_index.get(&rec.unit) else { continue };
+                if rec.batch >= max_batches || progress[ui].has_batch(rec.batch) {
+                    continue;
+                }
+                progress[ui].insert(rec.batch, BatchOutcome::from_record(rec), &header);
+            }
+            CheckpointLog::append_to(&ccfg.checkpoint)?
+        } else {
+            CheckpointLog::create(&ccfg.checkpoint, &header)?
+        };
+
+        let listener = TcpListener::bind(&ccfg.addr).map_err(|e| format!("bind {}: {e}", ccfg.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+
+        let state = CoordState {
+            progress,
+            leases: LeaseTable::new(units.len(), max_batches),
+            workers: HashMap::new(),
+            next_worker_id: 1,
+            log: Some(log),
+            batches_merged: 0,
+            shutting_down: false,
+            finalized: false,
+            error: None,
+        };
+        let ctx = Arc::new(Ctx {
+            units,
+            key_index,
+            plan,
+            hcfg,
+            header,
+            fingerprint,
+            ccfg,
+            start: Instant::now(),
+            state: Mutex::new(state),
+        });
+        Ok(Coordinator { listener, ctx })
+    }
+
+    /// The actual listen address (resolves `:0`).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// Accept workers and run the campaign to completion (or drain on a
+    /// requested shutdown). Returns the same deterministic report a local
+    /// run of the plan produces.
+    pub fn run(self) -> Result<DistReport, String> {
+        let ctx = self.ctx;
+        let mut handlers = Vec::new();
+        let mut last_render = Instant::now();
+        let interrupted = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let ctx = ctx.clone();
+                    handlers.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+            {
+                let mut st = ctx.state.lock().unwrap();
+                st.leases.expire(ctx.now_ms());
+                if let Some(e) = &st.error {
+                    let e = e.clone();
+                    st.shutting_down = true;
+                    drop(st);
+                    drain(&ctx);
+                    return Err(e);
+                }
+                if st.all_decided() {
+                    break false;
+                }
+                if flowery_harness::shutdown::requested() {
+                    break true;
+                }
+                if ctx.ccfg.verbose && last_render.elapsed() >= Duration::from_secs(2) {
+                    last_render = Instant::now();
+                    eprintln!("  [serve] {}", st.dist_stats().render());
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        };
+
+        drain(&ctx);
+        for h in handlers {
+            let _ = h.join();
+        }
+        finalize(&ctx, interrupted)
+    }
+}
+
+/// Tell workers to stop (at their next lease request) and wait for them
+/// to disconnect, up to the configured grace period. In-flight results
+/// keep merging during the wait.
+fn drain(ctx: &Ctx) {
+    ctx.state.lock().unwrap().shutting_down = true;
+    let deadline = Instant::now() + Duration::from_millis(ctx.ccfg.drain_grace_ms);
+    while Instant::now() < deadline {
+        if ctx.state.lock().unwrap().live_workers() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Flush + compact the checkpoint, then fold it into the final report
+/// without executing anything (goldens are computed locally for the
+/// per-unit reference fields).
+fn finalize(ctx: &Ctx, interrupted: bool) -> Result<DistReport, String> {
+    let stats = {
+        let mut st = ctx.state.lock().unwrap();
+        st.finalized = true;
+        st.log = None; // close the writer before rewriting the file
+        st.dist_stats()
+    };
+    compact(&ctx.ccfg.checkpoint)?;
+    let (_, records) = load_checkpoint(&ctx.ccfg.checkpoint)?;
+    let cache = GoldenCache::new();
+    let report = run_units(
+        &ctx.units,
+        &ctx.hcfg,
+        &cache,
+        RunOptions { preloaded: records, replay_only: true, ..Default::default() },
+    );
+    Ok(DistReport { report, stats, interrupted })
+}
+
+/// Per-connection protocol loop. Any read failure releases the worker's
+/// leases; the distinction between a clean goodbye, a closed socket, and
+/// a heartbeat timeout only matters for logging.
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(ctx.ccfg.heartbeat_ms * 3)));
+    let mut worker_id: Option<u64> = None;
+    let end: Result<&str, FrameError> = loop {
+        let msg: ClientMsg = match framing::read_frame(&mut stream) {
+            Ok(m) => m,
+            Err(e) => break Err(e),
+        };
+        if let Some(id) = worker_id {
+            ctx.state.lock().unwrap().leases.touch(id, ctx.now_ms(), ctx.lease_ttl_ms());
+        }
+        match msg {
+            ClientMsg::Hello { proto_version } => {
+                if proto_version != PROTO_VERSION {
+                    let msg = format!("protocol version {proto_version} != {PROTO_VERSION}");
+                    let _ = framing::write_frame(&mut stream, &ServerMsg::Error { msg });
+                    break Ok("version mismatch");
+                }
+                let id = {
+                    let mut st = ctx.state.lock().unwrap();
+                    let id = st.next_worker_id;
+                    st.next_worker_id += 1;
+                    st.workers.insert(id, WorkerStats::new(id));
+                    id
+                };
+                worker_id = Some(id);
+                let welcome = ServerMsg::Welcome {
+                    worker_id: id,
+                    plan: ctx.plan.clone(),
+                    cfg: ctx.hcfg.clone(),
+                    heartbeat_ms: ctx.ccfg.heartbeat_ms,
+                };
+                if framing::write_frame(&mut stream, &welcome).is_err() {
+                    break Ok("welcome write failed");
+                }
+            }
+            ClientMsg::Ready { fingerprint } => {
+                if fingerprint != ctx.fingerprint {
+                    let msg = format!(
+                        "matrix fingerprint {fingerprint:016x} != coordinator's {:016x} (divergent build?)",
+                        ctx.fingerprint
+                    );
+                    let _ = framing::write_frame(&mut stream, &ServerMsg::Error { msg });
+                    break Ok("fingerprint mismatch");
+                }
+            }
+            ClientMsg::LeaseRequest => {
+                let Some(id) = worker_id else {
+                    break Ok("lease before hello");
+                };
+                let resp = {
+                    let mut st = ctx.state.lock().unwrap();
+                    if st.finalized || st.shutting_down {
+                        ServerMsg::Shutdown { reason: "campaign draining".into() }
+                    } else if st.all_decided() {
+                        ServerMsg::Shutdown { reason: "campaign complete".into() }
+                    } else {
+                        let CoordState { leases, progress, .. } = &mut *st;
+                        let grant = leases.claim(
+                            id,
+                            ctx.now_ms(),
+                            ctx.lease_ttl_ms(),
+                            ctx.ccfg.lease_batches,
+                            |ui| progress[ui].decided().is_some(),
+                            |ui, b| progress[ui].has_batch(b),
+                        );
+                        match grant.first() {
+                            Some(&(ui, _)) => ServerMsg::Lease {
+                                unit: ctx.units[ui].key.clone(),
+                                batches: grant.iter().map(|&(_, b)| b).collect(),
+                            },
+                            None => ServerMsg::Wait { ms: 200 },
+                        }
+                    }
+                };
+                let shutdown = matches!(resp, ServerMsg::Shutdown { .. });
+                if framing::write_frame(&mut stream, &resp).is_err() || shutdown {
+                    break Ok(if shutdown { "shutdown sent" } else { "lease write failed" });
+                }
+            }
+            ClientMsg::Completed { record, ff_insts, exec_insts } => {
+                let Some(id) = worker_id else {
+                    break Ok("result before hello");
+                };
+                if let Err(e) = merge_result(ctx, id, record, ff_insts, exec_insts) {
+                    ctx.state.lock().unwrap().error.get_or_insert(e);
+                    break Ok("merge conflict");
+                }
+            }
+            ClientMsg::Heartbeat => {} // the touch above is the whole effect
+            ClientMsg::Goodbye => break Ok("goodbye"),
+        }
+    };
+    if let Some(id) = worker_id {
+        let mut st = ctx.state.lock().unwrap();
+        st.leases.release_worker(id);
+        if let Some(w) = st.workers.get_mut(&id) {
+            w.live = false;
+        }
+        if ctx.ccfg.verbose {
+            match &end {
+                Ok(why) => eprintln!("  [serve] worker {id} disconnected ({why})"),
+                Err(e) => eprintln!("  [serve] worker {id} lost ({e})"),
+            }
+        }
+    }
+}
+
+/// Idempotent merge of one remotely executed batch: exact duplicates are
+/// dropped, conflicting duplicates are fatal (they mean a diverging
+/// worker — the campaign's determinism guarantee is gone).
+fn merge_result(ctx: &Ctx, worker: u64, record: BatchRecord, ff_insts: u64, exec_insts: u64) -> Result<(), String> {
+    let mut st = ctx.state.lock().unwrap();
+    if st.finalized {
+        return Ok(());
+    }
+    let Some(&ui) = ctx.key_index.get(&record.unit) else {
+        return Err(format!("worker {worker} reported unknown unit {}", record.unit));
+    };
+    if record.batch >= ctx.header.max_batches() {
+        return Err(format!(
+            "worker {worker} reported out-of-schedule batch {} of {}",
+            record.batch, record.unit
+        ));
+    }
+    st.leases.complete((ui, record.batch));
+    if st.progress[ui].has_batch(record.batch) {
+        let existing = st.progress[ui]
+            .batch(record.batch)
+            .unwrap()
+            .to_record(record.unit.clone(), record.batch);
+        if existing != record {
+            return Err(format!("conflicting duplicate for batch {} of {}", record.batch, record.unit));
+        }
+        return Ok(()); // idempotent: a requeued batch re-ran identically
+    }
+    if let Some(log) = &st.log {
+        log.record_batch(&record)?;
+    }
+    let outcome = BatchOutcome::from_record(&record);
+    st.progress[ui].insert(record.batch, outcome, &ctx.header);
+    st.batches_merged += 1;
+    if let Some(w) = st.workers.get_mut(&worker) {
+        w.batches += 1;
+        w.ff_insts += ff_insts;
+        w.exec_insts += exec_insts;
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: bind and run in one call (the `flowery serve`
+/// entry point).
+pub fn serve(plan: PlanSpec, hcfg: HarnessConfig, ccfg: CoordinatorConfig) -> Result<DistReport, String> {
+    let coord = Coordinator::bind(plan, hcfg, ccfg)?;
+    let mut out = std::io::stderr();
+    let _ = writeln!(out, "  [serve] listening on {}", coord.local_addr()?);
+    coord.run()
+}

@@ -1,0 +1,157 @@
+//! Length-prefixed JSON framing over a byte stream.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length followed
+//! by that many bytes of JSON. Frames are written with a single
+//! `write_all` of the assembled buffer, so concurrent writers (the
+//! worker's heartbeat thread and its request loop) interleave at frame
+//! granularity when they serialize on the stream lock — never mid-frame.
+//!
+//! Reads distinguish the failure modes a coordinator cares about:
+//! a peer that closed at a frame boundary ([`FrameError::Closed`], a clean
+//! goodbye-less exit), one that died mid-frame ([`FrameError::Truncated`]),
+//! a read timeout ([`FrameError::Timeout`], the heartbeat deadline), and a
+//! length prefix over [`MAX_FRAME`] ([`FrameError::Oversized`], garbage or
+//! a hostile peer — rejected before any allocation).
+
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on one frame's payload. Generous for batch records (a batch
+/// record is a few KB) while keeping a corrupt length prefix from
+/// triggering a multi-GB allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// EOF at a frame boundary: the peer closed the connection.
+    Closed,
+    /// EOF inside a frame: the peer died mid-write.
+    Truncated,
+    /// No frame arrived within the socket's read timeout.
+    Timeout,
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    Oversized(u64),
+    /// Transport error.
+    Io(String),
+    /// Payload was not valid JSON for the expected type.
+    Decode(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::Timeout => write!(f, "read timed out"),
+            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap"),
+            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
+            FrameError::Decode(e) => write!(f, "frame decode: {e}"),
+        }
+    }
+}
+
+/// Serialize `msg` and write it as one frame with a single `write_all`.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(msg).map_err(|e| FrameError::Decode(format!("{e:?}")))?;
+    let payload = json.as_bytes();
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversized(payload.len() as u64));
+    }
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf).map_err(io_err)
+}
+
+/// Read one frame and decode it as `T`.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, FrameError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_or(r, &mut len_buf, FrameError::Closed)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, FrameError::Truncated)?;
+    let text = std::str::from_utf8(&payload).map_err(|e| FrameError::Decode(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Decode(format!("{e:?}")))
+}
+
+/// `read_exact` that maps a clean EOF to `on_eof` — [`FrameError::Closed`]
+/// when it happens before any length byte, [`FrameError::Truncated`] once
+/// a frame has started. An EOF after *some* length bytes also counts as
+/// truncated, which `read_exact`'s `UnexpectedEof` covers only when the
+/// first byte already arrived; track that case by hand.
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], on_eof: FrameError) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 { on_eof } else { FrameError::Truncated });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(if filled == 0 { FrameError::Timeout } else { FrameError::Truncated });
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(())
+}
+
+fn io_err(e: std::io::Error) -> FrameError {
+    FrameError::Io(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ClientMsg, ServerMsg};
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ClientMsg::Heartbeat).unwrap();
+        write_frame(&mut buf, &ClientMsg::Ready { fingerprint: 0xDEAD_BEEF }).unwrap();
+        write_frame(&mut buf, &ServerMsg::Wait { ms: 250 }).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame::<_, ClientMsg>(&mut r).unwrap(), ClientMsg::Heartbeat);
+        assert_eq!(read_frame::<_, ClientMsg>(&mut r).unwrap(), ClientMsg::Ready { fingerprint: 0xDEAD_BEEF });
+        assert_eq!(read_frame::<_, ServerMsg>(&mut r).unwrap(), ServerMsg::Wait { ms: 250 });
+        assert_eq!(
+            read_frame::<_, ClientMsg>(&mut r),
+            Err(FrameError::Closed),
+            "EOF at boundary is a clean close"
+        );
+    }
+
+    #[test]
+    fn truncated_frames_are_distinguished_from_clean_closes() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ClientMsg::Heartbeat).unwrap();
+        // Cut inside the payload.
+        let mut r = &buf[..buf.len() - 2];
+        assert_eq!(read_frame::<_, ClientMsg>(&mut r), Err(FrameError::Truncated));
+        // Cut inside the length prefix.
+        let mut r = &buf[..2];
+        assert_eq!(read_frame::<_, ClientMsg>(&mut r), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let huge = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let mut r = huge.as_slice();
+        assert_eq!(read_frame::<_, ClientMsg>(&mut r), Err(FrameError::Oversized(MAX_FRAME as u64 + 1)));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_decode_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(b"!!!!");
+        let mut r = buf.as_slice();
+        assert!(matches!(read_frame::<_, ClientMsg>(&mut r), Err(FrameError::Decode(_))));
+    }
+}

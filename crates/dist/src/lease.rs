@@ -1,0 +1,253 @@
+//! The coordinator's lease table: which batches are out with which
+//! worker, and when they are presumed lost.
+//!
+//! Time enters only as caller-supplied millisecond counts, so expiry is
+//! unit-testable with a fake clock. A lease's deadline is refreshed by
+//! *any* frame from its holder (heartbeats included), which makes the
+//! deadline a liveness bound, not an execution-time bound: a slow batch on
+//! a live worker never expires, while a dead worker's leases requeue
+//! after `ttl_ms` even if its TCP connection lingers.
+//!
+//! Requeued batches are served before fresh cursor batches, so work lost
+//! to a crash is retried promptly rather than after the whole schedule.
+
+use std::collections::{HashMap, VecDeque};
+
+/// One leased batch: `(unit index, batch index)`.
+pub type LeaseKey = (usize, u64);
+
+#[derive(Debug, Clone)]
+struct Holder {
+    worker: u64,
+    deadline_ms: u64,
+}
+
+/// Tracks the per-unit schedule cursor, outstanding leases, and the
+/// requeue backlog.
+pub struct LeaseTable {
+    max_batches: u64,
+    cursors: Vec<u64>,
+    outstanding: HashMap<LeaseKey, Holder>,
+    requeued: VecDeque<LeaseKey>,
+    requeue_count: u64,
+}
+
+impl LeaseTable {
+    pub fn new(n_units: usize, max_batches: u64) -> LeaseTable {
+        LeaseTable {
+            max_batches,
+            cursors: vec![0; n_units],
+            outstanding: HashMap::new(),
+            requeued: VecDeque::new(),
+            requeue_count: 0,
+        }
+    }
+
+    /// Claim up to `max` batches of one unit for `worker`. Requeued
+    /// batches are preferred; otherwise the first unit `done` does not
+    /// rule out supplies cursor batches, skipping any `have` already
+    /// reports (e.g. replayed from a checkpoint). Returns an empty vec
+    /// when everything left is leased out or finished.
+    pub fn claim(
+        &mut self,
+        worker: u64,
+        now_ms: u64,
+        ttl_ms: u64,
+        max: usize,
+        done: impl Fn(usize) -> bool,
+        have: impl Fn(usize, u64) -> bool,
+    ) -> Vec<LeaseKey> {
+        let mut grant: Vec<LeaseKey> = Vec::new();
+        // Drain the requeue backlog first (all grants must share a unit so
+        // the worker builds one runner).
+        while grant.len() < max {
+            let Some(i) = self
+                .requeued
+                .iter()
+                .position(|&(ui, b)| !done(ui) && !have(ui, b) && grant.first().is_none_or(|&(gu, _)| gu == ui))
+            else {
+                break;
+            };
+            let key = self.requeued.remove(i).unwrap();
+            grant.push(key);
+        }
+        // Also drop requeued entries that became moot (unit decided or
+        // batch satisfied elsewhere) so the backlog cannot grow stale.
+        self.requeued.retain(|&(ui, b)| !done(ui) && !have(ui, b));
+        if grant.is_empty() {
+            'units: for ui in 0..self.cursors.len() {
+                if done(ui) {
+                    continue;
+                }
+                while grant.len() < max {
+                    let b = self.cursors[ui];
+                    if b >= self.max_batches {
+                        if grant.is_empty() {
+                            continue 'units;
+                        }
+                        break 'units;
+                    }
+                    self.cursors[ui] += 1;
+                    if have(ui, b) {
+                        continue;
+                    }
+                    grant.push((ui, b));
+                }
+                break;
+            }
+        }
+        for &key in &grant {
+            self.outstanding.insert(key, Holder { worker, deadline_ms: now_ms + ttl_ms });
+        }
+        grant
+    }
+
+    /// A result arrived for this batch (from anyone — a worker may report
+    /// a batch another worker's expired lease covered).
+    pub fn complete(&mut self, key: LeaseKey) {
+        self.outstanding.remove(&key);
+    }
+
+    /// Push every lease past its deadline back onto the requeue backlog.
+    /// Returns how many expired.
+    pub fn expire(&mut self, now_ms: u64) -> usize {
+        let expired: Vec<LeaseKey> = self
+            .outstanding
+            .iter()
+            .filter(|(_, h)| h.deadline_ms <= now_ms)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in &expired {
+            self.outstanding.remove(key);
+            self.requeued.push_back(*key);
+        }
+        self.requeue_count += expired.len() as u64;
+        self.sort_requeued();
+        expired.len()
+    }
+
+    /// Requeue every lease held by `worker` (its connection died).
+    pub fn release_worker(&mut self, worker: u64) -> usize {
+        let lost: Vec<LeaseKey> = self
+            .outstanding
+            .iter()
+            .filter(|(_, h)| h.worker == worker)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in &lost {
+            self.outstanding.remove(key);
+            self.requeued.push_back(*key);
+        }
+        self.requeue_count += lost.len() as u64;
+        self.sort_requeued();
+        lost.len()
+    }
+
+    /// Refresh the deadlines of every lease `worker` holds — called on any
+    /// frame from it.
+    pub fn touch(&mut self, worker: u64, now_ms: u64, ttl_ms: u64) {
+        for h in self.outstanding.values_mut() {
+            if h.worker == worker {
+                h.deadline_ms = now_ms + ttl_ms;
+            }
+        }
+    }
+
+    /// Keep the backlog deterministic: `outstanding` iterates in hash
+    /// order, so requeue bursts land unordered.
+    fn sort_requeued(&mut self) {
+        self.requeued.make_contiguous().sort_unstable();
+    }
+
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.len() as u64
+    }
+
+    /// Total batches ever requeued (expiry + worker death).
+    pub fn requeues(&self) -> u64 {
+        self.requeue_count
+    }
+
+    /// True once no cursor can produce a fresh batch and nothing is
+    /// requeued or outstanding. (Units decided early still show unspent
+    /// cursors, so callers combine this with their own progress check.)
+    pub fn drained(&self, done: impl Fn(usize) -> bool) -> bool {
+        self.outstanding.is_empty()
+            && self.requeued.is_empty()
+            && self
+                .cursors
+                .iter()
+                .enumerate()
+                .all(|(ui, &c)| done(ui) || c >= self.max_batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEVER_DONE: fn(usize) -> bool = |_| false;
+    const HAVE_NONE: fn(usize, u64) -> bool = |_, _| false;
+
+    #[test]
+    fn claims_are_batched_per_unit_and_skip_existing() {
+        let mut t = LeaseTable::new(2, 4);
+        let have = |ui: usize, b: u64| ui == 0 && b == 1; // batch (0,1) replayed from a checkpoint
+        let g = t.claim(1, 0, 1000, 3, NEVER_DONE, have);
+        assert_eq!(g, vec![(0, 0), (0, 2), (0, 3)], "same unit, checkpointed batch skipped");
+        let g = t.claim(2, 0, 1000, 3, NEVER_DONE, have);
+        assert_eq!(g, vec![(1, 0), (1, 1), (1, 2)], "next worker moves to the next unit");
+        assert_eq!(t.outstanding(), 6);
+    }
+
+    #[test]
+    fn expiry_requeues_and_requeues_are_served_first() {
+        let mut t = LeaseTable::new(1, 4);
+        let g = t.claim(1, 0, 1000, 2, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(0, 0), (0, 1)]);
+        // Deadline passes with no sign of life from worker 1.
+        assert_eq!(t.expire(999), 0, "not yet");
+        assert_eq!(t.expire(1000), 2, "deadline is inclusive");
+        assert_eq!(t.requeues(), 2);
+        assert_eq!(t.outstanding(), 0);
+        // Worker 2 gets the lost batches before fresh cursor work.
+        let g = t.claim(2, 1000, 1000, 4, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(0, 0), (0, 1)], "requeued work first, in batch order");
+        let g = t.claim(2, 1000, 1000, 4, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(0, 2), (0, 3)], "then the cursor resumes");
+    }
+
+    #[test]
+    fn touch_defers_expiry_for_live_workers() {
+        let mut t = LeaseTable::new(1, 2);
+        t.claim(1, 0, 1000, 2, NEVER_DONE, HAVE_NONE);
+        t.touch(1, 900, 1000); // heartbeat at t=900 pushes deadlines to 1900
+        assert_eq!(t.expire(1500), 0, "heartbeat kept the lease alive");
+        assert_eq!(t.expire(1900), 2);
+    }
+
+    #[test]
+    fn worker_death_releases_only_its_leases() {
+        let mut t = LeaseTable::new(2, 2);
+        let g1 = t.claim(1, 0, 1000, 2, NEVER_DONE, HAVE_NONE);
+        let g2 = t.claim(2, 0, 1000, 2, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g1, vec![(0, 0), (0, 1)]);
+        assert_eq!(g2, vec![(1, 0), (1, 1)]);
+        assert_eq!(t.release_worker(1), 2);
+        assert_eq!(t.outstanding(), 2, "worker 2's leases are untouched");
+        let g = t.claim(2, 0, 1000, 2, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(0, 0), (0, 1)], "worker 2 picks up the dead worker's unit");
+    }
+
+    #[test]
+    fn moot_requeues_are_dropped_and_drained_reports_completion() {
+        let mut t = LeaseTable::new(1, 2);
+        t.claim(1, 0, 1000, 2, NEVER_DONE, HAVE_NONE);
+        t.release_worker(1);
+        assert!(!t.drained(NEVER_DONE), "requeue backlog counts as remaining work");
+        // The unit decided while the batches sat in the backlog.
+        let done = |_ui: usize| true;
+        assert!(t.claim(2, 0, 1000, 2, done, HAVE_NONE).is_empty());
+        assert!(t.drained(done));
+    }
+}

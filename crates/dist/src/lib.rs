@@ -1,0 +1,29 @@
+//! # flowery-dist
+//!
+//! Coordinator/worker distributed campaign execution over TCP.
+//!
+//! One coordinator ([`Coordinator`], `flowery serve`) owns the experiment
+//! plan, the checkpoint, and the lease table; any number of workers
+//! ([`work`], `flowery work`) connect, build the matrix locally from the
+//! wire plan, lease fixed-size batch runs, and stream results back.
+//! Built entirely on `std::net` — frames are length-prefixed JSON
+//! ([`framing`]), messages are the [`protocol`] enums.
+//!
+//! The subsystem inherits the harness's determinism contract: every trial
+//! is a pure function of `(seed, trial index)`, results merge
+//! idempotently, and the finished checkpoint is compacted to canonical
+//! form — so a distributed campaign's checkpoint is byte-identical to a
+//! single-process run of the same plan, worker crashes and all. See
+//! `DESIGN.md` §6 for the full argument.
+
+pub mod coordinator;
+pub mod framing;
+pub mod lease;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{serve, Coordinator, CoordinatorConfig, DistReport};
+pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use lease::{LeaseKey, LeaseTable};
+pub use protocol::{ClientMsg, PlanSpec, ServerMsg, PROTO_VERSION};
+pub use worker::{work, WorkerConfig, WorkerSummary};

@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 
 /// FNV-1a over the canonical textual form — stable across runs and
 /// platforms, which keeps checkpoint logs portable.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

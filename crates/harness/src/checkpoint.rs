@@ -7,12 +7,21 @@
 //! `--resume` validates the header, preloads the batches, and only
 //! executes what is missing. A torn final line (process killed mid-write)
 //! is detected and ignored.
+//!
+//! During a run the log is append-only in completion order (crash safety);
+//! at a clean end it is [`compact`]ed into the **canonical form**: records
+//! sorted by `(unit key, batch index)`, duplicates dropped after checking
+//! they are identical, and batches beyond each unit's decided prefix
+//! discarded. The canonical form is a pure function of the campaign
+//! parameters, so a distributed run, a local run, and an interrupt/resume
+//! split of either all produce byte-identical files.
 
 use crate::plan::UnitKey;
+use crate::progress::{BatchOutcome, UnitProgress};
 use flowery_inject::OutcomeCounts;
 use flowery_ir::value::{FuncId, InstId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
@@ -32,6 +41,13 @@ pub struct Header {
     pub min_trials: u64,
     pub ci_target: Option<f64>,
     pub double_bit: bool,
+}
+
+impl Header {
+    /// Schedule length per unit, in batches.
+    pub fn max_batches(&self) -> u64 {
+        self.max_trials.div_ceil(self.batch_size)
+    }
 }
 
 /// One completed batch of one unit.
@@ -127,6 +143,67 @@ pub fn load(path: &Path) -> Result<(Header, Vec<BatchRecord>), String> {
     Ok((header, batches))
 }
 
+/// Reduce `records` to the canonical set: sorted by `(unit key, batch)`,
+/// duplicates dropped, batches outside the schedule dropped, and — for
+/// every unit the stopping rule decides — batches beyond the decided
+/// prefix discarded (they are scheduling jitter, not results). Duplicate
+/// records must be identical: every batch is a pure re-run, so a mismatch
+/// means corrupt data or a diverging worker and is an error.
+pub fn canonicalize(header: &Header, records: Vec<BatchRecord>) -> Result<Vec<BatchRecord>, String> {
+    let max_batches = header.max_batches();
+    let mut by_unit: BTreeMap<UnitKey, BTreeMap<u64, BatchRecord>> = BTreeMap::new();
+    for rec in records {
+        if rec.batch >= max_batches {
+            continue;
+        }
+        match by_unit.entry(rec.unit.clone()).or_default().entry(rec.batch) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(rec);
+            }
+            std::collections::btree_map::Entry::Occupied(o) => {
+                if *o.get() != rec {
+                    return Err(format!("conflicting duplicate for batch {} of {}", rec.batch, rec.unit));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (_, batches) in by_unit {
+        let mut progress = UnitProgress::new(max_batches);
+        for (&b, rec) in &batches {
+            progress.insert(b, BatchOutcome::from_record(rec), header);
+        }
+        let keep = progress.decided().unwrap_or(u64::MAX);
+        out.extend(batches.into_values().filter(|r| r.batch < keep));
+    }
+    Ok(out)
+}
+
+/// Write a canonical log: the header line plus `records` in the order
+/// given (callers pass [`canonicalize`]d records). The file is written to
+/// a temporary sibling and renamed into place, so a kill mid-write never
+/// clobbers an existing log.
+pub fn write_canonical(path: &Path, header: &Header, records: &[BatchRecord]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    {
+        let log = CheckpointLog::create(&tmp, header)?;
+        for rec in records {
+            log.record_batch(rec)?;
+        }
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+}
+
+/// Rewrite the log at `path` in canonical form (see [`canonicalize`]).
+/// Called at the clean end of a campaign; the result is byte-identical
+/// for any execution of the same schedule — local, resumed, or
+/// distributed.
+pub fn compact(path: &Path) -> Result<(), String> {
+    let (header, records) = load(path)?;
+    let records = canonicalize(&header, records)?;
+    write_canonical(path, &header, &records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +270,85 @@ mod tests {
         std::fs::write(&path, "{\"Header\"garbage}\n{}\n").unwrap();
         assert!(load(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn canonicalize_sorts_dedups_and_truncates() {
+        let h = header(); // batch 250, max 1000 -> 4 batches
+        let unit_a = UnitKey::new("a", Variant::Raw, 0.0, Layer::Ir);
+        let unit_b = UnitKey::new("b", Variant::Raw, 0.0, Layer::Asm);
+        let mk = |unit: &UnitKey, batch: u64| BatchRecord {
+            unit: unit.clone(),
+            batch,
+            counts: OutcomeCounts { benign: 250, ..Default::default() },
+            sdc_by_inst: HashMap::new(),
+            sdc_insts: Vec::new(),
+        };
+        // Completion-order jumble with a duplicate and an out-of-schedule
+        // batch (e.g. from a checkpoint written under a larger max_trials).
+        let records = vec![mk(&unit_b, 1), mk(&unit_a, 3), mk(&unit_a, 0), mk(&unit_a, 0), mk(&unit_b, 9)];
+        let canon = canonicalize(&h, records).unwrap();
+        let ids: Vec<(String, u64)> = canon.iter().map(|r| (r.unit.id(), r.batch)).collect();
+        assert_eq!(
+            ids,
+            vec![
+                ("a/Raw@0/Ir".to_string(), 0),
+                ("a/Raw@0/Ir".to_string(), 3),
+                ("b/Raw@0/Asm".to_string(), 1)
+            ]
+        );
+
+        // A conflicting duplicate is corrupt data, not jitter.
+        let mut bad = mk(&unit_a, 0);
+        bad.counts.sdc = 99;
+        assert!(canonicalize(&h, vec![mk(&unit_a, 0), bad])
+            .unwrap_err()
+            .contains("conflicting duplicate"));
+    }
+
+    #[test]
+    fn canonicalize_truncates_beyond_decided_prefix() {
+        // With a loose CI target, batch 0+1 decide the unit; a batch-3
+        // record (in-flight when the unit decided) must be dropped.
+        let mut h = header();
+        h.ci_target = Some(0.2);
+        h.min_trials = 250;
+        let unit = UnitKey::new("a", Variant::Raw, 0.0, Layer::Ir);
+        let quiet = |batch: u64| BatchRecord {
+            unit: unit.clone(),
+            batch,
+            counts: OutcomeCounts { benign: 250, ..Default::default() },
+            sdc_by_inst: HashMap::new(),
+            sdc_insts: Vec::new(),
+        };
+        let canon = canonicalize(&h, vec![quiet(0), quiet(3)]).unwrap();
+        assert_eq!(canon.iter().map(|r| r.batch).collect::<Vec<_>>(), vec![0]);
+        // An undecided unit keeps everything: resume still needs it.
+        let canon = canonicalize(&header(), vec![quiet(3), quiet(1)]).unwrap();
+        assert_eq!(canon.iter().map(|r| r.batch).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_order_insensitive() {
+        let a = tmp("compact-a");
+        let b = tmp("compact-b");
+        for (path, order) in [(&a, [0u64, 1]), (&b, [1u64, 0])] {
+            let log = CheckpointLog::create(path, &header()).unwrap();
+            for &batch in &order {
+                log.record_batch(&record(batch)).unwrap();
+            }
+            drop(log);
+            compact(path).unwrap();
+        }
+        let bytes_a = std::fs::read(&a).unwrap();
+        assert_eq!(bytes_a, std::fs::read(&b).unwrap(), "canonical form is order-insensitive");
+        compact(&a).unwrap();
+        assert_eq!(bytes_a, std::fs::read(&a).unwrap(), "compact is idempotent");
+        let (h, records) = load(&a).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(records.len(), 2, "records survive compaction");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     #[test]

@@ -14,13 +14,19 @@
 //!   95% half-width on the SDC rate meets the target, so the stop point
 //!   never depends on execution order. Batches that finished beyond the
 //!   chosen prefix are simply discarded.
+//!
+//! Batch execution is also exposed as a library call ([`UnitRunner`]):
+//! the distributed workers in `flowery-dist` lease batch indices from a
+//! coordinator and run them through exactly the code path the in-process
+//! workers use, which is what makes a sharded campaign byte-identical to
+//! a local one.
 
 use crate::cache::GoldenCache;
-use crate::checkpoint::{BatchRecord, CheckpointLog, Header, MAGIC, VERSION};
+use crate::checkpoint::{CheckpointLog, Header, MAGIC, VERSION};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan::{Layer, TrialUnit, UnitKey};
+use crate::progress::{BatchOutcome, UnitProgress};
 use flowery_inject::campaign::{AsmTrialRunner, IrTrialRunner};
-use flowery_inject::stats::wilson_half_width;
 use flowery_inject::{Estimate, Outcome, OutcomeCounts};
 use flowery_ir::interp::ExecConfig;
 use flowery_ir::value::{FuncId, InstId};
@@ -29,9 +35,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+pub use crate::checkpoint::BatchRecord;
+
 /// Engine parameters. Everything here (except `threads`) shapes the trial
 /// schedule and is recorded in checkpoint headers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HarnessConfig {
     /// Trials per scheduling batch (also the early-stop granularity).
     pub batch_size: u64,
@@ -86,7 +94,8 @@ impl HarnessConfig {
         }
     }
 
-    fn max_batches(&self) -> u64 {
+    /// Schedule length per unit, in batches.
+    pub fn max_batches(&self) -> u64 {
         self.max_trials.div_ceil(self.batch_size)
     }
 
@@ -117,6 +126,11 @@ pub struct RunOptions<'a> {
     pub preloaded: Vec<BatchRecord>,
     /// Called after every batch with fresh metrics; may stop the run.
     pub progress: Option<&'a (dyn Fn(&MetricsSnapshot) -> Control + Sync)>,
+    /// Fold `preloaded` and report without executing anything: units whose
+    /// replayed batches do not decide them are listed as `pending`. Used by
+    /// the distributed coordinator, which merges remotely executed batches
+    /// and only needs the deterministic fold.
+    pub replay_only: bool,
 }
 
 /// Final tally for one completed unit.
@@ -151,60 +165,6 @@ pub struct CampaignReport {
     pub error: Option<String>,
 }
 
-#[derive(Debug, Clone, Default)]
-struct BatchData {
-    counts: OutcomeCounts,
-    sdc_by_inst: HashMap<(FuncId, InstId), u64>,
-    sdc_insts: Vec<u32>,
-    /// Golden-prefix instructions skipped by snapshot fast-forward.
-    /// Metrics-only: not checkpointed (replayed batches report 0).
-    ff_insts: u64,
-    /// Instructions actually executed.
-    exec_insts: u64,
-}
-
-struct UnitProgress {
-    batches: Vec<Option<BatchData>>,
-    /// Contiguous completed batches from index 0.
-    prefix: u64,
-    /// Cumulative counts over the prefix (drives the stopping rule).
-    cum: OutcomeCounts,
-    /// Number of batches in the final result, once decided.
-    decided: Option<u64>,
-}
-
-impl UnitProgress {
-    /// Store a finished batch and advance the stopping rule. Returns true
-    /// when this insertion decided the unit. The rule is evaluated at each
-    /// prefix boundary in index order, so the decision depends only on
-    /// batch contents — never on completion order or thread count.
-    fn insert(&mut self, batch: u64, data: BatchData, cfg: &HarnessConfig) -> bool {
-        let slot = &mut self.batches[batch as usize];
-        if slot.is_none() {
-            *slot = Some(data);
-        }
-        let was_decided = self.decided.is_some();
-        while (self.prefix as usize) < self.batches.len() {
-            let Some(done) = &self.batches[self.prefix as usize] else {
-                break;
-            };
-            self.cum.merge(&done.counts);
-            self.prefix += 1;
-            if self.decided.is_none() {
-                let trials = (self.prefix * cfg.batch_size).min(cfg.max_trials);
-                let full = self.prefix as usize == self.batches.len();
-                let hit = cfg
-                    .ci_target
-                    .is_some_and(|t| trials >= cfg.min_trials && wilson_half_width(self.cum.sdc, trials) <= t);
-                if full || hit {
-                    self.decided = Some(self.prefix);
-                }
-            }
-        }
-        !was_decided && self.decided.is_some()
-    }
-}
-
 struct UnitState {
     cursor: AtomicU64,
     done: AtomicBool,
@@ -217,6 +177,7 @@ struct Shared<'a> {
     units: &'a [TrialUnit],
     states: Vec<UnitState>,
     cfg: &'a HarnessConfig,
+    header: Header,
     max_batches: u64,
     cache: &'a GoldenCache,
     metrics: Metrics,
@@ -241,15 +202,9 @@ impl Shared<'_> {
 
     /// Record a finished batch: checkpoint it, fold it into the unit's
     /// progress, update metrics, and poll the progress callback.
-    fn finish_batch(&self, ui: usize, batch: u64, data: BatchData) {
+    fn finish_batch(&self, ui: usize, batch: u64, data: BatchOutcome) {
         if let Some(log) = self.checkpoint {
-            let rec = BatchRecord {
-                unit: self.units[ui].key.clone(),
-                batch,
-                counts: data.counts,
-                sdc_by_inst: data.sdc_by_inst.clone(),
-                sdc_insts: data.sdc_insts.clone(),
-            };
+            let rec = data.to_record(self.units[ui].key.clone(), batch);
             if let Err(e) = log.record_batch(&rec) {
                 self.error.lock().unwrap().get_or_insert(e);
                 self.stop.store(true, Ordering::Relaxed);
@@ -258,7 +213,7 @@ impl Shared<'_> {
         self.metrics.record_batch(&data.counts, false, data.ff_insts, data.exec_insts);
         let st = &self.states[ui];
         st.recorded.fetch_add(1, Ordering::Relaxed);
-        let newly_done = st.progress.lock().unwrap().insert(batch, data, self.cfg);
+        let newly_done = st.progress.lock().unwrap().insert(batch, data, &self.header);
         if newly_done {
             st.done.store(true, Ordering::Relaxed);
             self.metrics.record_unit_done();
@@ -272,22 +227,31 @@ impl Shared<'_> {
 }
 
 /// A per-worker trial executor for one unit, built on the cached golden.
-enum Runner<'u> {
+enum RunnerInner<'u> {
     Ir(IrTrialRunner<'u>),
     Asm(AsmTrialRunner<'u>),
 }
 
-impl<'u> Runner<'u> {
-    fn build(unit: &'u TrialUnit, cache: &GoldenCache, cfg: &HarnessConfig) -> Runner<'u> {
+/// Executes one unit's trial batches. This is the engine's inner loop
+/// exposed as a library call: the distributed workers of `flowery-dist`
+/// build one per leased unit (goldens and snapshot sets come from the
+/// worker-local [`GoldenCache`]) and produce [`BatchOutcome`]s that merge
+/// byte-identically with locally executed ones.
+pub struct UnitRunner<'u> {
+    inner: RunnerInner<'u>,
+}
+
+impl<'u> UnitRunner<'u> {
+    pub fn new(unit: &'u TrialUnit, cache: &GoldenCache, cfg: &HarnessConfig) -> UnitRunner<'u> {
         let exec = &cfg.exec;
-        match unit.key.layer {
+        let inner = match unit.key.layer {
             Layer::Ir => {
                 let g = cache.ir_golden(&unit.module, exec);
                 let mut r = IrTrialRunner::with_golden(&unit.module, (*g).clone(), exec);
                 if cfg.snapshots {
                     r.attach_snapshots(cache.ir_snapshots(&unit.module, exec));
                 }
-                Runner::Ir(r)
+                RunnerInner::Ir(r)
             }
             Layer::Asm => {
                 let p = unit.program.as_ref().expect("asm unit has a program");
@@ -296,18 +260,21 @@ impl<'u> Runner<'u> {
                 if cfg.snapshots {
                     r.attach_snapshots(cache.asm_snapshots(&unit.module, p, exec));
                 }
-                Runner::Asm(r)
+                RunnerInner::Asm(r)
             }
-        }
+        };
+        UnitRunner { inner }
     }
 
-    fn run_batch(&mut self, cfg: &HarnessConfig, batch: u64) -> BatchData {
+    /// Run batch `batch` of the schedule `cfg` defines: trial indices
+    /// `[batch * batch_size, min((batch+1) * batch_size, max_trials))`.
+    pub fn run_batch(&mut self, cfg: &HarnessConfig, batch: u64) -> BatchOutcome {
         let start = batch * cfg.batch_size;
         let end = (start + cfg.batch_size).min(cfg.max_trials);
-        let mut data = BatchData::default();
+        let mut data = BatchOutcome::default();
         for i in start..end {
-            match self {
-                Runner::Ir(r) => {
+            match &mut self.inner {
+                RunnerInner::Ir(r) => {
                     let t = r.run_trial(cfg.seed, i, cfg.double_bit);
                     data.counts.record(t.outcome);
                     data.ff_insts += t.ff_insts;
@@ -318,7 +285,7 @@ impl<'u> Runner<'u> {
                         }
                     }
                 }
-                Runner::Asm(r) => {
+                RunnerInner::Asm(r) => {
                     let t = r.run_trial(cfg.seed, i, cfg.double_bit);
                     data.counts.record(t.outcome);
                     data.ff_insts += t.ff_insts;
@@ -336,7 +303,7 @@ impl<'u> Runner<'u> {
 }
 
 fn worker(windex: usize, sh: &Shared<'_>) {
-    let mut runners: HashMap<usize, Runner<'_>> = HashMap::new();
+    let mut runners: HashMap<usize, UnitRunner<'_>> = HashMap::new();
     let n = sh.units.len();
     loop {
         if sh.stop.load(Ordering::Relaxed) {
@@ -356,7 +323,7 @@ fn worker(windex: usize, sh: &Shared<'_>) {
                     continue 'scan;
                 }
                 // Batches satisfied by a checkpoint are skipped, not re-run.
-                if sh.states[ui].progress.lock().unwrap().batches[b as usize].is_some() {
+                if sh.states[ui].progress.lock().unwrap().has_batch(b) {
                     continue;
                 }
                 claimed = Some((ui, b));
@@ -366,7 +333,7 @@ fn worker(windex: usize, sh: &Shared<'_>) {
         let Some((ui, b)) = claimed else { return };
         let runner = runners
             .entry(ui)
-            .or_insert_with(|| Runner::build(&sh.units[ui], sh.cache, sh.cfg));
+            .or_insert_with(|| UnitRunner::new(&sh.units[ui], sh.cache, sh.cfg));
         let data = runner.run_batch(sh.cfg, b);
         sh.finish_batch(ui, b, data);
     }
@@ -399,12 +366,7 @@ pub fn run_units(
             cursor: AtomicU64::new(0),
             done: AtomicBool::new(false),
             recorded: AtomicU64::new(0),
-            progress: Mutex::new(UnitProgress {
-                batches: vec![None; max_batches as usize],
-                prefix: 0,
-                cum: OutcomeCounts::default(),
-                decided: None,
-            }),
+            progress: Mutex::new(UnitProgress::new(max_batches)),
         })
         .collect();
 
@@ -412,6 +374,7 @@ pub fn run_units(
         units,
         states,
         cfg,
+        header: cfg.header(),
         max_batches,
         cache,
         metrics,
@@ -430,44 +393,40 @@ pub fn run_units(
         }
         let st = &sh.states[ui];
         let mut p = st.progress.lock().unwrap();
-        if p.batches[rec.batch as usize].is_some() {
+        if p.has_batch(rec.batch) {
             continue;
         }
         sh.metrics.record_batch(&rec.counts, true, 0, 0);
         st.recorded.fetch_add(1, Ordering::Relaxed);
-        let data = BatchData {
-            counts: rec.counts,
-            sdc_by_inst: rec.sdc_by_inst.clone(),
-            sdc_insts: rec.sdc_insts.clone(),
-            ..Default::default()
-        };
-        if p.insert(rec.batch, data, cfg) {
+        if p.insert(rec.batch, BatchOutcome::from_record(rec), &sh.header) {
             st.done.store(true, Ordering::Relaxed);
             sh.metrics.record_unit_done();
         }
     }
 
-    std::thread::scope(|scope| {
-        for w in 0..cfg.effective_threads() {
-            let sh = &sh;
-            scope.spawn(move || worker(w, sh));
-        }
-    });
+    if !opts.replay_only {
+        std::thread::scope(|scope| {
+            for w in 0..cfg.effective_threads() {
+                let sh = &sh;
+                scope.spawn(move || worker(w, sh));
+            }
+        });
+    }
 
     // Merge: for each decided unit, fold batches 0..k in index order.
     let mut results = Vec::new();
     let mut pending = Vec::new();
     for (ui, unit) in units.iter().enumerate() {
         let p = sh.states[ui].progress.lock().unwrap();
-        let Some(k) = p.decided else {
+        let Some(k) = p.decided() else {
             pending.push(unit.key.clone());
             continue;
         };
         let mut counts = OutcomeCounts::default();
         let mut sdc_by_inst: HashMap<(FuncId, InstId), u64> = HashMap::new();
         let mut sdc_insts = Vec::new();
-        for b in 0..k as usize {
-            let data = p.batches[b].as_ref().expect("decided prefix is complete");
+        for b in 0..k {
+            let data = p.batch(b).expect("decided prefix is complete");
             counts.merge(&data.counts);
             for (loc, n) in &data.sdc_by_inst {
                 *sdc_by_inst.entry(*loc).or_insert(0) += n;
@@ -519,28 +478,23 @@ mod tests {
             ci_target: Some(0.2),
             ..Default::default()
         };
-        let quiet = || BatchData {
+        let rule = cfg.header();
+        let quiet = || BatchOutcome {
             counts: OutcomeCounts { benign: 10, ..Default::default() },
             ..Default::default()
         };
-        let mk = || UnitProgress {
-            batches: vec![None; 4],
-            prefix: 0,
-            cum: OutcomeCounts::default(),
-            decided: None,
-        };
         // In-order completion: batch 1 decides (20 trials, 0 SDC).
-        let mut a = mk();
-        assert!(!a.insert(0, quiet(), &cfg));
-        assert!(a.insert(1, quiet(), &cfg));
+        let mut a = UnitProgress::new(4);
+        assert!(!a.insert(0, quiet(), &rule));
+        assert!(a.insert(1, quiet(), &rule));
         // Out-of-order completion decides identically.
-        let mut b = mk();
-        assert!(!b.insert(3, quiet(), &cfg));
-        assert!(!b.insert(1, quiet(), &cfg));
-        assert!(b.insert(0, quiet(), &cfg));
-        assert_eq!(a.decided, b.decided);
+        let mut b = UnitProgress::new(4);
+        assert!(!b.insert(3, quiet(), &rule));
+        assert!(!b.insert(1, quiet(), &rule));
+        assert!(b.insert(0, quiet(), &rule));
+        assert_eq!(a.decided(), b.decided());
         // 0 SDC in 20 trials: Wilson half-width ~0.087 <= 0.2.
-        assert_eq!(a.decided, Some(2));
+        assert_eq!(a.decided(), Some(2));
     }
 
     #[test]
@@ -551,19 +505,15 @@ mod tests {
             ci_target: None,
             ..Default::default()
         };
-        let mut p = UnitProgress {
-            batches: vec![None; 3],
-            prefix: 0,
-            cum: OutcomeCounts::default(),
-            decided: None,
-        };
-        let full = |n| BatchData {
+        let rule = cfg.header();
+        let mut p = UnitProgress::new(3);
+        let full = |n| BatchOutcome {
             counts: OutcomeCounts { benign: n, ..Default::default() },
             ..Default::default()
         };
-        assert!(!p.insert(0, full(10), &cfg));
-        assert!(!p.insert(1, full(10), &cfg));
-        assert!(p.insert(2, full(5), &cfg));
-        assert_eq!(p.decided, Some(3));
+        assert!(!p.insert(0, full(10), &rule));
+        assert!(!p.insert(1, full(10), &rule));
+        assert!(p.insert(2, full(5), &rule));
+        assert_eq!(p.decided(), Some(3));
     }
 }

@@ -28,9 +28,14 @@ pub mod checkpoint;
 pub mod engine;
 pub mod metrics;
 pub mod plan;
+pub mod progress;
+pub mod shutdown;
 
 pub use cache::{module_hash, program_hash, GoldenCache};
-pub use checkpoint::{load as load_checkpoint, BatchRecord, CheckpointLog, Header};
-pub use engine::{run_units, CampaignReport, Control, HarnessConfig, RunOptions, UnitResult};
-pub use metrics::{Metrics, MetricsSnapshot};
-pub use plan::{build_matrix, Layer, MatrixSpec, TrialUnit, UnitKey, Variant};
+pub use checkpoint::{
+    canonicalize, compact, load as load_checkpoint, write_canonical, BatchRecord, CheckpointLog, Header,
+};
+pub use engine::{run_units, CampaignReport, Control, HarnessConfig, RunOptions, UnitResult, UnitRunner};
+pub use metrics::{DistStats, Metrics, MetricsSnapshot, WorkerStats};
+pub use plan::{build_matrix, matrix_fingerprint, Layer, MatrixSpec, TrialUnit, UnitKey, Variant};
+pub use progress::{BatchOutcome, UnitProgress};

@@ -119,6 +119,25 @@ impl Default for MatrixSpec {
     }
 }
 
+/// Content fingerprint of a built matrix: folds every unit's key together
+/// with the content hash of its program (printed IR, plus the machine
+/// listing for assembly units). A distributed coordinator and its workers
+/// build the matrix independently from the same plan; comparing
+/// fingerprints before any lease is granted catches a nondeterministic
+/// build or divergent code up front, rather than as corrupt results.
+pub fn matrix_fingerprint(units: &[TrialUnit]) -> u64 {
+    let mut text = String::new();
+    for u in units {
+        text.push_str(&u.key.id());
+        text.push_str(&format!(":{:016x}", crate::cache::module_hash(&u.module)));
+        if let Some(p) = &u.program {
+            text.push_str(&format!(":{:016x}", crate::cache::program_hash(p)));
+        }
+        text.push('\n');
+    }
+    crate::cache::fnv1a(text.as_bytes())
+}
+
 /// Build the standard matrix: for every benchmark, Raw at both layers,
 /// Id at both layers per level, and Id+Flowery at the assembly layer per
 /// level (the paper's protagonist configuration).
@@ -195,5 +214,23 @@ mod tests {
         let ids: Vec<String> = units.iter().map(|u| u.key.id()).collect();
         assert!(ids.contains(&"crc32/Raw@0/Ir".to_string()));
         assert!(ids.contains(&"crc32/Flowery@1000/Asm".to_string()));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let spec = MatrixSpec {
+            benches: vec!["crc32".into()],
+            scale: Scale::Tiny,
+            levels: vec![1.0],
+            ..Default::default()
+        };
+        let a = build_matrix(&spec);
+        let b = build_matrix(&spec);
+        assert_eq!(matrix_fingerprint(&a), matrix_fingerprint(&b), "same plan, same fingerprint");
+        assert_ne!(
+            matrix_fingerprint(&a),
+            matrix_fingerprint(&a[1..]),
+            "different units, different fingerprint"
+        );
     }
 }

@@ -1,0 +1,194 @@
+//! Batch-level unit progress and the deterministic stopping rule.
+//!
+//! Shared by the in-process engine ([`crate::engine`]) and the distributed
+//! coordinator (`flowery-dist`): both fold completed batches into a
+//! [`UnitProgress`] and let the same prefix rule decide when a unit is
+//! done, so a campaign sharded across machines stops at exactly the same
+//! point as a single-process run. The rule is evaluated at each prefix
+//! boundary in batch-index order, which makes the decision a pure function
+//! of batch contents — never of completion order, thread count, or which
+//! worker executed what.
+
+use crate::checkpoint::{BatchRecord, Header};
+use crate::plan::UnitKey;
+use flowery_inject::stats::wilson_half_width;
+use flowery_inject::OutcomeCounts;
+use flowery_ir::value::{FuncId, InstId};
+use std::collections::HashMap;
+
+/// Everything one executed batch contributes to its unit's tally.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    pub counts: OutcomeCounts,
+    /// IR layer: SDC attributions by static instruction.
+    pub sdc_by_inst: HashMap<(FuncId, InstId), u64>,
+    /// Assembly layer: program indices of SDC injections, in trial order.
+    pub sdc_insts: Vec<u32>,
+    /// Golden-prefix instructions skipped by snapshot fast-forward.
+    /// Metrics-only: not checkpointed (replayed batches report 0).
+    pub ff_insts: u64,
+    /// Instructions actually executed.
+    pub exec_insts: u64,
+}
+
+impl BatchOutcome {
+    /// The checkpoint record for this batch (drops the metrics-only
+    /// instruction counters, which are not part of the result).
+    pub fn to_record(&self, unit: UnitKey, batch: u64) -> BatchRecord {
+        BatchRecord {
+            unit,
+            batch,
+            counts: self.counts,
+            sdc_by_inst: self.sdc_by_inst.clone(),
+            sdc_insts: self.sdc_insts.clone(),
+        }
+    }
+
+    /// Rebuild the outcome of a checkpointed batch (instruction counters
+    /// come back as 0: the work happened in an earlier run).
+    pub fn from_record(rec: &BatchRecord) -> BatchOutcome {
+        BatchOutcome {
+            counts: rec.counts,
+            sdc_by_inst: rec.sdc_by_inst.clone(),
+            sdc_insts: rec.sdc_insts.clone(),
+            ff_insts: 0,
+            exec_insts: 0,
+        }
+    }
+}
+
+/// Completed batches of one unit plus the adaptive stopping decision.
+pub struct UnitProgress {
+    batches: Vec<Option<BatchOutcome>>,
+    /// Contiguous completed batches from index 0.
+    prefix: u64,
+    /// Cumulative counts over the prefix (drives the stopping rule).
+    cum: OutcomeCounts,
+    /// Number of batches in the final result, once decided.
+    decided: Option<u64>,
+}
+
+impl UnitProgress {
+    pub fn new(max_batches: u64) -> UnitProgress {
+        UnitProgress {
+            batches: vec![None; max_batches as usize],
+            prefix: 0,
+            cum: OutcomeCounts::default(),
+            decided: None,
+        }
+    }
+
+    /// Store a finished batch and advance the stopping rule. Returns true
+    /// when this insertion decided the unit. Inserting a batch that is
+    /// already present is a no-op (idempotent merge: re-executed batches
+    /// are pure re-runs and carry identical contents).
+    pub fn insert(&mut self, batch: u64, data: BatchOutcome, rule: &Header) -> bool {
+        let slot = &mut self.batches[batch as usize];
+        if slot.is_none() {
+            *slot = Some(data);
+        }
+        let was_decided = self.decided.is_some();
+        while (self.prefix as usize) < self.batches.len() {
+            let Some(done) = &self.batches[self.prefix as usize] else {
+                break;
+            };
+            self.cum.merge(&done.counts);
+            self.prefix += 1;
+            if self.decided.is_none() {
+                let trials = (self.prefix * rule.batch_size).min(rule.max_trials);
+                let full = self.prefix as usize == self.batches.len();
+                let hit = rule
+                    .ci_target
+                    .is_some_and(|t| trials >= rule.min_trials && wilson_half_width(self.cum.sdc, trials) <= t);
+                if full || hit {
+                    self.decided = Some(self.prefix);
+                }
+            }
+        }
+        !was_decided && self.decided.is_some()
+    }
+
+    /// The decided batch count, once the stopping rule has fired.
+    pub fn decided(&self) -> Option<u64> {
+        self.decided
+    }
+
+    /// Whether batch `b` has been recorded.
+    pub fn has_batch(&self, b: u64) -> bool {
+        self.batches.get(b as usize).is_some_and(|s| s.is_some())
+    }
+
+    /// The recorded outcome of batch `b`, if any.
+    pub fn batch(&self, b: u64) -> Option<&BatchOutcome> {
+        self.batches.get(b as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Schedule length in batches.
+    pub fn max_batches(&self) -> u64 {
+        self.batches.len() as u64
+    }
+
+    /// Batches recorded so far (not necessarily contiguous).
+    pub fn recorded(&self) -> u64 {
+        self.batches.iter().filter(|s| s.is_some()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{MAGIC, VERSION};
+    use crate::plan::{Layer, Variant};
+
+    fn rule(batch_size: u64, max_trials: u64, min_trials: u64, ci_target: Option<f64>) -> Header {
+        Header {
+            magic: MAGIC.into(),
+            version: VERSION,
+            seed: 1,
+            batch_size,
+            max_trials,
+            min_trials,
+            ci_target,
+            double_bit: false,
+        }
+    }
+
+    fn quiet(n: u64) -> BatchOutcome {
+        BatchOutcome {
+            counts: OutcomeCounts { benign: n, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let r = rule(10, 40, 10, None);
+        let mut p = UnitProgress::new(4);
+        assert!(!p.insert(0, quiet(10), &r));
+        assert!(!p.insert(0, quiet(10), &r), "re-inserting must not re-count");
+        assert_eq!(p.recorded(), 1);
+        assert!(!p.insert(1, quiet(10), &r));
+        assert!(!p.insert(2, quiet(10), &r));
+        assert!(p.insert(3, quiet(10), &r));
+        assert_eq!(p.decided(), Some(4));
+    }
+
+    #[test]
+    fn record_roundtrip_drops_instruction_counters() {
+        let out = BatchOutcome {
+            counts: OutcomeCounts { benign: 9, sdc: 1, ..Default::default() },
+            sdc_insts: vec![4, 4, 9],
+            ff_insts: 1000,
+            exec_insts: 500,
+            ..Default::default()
+        };
+        let key = UnitKey::new("b", Variant::Raw, 0.0, Layer::Asm);
+        let rec = out.to_record(key.clone(), 7);
+        assert_eq!(rec.unit, key);
+        assert_eq!(rec.batch, 7);
+        let back = BatchOutcome::from_record(&rec);
+        assert_eq!(back.counts, out.counts);
+        assert_eq!(back.sdc_insts, out.sdc_insts);
+        assert_eq!(back.ff_insts, 0, "metrics counters are not checkpointed");
+    }
+}

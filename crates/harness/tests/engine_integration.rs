@@ -134,6 +134,7 @@ fn interrupted_run_resumes_to_identical_results() {
             checkpoint: Some(&log),
             preloaded: Vec::new(),
             progress: Some(&stopper),
+            ..Default::default()
         },
     );
     drop(log);
@@ -149,7 +150,7 @@ fn interrupted_run_resumes_to_identical_results() {
         &units,
         &hcfg,
         &GoldenCache::new(),
-        RunOptions { checkpoint: Some(&log), preloaded, progress: None },
+        RunOptions { checkpoint: Some(&log), preloaded, ..Default::default() },
     );
     assert!(!resumed.interrupted);
     assert!(resumed.metrics.batches_reused >= 5);
@@ -165,7 +166,7 @@ fn interrupted_run_resumes_to_identical_results() {
         &units,
         &hcfg,
         &GoldenCache::new(),
-        RunOptions { checkpoint: None, preloaded, progress: None },
+        RunOptions { checkpoint: None, preloaded, ..Default::default() },
     );
     assert_eq!(replayed.metrics.batches, replayed.metrics.batches_reused, "pure replay");
     assert_eq!(serialized(&full.units), serialized(&replayed.units));

@@ -136,10 +136,15 @@ impl<'m> Interpreter<'m> {
         let cfg = ExecConfig { profile: false, ..config.clone() };
         let base = Memory::new(self.module, cfg.mem_size, cfg.stack_size);
         let mut pool = FramePool::default();
-        let mut rec = SnapshotRecorder::new(interval);
+        let mut rec = SnapshotRecorder::new(interval, cfg.snapshot_budget);
         let init = self.fresh_init(base.clone(), Vec::new(), &mut pool);
         let (golden, _mem) = self.exec(&cfg, None, init, Some(&mut rec), &mut pool);
-        IrSnapshotSet { base, golden, interval, snaps: rec.snaps }
+        IrSnapshotSet {
+            base,
+            golden,
+            interval: rec.final_interval(),
+            snaps: rec.snaps,
+        }
     }
 
     /// Run one faulty trial, restoring the nearest snapshot at-or-before
@@ -782,5 +787,95 @@ mod tests {
         assert_eq!(set.golden().output, plain.output);
         assert_eq!(set.golden().dyn_insts, plain.dyn_insts);
         assert_eq!(set.golden().fault_sites, plain.fault_sites);
+    }
+
+    /// A loop that cycles writes through an 8-page global array, so every
+    /// snapshot window rewrites pages and the overlay grows without bound
+    /// unless capped.
+    fn store_heavy_module(iters: i64) -> Module {
+        let mut mb = ModuleBuilder::new("stores");
+        let g = mb.global_i64("arr", &vec![0i64; 4096]);
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let i = fb.alloca(Type::I64, 1);
+        fb.store(Type::I64, Op::ci64(0), Op::inst(i));
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.jmp(header);
+        fb.switch_to(header);
+        let iv = fb.load(Type::I64, Op::inst(i));
+        let c = fb.icmp(IPred::Slt, Type::I64, Op::inst(iv), Op::ci64(iters));
+        fb.br(Op::inst(c), body, exit);
+        fb.switch_to(body);
+        let iv2 = fb.load(Type::I64, Op::inst(i));
+        let idx = fb.bin(BinOp::And, Type::I64, Op::inst(iv2), Op::ci64(4095));
+        let p = fb.gep(Op::Global(g), Op::inst(idx), Type::I64);
+        fb.store(Type::I64, Op::inst(iv2), Op::inst(p));
+        let ni = fb.bin(BinOp::Add, Type::I64, Op::inst(iv2), Op::ci64(1));
+        fb.store(Type::I64, Op::inst(ni), Op::inst(i));
+        fb.jmp(header);
+        fb.switch_to(exit);
+        let p7 = fb.gep(Op::Global(g), Op::ci64(7), Type::I64);
+        let r = fb.load(Type::I64, Op::inst(p7));
+        fb.output_i64(Op::inst(r));
+        fb.ret(Some(Op::inst(r)));
+        mb.add_func(fb.finish());
+        mb.finish()
+    }
+
+    /// Bytes of distinct page copies held across all snapshots of a set —
+    /// the memory the budget bounds.
+    fn overlay_bytes(set: &IrSnapshotSet) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for s in &set.snaps {
+            for p in s.pages.values() {
+                if seen.insert(std::sync::Arc::as_ptr(p)) {
+                    total += p.len() as u64;
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn snapshot_budget_widens_cadence_on_store_heavy_runs() {
+        let m = store_heavy_module(8192);
+        verify_module(&m).unwrap();
+        let interp = Interpreter::new(&m);
+        let cfg = ExecConfig { max_dyn_insts: 1_000_000, ..Default::default() };
+        let unbounded = interp.capture_snapshots(&cfg, 256);
+        assert_eq!(unbounded.interval(), 256);
+        let budget = 16 * crate::interp::PAGE_SIZE; // 16 pages; the final overlay alone needs ~9
+        assert!(
+            overlay_bytes(&unbounded) > budget,
+            "workload must be store-heavy enough to blow the budget: {} bytes",
+            overlay_bytes(&unbounded)
+        );
+
+        let capped_cfg = ExecConfig { snapshot_budget: Some(budget), ..cfg.clone() };
+        let capped = interp.capture_snapshots(&capped_cfg, 256);
+        assert!(capped.interval() > 256, "budget pressure must widen the cadence");
+        assert!(capped.len() < unbounded.len(), "{} vs {}", capped.len(), unbounded.len());
+        assert!(capped.len() > 1, "widening must not degenerate to a single snapshot");
+        assert!(
+            overlay_bytes(&capped) <= budget,
+            "{} bytes over a {budget} budget",
+            overlay_bytes(&capped)
+        );
+        assert_eq!(capped.golden().output, unbounded.golden().output, "the budget must not perturb execution");
+        assert_eq!(capped.golden().dyn_insts, unbounded.golden().dyn_insts);
+
+        // The thinned set still fast-forwards bit-identically.
+        let mut scratch = IrScratch::new();
+        for site in (0..capped.golden().fault_sites).step_by(997) {
+            let spec = FaultSpec::single(site, 13);
+            let scratch_res = interp.run(&cfg, Some(spec));
+            let (ff_res, _) = interp.run_fast_forward(&cfg, spec, &capped, &mut scratch);
+            assert_eq!(ff_res.status, scratch_res.status, "site {site}");
+            assert_eq!(ff_res.output, scratch_res.output, "site {site}");
+            assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site}");
+            scratch.recycle_output(ff_res.output);
+        }
     }
 }

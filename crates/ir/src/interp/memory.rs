@@ -256,6 +256,11 @@ impl Memory {
 #[derive(Default)]
 pub struct PageRecorder {
     cum: PageMap,
+    /// Weak handle to every page copy ever made, for live-byte accounting:
+    /// a copy stays "live" while any snapshot (or the cumulative overlay
+    /// itself) still holds it, so dropping snapshots that were the sole
+    /// owners of superseded page versions lowers [`PageRecorder::live_bytes`].
+    copies: Vec<std::sync::Weak<[u8]>>,
 }
 
 impl PageRecorder {
@@ -267,9 +272,20 @@ impl PageRecorder {
     /// overlay and return a snapshot of it.
     pub fn sync(&mut self, mem: &mut Memory) -> PageMap {
         for page in mem.drain_dirty_pages() {
-            self.cum.insert(page, Arc::from(mem.page_slice(page)));
+            let data: Arc<[u8]> = Arc::from(mem.page_slice(page));
+            self.copies.push(Arc::downgrade(&data));
+            self.cum.insert(page, data);
         }
         self.cum.clone()
+    }
+
+    /// Total bytes of page copies still referenced by any snapshot or by
+    /// the cumulative overlay. The floor is one copy per distinct dirty
+    /// page (the overlay always needs the latest version); rewritten pages
+    /// held only by older snapshots add to it until those snapshots drop.
+    pub fn live_bytes(&mut self) -> u64 {
+        self.copies.retain(|w| w.strong_count() > 0);
+        self.copies.iter().filter_map(|w| w.upgrade()).map(|p| p.len() as u64).sum()
     }
 }
 

@@ -21,7 +21,7 @@ use crate::value::{FuncId, InstId};
 use serde::{Deserialize, Serialize};
 
 /// Execution limits and switches.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecConfig {
     /// Total memory image size in bytes.
     pub mem_size: u64,
@@ -36,6 +36,11 @@ pub struct ExecConfig {
     pub max_output: usize,
     /// Collect per-static-instruction execution counts.
     pub profile: bool,
+    /// Byte budget for one snapshot set's page overlays. While a capture
+    /// run's live overlay bytes exceed this, the recorder doubles its
+    /// cadence and drops every other snapshot, trading fast-forward
+    /// granularity for memory. `None` = unbounded.
+    pub snapshot_budget: Option<u64>,
 }
 
 impl Default for ExecConfig {
@@ -47,6 +52,7 @@ impl Default for ExecConfig {
             max_call_depth: 512,
             max_output: 1 << 20,
             profile: false,
+            snapshot_budget: None,
         }
     }
 }

@@ -93,16 +93,18 @@ impl IrSnapshotSet {
 pub(crate) struct SnapshotRecorder {
     interval: u64,
     next: u64,
+    budget: Option<u64>,
     pages: PageRecorder,
     pub(crate) snaps: Vec<IrSnapshot>,
 }
 
 impl SnapshotRecorder {
-    pub(crate) fn new(interval: u64) -> SnapshotRecorder {
+    pub(crate) fn new(interval: u64, budget: Option<u64>) -> SnapshotRecorder {
         assert!(interval > 0, "snapshot interval must be positive");
         SnapshotRecorder {
             interval,
             next: interval,
+            budget,
             pages: PageRecorder::new(),
             snaps: Vec::new(),
         }
@@ -111,6 +113,12 @@ impl SnapshotRecorder {
     /// Called at the top of the dispatch loop, before the next instruction.
     pub(crate) fn due(&self, dyn_insts: u64) -> bool {
         dyn_insts >= self.next
+    }
+
+    /// The cadence after any budget-driven widening; the set records this
+    /// so its reported interval matches the snapshots it actually holds.
+    pub(crate) fn final_interval(&self) -> u64 {
+        self.interval
     }
 
     pub(crate) fn capture(
@@ -131,7 +139,25 @@ impl SnapshotRecorder {
             stack: stack.to_vec(),
             pages,
         });
+        while self.budget.is_some_and(|b| self.pages.live_bytes() > b) && self.snaps.len() > 1 {
+            self.widen();
+        }
         self.next = dyn_insts + self.interval;
+    }
+
+    /// Double the cadence and keep every other snapshot (starting with the
+    /// first, so early injection sites keep a nearby restore point).
+    /// Store-heavy runs that rewrite their working set faster than the
+    /// budget allows may widen repeatedly; only the page copies freed by
+    /// the dropped snapshots are reclaimed, so the floor is the final
+    /// overlay itself.
+    fn widen(&mut self) {
+        self.interval = self.interval.saturating_mul(2);
+        let mut keep = false;
+        self.snaps.retain(|_| {
+            keep = !keep;
+            keep
+        });
     }
 }
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Distributed-execution smoke test: a coordinator plus two worker
+# processes on localhost must finish the campaign and leave a checkpoint
+# byte-identical to a single-process `flowery campaign` of the same plan.
+set -euo pipefail
+
+BIN=${FLOWERY_BIN:-target/release/flowery}
+DIR=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+ARGS=(crc32 quicksort --tiny --trials 120 --batch 30 --seed 4242)
+
+echo "dist-smoke: single-process reference"
+"$BIN" campaign "${ARGS[@]}" --checkpoint "$DIR/local.jsonl" >/dev/null
+
+PORT=$((20000 + RANDOM % 20000))
+echo "dist-smoke: coordinator + 2 workers on 127.0.0.1:$PORT"
+"$BIN" serve "${ARGS[@]}" --addr "127.0.0.1:$PORT" --heartbeat-ms 300 \
+    --checkpoint "$DIR/dist.jsonl" >/dev/null &
+SERVE=$!
+"$BIN" work --connect "127.0.0.1:$PORT" &
+W1=$!
+"$BIN" work --connect "127.0.0.1:$PORT" &
+W2=$!
+wait "$W1"
+wait "$W2"
+wait "$SERVE"
+
+cmp "$DIR/local.jsonl" "$DIR/dist.jsonl"
+echo "dist-smoke: checkpoints are byte-identical"

@@ -7,6 +7,8 @@
 //! flowery inject <file.mc> [options]        fault-injection campaign
 //! flowery study [--trials N] [bench ...]    the paper's full study
 //! flowery campaign [options] [bench ...]    resumable harness campaign
+//! flowery serve [options] [bench ...]       coordinate a distributed campaign
+//! flowery work --connect HOST:PORT          join one as a worker
 //! flowery workloads                         list the 16 benchmarks
 //! flowery source <bench>                    print a benchmark's MiniC
 //! ```
@@ -36,6 +38,8 @@ fn main() -> ExitCode {
         "inject" => cmd_inject(rest),
         "study" => cmd_study(rest),
         "campaign" => cmd_campaign(rest),
+        "serve" => cmd_serve(rest),
+        "work" => cmd_work(rest),
         "workloads" => cmd_workloads(),
         "vuln" => cmd_vuln(rest),
         "source" => cmd_source(rest),
@@ -66,13 +70,26 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
   campaign [bench ...] [--trials N] [--ci-target H] [--threads N]
            [--batch N] [--levels a,b] [--tiny] [--json]
            [--checkpoint FILE] [--resume] [--no-snapshots]
+           [--snapshot-budget BYTES]
                                       run the experiment matrix on the
                                       work-stealing harness; --ci-target
                                       stops each unit once the 95% CI
                                       half-width on its SDC rate is <= H;
-                                      --checkpoint/--resume survive kills;
+                                      --checkpoint/--resume survive kills
+                                      (Ctrl-C drains in-flight batches and
+                                      flushes a resumable checkpoint);
                                       --no-snapshots disables golden-run
-                                      fast-forward (bit-identical, slower)
+                                      fast-forward (bit-identical, slower);
+                                      --snapshot-budget caps each snapshot
+                                      set's page-overlay bytes (suffixes
+                                      k/m/g), widening cadence when over
+  serve [bench ...] [--addr HOST:PORT] [--heartbeat-ms N] [--lease N]
+        [+ campaign options above]    coordinate the same campaign over
+                                      TCP: workers lease trial batches and
+                                      stream results back; the checkpoint
+                                      is byte-identical to a local run
+  work --connect HOST:PORT [--threads N] [--max-reconnects N]
+       [--backoff-ms N]               join a served campaign as a worker
   vuln <file.mc | bench> [--trials N] [--top K]
                                       rank the most SDC-vulnerable instructions
   workloads                           list the 16 Table-1 benchmarks
@@ -214,34 +231,44 @@ fn opt_str<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn cmd_campaign(rest: &[String]) -> Result<(), String> {
-    use flowery::harness::{
-        build_matrix, load_checkpoint, run_units, CheckpointLog, Control, GoldenCache, HarnessConfig, MatrixSpec,
-        MetricsSnapshot, RunOptions,
-    };
-    use std::path::Path;
-
-    let benches: Vec<String> = {
-        let mut names = Vec::new();
-        let mut skip = false;
-        for a in rest {
-            if skip {
-                skip = false;
-                continue;
-            }
-            if let Some(flag) = a.strip_prefix("--") {
-                skip = !matches!(flag, "resume" | "tiny" | "json" | "no-snapshots");
-                continue;
-            }
-            if !NAMES.contains(&a.as_str()) {
-                return Err(format!("unknown benchmark '{a}'; see `flowery workloads`"));
-            }
-            names.push(a.clone());
+/// Benchmark names from a campaign-style argument list. Flags not in the
+/// boolean set are assumed to take a value, which is skipped.
+fn parse_benches(rest: &[String]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut skip = false;
+    for a in rest {
+        if skip {
+            skip = false;
+            continue;
         }
-        names
+        if let Some(flag) = a.strip_prefix("--") {
+            skip = !matches!(flag, "resume" | "tiny" | "json" | "no-snapshots");
+            continue;
+        }
+        if !NAMES.contains(&a.as_str()) {
+            return Err(format!("unknown benchmark '{a}'; see `flowery workloads`"));
+        }
+        names.push(a.clone());
+    }
+    Ok(names)
+}
+
+/// A byte count with an optional k/m/g suffix (powers of 1024).
+fn parse_bytes(v: &str) -> Option<u64> {
+    let s = v.to_ascii_lowercase();
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s.as_str(), 1),
     };
+    digits.parse::<u64>().ok().map(|n| n.saturating_mul(mult))
+}
+
+/// The trial schedule shared by `campaign` and `serve`.
+fn parse_harness(rest: &[String]) -> Result<flowery::harness::HarnessConfig, String> {
     let trials = opt_u64(rest, "--trials", 3000);
-    let mut cfg = HarnessConfig {
+    let mut cfg = flowery::harness::HarnessConfig {
         max_trials: trials,
         batch_size: opt_u64(rest, "--batch", 250).clamp(1, trials.max(1)),
         min_trials: opt_u64(rest, "--min-trials", 500).min(trials),
@@ -253,72 +280,35 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     cfg.ci_target = opt_str(rest, "--ci-target")
         .map(|v| v.parse::<f64>().map_err(|_| format!("bad --ci-target '{v}'")))
         .transpose()?;
-    let levels: Vec<f64> = match opt_str(rest, "--levels") {
-        None => vec![1.0],
+    cfg.exec.snapshot_budget = opt_str(rest, "--snapshot-budget")
+        .map(|v| parse_bytes(v).ok_or(format!("bad --snapshot-budget '{v}' (want BYTES[k|m|g])")))
+        .transpose()?;
+    Ok(cfg)
+}
+
+fn parse_levels(rest: &[String]) -> Result<Vec<f64>, String> {
+    match opt_str(rest, "--levels") {
+        None => Ok(vec![1.0]),
         Some(csv) => csv
             .split(',')
             .map(|s| s.trim().parse::<f64>().map_err(|_| format!("bad level '{s}'")))
-            .collect::<Result<_, _>>()?,
-    };
+            .collect(),
+    }
+}
 
-    // Checkpoint / resume plumbing.
-    let ckpt_path = opt_str(rest, "--checkpoint").map(Path::new);
-    let resume = flag(rest, "--resume");
-    let mut preloaded = Vec::new();
-    let log = match (ckpt_path, resume) {
-        (None, true) => return Err("--resume needs --checkpoint FILE".into()),
-        (None, false) => None,
-        (Some(p), true) => {
-            let (header, batches) = load_checkpoint(p)?;
-            if header != cfg.header() {
-                return Err(format!("{}: checkpoint was written with different campaign parameters", p.display()));
-            }
-            eprintln!("[harness] resuming: {} batches from {}", batches.len(), p.display());
-            preloaded = batches;
-            Some(CheckpointLog::append_to(p)?)
-        }
-        (Some(p), false) => Some(CheckpointLog::create(p, &cfg.header())?),
-    };
-
-    eprintln!(
-        "[harness] building matrix ({} benches)",
-        if benches.is_empty() { NAMES.len() } else { benches.len() }
-    );
-    let spec = MatrixSpec {
-        benches,
+/// The matrix both `campaign` builds locally and `serve` ships to workers.
+fn matrix_spec(rest: &[String], cfg: &flowery::harness::HarnessConfig) -> Result<flowery::harness::MatrixSpec, String> {
+    Ok(flowery::harness::MatrixSpec {
+        benches: parse_benches(rest)?,
         scale: if flag(rest, "--tiny") { Scale::Tiny } else { Scale::Standard },
-        levels,
-        profile_trials: (trials / 3).max(100),
+        levels: parse_levels(rest)?,
+        profile_trials: (cfg.max_trials / 3).max(100),
         threads: cfg.threads,
         ..Default::default()
-    };
-    let units = build_matrix(&spec);
-    eprintln!("[harness] {} units x <= {} trials", units.len(), cfg.max_trials);
+    })
+}
 
-    let last_print = std::sync::Mutex::new(std::time::Instant::now());
-    let progress = |snap: &MetricsSnapshot| {
-        let mut last = last_print.lock().unwrap();
-        if last.elapsed().as_secs_f64() >= 1.0 {
-            eprintln!("[harness] {}", snap.render());
-            *last = std::time::Instant::now();
-        }
-        Control::Continue
-    };
-    let cache = GoldenCache::new();
-    let report = run_units(
-        &units,
-        &cfg,
-        &cache,
-        RunOptions {
-            checkpoint: log.as_ref(),
-            preloaded,
-            progress: Some(&progress),
-        },
-    );
-    if let Some(e) = report.error {
-        return Err(e);
-    }
-
+fn print_campaign_report(rest: &[String], report: &flowery::harness::CampaignReport) -> Result<(), String> {
     if flag(rest, "--json") {
         println!("{}", flowery::serde_json::to_string_pretty(&report.units).map_err(|e| format!("{e:?}"))?);
         return Ok(());
@@ -353,6 +343,139 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         m.cache_hit_rate * 100.0,
         m.ff_ratio * 100.0
     );
+    Ok(())
+}
+
+fn cmd_campaign(rest: &[String]) -> Result<(), String> {
+    use flowery::harness::{
+        build_matrix, compact, load_checkpoint, run_units, shutdown, CheckpointLog, Control, GoldenCache,
+        MetricsSnapshot, RunOptions,
+    };
+    use std::path::Path;
+
+    let cfg = parse_harness(rest)?;
+    let spec = matrix_spec(rest, &cfg)?;
+
+    // Checkpoint / resume plumbing.
+    let ckpt_path = opt_str(rest, "--checkpoint").map(Path::new);
+    let resume = flag(rest, "--resume");
+    let mut preloaded = Vec::new();
+    let log = match (ckpt_path, resume) {
+        (None, true) => return Err("--resume needs --checkpoint FILE".into()),
+        (None, false) => None,
+        (Some(p), true) => {
+            let (header, batches) = load_checkpoint(p)?;
+            if header != cfg.header() {
+                return Err(format!("{}: checkpoint was written with different campaign parameters", p.display()));
+            }
+            eprintln!("[harness] resuming: {} batches from {}", batches.len(), p.display());
+            preloaded = batches;
+            Some(CheckpointLog::append_to(p)?)
+        }
+        (Some(p), false) => Some(CheckpointLog::create(p, &cfg.header())?),
+    };
+
+    eprintln!(
+        "[harness] building matrix ({} benches)",
+        if spec.benches.is_empty() { NAMES.len() } else { spec.benches.len() }
+    );
+    let units = build_matrix(&spec);
+    eprintln!("[harness] {} units x <= {} trials", units.len(), cfg.max_trials);
+
+    // First Ctrl-C drains: in-flight batches finish and are checkpointed,
+    // then the run stops. A second Ctrl-C kills the process outright.
+    shutdown::install();
+    let last_print = std::sync::Mutex::new(std::time::Instant::now());
+    let progress = |snap: &MetricsSnapshot| {
+        if shutdown::requested() {
+            return Control::Stop;
+        }
+        let mut last = last_print.lock().unwrap();
+        if last.elapsed().as_secs_f64() >= 1.0 {
+            eprintln!("[harness] {}", snap.render());
+            *last = std::time::Instant::now();
+        }
+        Control::Continue
+    };
+    let cache = GoldenCache::new();
+    let report = run_units(
+        &units,
+        &cfg,
+        &cache,
+        RunOptions {
+            checkpoint: log.as_ref(),
+            preloaded,
+            progress: Some(&progress),
+            replay_only: false,
+        },
+    );
+    if let Some(e) = report.error {
+        return Err(e);
+    }
+
+    // Leave the checkpoint in canonical (byte-reproducible) form.
+    drop(log);
+    if let Some(p) = ckpt_path {
+        compact(p)?;
+    }
+    print_campaign_report(rest, &report)?;
+    if report.interrupted {
+        eprintln!("[harness] interrupted: {} unit(s) unfinished", report.pending.len());
+        match ckpt_path {
+            Some(p) => eprintln!("[harness] resume with: flowery campaign ... --checkpoint {} --resume", p.display()),
+            None => eprintln!("[harness] progress was NOT saved (no --checkpoint)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    use flowery::dist::{serve, CoordinatorConfig, PlanSpec};
+    use flowery::harness::shutdown;
+    use std::path::PathBuf;
+
+    let cfg = parse_harness(rest)?;
+    let plan = PlanSpec::from_spec(&matrix_spec(rest, &cfg)?);
+    let checkpoint = opt_str(rest, "--checkpoint")
+        .map(PathBuf::from)
+        .ok_or("serve needs --checkpoint FILE (workers' results land there)")?;
+    let ccfg = CoordinatorConfig {
+        addr: opt_str(rest, "--addr").unwrap_or("127.0.0.1:7070").into(),
+        checkpoint: checkpoint.clone(),
+        resume: flag(rest, "--resume"),
+        heartbeat_ms: opt_u64(rest, "--heartbeat-ms", 2000).max(50),
+        lease_batches: opt_u64(rest, "--lease", 4).max(1) as usize,
+        drain_grace_ms: 30_000,
+        threads: cfg.threads,
+        verbose: !flag(rest, "--json"),
+    };
+
+    // First Ctrl-C drains workers and flushes the checkpoint; a second
+    // kills the coordinator outright.
+    shutdown::install();
+    let dist = serve(plan, cfg, ccfg)?;
+    eprintln!("[serve] {}", dist.stats.render());
+    print_campaign_report(rest, &dist.report)?;
+    if dist.interrupted {
+        eprintln!("[serve] interrupted: {} unit(s) unfinished", dist.report.pending.len());
+        eprintln!("[serve] resume with: flowery serve ... --checkpoint {} --resume", checkpoint.display());
+    }
+    Ok(())
+}
+
+fn cmd_work(rest: &[String]) -> Result<(), String> {
+    use flowery::dist::{work, WorkerConfig};
+
+    let connect = opt_str(rest, "--connect").ok_or("work needs --connect HOST:PORT")?;
+    let summary = work(WorkerConfig {
+        connect: connect.into(),
+        threads: opt_u64(rest, "--threads", 0) as usize,
+        max_reconnects: opt_u64(rest, "--max-reconnects", 5) as u32,
+        backoff_ms: opt_u64(rest, "--backoff-ms", 500),
+        verbose: true,
+        die_after_batches: None,
+    })?;
+    eprintln!("[work] done: {} batches, {} reconnects", summary.batches, summary.reconnects);
     Ok(())
 }
 

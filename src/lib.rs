@@ -17,6 +17,8 @@
 //! - [`harness`] — the resumable work-stealing campaign engine: batched
 //!   trials, golden-run caching, adaptive trial counts (Wilson CI early
 //!   stop), JSONL checkpoints, and live metrics,
+//! - [`dist`] — coordinator/worker distributed campaigns over TCP
+//!   (`flowery serve` / `flowery work`), byte-identical to local runs,
 //! - [`workloads`] — the Table 1 benchmarks,
 //! - [`analysis`] — penetration root-cause classification,
 //! - [`core`] — the experiment pipelines for every table and figure.
@@ -27,6 +29,7 @@
 pub use flowery_analysis as analysis;
 pub use flowery_backend as backend;
 pub use flowery_core as core;
+pub use flowery_dist as dist;
 pub use flowery_harness as harness;
 pub use flowery_inject as inject;
 pub use flowery_ir as ir;
