@@ -354,6 +354,76 @@ mod tests {
     }
 
     #[test]
+    fn classify_site_covers_every_category() {
+        use flowery_backend::mir::AInst;
+        use flowery_ir::{FuncId, IrRole};
+        let (m, prog) = protected(
+            "int g(int x) { return x + 1; }\n\
+             int main() { int a = g(2); output(a); return a; }",
+        );
+        let prov_of = |fi: usize, pred: fn(&InstKind) -> bool| {
+            let f = &m.functions[fi];
+            f.live_insts()
+                .into_iter()
+                .find(|&i| pred(&f.inst(i).kind))
+                .map(|i| (FuncId(fi as u32), i))
+        };
+        let store = prov_of(1, |k| matches!(k, InstKind::Store { .. }));
+        let call = prov_of(1, |k| matches!(k, InstKind::Call { .. }));
+        let alloca = prov_of(1, |k| matches!(k, InstKind::Alloca { .. }));
+        assert!(store.is_some() && call.is_some() && alloca.is_some());
+        // classify_site keys on role/ir_role/provenance, never the opcode,
+        // so one borrowed opcode covers every signature.
+        let kind = prog.insts[0].kind;
+        let site = |role, ir_role, prov| AInst { kind, role, ir_role, prov };
+        let app = |role, prov| site(role, IrRole::App, prov);
+        use Penetration::*;
+        // The five real categories.
+        assert_eq!(classify_site(&m, &app(AsmRole::OperandReload, store)), Store);
+        assert_eq!(classify_site(&m, &app(AsmRole::Compute, store)), Store);
+        assert_eq!(classify_site(&m, &app(AsmRole::OperandReload, call)), Store);
+        assert_eq!(classify_site(&m, &app(AsmRole::FlagSet, None)), Branch);
+        assert_eq!(classify_site(&m, &app(AsmRole::OperandReload, None)), Branch);
+        assert_eq!(classify_site(&m, &app(AsmRole::ParamSpill, None)), Call);
+        assert_eq!(classify_site(&m, &app(AsmRole::ArgMove, None)), Call);
+        assert_eq!(classify_site(&m, &app(AsmRole::RetMove, None)), Call);
+        assert_eq!(classify_site(&m, &app(AsmRole::Compute, call)), Call);
+        assert_eq!(classify_site(&m, &app(AsmRole::Prologue, None)), Mapping);
+        assert_eq!(classify_site(&m, &app(AsmRole::Epilogue, None)), Mapping);
+        assert_eq!(classify_site(&m, &app(AsmRole::AddrCompute, alloca)), Mapping);
+        // Bookkeeping classes.
+        assert_eq!(classify_site(&m, &app(AsmRole::Compute, None)), Unprotected);
+        assert_eq!(classify_site(&m, &app(AsmRole::AddrCompute, None)), Unprotected);
+        assert_eq!(classify_site(&m, &app(AsmRole::ResultSpill, None)), Unprotected);
+        assert_eq!(classify_site(&m, &app(AsmRole::FlagMaterialize, None)), Unprotected);
+        assert_eq!(classify_site(&m, &site(AsmRole::Compute, IrRole::Shadow, None)), Other);
+        assert_eq!(classify_site(&m, &site(AsmRole::Compute, IrRole::Checker, None)), Other);
+        assert_eq!(classify_site(&m, &site(AsmRole::Compute, IrRole::Patch, None)), Other);
+    }
+
+    #[test]
+    fn classifier_attributes_folded_chains_to_comparison() {
+        let (m, prog) = protected(
+            "int main() { int s = 0; int i; for (i = 0; i < 8; i = i + 1) {\n\
+               if (i < 5) { s = s + 1; }\n\
+             } output(s); return s; }",
+        );
+        // Default backend folds shadow compares, so the classifier must
+        // upgrade their (now shadow-less) chains from unprotected/other to
+        // comparison penetration.
+        let c = Classifier::new(&m, true);
+        let upgraded = prog
+            .insts
+            .iter()
+            .filter(|i| {
+                matches!(classify_site(&m, i), Penetration::Unprotected | Penetration::Other)
+                    && c.classify(i) == Penetration::Comparison
+            })
+            .count();
+        assert!(upgraded > 0, "compare folding must strip some shadows");
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = PenetrationBreakdown { store: 1, branch: 2, ..Default::default() };
         let b = PenetrationBreakdown { store: 3, comparison: 1, other: 2, ..Default::default() };

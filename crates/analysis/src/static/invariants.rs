@@ -1,0 +1,343 @@
+//! Layer-2 sphere-of-replication invariant lint over the duplicated IR.
+//!
+//! Four structural invariants must hold for the protection to be credible
+//! *before* any machine-level reasoning:
+//!
+//! 1. **Shadow liveness** — every checker compares a value against a live
+//!    shadow of that value ([`InvariantKind::MissingShadow`] otherwise);
+//! 2. **Sync coverage** — every synchronization point (store / call /
+//!    conditional branch / return) consuming a protected value is guarded
+//!    by some checker ([`InvariantKind::UncheckedSync`]);
+//! 3. **Checker dominance** — a lazy checker dominates the sync it guards
+//!    (an eager Flowery checker sits after its store, in the same block)
+//!    ([`InvariantKind::CheckerNotDominating`]);
+//! 4. **Fold resistance** — no checker's shadow chain is structurally
+//!    foldable by `backend::fold` (else the check compares a value against
+//!    itself and detects nothing — the comparison-penetration shape;
+//!    Flowery's `anti_cmp` patch exists to prevent exactly this)
+//!    ([`InvariantKind::FoldableChecker`]).
+
+use flowery_ir::analysis::{inst_points, DomTree, Point, TERM_POS};
+use flowery_ir::inst::{Callee, CastKind, InstKind, Intrinsic, IrRole, Terminator};
+use flowery_ir::module::{Function, Module};
+use flowery_ir::value::{BlockId, FuncId, InstId, Op};
+use flowery_passes::provenance::{self, Placement, SyncLoc};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The invariant an IR-level finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvariantKind {
+    /// A checker compare has no live shadow operand.
+    MissingShadow,
+    /// A sync point consumes a protected value but no checker guards it.
+    UncheckedSync,
+    /// A lazy checker does not dominate the sync it guards (or an eager
+    /// checker does not follow its store).
+    CheckerNotDominating,
+    /// Backend compare folding erases this value's shadow chain, leaving
+    /// its checker comparing a value to itself.
+    FoldableChecker,
+}
+
+impl InvariantKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::MissingShadow => "missing-shadow",
+            InvariantKind::UncheckedSync => "unchecked-sync",
+            InvariantKind::CheckerNotDominating => "checker-not-dominating",
+            InvariantKind::FoldableChecker => "foldable-checker",
+        }
+    }
+}
+
+/// One IR-level invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    pub kind: InvariantKind,
+    pub func: FuncId,
+    pub detail: String,
+}
+
+/// Lint a protected module against the four invariants. An unprotected
+/// module (no checkers anywhere) trivially passes: there is no sphere of
+/// replication to violate.
+pub fn lint_module(m: &Module) -> Vec<Finding> {
+    let prov = provenance::collect(m);
+    let mut findings = Vec::new();
+    if prov.links.is_empty() {
+        return findings;
+    }
+
+    for (fi, f) in m.functions.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        let links: Vec<_> = prov.for_func(fid).collect();
+        if links.is_empty() {
+            continue;
+        }
+        // Dominance over the *semantic* CFG: a detector block never falls
+        // through (DetectError halts), but its CFG edge back into the
+        // continuation — shared detect blocks have many predecessors —
+        // would otherwise fabricate checker-bypassing paths.
+        let dom = DomTree::compute(&detector_truncated(f));
+        let points = inst_points(f);
+        let live: HashSet<InstId> = f.live_insts().into_iter().collect();
+        let shadowed = shadowed_insts(f, &live);
+
+        let mut guarded: HashSet<SyncPoint> = HashSet::new();
+        for l in &links {
+            // Invariant 1: the checker must compare against a live shadow.
+            if !checker_has_shadow_operand(f, l.checker) {
+                findings.push(Finding {
+                    kind: InvariantKind::MissingShadow,
+                    func: fid,
+                    detail: format!("checker %{} compares no live shadow", l.checker.index()),
+                });
+            }
+            let Some((kind, loc)) = l.sync else { continue };
+            guarded.insert(sync_point_of(loc));
+            // Invariant 3: placement-respecting dominance.
+            let cp = points.get(&l.checker).copied();
+            let sp: Option<Point> = match loc {
+                SyncLoc::Inst(_, iid) => points.get(&iid).copied(),
+                SyncLoc::Term(b) => Some((b, TERM_POS)),
+            };
+            if let (Some(cp), Some(sp)) = (cp, sp) {
+                let ok = match l.placement {
+                    Placement::Before => dom.dominates_point(cp, sp),
+                    // Eager: store then checker, same block.
+                    Placement::After => sp.0 == cp.0 && sp.1 <= cp.1,
+                };
+                if !ok {
+                    findings.push(Finding {
+                        kind: InvariantKind::CheckerNotDominating,
+                        func: fid,
+                        detail: format!(
+                            "checker %{} ({:?}) does not dominate its {kind:?} sync",
+                            l.checker.index(),
+                            l.placement
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Invariant 2: every sync consuming a shadowed (protected) value is
+        // guarded by some checker.
+        for (bid, block) in f.iter_blocks() {
+            for &iid in &block.insts {
+                let d = f.inst(iid);
+                if d.role != IrRole::App || !live.contains(&iid) {
+                    continue;
+                }
+                let consumes = match &d.kind {
+                    // A call that is itself duplicated (pure math intrinsics
+                    // get a shadow call) lies inside the sphere of
+                    // replication — not a sync point.
+                    InstKind::Call { .. } if shadowed.contains(&iid) => false,
+                    InstKind::Store { .. } | InstKind::Call { .. } => {
+                        d.operands().iter().any(|op| op_is_shadowed(*op, &shadowed))
+                    }
+                    _ => false,
+                };
+                if consumes && !guarded.contains(&SyncPoint::Inst(iid)) {
+                    findings.push(Finding {
+                        kind: InvariantKind::UncheckedSync,
+                        func: fid,
+                        detail: format!("sync %{} consumes a protected value unguarded", iid.index()),
+                    });
+                }
+            }
+            let term_consumes = match &block.term {
+                Terminator::Br { cond, .. } => op_is_shadowed(*cond, &shadowed),
+                Terminator::Ret { val: Some(v) } => op_is_shadowed(*v, &shadowed),
+                _ => false,
+            };
+            if term_consumes && !guarded.contains(&SyncPoint::Term(bid)) {
+                findings.push(Finding {
+                    kind: InvariantKind::UncheckedSync,
+                    func: fid,
+                    detail: format!("terminator of b{} consumes a protected value unguarded", bid.index()),
+                });
+            }
+        }
+    }
+
+    // Invariant 4: fold a clone and diff the surviving shadows. Any value
+    // that loses its shadow to folding had a structurally foldable checker.
+    let mut folded = m.clone();
+    flowery_backend::fold::fold_redundant_compares(&mut folded);
+    for (fi, f) in m.functions.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        let live: HashSet<InstId> = f.live_insts().into_iter().collect();
+        let before = shadowed_insts(f, &live);
+        let ff = &folded.functions[fi];
+        let flive: HashSet<InstId> = ff.live_insts().into_iter().collect();
+        let after = shadowed_insts(ff, &flive);
+        let mut lost: Vec<_> = before.difference(&after).collect();
+        lost.sort();
+        for iid in lost {
+            findings.push(Finding {
+                kind: InvariantKind::FoldableChecker,
+                func: fid,
+                detail: format!("shadow of %{} is erased by compare folding", iid.index()),
+            });
+        }
+    }
+    findings
+}
+
+/// Sync identity that unifies the two `SyncLoc` shapes for coverage tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SyncPoint {
+    Inst(InstId),
+    Term(BlockId),
+}
+
+fn sync_point_of(loc: SyncLoc) -> SyncPoint {
+    match loc {
+        SyncLoc::Inst(_, iid) => SyncPoint::Inst(iid),
+        SyncLoc::Term(b) => SyncPoint::Term(b),
+    }
+}
+
+/// A copy of `f` in which every block that calls the `DetectError`
+/// intrinsic ends in `Unreachable`: detection halts the program, so the
+/// detector's fall-through edge is not a real execution path.
+fn detector_truncated(f: &Function) -> Function {
+    let mut g = f.clone();
+    let cut: Vec<BlockId> = g
+        .iter_blocks()
+        .filter(|(_, b)| {
+            b.insts.iter().any(|&i| {
+                matches!(&g.inst(i).kind, InstKind::Call { callee: Callee::Intrinsic(Intrinsic::DetectError), .. })
+            })
+        })
+        .map(|(bid, _)| bid)
+        .collect();
+    for bid in cut {
+        g.block_mut(bid).term = Terminator::Unreachable;
+    }
+    g
+}
+
+/// App instructions with a live shadow (the protected value set).
+fn shadowed_insts(f: &Function, live: &HashSet<InstId>) -> HashSet<InstId> {
+    let mut set = HashSet::new();
+    for &iid in live {
+        let d = f.inst(iid);
+        if d.role == IrRole::Shadow {
+            if let Some(orig) = d.dup_of {
+                set.insert(orig);
+            }
+        }
+    }
+    set
+}
+
+fn op_is_shadowed(op: Op, shadowed: &HashSet<InstId>) -> bool {
+    op.as_inst().is_some_and(|i| shadowed.contains(&i))
+}
+
+/// Does the checker compare read a live Shadow-role value, directly or
+/// through one Checker-role bitcast (the float-compare shape)?
+fn checker_has_shadow_operand(f: &Function, checker: InstId) -> bool {
+    f.inst(checker).operands().iter().any(|op| {
+        op.as_inst().is_some_and(|i| {
+            let d = f.inst(i);
+            if d.role == IrRole::Shadow {
+                return true;
+            }
+            d.role == IrRole::Checker
+                && matches!(&d.kind, InstKind::Cast { kind: CastKind::Bitcast, .. })
+                && d.operands()
+                    .iter()
+                    .any(|inner| inner.as_inst().is_some_and(|j| f.inst(j).role == IrRole::Shadow))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
+
+    const SRC: &str = "int main() { int s = 0; int i; for (i = 0; i < 12; i = i + 1) {\n\
+                       if (i % 3 == 0) { s = s + i * 2; } } output(s); return s; }";
+
+    fn compiled(src: &str) -> Module {
+        flowery_lang::compile("t", src).unwrap()
+    }
+
+    fn duplicated(src: &str) -> Module {
+        let mut m = compiled(src);
+        let plan = ProtectionPlan::full(&m);
+        duplicate_module(&mut m, &plan, &DupConfig::default());
+        m
+    }
+
+    #[test]
+    fn unprotected_module_trivially_passes() {
+        assert!(lint_module(&compiled(SRC)).is_empty());
+    }
+
+    #[test]
+    fn plain_duplication_is_structurally_sound_but_foldable() {
+        let m = duplicated(SRC);
+        let findings = lint_module(&m);
+        // The duplication pass itself places live shadows and dominating
+        // checkers at every sync...
+        for f in &findings {
+            assert_eq!(f.kind, InvariantKind::FoldableChecker, "unexpected structural violation: {f:?}");
+        }
+        // ...but its shadow compares fold (the comparison-penetration
+        // deficiency the anti-cmp patch exists for).
+        assert!(!findings.is_empty(), "compare-heavy code must show foldable checkers");
+    }
+
+    #[test]
+    fn flowery_clears_the_foldable_findings() {
+        let mut m = duplicated(SRC);
+        apply_flowery(&mut m, &FloweryConfig::default());
+        let findings = lint_module(&m);
+        assert!(findings.is_empty(), "Flowery must lint clean here: {findings:?}");
+    }
+
+    #[test]
+    fn erasing_a_shadow_operand_is_detected() {
+        // Rewire every checker's shadow operand to the original value —
+        // the compare now checks a value against itself, exactly what
+        // fold-erasure produces. The lint must call out each checker.
+        let mut m = duplicated(SRC);
+        let f = &mut m.functions[0];
+        let mut edits: Vec<(InstId, Op, Op)> = Vec::new();
+        for iid in f.live_insts() {
+            let d = f.inst(iid);
+            if d.role != IrRole::Checker {
+                continue;
+            }
+            for op in d.operands() {
+                let Some(i) = op.as_inst() else { continue };
+                let sd = f.inst(i);
+                if sd.role == IrRole::Shadow {
+                    if let Some(orig) = sd.dup_of {
+                        edits.push((iid, op, Op::inst(orig)));
+                    }
+                }
+            }
+        }
+        assert!(!edits.is_empty(), "duplicated module has checkers with shadow operands");
+        for (iid, old, new) in edits {
+            if let InstKind::ICmp { lhs, rhs, .. } | InstKind::FCmp { lhs, rhs, .. } = &mut f.inst_mut(iid).kind {
+                if *lhs == old {
+                    *lhs = new;
+                } else if *rhs == old {
+                    *rhs = new;
+                }
+            }
+        }
+        let findings = lint_module(&m);
+        let missing = findings.iter().filter(|f| f.kind == InvariantKind::MissingShadow).count();
+        assert!(missing > 0, "self-compares must be flagged: {findings:?}");
+    }
+}

@@ -1,0 +1,21 @@
+//! `flowery-statline`: the two-layer static penetration analyzer.
+//!
+//! Layer 1 ([`taint`], [`sinks`]) is a forward "corruptible value reaches
+//! an architectural sink unchecked" dataflow over the hardened machine
+//! program; [`predict`] turns its per-site verdicts into a predicted
+//! penetration breakdown and cross-validates it against injection ground
+//! truth. Layer 2 ([`invariants`]) lints the duplicated IR module for
+//! sphere-of-replication invariant violations. See DESIGN.md §7.
+
+pub mod invariants;
+pub mod predict;
+pub mod sinks;
+pub mod taint;
+
+pub use invariants::{lint_module, Finding, InvariantKind};
+pub use predict::{
+    cross_validate, predict_program, render_validation, static_prior, CategoryRow, SitePrediction, StaticReport,
+    Validation,
+};
+pub use sinks::{Guards, Sink, Taint, TaintSet};
+pub use taint::{TaintEngine, Verdict};

@@ -1,0 +1,79 @@
+//! Acceptance gate for the static penetration analyzer: on every Table-1
+//! workload at full instruction duplication, the lint must statically flag
+//! at least 90% of the SDC sites an injection campaign measures in each of
+//! the store / branch / comparison categories (the paper's three dominant
+//! penetrations), and the cross-validation report must carry the evidence.
+//!
+//! At Flowery-100 the analyzer must also agree with the patches: no branch
+//! predictions anywhere, and no comparison predictions unless the Layer-2
+//! lint proves a shadow still folds (the stringsearch residual).
+
+use flowery_analysis::rootcause::Penetration;
+use flowery_analysis::statline::{cross_validate, lint_module, predict_program, render_validation, InvariantKind};
+use flowery_backend::{compile_module, BackendConfig};
+use flowery_inject::{run_asm_campaign, CampaignConfig};
+use flowery_ir::Module;
+use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
+use flowery_workloads::{workload, Scale, NAMES};
+
+fn protect(name: &str, flowery: bool) -> Module {
+    let mut m = workload(name, Scale::Standard).compile();
+    let plan = ProtectionPlan::full(&m);
+    duplicate_module(&mut m, &plan, &DupConfig::default());
+    if flowery {
+        apply_flowery(&mut m, &FloweryConfig::default());
+    }
+    m
+}
+
+#[test]
+fn id_full_recall_at_least_90_percent_on_all_workloads() {
+    let bcfg = BackendConfig::default();
+    for name in NAMES {
+        let m = protect(name, false);
+        let prog = compile_module(&m, &bcfg);
+        let report = predict_program(&m, &prog, bcfg.fold_compares);
+        let camp = run_asm_campaign(&m, &prog, &CampaignConfig::with_trials(800));
+        let v = cross_validate(&m, &prog, &report, &camp.sdc_insts, bcfg.fold_compares);
+        for cat in [Penetration::Store, Penetration::Branch, Penetration::Comparison] {
+            assert!(
+                v.recall_of(cat) >= 0.9,
+                "{name}: {} recall {:.2} below gate\n{}",
+                cat.name(),
+                v.recall_of(cat),
+                render_validation(&v)
+            );
+        }
+        // Report structure: one row per classification bucket, and the
+        // totals must be consistent with the rows.
+        assert_eq!(v.rows.len(), 7, "{name}");
+        assert_eq!(v.measured_sites, v.rows.iter().map(|r| r.measured).sum::<u64>(), "{name}");
+        assert_eq!(v.flagged_measured, v.rows.iter().map(|r| r.flagged).sum::<u64>(), "{name}");
+        assert_eq!(v.flagged_total, report.flagged.len() as u64, "{name}");
+        let text = render_validation(&v);
+        assert!(text.contains("recall") && text.contains("overall:"), "{name}:\n{text}");
+    }
+}
+
+#[test]
+fn flowery_full_closes_branch_and_fold_guarded_comparison() {
+    let bcfg = BackendConfig::default();
+    for name in NAMES {
+        let m = protect(name, true);
+        let prog = compile_module(&m, &bcfg);
+        let report = predict_program(&m, &prog, bcfg.fold_compares);
+        assert_eq!(report.breakdown.branch, 0, "{name}: branch predictions at Flowery-100");
+        let foldable = lint_module(&m)
+            .iter()
+            .filter(|f| f.kind == InvariantKind::FoldableChecker)
+            .count();
+        if foldable == 0 {
+            assert_eq!(report.breakdown.comparison, 0, "{name}: comparison predictions without foldable checkers");
+        } else {
+            assert!(
+                report.breakdown.comparison > 0,
+                "{name}: Layer 2 proves {foldable} foldable checkers but Layer 1 predicts none"
+            );
+        }
+    }
+}

@@ -28,5 +28,5 @@ pub mod snapshot;
 pub use harden::{harden_program, HardenConfig, HardenStats};
 pub use isel::{compile_module, BackendConfig};
 pub use machine::{AsmFaultSpec, MachResult, Machine};
-pub use mir::{print_program, AInst, AKind, AsmProgram, AsmRole, FaultDest, Reg};
+pub use mir::{print_program, AInst, AKind, AsmProgram, AsmRole, FaultDest, Loc, Reg};
 pub use snapshot::{AsmScratch, AsmSnapshotSet};

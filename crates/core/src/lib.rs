@@ -21,9 +21,11 @@ pub mod ablation;
 pub mod config;
 pub mod extension;
 pub mod figures;
+pub mod lint;
 pub mod pipeline;
 
 pub use config::ExperimentConfig;
+pub use lint::{run_lint, LintOutcome, PassConfig};
 pub use pipeline::{
     prepare, run_bench, run_prepared, run_study, BenchResults, LevelResults, PreparedBench, StudyResults,
 };

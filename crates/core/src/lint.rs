@@ -1,0 +1,147 @@
+//! Lint-vs-campaign entry point: run the static penetration analyzer over
+//! one benchmark variant and (optionally) cross-validate the predictions
+//! against a fresh injection campaign — `flowery lint` is a thin shell
+//! around [`run_lint`].
+
+use crate::config::ExperimentConfig;
+use flowery_analysis::statline::{cross_validate, lint_module, predict_program, Finding, StaticReport, Validation};
+use flowery_backend::{compile_module, BackendConfig};
+use flowery_inject::{profile_sdc, run_asm_campaign, CampaignConfig};
+use flowery_ir::Module;
+use flowery_passes::{apply_flowery, choose_protection, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
+use serde::{Deserialize, Serialize};
+
+/// Which protection pipeline to lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PassConfig {
+    /// Unprotected baseline.
+    Raw,
+    /// Instruction duplication only.
+    Id,
+    /// Instruction duplication + the three Flowery patches.
+    Flowery,
+}
+
+impl PassConfig {
+    pub fn parse(s: &str) -> Option<PassConfig> {
+        match s {
+            "raw" => Some(PassConfig::Raw),
+            "id" => Some(PassConfig::Id),
+            "flowery" => Some(PassConfig::Flowery),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PassConfig::Raw => "raw",
+            PassConfig::Id => "id",
+            PassConfig::Flowery => "flowery",
+        }
+    }
+}
+
+/// Everything one lint run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LintOutcome {
+    pub bench: String,
+    pub pass_config: PassConfig,
+    pub level: f64,
+    /// Layer-1 machine-level predictions.
+    pub report: StaticReport,
+    /// Layer-2 IR invariant findings.
+    pub findings: Vec<Finding>,
+    /// Cross-validation against an injection campaign (`--validate`).
+    pub validation: Option<Validation>,
+}
+
+/// Protect `raw` per `(pass, level)`, run both lint layers, and optionally
+/// cross-validate against a `validate_trials`-shot injection campaign.
+///
+/// A partial `level` (< 1.0) selects instructions with an SDC profile of
+/// `cfg.profile_campaign()` trials, exactly like the experiment pipeline.
+pub fn run_lint(
+    bench: &str,
+    raw: &Module,
+    pass: PassConfig,
+    level: f64,
+    cfg: &ExperimentConfig,
+    validate_trials: Option<u64>,
+) -> LintOutcome {
+    let mut m = raw.clone();
+    if pass != PassConfig::Raw {
+        let plan = if (level - 1.0).abs() < 1e-9 {
+            ProtectionPlan::full(&m)
+        } else {
+            let profile = profile_sdc(&m, &cfg.profile_campaign());
+            choose_protection(&m, &profile, level)
+        };
+        duplicate_module(&mut m, &plan, &DupConfig::default());
+        if pass == PassConfig::Flowery {
+            apply_flowery(&mut m, &FloweryConfig::default());
+        }
+    }
+    let bcfg = BackendConfig::default();
+    let prog = compile_module(&m, &bcfg);
+    let report = predict_program(&m, &prog, bcfg.fold_compares);
+    let findings = lint_module(&m);
+    let validation = validate_trials.map(|trials| {
+        let camp = run_asm_campaign(&m, &prog, &CampaignConfig::with_trials(trials));
+        cross_validate(&m, &prog, &report, &camp.sdc_insts, bcfg.fold_compares)
+    });
+    LintOutcome {
+        bench: bench.to_string(),
+        pass_config: pass,
+        level,
+        report,
+        findings,
+        validation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int main() { int s = 0; int i; for (i = 0; i < 20; i = i + 1) {\n\
+                       s = s + i * 3; } output(s); return s; }";
+
+    #[test]
+    fn pass_config_parse_round_trips() {
+        for p in [PassConfig::Raw, PassConfig::Id, PassConfig::Flowery] {
+            assert_eq!(PassConfig::parse(p.name()), Some(p));
+        }
+        assert_eq!(PassConfig::parse("bogus"), None);
+    }
+
+    #[test]
+    fn run_lint_cross_validates() {
+        let raw = flowery_lang::compile("t", SRC).unwrap();
+        let cfg = ExperimentConfig::smoke();
+        let out = run_lint("t", &raw, PassConfig::Id, 1.0, &cfg, Some(400));
+        assert!(out.report.sites > 0);
+        assert!(out.report.protected > 0, "full duplication proves sites");
+        let v = out.validation.as_ref().expect("validation requested");
+        assert!(v.overall_recall() >= 0.9, "soundness on the smoke program: {:.2}", v.overall_recall());
+        // The outcome must serialize (the CLI's --format json path).
+        let json = serde_json::to_string(&out).unwrap();
+        assert!(json.contains("\"bench\""));
+    }
+
+    #[test]
+    fn run_lint_partial_level_profiles() {
+        let raw = flowery_lang::compile("t", SRC).unwrap();
+        let cfg = ExperimentConfig::smoke();
+        let half = run_lint("t", &raw, PassConfig::Id, 0.5, &cfg, None);
+        assert!(half.report.sites > 0);
+        assert!(half.report.protected > 0, "the selected half is provably covered");
+        assert!(!half.report.flagged.is_empty(), "the unselected half stays exposed");
+        let frac = half.report.flagged.len() as f64 / half.report.sites as f64;
+        let full = run_lint("t", &raw, PassConfig::Id, 1.0, &cfg, None);
+        let full_frac = full.report.flagged.len() as f64 / full.report.sites as f64;
+        assert!(
+            frac >= full_frac,
+            "less protection cannot flag a smaller fraction: {frac:.2} vs {full_frac:.2}"
+        );
+    }
+}

@@ -135,6 +135,39 @@ impl DomTree {
     }
 }
 
+/// A program point inside a function: an instruction's position within its
+/// block, or the block's terminator (`TERM_POS`).
+pub type Point = (BlockId, usize);
+
+/// Position marker for a block's terminator, ordered after every body
+/// instruction of the block.
+pub const TERM_POS: usize = usize::MAX;
+
+/// Positions of every live instruction: `InstId -> (block, index)`.
+/// Detached instructions are absent.
+pub fn inst_points(f: &Function) -> std::collections::HashMap<crate::value::InstId, Point> {
+    let mut map = std::collections::HashMap::new();
+    for (bid, block) in f.iter_blocks() {
+        for (i, &iid) in block.insts.iter().enumerate() {
+            map.insert(iid, (bid, i));
+        }
+    }
+    map
+}
+
+impl DomTree {
+    /// Does program point `a` dominate program point `b`? Within one block,
+    /// earlier positions dominate later ones (reflexively); across blocks
+    /// this is block dominance. Used by the sphere-of-replication invariant
+    /// lint: a checker guards a sync point only if it dominates it.
+    pub fn dominates_point(&self, a: Point, b: Point) -> bool {
+        if a.0 == b.0 {
+            return self.reachable(a.0) && a.1 <= b.1;
+        }
+        self.dominates(a.0, b.0)
+    }
+}
+
 fn self_intersect(idom: &[Option<BlockId>], rpo_number: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while rpo_number[a.index()] > rpo_number[b.index()] {
@@ -212,6 +245,23 @@ mod tests {
         p.sort();
         assert_eq!(p, vec![BlockId(1), BlockId(2)]);
         assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn point_dominance_orders_within_and_across_blocks() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let (e, l, j) = (BlockId(0), BlockId(1), BlockId(3));
+        // Within a block: earlier dominates later, terminator comes last.
+        assert!(dt.dominates_point((e, 0), (e, 1)));
+        assert!(dt.dominates_point((e, 0), (e, TERM_POS)));
+        assert!(!dt.dominates_point((e, TERM_POS), (e, 0)));
+        // Across blocks: plain block dominance.
+        assert!(dt.dominates_point((e, TERM_POS), (j, 0)));
+        assert!(!dt.dominates_point((l, 0), (j, 0)));
+        // inst_points covers the entry's compare.
+        let pts = inst_points(&f);
+        assert!(pts.values().any(|&p| p == (e, 0)));
     }
 
     #[test]

@@ -26,8 +26,10 @@
 
 pub mod duplicate;
 pub mod flowery;
+pub mod provenance;
 pub mod select;
 
 pub use duplicate::{duplicate_module, DupConfig, DupStats};
 pub use flowery::{apply_flowery, FloweryConfig, FloweryStats};
+pub use provenance::{CheckerLink, PassProvenance, Placement, SyncKind, SyncLoc};
 pub use select::{choose_protection, ProtectionPlan, SdcProfile};

@@ -9,6 +9,7 @@
 //! flowery campaign [options] [bench ...]    resumable harness campaign
 //! flowery serve [options] [bench ...]       coordinate a distributed campaign
 //! flowery work --connect HOST:PORT          join one as a worker
+//! flowery lint <file.mc> [options]          static penetration analysis
 //! flowery workloads                         list the 16 benchmarks
 //! flowery source <bench>                    print a benchmark's MiniC
 //! ```
@@ -17,6 +18,7 @@
 
 use flowery::analysis::render_breakdown;
 use flowery::backend::{compile_module, harden_program, BackendConfig, HardenConfig, Machine};
+use flowery::core::{run_lint, ExperimentConfig, PassConfig};
 use flowery::inject::{run_asm_campaign, run_ir_campaign, CampaignConfig, Coverage};
 use flowery::ir::interp::{decode_output, ExecConfig, Interpreter};
 use flowery::ir::Module;
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "work" => cmd_work(rest),
         "workloads" => cmd_workloads(),
         "vuln" => cmd_vuln(rest),
+        "lint" => cmd_lint(rest),
         "source" => cmd_source(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -90,8 +93,20 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       is byte-identical to a local run
   work --connect HOST:PORT [--threads N] [--max-reconnects N]
        [--backoff-ms N]               join a served campaign as a worker
-  vuln <file.mc | bench> [--trials N] [--top K]
-                                      rank the most SDC-vulnerable instructions
+  vuln <file.mc | bench> [--trials N] [--top K] [--static-prior]
+                                      rank the most SDC-vulnerable
+                                      instructions; --static-prior folds the
+                                      lint's per-site flags in as a
+                                      sampling-tie breaker
+  lint <file.mc | bench> [--pass-config raw|id|flowery] [--level L]
+       [--validate] [--trials N] [--format json]
+                                      static penetration analysis: flag
+                                      injectable sites whose corruption can
+                                      reach a store/branch/call/ret sink
+                                      unchecked, plus IR-level invariant
+                                      findings; --validate cross-checks the
+                                      predictions against an N-trial
+                                      injection campaign
   workloads                           list the 16 Table-1 benchmarks
   source <bench>                      print a benchmark's MiniC source";
 
@@ -489,7 +504,15 @@ fn cmd_vuln(rest: &[String]) -> Result<(), String> {
         .profile_run(&ExecConfig::default())
         .profile
         .expect("profiling run returns counts");
-    let ranking = flowery::analysis::vulnerability_ranking(&m, &camp, &prof, top);
+    let ranking = if flag(rest, "--static-prior") {
+        let bcfg = BackendConfig::default();
+        let prog = compile_module(&m, &bcfg);
+        let report = flowery::analysis::predict_program(&m, &prog, bcfg.fold_compares);
+        let prior = flowery::analysis::static_prior(&prog, &report);
+        flowery::analysis::vulnerability_ranking_with_prior(&m, &camp, &prof, &prior, top)
+    } else {
+        flowery::analysis::vulnerability_ranking(&m, &camp, &prof, top)
+    };
     println!(
         "{} SDCs across {} trials; top {} instructions by SDC contribution:",
         camp.counts.sdc,
@@ -497,6 +520,56 @@ fn cmd_vuln(rest: &[String]) -> Result<(), String> {
         ranking.len()
     );
     print!("{}", flowery::analysis::render_vulnerability(&ranking));
+    Ok(())
+}
+
+fn cmd_lint(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("missing input")?;
+    let pass = match opt_str(rest, "--pass-config") {
+        None => PassConfig::Id,
+        Some(s) => {
+            PassConfig::parse(s).ok_or_else(|| format!("bad --pass-config '{s}' (expected raw, id, or flowery)"))?
+        }
+    };
+    let level: f64 = match opt_str(rest, "--level") {
+        None => 1.0,
+        Some(s) => s.parse().map_err(|_| format!("bad --level '{s}'"))?,
+    };
+    if !(0.0..=1.0).contains(&level) {
+        return Err(format!("--level {level} out of range (0..=1)"));
+    }
+    let validate = flag(rest, "--validate").then(|| opt_u64(rest, "--trials", 2000));
+    let m = load(spec)?;
+    let outcome = run_lint(spec, &m, pass, level, &ExperimentConfig::default(), validate);
+    if opt_str(rest, "--format") == Some("json") {
+        println!("{}", flowery::serde_json::to_string_pretty(&outcome).map_err(|e| format!("{e:?}"))?);
+        return Ok(());
+    }
+    let r = &outcome.report;
+    println!(
+        "{spec} [{} @ {:.0}%]: {} injectable sites, {} proven protected, {} flagged",
+        pass.name(),
+        level * 100.0,
+        r.sites,
+        r.protected,
+        r.flagged.len(),
+    );
+    if !r.flagged.is_empty() {
+        println!("predicted penetration breakdown:");
+        print!("{}", render_breakdown(&r.breakdown));
+    }
+    if outcome.findings.is_empty() {
+        println!("IR invariants: clean");
+    } else {
+        println!("IR invariant findings ({}):", outcome.findings.len());
+        for f in &outcome.findings {
+            println!("  [{}] fn{}: {}", f.kind.name(), f.func.index(), f.detail);
+        }
+    }
+    if let Some(v) = &outcome.validation {
+        println!("cross-validation against {} injection trials:", validate.unwrap());
+        print!("{}", flowery::analysis::render_validation(v));
+    }
     Ok(())
 }
 

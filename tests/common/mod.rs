@@ -1,0 +1,188 @@
+//! Shared random-MiniC program generator for the property suites: nested
+//! control flow, int/float arithmetic, bounded loops, in-bounds array
+//! traffic, division guarded against zero — programs whose golden runs
+//! always complete. Extracted from `prop_equivalence.rs` so the static
+//! penetration suite can draw from the same distribution.
+
+use proptest::prelude::*;
+
+/// Size of the two scratch global arrays.
+const N: usize = 8;
+
+#[derive(Debug, Clone)]
+enum IExpr {
+    Const(i64),
+    Var(u8),
+    ArrA(Box<IExpr>),
+    Add(Box<IExpr>, Box<IExpr>),
+    Sub(Box<IExpr>, Box<IExpr>),
+    Mul(Box<IExpr>, Box<IExpr>),
+    /// Division with a never-zero divisor.
+    DivSafe(Box<IExpr>, Box<IExpr>),
+    And(Box<IExpr>, Box<IExpr>),
+    Xor(Box<IExpr>, Box<IExpr>),
+    Shl(Box<IExpr>, u8),
+    FromFloat(Box<FExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum FExpr {
+    Const(f64),
+    Var(u8),
+    Add(Box<FExpr>, Box<FExpr>),
+    Mul(Box<FExpr>, Box<FExpr>),
+    FromInt(Box<IExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    AssignI(u8, IExpr),
+    AssignF(u8, FExpr),
+    StoreA(IExpr, IExpr),
+    If(IExpr, Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+fn render_iexpr(e: &IExpr) -> String {
+    match e {
+        IExpr::Const(v) => format!("({v})"),
+        IExpr::Var(i) => format!("v{}", i % 4),
+        IExpr::ArrA(idx) => format!("arr[(({}) % {N} + {N}) % {N}]", render_iexpr(idx)),
+        IExpr::Add(a, b) => format!("({} + {})", render_iexpr(a), render_iexpr(b)),
+        IExpr::Sub(a, b) => format!("({} - {})", render_iexpr(a), render_iexpr(b)),
+        IExpr::Mul(a, b) => format!("(({}) % 1000 * (({}) % 1000))", render_iexpr(a), render_iexpr(b)),
+        IExpr::DivSafe(a, b) => {
+            format!("({} / (1 + (({}) & 7) * (({}) & 7)))", render_iexpr(a), render_iexpr(b), render_iexpr(b))
+        }
+        IExpr::And(a, b) => format!("({} & {})", render_iexpr(a), render_iexpr(b)),
+        IExpr::Xor(a, b) => format!("({} ^ {})", render_iexpr(a), render_iexpr(b)),
+        IExpr::Shl(a, s) => format!("((({}) & 65535) << {})", render_iexpr(a), s % 8),
+        IExpr::FromFloat(f) => {
+            // Clamp to a safe range before converting.
+            format!("int((({})) - floor({}) + 3.0)", render_fexpr(f), render_fexpr(f))
+        }
+    }
+}
+
+fn render_fexpr(e: &FExpr) -> String {
+    match e {
+        FExpr::Const(v) => format!("({v:?})"),
+        FExpr::Var(i) => format!("f{}", i % 2),
+        FExpr::Add(a, b) => format!("({} + {})", render_fexpr(a), render_fexpr(b)),
+        FExpr::Mul(a, b) => format!("({} * 0.5 * ({}))", render_fexpr(a), render_fexpr(b)),
+        FExpr::FromInt(i) => format!("float(({}) % 97)", render_iexpr(i)),
+    }
+}
+
+fn render_stmts(stmts: &[Stmt], depth: usize, loop_id: &mut u32) -> String {
+    let pad = "  ".repeat(depth + 1);
+    let mut s = String::new();
+    for st in stmts {
+        match st {
+            Stmt::AssignI(v, e) => s.push_str(&format!("{pad}v{} = {};\n", v % 4, render_iexpr(e))),
+            Stmt::AssignF(v, e) => s.push_str(&format!("{pad}f{} = {};\n", v % 2, render_fexpr(e))),
+            Stmt::StoreA(idx, e) => s.push_str(&format!(
+                "{pad}arr[(({}) % {N} + {N}) % {N}] = ({}) % 100000;\n",
+                render_iexpr(idx),
+                render_iexpr(e)
+            )),
+            Stmt::If(c, t, e) => {
+                s.push_str(&format!("{pad}if (({}) % 3 != 0) {{\n", render_iexpr(c)));
+                s.push_str(&render_stmts(t, depth + 1, loop_id));
+                if e.is_empty() {
+                    s.push_str(&format!("{pad}}}\n"));
+                } else {
+                    s.push_str(&format!("{pad}}} else {{\n"));
+                    s.push_str(&render_stmts(e, depth + 1, loop_id));
+                    s.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            Stmt::Loop(n, body) => {
+                *loop_id += 1;
+                let it = format!("it{loop_id}");
+                s.push_str(&format!(
+                    "{pad}int {it};\n{pad}for ({it} = 0; {it} < {}; {it} = {it} + 1) {{\n",
+                    n % 6 + 1
+                ));
+                s.push_str(&render_stmts(body, depth + 1, loop_id));
+                s.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+    s
+}
+
+fn render_program(stmts: &[Stmt]) -> String {
+    let mut loop_id = 0;
+    let body = render_stmts(stmts, 0, &mut loop_id);
+    format!(
+        "global int arr[{N}] = {{3, 1, 4, 1, 5, 9, 2, 6}};\n\
+         int main() {{\n\
+           int v0 = 7; int v1 = -2; int v2 = 11; int v3 = 0;\n\
+           float f0 = 1.5; float f1 = -0.25;\n\
+         {body}\
+           output(v0); output(v1); output(v2); output(v3);\n\
+           output(f0); output(f1);\n\
+           int i;\n\
+           int chk = 0;\n\
+           for (i = 0; i < {N}; i = i + 1) {{ chk = chk + arr[i] * (i + 1); }}\n\
+           output(chk);\n\
+           return (v0 ^ v1 ^ v2 ^ v3 ^ chk) & 65535;\n\
+         }}\n"
+    )
+}
+
+fn iexpr_strategy(depth: u32) -> impl Strategy<Value = IExpr> {
+    let leaf = prop_oneof![(-50i64..50).prop_map(IExpr::Const), (0u8..4).prop_map(IExpr::Var),];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| IExpr::ArrA(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::DivSafe(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..8).prop_map(|(a, s)| IExpr::Shl(Box::new(a), s)),
+            fexpr_leaf().prop_map(|f| IExpr::FromFloat(Box::new(f))),
+        ]
+    })
+}
+
+fn fexpr_leaf() -> impl Strategy<Value = FExpr> {
+    prop_oneof![(-4.0f64..4.0).prop_map(FExpr::Const), (0u8..2).prop_map(FExpr::Var)]
+}
+
+fn fexpr_strategy() -> impl Strategy<Value = FExpr> {
+    let leaf = prop_oneof![(-4.0f64..4.0).prop_map(FExpr::Const), (0u8..2).prop_map(FExpr::Var),];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Mul(Box::new(a), Box::new(b))),
+            iexpr_strategy(1).prop_map(|i| FExpr::FromInt(Box::new(i))),
+        ]
+    })
+}
+
+fn stmt_strategy(depth: u32) -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        (0u8..4, iexpr_strategy(2)).prop_map(|(v, e)| Stmt::AssignI(v, e)),
+        (0u8..2, fexpr_strategy()).prop_map(|(v, e)| Stmt::AssignF(v, e)),
+        (iexpr_strategy(1), iexpr_strategy(2)).prop_map(|(i, e)| Stmt::StoreA(i, e)),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let nested = stmt_strategy(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        1 => (iexpr_strategy(1), prop::collection::vec(nested.clone(), 1..4), prop::collection::vec(nested.clone(), 0..3))
+            .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+        1 => (0u8..6, prop::collection::vec(nested, 1..4)).prop_map(|(n, b)| Stmt::Loop(n, b)),
+    ]
+    .boxed()
+}
+
+pub fn program_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(stmt_strategy(2), 1..10).prop_map(|s| render_program(&s))
+}
