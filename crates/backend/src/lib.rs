@@ -23,6 +23,7 @@ pub mod isel;
 pub mod machine;
 pub mod mir;
 pub mod regcache;
+pub mod snapio;
 pub mod snapshot;
 
 pub use harden::{harden_program, HardenConfig, HardenStats};

@@ -10,10 +10,11 @@
 use crate::mir::{
     flags, AInst, AKind, AOp, AluOp, AsmProgram, FaultDest, MathKind, MemRef, OutKind, Reg, ShiftOp, SseOp, CC,
 };
-use crate::snapshot::{AsmScratch, AsmSnapshotRecorder, AsmSnapshotSet};
+use crate::snapshot::{AsmScratch, AsmSnapshot, AsmSnapshotRecorder, AsmSnapshotSet};
 use flowery_ir::inst::{BinOp, CastKind, Intrinsic};
 use flowery_ir::interp::memory::{PageMap, TrapKind};
-use flowery_ir::interp::{ops, ExecConfig, ExecStatus, Memory};
+use flowery_ir::interp::snapshot::{AUTO_MAX_SNAPS, AUTO_SITE_CADENCE};
+use flowery_ir::interp::{ops, Cadence, ExecConfig, ExecStatus, Memory};
 use flowery_ir::module::Module;
 use flowery_ir::types::Type;
 use serde::{Deserialize, Serialize};
@@ -47,7 +48,7 @@ impl AsmFaultSpec {
 }
 
 /// Result of a machine execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachResult {
     pub status: ExecStatus,
     /// Tagged output records, same encoding as the IR interpreter.
@@ -104,19 +105,137 @@ impl<'p> Machine<'p> {
     }
 
     /// One fault-free run that captures a snapshot every `interval` dynamic
-    /// instructions. Profiling is forced off.
+    /// instructions. When `config.profile` is set the snapshots carry the
+    /// profile accumulator, so profiled trials can fast-forward too.
     pub fn capture_snapshots(&self, config: &ExecConfig, interval: u64) -> AsmSnapshotSet {
-        let cfg = ExecConfig { profile: false, ..config.clone() };
-        let base = Memory::new(self.module, cfg.mem_size, cfg.stack_size);
-        let mut rec = AsmSnapshotRecorder::new(interval, cfg.snapshot_budget);
-        let (st, ip) = self.boot(base.clone(), Vec::new(), &cfg);
-        let (golden, _mem) = self.exec(&cfg, None, st, ip, Some(&mut rec));
+        self.capture_with(config, Cadence::Insts(interval), None)
+    }
+
+    /// One fault-free run with a self-tuning site-spaced cadence: start at
+    /// one snapshot per [`AUTO_SITE_CADENCE`] fault sites and widen whenever
+    /// the set outgrows [`AUTO_MAX_SNAPS`]. Site spacing matches the
+    /// uniform-over-sites trial distribution, so restore points land where
+    /// the trials do.
+    pub fn capture_snapshots_auto(&self, config: &ExecConfig) -> AsmSnapshotSet {
+        self.capture_with(config, Cadence::Sites(AUTO_SITE_CADENCE), Some(AUTO_MAX_SNAPS))
+    }
+
+    fn capture_with(&self, config: &ExecConfig, cadence: Cadence, max_snaps: Option<usize>) -> AsmSnapshotSet {
+        let base = Memory::new(self.module, config.mem_size, config.stack_size);
+        let mut rec = AsmSnapshotRecorder::new(self.program.insts.len(), cadence, config.snapshot_budget, max_snaps);
+        let (st, ip) = self.boot(base.clone(), Vec::new(), config);
+        let (golden, _mem) = self.exec(config, None, st, ip, Some(&mut rec));
         AsmSnapshotSet {
             base,
             golden,
-            interval: rec.final_interval(),
+            cadence: rec.final_cadence(),
             snaps: rec.snaps,
+            first_exec: rec.first_exec,
+            shared_snaps: 0,
         }
+    }
+
+    /// Build this variant's snapshot set by *sharing* the golden prefix of
+    /// its raw program's set: every raw snapshot taken before the first
+    /// dynamic instruction at which the two programs can diverge is also a
+    /// valid snapshot of this program (hardening only changes code, never
+    /// the shared prefix of the trace), so only the suffix past the
+    /// divergence point is re-executed — and that execution starts *from*
+    /// the last shared snapshot, not from scratch.
+    ///
+    /// Returns `None` when nothing can be shared: profiled captures (the
+    /// per-position profile vector cannot be translated between programs),
+    /// mismatched memory geometry or entry points, a raw set without a
+    /// first-execution profile, or divergence before the first snapshot.
+    pub fn capture_snapshots_from(
+        &self,
+        config: &ExecConfig,
+        raw: (&Module, &AsmProgram),
+        raw_set: &AsmSnapshotSet,
+    ) -> Option<AsmSnapshotSet> {
+        let (raw_module, raw_program) = raw;
+        if config.profile {
+            return None;
+        }
+        if raw_set.base.size() != config.mem_size || raw_set.base.stack_limit() != config.mem_size - config.stack_size {
+            return None;
+        }
+        let first_exec = raw_set.first_exec.as_ref()?;
+        // The variant may *extend* the raw global list (Flowery appends its
+        // expectation/guard cells); existing globals keep their addresses
+        // and the appended ones are only referenced by appended code.
+        if self.module.globals.len() < raw_module.globals.len()
+            || self.module.globals[..raw_module.globals.len()] != raw_module.globals[..]
+            || raw_program.main_entry != self.program.main_entry
+        {
+            return None;
+        }
+        let d = divergence_dyn(&raw_program.insts, &self.program.insts, first_exec)?;
+        let shared: Vec<AsmSnapshot> = raw_set
+            .snaps
+            .iter()
+            .take_while(|s| s.dyn_insts <= d && (s.ip as usize) < self.program.insts.len())
+            .map(|s| AsmSnapshot {
+                dyn_insts: s.dyn_insts,
+                fault_sites: s.fault_sites,
+                cycles: s.cycles,
+                ip: s.ip,
+                regs: s.regs,
+                output_len: s.output_len,
+                profile: None,
+                pages: s.pages.clone(),
+            })
+            .collect();
+        if shared.is_empty() {
+            return None;
+        }
+        let last = shared.last().unwrap();
+        // Appended globals live in [raw_end, var_end). A raw overlay page
+        // covering that range holds raw heap bytes (zeros), not the
+        // variant's initializers — restoring it would clobber them, so
+        // such sets cannot be shared.
+        let raw_end = Memory::globals_end(raw_module);
+        let var_end = Memory::globals_end(self.module);
+        if var_end > raw_end {
+            let page = flowery_ir::interp::PAGE_SIZE;
+            let lo = (raw_end / page) as u32;
+            let hi = ((var_end - 1) / page) as u32;
+            if last.pages.keys().any(|&p| (lo..=hi).contains(&p)) {
+                return None;
+            }
+        }
+        let base = Memory::new(self.module, config.mem_size, config.stack_size);
+        let mut mem = base.clone();
+        mem.reset_to(&base, &last.pages);
+        // The restored overlay pages must not be re-copied by the first
+        // recorder sync — they are already owned by the shared snapshots.
+        mem.drain_dirty_pages();
+        let mut output = Vec::new();
+        output.extend_from_slice(&raw_set.golden.output[..last.output_len]);
+        let st = State {
+            regs: last.regs,
+            mem,
+            output,
+            dyn_insts: last.dyn_insts,
+            fault_sites: last.fault_sites,
+            cycles: last.cycles,
+            injected_inst: None,
+            profile: None,
+            last_ip: 0,
+            last_mem_write: None,
+        };
+        let ip = last.ip;
+        let mut rec = AsmSnapshotRecorder::from_shared(raw_set.cadence, config.snapshot_budget, None, shared);
+        let (golden, _mem) = self.exec(config, None, st, ip, Some(&mut rec));
+        let shared_snaps = rec.snaps.iter().take_while(|s| s.dyn_insts <= d).count();
+        Some(AsmSnapshotSet {
+            base,
+            golden,
+            cadence: rec.final_cadence(),
+            snaps: rec.snaps,
+            first_exec: None,
+            shared_snaps,
+        })
     }
 
     /// Run one faulty trial, restoring the nearest snapshot at-or-before
@@ -131,7 +250,6 @@ impl<'p> Machine<'p> {
         set: &AsmSnapshotSet,
         scratch: &mut AsmScratch,
     ) -> (MachResult, u64) {
-        assert!(!config.profile, "fast-forward does not support profiling");
         let mut mem = scratch
             .mem
             .take()
@@ -139,8 +257,10 @@ impl<'p> Machine<'p> {
             .unwrap_or_else(|| set.base.clone());
         let mut output = std::mem::take(&mut scratch.output);
         output.clear();
+        // A profiled trial can only restore a snapshot that carries the
+        // profile accumulator; otherwise it falls back to a scratch start.
         let (st, ip) = match set.nearest(fault.site_index) {
-            Some(snap) => {
+            Some(snap) if !config.profile || snap.profile.is_some() => {
                 mem.reset_to(&set.base, &snap.pages);
                 output.extend_from_slice(&set.golden.output[..snap.output_len]);
                 let st = State {
@@ -151,13 +271,13 @@ impl<'p> Machine<'p> {
                     fault_sites: snap.fault_sites,
                     cycles: snap.cycles,
                     injected_inst: None,
-                    profile: None,
+                    profile: if config.profile { snap.profile.clone() } else { None },
                     last_ip: 0,
                     last_mem_write: None,
                 };
                 (st, snap.ip)
             }
-            None => {
+            _ => {
                 // Site earlier than the first snapshot: run from the start,
                 // but still reuse the scratch image via a dirty-page reset.
                 mem.reset_to(&set.base, &PageMap::new());
@@ -210,13 +330,25 @@ impl<'p> Machine<'p> {
         let status = 'exec: loop {
             // ---- snapshot hook: `st.dyn_insts` executed, `ip` next -------
             if let Some(rec) = recorder.as_deref_mut() {
-                if rec.due(st.dyn_insts) {
-                    rec.capture(st.dyn_insts, st.fault_sites, st.cycles, ip, st.regs, st.output.len(), &mut st.mem);
+                if rec.due(st.dyn_insts, st.fault_sites) {
+                    rec.capture(
+                        st.dyn_insts,
+                        st.fault_sites,
+                        st.cycles,
+                        ip,
+                        st.regs,
+                        st.output.len(),
+                        st.profile.as_ref(),
+                        &mut st.mem,
+                    );
                 }
             }
 
             if ip as usize >= insts.len() {
                 break 'exec ExecStatus::Trapped(TrapKind::BadControl);
+            }
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.note_exec(ip, st.dyn_insts);
             }
             st.dyn_insts += 1;
             if st.dyn_insts > config.max_dyn_insts {
@@ -695,6 +827,26 @@ fn apply_fault(st: &mut State, inst: &AInst, spec: AsmFaultSpec) {
     }
 }
 
+/// First dynamic instruction (snapshot-hook convention: that instruction
+/// has not yet started) at which the variant program's golden trace can
+/// diverge from the raw program's, given the raw capture's first-execution
+/// profile. Until a *statically different* program position executes, the
+/// two traces are identical — instructions compare equal by value, jump
+/// targets included, so identical state steps identically. `u64::MAX` means
+/// the raw trace never reaches a divergent position; `None` means the
+/// divergence precedes any execution we could share.
+fn divergence_dyn(raw: &[AInst], var: &[AInst], first_exec: &[u64]) -> Option<u64> {
+    if first_exec.len() != raw.len() {
+        return None;
+    }
+    let n = raw.len().min(var.len());
+    let d_static = (0..n).find(|&i| raw[i] != var[i]).unwrap_or(n);
+    // The trace diverges the first time the raw run executes a position at
+    // or past the first static difference (positions past `var`'s end
+    // included: the raw run reaching them has no variant counterpart).
+    Some(first_exec[d_static..].iter().copied().min().unwrap_or(u64::MAX))
+}
+
 fn width_ty(w: u8) -> Type {
     match w {
         1 => Type::I8,
@@ -994,6 +1146,205 @@ mod tests {
             assert_eq!(ff_res.cycles, scratch_res.cycles, "site {site}");
             scratch.recycle_output(ff_res.output);
         }
+    }
+
+    /// Loop-with-call module; `extra` adds one instruction to the helper,
+    /// which `main` calls once at the *end* of the run — so the compiled
+    /// raw/variant programs are identical until the helper's body, and the
+    /// helper first executes late in the trace.
+    fn late_call_module(extra: bool) -> Module {
+        let mut mb = ModuleBuilder::new("late");
+        let main_id = mb.declare_func("main", vec![], Some(Type::I64));
+        let fin = mb.declare_func("fin", vec![Type::I64], Some(Type::I64));
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let acc = fb.alloca(Type::I64, 1);
+        let i = fb.alloca(Type::I64, 1);
+        fb.store(Type::I64, Op::ci64(0), Op::inst(acc));
+        fb.store(Type::I64, Op::ci64(0), Op::inst(i));
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.jmp(header);
+        fb.switch_to(header);
+        let iv = fb.load(Type::I64, Op::inst(i));
+        let c = fb.icmp(flowery_ir::IPred::Slt, Type::I64, Op::inst(iv), Op::ci64(200));
+        fb.br(Op::inst(c), body, exit);
+        fb.switch_to(body);
+        let iv2 = fb.load(Type::I64, Op::inst(i));
+        let av = fb.load(Type::I64, Op::inst(acc));
+        let ns = fb.bin(flowery_ir::BinOp::Add, Type::I64, Op::inst(av), Op::inst(iv2));
+        fb.store(Type::I64, Op::inst(ns), Op::inst(acc));
+        let ni = fb.bin(flowery_ir::BinOp::Add, Type::I64, Op::inst(iv2), Op::ci64(1));
+        fb.store(Type::I64, Op::inst(ni), Op::inst(i));
+        fb.jmp(header);
+        fb.switch_to(exit);
+        let r = fb.load(Type::I64, Op::inst(acc));
+        let fv = fb.call(fin, vec![Op::inst(r)]);
+        fb.output_i64(Op::inst(fv));
+        fb.ret(Some(Op::inst(fv)));
+        mb.define_func(main_id, fb.finish());
+        let mut fb = FuncBuilder::new("fin", vec![Type::I64], Some(Type::I64));
+        let v = fb.bin(flowery_ir::BinOp::Mul, Type::I64, Op::param(0), Op::ci64(3));
+        if extra {
+            let w = fb.bin(flowery_ir::BinOp::Add, Type::I64, Op::inst(v), Op::ci64(1));
+            fb.ret(Some(Op::inst(w)));
+        } else {
+            fb.ret(Some(Op::inst(v)));
+        }
+        mb.define_func(fin, fb.finish());
+        let m = mb.finish();
+        flowery_ir::verify::verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn profiled_fast_forward_matches_scratch() {
+        let m = late_call_module(false);
+        let prog = compile_module(&m, &BackendConfig::default());
+        let mach = Machine::new(&m, &prog);
+        let cfg = ExecConfig { profile: true, max_dyn_insts: 100_000, ..Default::default() };
+        let set = mach.capture_snapshots(&cfg, 64);
+        assert!(set.len() > 2);
+        assert!(
+            set.snaps.iter().all(|s| s.profile.is_some()),
+            "profiled capture must store the accumulator"
+        );
+        let mut scratch = AsmScratch::new();
+        let mut late_skipped = 0u64;
+        for site in 0..set.golden().fault_sites {
+            let spec = AsmFaultSpec::single(site, 13);
+            let scratch_res = mach.run(&cfg, Some(spec));
+            let (ff_res, skipped) = mach.run_fast_forward(&cfg, spec, &set, &mut scratch);
+            assert_eq!(ff_res.status, scratch_res.status, "site {site}");
+            assert_eq!(ff_res.output, scratch_res.output, "site {site}");
+            assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site}");
+            assert_eq!(ff_res.cycles, scratch_res.cycles, "site {site}");
+            assert_eq!(ff_res.profile, scratch_res.profile, "site {site}: profile counts must be restored");
+            late_skipped = late_skipped.max(skipped);
+            scratch.recycle_output(ff_res.output);
+        }
+        assert!(late_skipped > 0, "late sites must actually fast-forward");
+    }
+
+    #[test]
+    fn unprofiled_set_falls_back_for_profiled_trials() {
+        let m = late_call_module(false);
+        let prog = compile_module(&m, &BackendConfig::default());
+        let mach = Machine::new(&m, &prog);
+        let plain = ExecConfig { max_dyn_insts: 100_000, ..Default::default() };
+        let set = mach.capture_snapshots(&plain, 64);
+        let profiled = ExecConfig { profile: true, ..plain.clone() };
+        let mut scratch = AsmScratch::new();
+        let site = set.golden().fault_sites - 1;
+        let spec = AsmFaultSpec::single(site, 3);
+        let (ff_res, skipped) = mach.run_fast_forward(&profiled, spec, &set, &mut scratch);
+        assert_eq!(skipped, 0, "no profile in the set: must fall back to scratch");
+        let scratch_res = mach.run(&profiled, Some(spec));
+        assert_eq!(ff_res.status, scratch_res.status);
+        assert_eq!(ff_res.output, scratch_res.output);
+        assert_eq!(ff_res.profile, scratch_res.profile);
+    }
+
+    #[test]
+    fn auto_capture_is_site_spaced_and_capped() {
+        let m = late_call_module(false);
+        let prog = compile_module(&m, &BackendConfig::default());
+        let mach = Machine::new(&m, &prog);
+        let cfg = ExecConfig { max_dyn_insts: 100_000, ..Default::default() };
+        let set = mach.capture_snapshots_auto(&cfg);
+        assert!(matches!(set.cadence(), Cadence::Sites(_)), "auto capture is site-spaced");
+        assert!(set.len() <= AUTO_MAX_SNAPS);
+        assert!(!set.is_empty());
+        let plain = mach.run(&cfg, None);
+        assert_eq!(set.golden().output, plain.output);
+        assert_eq!(set.golden().dyn_insts, plain.dyn_insts);
+        let k = set.interval();
+        for w in set.snaps.windows(2) {
+            assert!(w[1].fault_sites - w[0].fault_sites >= k, "snapshots must be at least one cadence apart");
+        }
+        let mut scratch = AsmScratch::new();
+        for site in (0..set.golden().fault_sites).step_by(97) {
+            let spec = AsmFaultSpec::single(site, 5);
+            let scratch_res = mach.run(&cfg, Some(spec));
+            let (ff_res, _) = mach.run_fast_forward(&cfg, spec, &set, &mut scratch);
+            assert_eq!(ff_res.status, scratch_res.status, "site {site}");
+            assert_eq!(ff_res.output, scratch_res.output, "site {site}");
+            assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site}");
+            scratch.recycle_output(ff_res.output);
+        }
+    }
+
+    #[test]
+    fn shared_prefix_capture_matches_fresh_capture() {
+        let raw_m = late_call_module(false);
+        let var_m = late_call_module(true);
+        let bc = BackendConfig::default();
+        let raw_p = compile_module(&raw_m, &bc);
+        let var_p = compile_module(&var_m, &bc);
+        assert_eq!(raw_p.main_entry, var_p.main_entry, "test premise: main compiles identically");
+        let raw_mach = Machine::new(&raw_m, &raw_p);
+        let var_mach = Machine::new(&var_m, &var_p);
+        let cfg = ExecConfig { max_dyn_insts: 100_000, ..Default::default() };
+        let raw_set = raw_mach.capture_snapshots(&cfg, 64);
+        assert!(raw_set.len() > 2);
+
+        let set = var_mach
+            .capture_snapshots_from(&cfg, (&raw_m, &raw_p), &raw_set)
+            .expect("late-diverging variant must share the raw prefix");
+        assert!(set.shared_snaps() >= 1, "at least one snapshot shared");
+        assert!(set.first_exec.is_none(), "derived sets cannot seed further sharing");
+        // Shared snapshots reuse the raw set's pages by Arc identity.
+        for (s, r) in set.snaps.iter().zip(&raw_set.snaps).take(set.shared_snaps()) {
+            assert_eq!(s.dyn_insts, r.dyn_insts);
+            for (k, v) in &s.pages {
+                assert!(std::sync::Arc::ptr_eq(v, &r.pages[k]), "page {k} must be shared, not copied");
+            }
+        }
+        // The continued golden equals a fresh variant run, and differs from raw.
+        let fresh = var_mach.run(&cfg, None);
+        assert_eq!(set.golden().status, fresh.status);
+        assert_eq!(set.golden().output, fresh.output);
+        assert_eq!(set.golden().dyn_insts, fresh.dyn_insts);
+        assert_eq!(set.golden().cycles, fresh.cycles);
+        assert_ne!(set.golden().output, raw_set.golden().output, "test premise: the variant diverges");
+
+        // Fast-forward from the shared-prefix set is bit-identical.
+        let mut scratch = AsmScratch::new();
+        for site in 0..set.golden().fault_sites {
+            for bit in [0u32, 9, 33] {
+                let spec = AsmFaultSpec::single(site, bit);
+                let scratch_res = var_mach.run(&cfg, Some(spec));
+                let (ff_res, _) = var_mach.run_fast_forward(&cfg, spec, &set, &mut scratch);
+                assert_eq!(ff_res.status, scratch_res.status, "site {site} bit {bit}");
+                assert_eq!(ff_res.output, scratch_res.output, "site {site} bit {bit}");
+                assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site} bit {bit}");
+                assert_eq!(ff_res.cycles, scratch_res.cycles, "site {site} bit {bit}");
+                assert_eq!(ff_res.injected_inst, scratch_res.injected_inst, "site {site} bit {bit}");
+                scratch.recycle_output(ff_res.output);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_refuses_incompatible_shapes() {
+        let raw_m = late_call_module(false);
+        let var_m = late_call_module(true);
+        let bc = BackendConfig::default();
+        let raw_p = compile_module(&raw_m, &bc);
+        let var_p = compile_module(&var_m, &bc);
+        let raw_mach = Machine::new(&raw_m, &raw_p);
+        let var_mach = Machine::new(&var_m, &var_p);
+        let cfg = ExecConfig { max_dyn_insts: 100_000, ..Default::default() };
+        let raw_set = raw_mach.capture_snapshots(&cfg, 64);
+        // Profiled captures cannot share (per-position counts do not map).
+        let prof_cfg = ExecConfig { profile: true, ..cfg.clone() };
+        assert!(var_mach.capture_snapshots_from(&prof_cfg, (&raw_m, &raw_p), &raw_set).is_none());
+        // Mismatched memory geometry cannot share.
+        let small = ExecConfig { mem_size: 2 << 20, ..cfg.clone() };
+        assert!(var_mach.capture_snapshots_from(&small, (&raw_m, &raw_p), &raw_set).is_none());
+        // A derived set (no first_exec) cannot seed sharing.
+        let derived = var_mach.capture_snapshots_from(&cfg, (&raw_m, &raw_p), &raw_set).unwrap();
+        assert!(var_mach.capture_snapshots_from(&cfg, (&var_m, &var_p), &derived).is_none());
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl ExperimentConfig {
             threads: self.threads,
             double_bit: false,
             snapshots: self.snapshots,
+            golden_profile: false,
             exec: self.exec(),
         }
     }
@@ -119,6 +120,7 @@ impl ExperimentConfig {
             threads: self.threads,
             double_bit: false,
             snapshots: self.snapshots,
+            golden_profile: false,
             exec: self.exec(),
         }
     }

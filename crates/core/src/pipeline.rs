@@ -155,7 +155,7 @@ fn bench_units(p: &PreparedBench, cfg: &ExperimentConfig) -> (Vec<TrialUnit>, Be
     let raw_prog = Arc::new(compile_module(&p.raw, &cfg.backend));
     let mut units = vec![
         TrialUnit::ir(UnitKey::new(p.name, Variant::Raw, 0.0, Layer::Ir), raw.clone()),
-        TrialUnit::asm(UnitKey::new(p.name, Variant::Raw, 0.0, Layer::Asm), raw, raw_prog.clone()),
+        TrialUnit::asm(UnitKey::new(p.name, Variant::Raw, 0.0, Layer::Asm), raw.clone(), raw_prog.clone()),
     ];
     let mut levels = Vec::with_capacity(p.levels.len());
     for lm in &p.levels {
@@ -163,17 +163,18 @@ fn bench_units(p: &PreparedBench, cfg: &ExperimentConfig) -> (Vec<TrialUnit>, Be
         let id_prog = Arc::new(compile_module(&lm.id, &cfg.backend));
         let fl = Arc::new(lm.flowery.clone());
         let fl_prog = Arc::new(compile_module(&lm.flowery, &cfg.backend));
-        units.push(TrialUnit::ir(UnitKey::new(p.name, Variant::Id, lm.level, Layer::Ir), id.clone()));
-        units.push(TrialUnit::asm(
-            UnitKey::new(p.name, Variant::Id, lm.level, Layer::Asm),
-            id,
-            id_prog.clone(),
-        ));
-        units.push(TrialUnit::asm(
-            UnitKey::new(p.name, Variant::Flowery, lm.level, Layer::Asm),
-            fl,
-            fl_prog.clone(),
-        ));
+        units.push(
+            TrialUnit::ir(UnitKey::new(p.name, Variant::Id, lm.level, Layer::Ir), id.clone())
+                .with_raw(raw.clone(), None),
+        );
+        units.push(
+            TrialUnit::asm(UnitKey::new(p.name, Variant::Id, lm.level, Layer::Asm), id, id_prog.clone())
+                .with_raw(raw.clone(), Some(raw_prog.clone())),
+        );
+        units.push(
+            TrialUnit::asm(UnitKey::new(p.name, Variant::Flowery, lm.level, Layer::Asm), fl, fl_prog.clone())
+                .with_raw(raw.clone(), Some(raw_prog.clone())),
+        );
         levels.push((id_prog, fl_prog));
     }
     (units, BenchPrograms { raw: raw_prog, levels })

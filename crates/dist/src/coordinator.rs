@@ -431,7 +431,7 @@ fn merge_result(ctx: &Ctx, worker: u64, record: BatchRecord, ff_insts: u64, exec
             record.batch, record.unit
         ));
     }
-    st.leases.complete((ui, record.batch));
+    st.leases.complete((ui, record.batch), worker);
     if st.progress[ui].has_batch(record.batch) {
         let existing = st.progress[ui]
             .batch(record.batch)

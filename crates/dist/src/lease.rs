@@ -11,7 +11,7 @@
 //! Requeued batches are served before fresh cursor batches, so work lost
 //! to a crash is retried promptly rather than after the whole schedule.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One leased batch: `(unit index, batch index)`.
 pub type LeaseKey = (usize, u64);
@@ -22,14 +22,20 @@ struct Holder {
     deadline_ms: u64,
 }
 
-/// Tracks the per-unit schedule cursor, outstanding leases, and the
-/// requeue backlog.
+/// Tracks the per-unit schedule cursor, outstanding leases, the requeue
+/// backlog, and which workers have completed batches of which units
+/// (unit affinity).
 pub struct LeaseTable {
     max_batches: u64,
     cursors: Vec<u64>,
     outstanding: HashMap<LeaseKey, Holder>,
     requeued: VecDeque<LeaseKey>,
     requeue_count: u64,
+    /// unit index -> workers that have completed a batch of it. Workers
+    /// are steered back to units they already hold golden runs and
+    /// snapshot sets for, so a fleet converges to disjoint unit
+    /// ownership instead of every worker capturing every unit.
+    affinity: HashMap<usize, HashSet<u64>>,
 }
 
 impl LeaseTable {
@@ -40,14 +46,19 @@ impl LeaseTable {
             outstanding: HashMap::new(),
             requeued: VecDeque::new(),
             requeue_count: 0,
+            affinity: HashMap::new(),
         }
     }
 
     /// Claim up to `max` batches of one unit for `worker`. Requeued
-    /// batches are preferred; otherwise the first unit `done` does not
-    /// rule out supplies cursor batches, skipping any `have` already
-    /// reports (e.g. replayed from a checkpoint). Returns an empty vec
-    /// when everything left is leased out or finished.
+    /// batches are preferred; otherwise cursor batches are supplied from
+    /// the best-ranked unit `done` does not rule out, skipping any `have`
+    /// already reports (e.g. replayed from a checkpoint). Units are
+    /// ranked by affinity — ones this worker already completed batches
+    /// of, then ones no worker has touched, then everyone else's — so
+    /// workers keep reusing the golden runs and snapshot sets they
+    /// already captured. Returns an empty vec when everything left is
+    /// leased out or finished.
     pub fn claim(
         &mut self,
         worker: u64,
@@ -59,13 +70,20 @@ impl LeaseTable {
     ) -> Vec<LeaseKey> {
         let mut grant: Vec<LeaseKey> = Vec::new();
         // Drain the requeue backlog first (all grants must share a unit so
-        // the worker builds one runner).
+        // the worker builds one runner). The first pick honours affinity;
+        // backlog position breaks ties.
         while grant.len() < max {
-            let Some(i) = self
-                .requeued
-                .iter()
-                .position(|&(ui, b)| !done(ui) && !have(ui, b) && grant.first().is_none_or(|&(gu, _)| gu == ui))
-            else {
+            let pos = match grant.first() {
+                Some(&(gu, _)) => self.requeued.iter().position(|&(ui, b)| ui == gu && !done(ui) && !have(ui, b)),
+                None => self
+                    .requeued
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(ui, b))| !done(ui) && !have(ui, b))
+                    .min_by_key(|&(i, &(ui, _))| (self.rank(worker, ui), i))
+                    .map(|(i, _)| i),
+            };
+            let Some(i) = pos else {
                 break;
             };
             let key = self.requeued.remove(i).unwrap();
@@ -75,7 +93,9 @@ impl LeaseTable {
         // batch satisfied elsewhere) so the backlog cannot grow stale.
         self.requeued.retain(|&(ui, b)| !done(ui) && !have(ui, b));
         if grant.is_empty() {
-            'units: for ui in 0..self.cursors.len() {
+            let mut order: Vec<usize> = (0..self.cursors.len()).collect();
+            order.sort_by_key(|&ui| self.rank(worker, ui)); // stable: index order within ranks
+            'units: for ui in order {
                 if done(ui) {
                     continue;
                 }
@@ -102,10 +122,32 @@ impl LeaseTable {
         grant
     }
 
-    /// A result arrived for this batch (from anyone — a worker may report
-    /// a batch another worker's expired lease covered).
-    pub fn complete(&mut self, key: LeaseKey) {
+    /// A result arrived for this batch from `worker` (who may not hold
+    /// the lease — an expired lease's batch can be reported by its
+    /// original worker). Completing a batch records unit affinity: the
+    /// worker has this unit's golden run and snapshot set warm, so
+    /// future [`LeaseTable::claim`]s steer it back to the same unit.
+    pub fn complete(&mut self, key: LeaseKey, worker: u64) {
         self.outstanding.remove(&key);
+        self.affinity.entry(key.0).or_default().insert(worker);
+    }
+
+    /// Affinity rank of `ui` for `worker`: 0 = a unit it completed a
+    /// batch of, 1 = a unit nobody has completed or leased, 2 = a unit
+    /// some other worker is invested in. Outstanding leases count as
+    /// investment so two workers starting simultaneously split the units
+    /// instead of racing the same cursor.
+    fn rank(&self, worker: u64, ui: usize) -> u8 {
+        if self.affinity.get(&ui).is_some_and(|ws| ws.contains(&worker)) {
+            return 0;
+        }
+        let others = self.affinity.get(&ui).is_some_and(|ws| !ws.is_empty())
+            || self.outstanding.iter().any(|(&(u, _), h)| u == ui && h.worker != worker);
+        if others {
+            2
+        } else {
+            1
+        }
     }
 
     /// Push every lease past its deadline back onto the requeue backlog.
@@ -237,6 +279,51 @@ mod tests {
         assert_eq!(t.outstanding(), 2, "worker 2's leases are untouched");
         let g = t.claim(2, 0, 1000, 2, NEVER_DONE, HAVE_NONE);
         assert_eq!(g, vec![(0, 0), (0, 1)], "worker 2 picks up the dead worker's unit");
+    }
+
+    #[test]
+    fn workers_converge_to_disjoint_unit_ownership() {
+        let mut t = LeaseTable::new(2, 4);
+        let mut owned: [HashSet<usize>; 2] = [HashSet::new(), HashSet::new()];
+        // Two workers alternate single-batch claims on a fake clock,
+        // completing each batch before the next tick. Affinity should
+        // give each worker its own unit from the very first round.
+        let mut now = 0;
+        loop {
+            let mut progressed = false;
+            for w in 1..=2u64 {
+                for &(ui, b) in &t.claim(w, now, 1000, 1, NEVER_DONE, HAVE_NONE) {
+                    owned[w as usize - 1].insert(ui);
+                    t.complete((ui, b), w);
+                    progressed = true;
+                }
+                now += 10;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(t.drained(NEVER_DONE), "all batches were granted and completed");
+        assert_eq!(owned[0], HashSet::from([0]), "worker 1 kept the unit it started");
+        assert_eq!(owned[1], HashSet::from([1]), "worker 2 settled on the other unit");
+    }
+
+    #[test]
+    fn requeued_work_prefers_the_unit_the_worker_completed() {
+        let mut t = LeaseTable::new(2, 2);
+        // Workers 3 and 4 lease everything, then die after worker 3's
+        // batch (1,0) was reported by worker 1 (checkpoint replay path).
+        assert_eq!(t.claim(3, 0, 100, 2, NEVER_DONE, HAVE_NONE), vec![(0, 0), (0, 1)]);
+        assert_eq!(t.claim(4, 0, 100, 2, NEVER_DONE, HAVE_NONE), vec![(1, 0), (1, 1)]);
+        t.complete((1, 0), 1);
+        assert_eq!(t.expire(100), 3);
+        // The sorted backlog holds (0,0),(0,1) ahead of (1,1), but worker
+        // 1's affinity to unit 1 wins the first pick.
+        let g = t.claim(1, 100, 1000, 2, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(1, 1)], "affinity picks the requeued batch of worker 1's unit");
+        // The rest of the backlog is still served next, oldest unit first.
+        let g = t.claim(1, 100, 1000, 2, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(0, 0), (0, 1)]);
     }
 
     #[test]

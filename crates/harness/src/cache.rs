@@ -1,4 +1,4 @@
-//! Golden-run cache keyed by program content.
+//! Golden-run and snapshot-set cache keyed by program content.
 //!
 //! Every campaign needs a fault-free reference execution (the *golden
 //! run*) to classify outcomes against and to derive the fault-site count.
@@ -6,9 +6,23 @@
 //! them by a content hash of the printed IR / machine listing: two units
 //! over byte-identical programs share one golden execution, and the
 //! pipeline's overhead measurements reuse the campaign goldens for free.
+//!
+//! Snapshot sets are served the same way, but with two extra sources
+//! ahead of a fresh capture run:
+//!
+//! 1. **the persistent store** — sets saved next to the checkpoint by a
+//!    previous run load back without executing anything, so `--resume`
+//!    performs zero golden re-executions and zero re-captures;
+//! 2. **cross-variant sharing** — a hardened unit that knows its raw twin
+//!    reuses the raw set's golden-prefix snapshots below the divergence
+//!    point and captures only the suffix.
+//!
+//! Since the capture run doubles as the golden run (its result seeds the
+//! golden maps), enabling snapshots never adds an execution.
 
+use crate::snapstore::SnapshotStore;
 use flowery_backend::{print_program, AsmProgram, AsmSnapshotSet, MachResult, Machine};
-use flowery_ir::interp::{auto_interval, ExecConfig, ExecResult, Interpreter, IrSnapshotSet};
+use flowery_ir::interp::{ExecConfig, ExecResult, Interpreter, IrSnapshotSet};
 use flowery_ir::printer::print_module;
 use flowery_ir::Module;
 use std::collections::HashMap;
@@ -36,20 +50,50 @@ pub fn program_hash(p: &AsmProgram) -> u64 {
     fnv1a(print_program(p).as_bytes())
 }
 
-/// Thread-safe golden-run / fault-site cache with hit-rate accounting.
+/// Point-in-time cache counters; how each snapshot set was obtained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the in-memory maps.
+    pub hits: u64,
+    /// Lookups that had to go further (store, sharing, or execution).
+    pub misses: u64,
+    /// Plain golden executions (not part of a snapshot capture).
+    pub goldens_run: u64,
+    /// Snapshot capture executions (full or shared-suffix).
+    pub snap_captures: u64,
+    /// Snapshot sets loaded from the persistent store — zero executions.
+    pub snap_loads: u64,
+    /// Captures that shared a raw set's golden prefix (subset of
+    /// `snap_captures`; these ran only the post-divergence suffix).
+    pub snap_shared: u64,
+}
+
+/// Thread-safe golden-run / snapshot-set cache with provenance accounting.
 #[derive(Default)]
 pub struct GoldenCache {
     ir: Mutex<HashMap<u64, Arc<ExecResult>>>,
     asm: Mutex<HashMap<u64, Arc<MachResult>>>,
     ir_snaps: Mutex<HashMap<u64, Arc<IrSnapshotSet>>>,
     asm_snaps: Mutex<HashMap<u64, Arc<AsmSnapshotSet>>>,
+    /// Persistent home for snapshot sets, when the campaign has one.
+    store: Option<SnapshotStore>,
     hits: AtomicU64,
     misses: AtomicU64,
+    goldens_run: AtomicU64,
+    snap_captures: AtomicU64,
+    snap_loads: AtomicU64,
+    snap_shared: AtomicU64,
 }
 
 impl GoldenCache {
     pub fn new() -> GoldenCache {
         GoldenCache::default()
+    }
+
+    /// A cache that persists captured snapshot sets to `store` and serves
+    /// future lookups from it.
+    pub fn with_store(store: SnapshotStore) -> GoldenCache {
+        GoldenCache { store: Some(store), ..GoldenCache::default() }
     }
 
     /// Golden run of `m` at the IR layer, computed at most once per
@@ -60,9 +104,20 @@ impl GoldenCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return g.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // A persisted snapshot set carries the golden result, so a pure
+        // checkpoint replay (`--resume` of a finished run) serves even
+        // its merge-time golden lookups without executing anything.
+        if let Some(set) = self.store.as_ref().and_then(|st| st.load_ir(m, key)) {
+            if set.matches_geometry(exec.mem_size, exec.stack_size) {
+                self.snap_loads.fetch_add(1, Ordering::Relaxed);
+                self.insert_ir_set(key, set, false);
+                return self.ir.lock().unwrap().get(&key).unwrap().clone();
+            }
+        }
         // Run outside the lock: golden executions are the expensive part.
         let g = Arc::new(Interpreter::new(m).run(exec, None));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.goldens_run.fetch_add(1, Ordering::Relaxed);
         self.ir.lock().unwrap().entry(key).or_insert(g).clone()
     }
 
@@ -73,41 +128,128 @@ impl GoldenCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return g.clone();
         }
-        let g = Arc::new(Machine::new(m, p).run(exec, None));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(set) = self.store.as_ref().and_then(|st| st.load_asm(m, p, key)) {
+            if set.matches_geometry(exec.mem_size, exec.stack_size) {
+                self.snap_loads.fetch_add(1, Ordering::Relaxed);
+                self.insert_asm_set(key, set, false);
+                return self.asm.lock().unwrap().get(&key).unwrap().clone();
+            }
+        }
+        let g = Arc::new(Machine::new(m, p).run(exec, None));
+        self.goldens_run.fetch_add(1, Ordering::Relaxed);
         self.asm.lock().unwrap().entry(key).or_insert(g).clone()
     }
 
-    /// Snapshot set for fast-forwarded IR trials over `m`, captured at most
-    /// once per distinct program content and shared across all units (and
-    /// worker threads) that run campaigns on that content. The cadence is
-    /// auto-tuned to the cached golden run's length.
+    /// Snapshot set for fast-forwarded IR trials over `m` (no raw twin).
     pub fn ir_snapshots(&self, m: &Module, exec: &ExecConfig) -> Arc<IrSnapshotSet> {
+        self.ir_snapshots_for(m, None, exec)
+    }
+
+    /// Snapshot set for fast-forwarded IR trials over `m`, obtained (in
+    /// order of preference) from the in-memory cache, the persistent
+    /// store, a shared-prefix capture off `raw`'s set, or a fresh capture.
+    /// The set's golden result seeds the golden cache, so subsequent
+    /// [`GoldenCache::ir_golden`] calls for the same content are free.
+    pub fn ir_snapshots_for(&self, m: &Module, raw: Option<&Module>, exec: &ExecConfig) -> Arc<IrSnapshotSet> {
         let key = module_hash(m);
         if let Some(s) = self.ir_snaps.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return s.clone();
         }
-        // The capture run is budget-insensitive (fault-free, so it finishes
-        // within the golden instruction count); only the cadence needs the
-        // golden length.
-        let golden = self.ir_golden(m, exec);
-        let set = Arc::new(Interpreter::new(m).capture_snapshots(exec, auto_interval(golden.dyn_insts)));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.ir_snaps.lock().unwrap().entry(key).or_insert(set).clone()
+        if let Some(set) = self.store.as_ref().and_then(|st| st.load_ir(m, key)) {
+            if set.matches_geometry(exec.mem_size, exec.stack_size) {
+                self.snap_loads.fetch_add(1, Ordering::Relaxed);
+                return self.insert_ir_set(key, set, false);
+            }
+        }
+        let shared = raw.and_then(|raw_m| {
+            let raw_key = module_hash(raw_m);
+            if raw_key == key {
+                return None;
+            }
+            let raw_set = self.ir_snapshots_for(raw_m, None, exec);
+            Interpreter::new(m).capture_snapshots_from(exec, raw_m, &raw_set)
+        });
+        if shared.is_some() {
+            self.snap_shared.fetch_add(1, Ordering::Relaxed);
+        }
+        let set = shared.unwrap_or_else(|| Interpreter::new(m).capture_snapshots_auto(exec));
+        self.snap_captures.fetch_add(1, Ordering::Relaxed);
+        self.insert_ir_set(key, set, true)
     }
 
-    /// Snapshot set for fast-forwarded assembly trials over `p`.
+    fn insert_ir_set(&self, key: u64, set: IrSnapshotSet, save: bool) -> Arc<IrSnapshotSet> {
+        // The capture (or the loaded file) carries the golden result: seed
+        // the golden map so no plain golden execution ever repeats it.
+        self.ir
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(set.golden().clone()));
+        if save {
+            if let Some(st) = &self.store {
+                st.save_ir(&set, key);
+            }
+        }
+        self.ir_snaps.lock().unwrap().entry(key).or_insert(Arc::new(set)).clone()
+    }
+
+    /// Snapshot set for fast-forwarded assembly trials over `p` (no raw
+    /// twin).
     pub fn asm_snapshots(&self, m: &Module, p: &AsmProgram, exec: &ExecConfig) -> Arc<AsmSnapshotSet> {
+        self.asm_snapshots_for(m, p, None, exec)
+    }
+
+    /// Assembly twin of [`GoldenCache::ir_snapshots_for`].
+    pub fn asm_snapshots_for(
+        &self,
+        m: &Module,
+        p: &AsmProgram,
+        raw: Option<(&Module, &AsmProgram)>,
+        exec: &ExecConfig,
+    ) -> Arc<AsmSnapshotSet> {
         let key = program_hash(p);
         if let Some(s) = self.asm_snaps.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return s.clone();
         }
-        let golden = self.asm_golden(m, p, exec);
-        let set = Arc::new(Machine::new(m, p).capture_snapshots(exec, auto_interval(golden.dyn_insts)));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.asm_snaps.lock().unwrap().entry(key).or_insert(set).clone()
+        if let Some(set) = self.store.as_ref().and_then(|st| st.load_asm(m, p, key)) {
+            if set.matches_geometry(exec.mem_size, exec.stack_size) {
+                self.snap_loads.fetch_add(1, Ordering::Relaxed);
+                return self.insert_asm_set(key, set, false);
+            }
+        }
+        let shared = raw.and_then(|(raw_m, raw_p)| {
+            let raw_key = program_hash(raw_p);
+            if raw_key == key {
+                return None;
+            }
+            let raw_set = self.asm_snapshots_for(raw_m, raw_p, None, exec);
+            Machine::new(m, p).capture_snapshots_from(exec, (raw_m, raw_p), &raw_set)
+        });
+        if shared.is_some() {
+            self.snap_shared.fetch_add(1, Ordering::Relaxed);
+        }
+        let set = shared.unwrap_or_else(|| Machine::new(m, p).capture_snapshots_auto(exec));
+        self.snap_captures.fetch_add(1, Ordering::Relaxed);
+        self.insert_asm_set(key, set, true)
+    }
+
+    fn insert_asm_set(&self, key: u64, set: AsmSnapshotSet, save: bool) -> Arc<AsmSnapshotSet> {
+        self.asm
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(set.golden().clone()));
+        if save {
+            if let Some(st) = &self.store {
+                st.save_asm(&set, key);
+            }
+        }
+        self.asm_snaps.lock().unwrap().entry(key).or_insert(Arc::new(set)).clone()
     }
 
     pub fn hits(&self) -> u64 {
@@ -116,6 +258,18 @@ impl GoldenCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Sample every counter at once.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            goldens_run: self.goldens_run.load(Ordering::Relaxed),
+            snap_captures: self.snap_captures.load(Ordering::Relaxed),
+            snap_loads: self.snap_loads.load(Ordering::Relaxed),
+            snap_shared: self.snap_shared.load(Ordering::Relaxed),
+        }
     }
 
     /// Fraction of lookups served from the cache.
@@ -138,6 +292,9 @@ mod tests {
         flowery_lang::compile("t", src).unwrap()
     }
 
+    const LOOP_SRC: &str =
+        "int main() { int i; int s = 0; for (i = 0; i < 900; i = i + 1) { s = s + i; } output(s); return 0; }";
+
     #[test]
     fn identical_content_hits_distinct_content_misses() {
         let a = module("int main() { output(7); return 0; }");
@@ -152,17 +309,14 @@ mod tests {
         assert!(Arc::ptr_eq(&g1, &g2), "same content must share one golden run");
         let _ = cache.ir_golden(&c, &exec);
         assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.stats().goldens_run, 2);
         assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn snapshot_sets_are_shared_by_content() {
-        let a = module(
-            "int main() { int i; int s = 0; for (i = 0; i < 900; i = i + 1) { s = s + i; } output(s); return 0; }",
-        );
-        let b = module(
-            "int main() { int i; int s = 0; for (i = 0; i < 900; i = i + 1) { s = s + i; } output(s); return 0; }",
-        );
+        let a = module(LOOP_SRC);
+        let b = module(LOOP_SRC);
         let cache = GoldenCache::new();
         let exec = ExecConfig::default();
         let s1 = cache.ir_snapshots(&a, &exec);
@@ -170,6 +324,11 @@ mod tests {
         assert!(Arc::ptr_eq(&s1, &s2), "same content must share one snapshot set");
         assert!(!s1.is_empty(), "a multi-thousand-instruction run must snapshot");
         assert_eq!(s1.golden().dyn_insts, cache.ir_golden(&a, &exec).dyn_insts);
+        // The capture seeded the golden map: that lookup was a hit, and no
+        // plain golden execution ever ran.
+        let st = cache.stats();
+        assert_eq!(st.snap_captures, 1);
+        assert_eq!(st.goldens_run, 0, "capture run doubles as the golden run");
     }
 
     #[test]
@@ -183,5 +342,45 @@ mod tests {
         assert_eq!(cache.misses(), 2, "IR and assembly goldens are distinct entries");
         let _ = cache.asm_golden(&m, &p, &exec);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn store_backed_cache_loads_instead_of_recapturing() {
+        let dir = std::env::temp_dir().join(format!("flcache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = module(LOOP_SRC);
+        let p = flowery_backend::compile_module(&m, &flowery_backend::BackendConfig::default());
+        let exec = ExecConfig::default();
+
+        // First campaign: captures and persists.
+        let first = GoldenCache::with_store(SnapshotStore::at(&dir));
+        let s1 = first.ir_snapshots(&m, &exec);
+        let a1 = first.asm_snapshots(&m, &p, &exec);
+        let st = first.stats();
+        assert_eq!(st.snap_captures, 2);
+        assert_eq!(st.snap_loads, 0);
+
+        // Resumed campaign: loads both sets, executes nothing.
+        let resumed = GoldenCache::with_store(SnapshotStore::at(&dir));
+        let s2 = resumed.ir_snapshots(&m, &exec);
+        let a2 = resumed.asm_snapshots(&m, &p, &exec);
+        let st = resumed.stats();
+        assert_eq!(st.snap_loads, 2, "resume must load from the store");
+        assert_eq!(st.snap_captures, 0, "resume must not re-capture");
+        assert_eq!(st.goldens_run, 0, "resume must not re-run goldens");
+        assert_eq!(s2.golden(), s1.golden());
+        assert_eq!(a2.golden(), a1.golden());
+        // The loaded sets also seeded the golden maps.
+        assert_eq!(resumed.ir_golden(&m, &exec).dyn_insts, s1.golden().dyn_insts);
+        assert_eq!(resumed.stats().goldens_run, 0);
+
+        // A geometry mismatch refuses the file and recaptures.
+        let small = ExecConfig { mem_size: 2 << 20, ..ExecConfig::default() };
+        let strict = GoldenCache::with_store(SnapshotStore::at(&dir));
+        let s3 = strict.ir_snapshots(&m, &small);
+        assert!(s3.matches_geometry(small.mem_size, small.stack_size));
+        assert_eq!(strict.stats().snap_captures, 1, "wrong geometry must recapture");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

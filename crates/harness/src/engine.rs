@@ -196,8 +196,7 @@ impl Shared<'_> {
                 remaining += (self.max_batches - rec) * self.cfg.batch_size;
             }
         }
-        self.metrics
-            .snapshot(self.units.len(), remaining, self.cache.hits(), self.cache.misses())
+        self.metrics.snapshot(self.units.len(), remaining, self.cache.stats())
     }
 
     /// Record a finished batch: checkpoint it, fold it into the unit's
@@ -246,20 +245,32 @@ impl<'u> UnitRunner<'u> {
         let exec = &cfg.exec;
         let inner = match unit.key.layer {
             Layer::Ir => {
-                let g = cache.ir_golden(&unit.module, exec);
-                let mut r = IrTrialRunner::with_golden(&unit.module, (*g).clone(), exec);
-                if cfg.snapshots {
-                    r.attach_snapshots(cache.ir_snapshots(&unit.module, exec));
-                }
+                // With snapshots on, the set is fetched first: its capture
+                // run doubles as the golden run (and seeds the golden
+                // cache), so no separate golden execution happens.
+                let r = if cfg.snapshots {
+                    let set = cache.ir_snapshots_for(&unit.module, unit.raw.as_deref(), exec);
+                    let mut r = IrTrialRunner::with_golden(&unit.module, set.golden().clone(), exec);
+                    r.attach_snapshots(set);
+                    r
+                } else {
+                    let g = cache.ir_golden(&unit.module, exec);
+                    IrTrialRunner::with_golden(&unit.module, (*g).clone(), exec)
+                };
                 RunnerInner::Ir(r)
             }
             Layer::Asm => {
                 let p = unit.program.as_ref().expect("asm unit has a program");
-                let g = cache.asm_golden(&unit.module, p, exec);
-                let mut r = AsmTrialRunner::with_golden(&unit.module, p, (*g).clone(), exec);
-                if cfg.snapshots {
-                    r.attach_snapshots(cache.asm_snapshots(&unit.module, p, exec));
-                }
+                let r = if cfg.snapshots {
+                    let raw = unit.raw.as_deref().zip(unit.raw_program.as_deref());
+                    let set = cache.asm_snapshots_for(&unit.module, p, raw, exec);
+                    let mut r = AsmTrialRunner::with_golden(&unit.module, p, set.golden().clone(), exec);
+                    r.attach_snapshots(set);
+                    r
+                } else {
+                    let g = cache.asm_golden(&unit.module, p, exec);
+                    AsmTrialRunner::with_golden(&unit.module, p, (*g).clone(), exec)
+                };
                 RunnerInner::Asm(r)
             }
         };
@@ -354,7 +365,7 @@ pub fn run_units(
         return CampaignReport {
             units: Vec::new(),
             pending: Vec::new(),
-            metrics: metrics.snapshot(0, 0, cache.hits(), cache.misses()),
+            metrics: metrics.snapshot(0, 0, cache.stats()),
             interrupted: false,
             error: None,
         };

@@ -30,8 +30,9 @@ pub mod metrics;
 pub mod plan;
 pub mod progress;
 pub mod shutdown;
+pub mod snapstore;
 
-pub use cache::{module_hash, program_hash, GoldenCache};
+pub use cache::{module_hash, program_hash, CacheStats, GoldenCache};
 pub use checkpoint::{
     canonicalize, compact, load as load_checkpoint, write_canonical, BatchRecord, CheckpointLog, Header,
 };
@@ -39,3 +40,4 @@ pub use engine::{run_units, CampaignReport, Control, HarnessConfig, RunOptions, 
 pub use metrics::{DistStats, Metrics, MetricsSnapshot, WorkerStats};
 pub use plan::{build_matrix, matrix_fingerprint, Layer, MatrixSpec, TrialUnit, UnitKey, Variant};
 pub use progress::{BatchOutcome, UnitProgress};
+pub use snapstore::SnapshotStore;

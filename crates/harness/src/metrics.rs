@@ -1,6 +1,7 @@
 //! Live campaign metrics: lock-free counters updated by workers, sampled
 //! into [`MetricsSnapshot`]s for the progress callback and final report.
 
+use crate::cache::CacheStats;
 use flowery_inject::OutcomeCounts;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,14 +68,9 @@ impl Metrics {
 
     /// Sample the counters. `units_total` and `remaining_trials` come from
     /// the engine, which knows the schedule; `remaining_trials` is an
-    /// upper bound (adaptive stopping can cut it short).
-    pub fn snapshot(
-        &self,
-        units_total: usize,
-        remaining_trials: u64,
-        cache_hits: u64,
-        cache_misses: u64,
-    ) -> MetricsSnapshot {
+    /// upper bound (adaptive stopping can cut it short); `cache` carries
+    /// the golden/snapshot provenance counters.
+    pub fn snapshot(&self, units_total: usize, remaining_trials: u64, cache: CacheStats) -> MetricsSnapshot {
         let counts = OutcomeCounts {
             benign: self.benign.load(Ordering::Relaxed),
             sdc: self.sdc.load(Ordering::Relaxed),
@@ -84,7 +80,7 @@ impl Metrics {
         let elapsed = self.start.elapsed().as_secs_f64();
         let trials = counts.total();
         let rate = if elapsed > 0.0 { trials as f64 / elapsed } else { 0.0 };
-        let lookups = cache_hits + cache_misses;
+        let lookups = cache.hits + cache.misses;
         let ff_insts = self.ff_insts.load(Ordering::Relaxed);
         let exec_insts = self.exec_insts.load(Ordering::Relaxed);
         let work = ff_insts + exec_insts;
@@ -99,9 +95,13 @@ impl Metrics {
             units_total: units_total as u64,
             remaining_trials,
             eta_secs: (rate > 0.0).then(|| remaining_trials as f64 / rate),
-            cache_hits,
-            cache_misses,
-            cache_hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_hit_rate: if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 },
+            goldens_run: cache.goldens_run,
+            snap_captures: cache.snap_captures,
+            snap_loads: cache.snap_loads,
+            snap_shared: cache.snap_shared,
             ff_insts,
             exec_insts,
             ff_ratio: if work == 0 { 0.0 } else { ff_insts as f64 / work as f64 },
@@ -127,6 +127,19 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_hit_rate: f64,
+    /// Plain golden executions (zero when every golden came from a
+    /// snapshot capture, a persisted set, or the checkpoint).
+    #[serde(default)]
+    pub goldens_run: u64,
+    /// Snapshot capture executions (full or shared-suffix).
+    #[serde(default)]
+    pub snap_captures: u64,
+    /// Snapshot sets loaded from the persistent store.
+    #[serde(default)]
+    pub snap_loads: u64,
+    /// Captures that shared a raw set's golden prefix.
+    #[serde(default)]
+    pub snap_shared: u64,
     /// Golden-prefix instructions skipped by snapshot fast-forward.
     pub ff_insts: u64,
     /// Instructions actually executed by trials.
@@ -239,7 +252,15 @@ mod tests {
         m.record_batch(&c, false, 300, 100);
         m.record_batch(&c, true, 0, 0);
         m.record_unit_done();
-        let s = m.snapshot(4, 100, 3, 1);
+        let cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            goldens_run: 0,
+            snap_captures: 1,
+            snap_loads: 2,
+            snap_shared: 1,
+        };
+        let s = m.snapshot(4, 100, cache);
         assert_eq!(s.trials, 20);
         assert_eq!(s.counts.sdc, 4);
         assert_eq!(s.batches, 2);
@@ -247,6 +268,10 @@ mod tests {
         assert_eq!(s.units_done, 1);
         assert_eq!(s.units_total, 4);
         assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(s.goldens_run, 0);
+        assert_eq!(s.snap_captures, 1);
+        assert_eq!(s.snap_loads, 2);
+        assert_eq!(s.snap_shared, 1);
         assert_eq!(s.ff_insts, 300);
         assert_eq!(s.exec_insts, 100);
         assert!((s.ff_ratio - 0.75).abs() < 1e-12);
@@ -276,6 +301,6 @@ mod tests {
         assert!(line.contains("w1 12b ff 75%"), "{line}");
         assert!(line.contains("w2 0b ff 0% gone"), "{line}");
         let m = Metrics::new();
-        assert!(m.snapshot(1, 0, 0, 0).render_dist(&d).contains("| workers 2"));
+        assert!(m.snapshot(1, 0, CacheStats::default()).render_dist(&d).contains("| workers 2"));
     }
 }

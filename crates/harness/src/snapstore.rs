@@ -1,0 +1,147 @@
+//! Persistent snapshot sets alongside the checkpoint log.
+//!
+//! A campaign's snapshot sets are pure functions of program content and
+//! execution config, so they can be written once and reloaded on
+//! `--resume` — the resumed run then performs *zero* golden re-executions
+//! and zero snapshot re-captures. Sets live in a `<checkpoint>.snaps/`
+//! directory next to the log, one file per content hash and layer, in the
+//! stable checksummed format of `IrSnapshotSet::to_bytes` /
+//! `AsmSnapshotSet::to_bytes`.
+//!
+//! Everything here is best-effort: a failed save costs a future
+//! re-capture, a corrupt or stale file is rejected by the loader's
+//! checksum/shape validation and simply falls back to capture. Loaded
+//! sets are still geometry-checked by the cache before use.
+
+use flowery_backend::{AsmProgram, AsmSnapshotSet};
+use flowery_ir::interp::IrSnapshotSet;
+use flowery_ir::Module;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent in-flight writes of the same set; the final
+/// rename is what publishes a file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// On-disk home of a campaign's snapshot sets.
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// The store belonging to a checkpoint log: `<checkpoint>.snaps/`.
+    pub fn for_checkpoint(checkpoint: &Path) -> SnapshotStore {
+        let mut name = checkpoint.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".snaps");
+        SnapshotStore { dir: checkpoint.with_file_name(name) }
+    }
+
+    /// A store rooted at an explicit directory.
+    pub fn at(dir: impl Into<PathBuf>) -> SnapshotStore {
+        SnapshotStore { dir: dir.into() }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, layer: &str, hash: u64) -> PathBuf {
+        self.dir.join(format!("{layer}-{hash:016x}.snap"))
+    }
+
+    /// Load the IR snapshot set for the module with content hash `hash`.
+    /// `None` on a missing, corrupt, truncated, or mismatched file.
+    pub fn load_ir(&self, module: &Module, hash: u64) -> Option<IrSnapshotSet> {
+        let bytes = fs::read(self.path("ir", hash)).ok()?;
+        IrSnapshotSet::from_bytes(&bytes, module, hash).ok()
+    }
+
+    /// Persist an IR snapshot set. Returns whether the file was published.
+    pub fn save_ir(&self, set: &IrSnapshotSet, hash: u64) -> bool {
+        self.publish(self.path("ir", hash), set.to_bytes(hash))
+    }
+
+    /// Load the assembly snapshot set for the program with content hash
+    /// `hash`.
+    pub fn load_asm(&self, module: &Module, program: &AsmProgram, hash: u64) -> Option<AsmSnapshotSet> {
+        let bytes = fs::read(self.path("asm", hash)).ok()?;
+        AsmSnapshotSet::from_bytes(&bytes, module, program, hash).ok()
+    }
+
+    /// Persist an assembly snapshot set.
+    pub fn save_asm(&self, set: &AsmSnapshotSet, hash: u64) -> bool {
+        self.publish(self.path("asm", hash), set.to_bytes(hash))
+    }
+
+    /// Atomic write: unique tmp file, then rename. Concurrent savers of
+    /// the same content race benignly — both write identical bytes.
+    fn publish(&self, path: PathBuf, bytes: Vec<u8>) -> bool {
+        if fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(".tmp-{}-{seq}", std::process::id()));
+        if fs::write(&tmp, &bytes).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return false;
+        }
+        fs::rename(&tmp, &path).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{module_hash, program_hash};
+    use flowery_backend::{compile_module, BackendConfig, Machine};
+    use flowery_ir::interp::{ExecConfig, Interpreter};
+
+    fn module() -> Module {
+        flowery_lang::compile(
+            "t",
+            "int main() { int s = 0; int i; for (i = 0; i < 800; i = i + 1) { s = s + i; } output(s); return 0; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_both_layers_and_rejects_junk() {
+        let dir = std::env::temp_dir().join(format!("flsnapstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::at(&dir);
+        let m = module();
+        let exec = ExecConfig::default();
+        let mh = module_hash(&m);
+
+        // Missing file: clean None.
+        assert!(store.load_ir(&m, mh).is_none());
+
+        let set = Interpreter::new(&m).capture_snapshots_auto(&exec);
+        assert!(!set.is_empty());
+        assert!(store.save_ir(&set, mh));
+        let loaded = store.load_ir(&m, mh).expect("saved set loads");
+        assert_eq!(loaded.golden(), set.golden());
+        assert_eq!(loaded.len(), set.len());
+
+        let p = compile_module(&m, &BackendConfig::default());
+        let ph = program_hash(&p);
+        let aset = Machine::new(&m, &p).capture_snapshots_auto(&exec);
+        assert!(store.save_asm(&aset, ph));
+        let aloaded = store.load_asm(&m, &p, ph).expect("saved asm set loads");
+        assert_eq!(aloaded.golden(), aset.golden());
+
+        // Corrupt the IR file: load degrades to None, never panics.
+        let path = dir.join(format!("ir-{mh:016x}.snap"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_ir(&m, mh).is_none());
+
+        // Wrong content hash (file saved under another key): rejected.
+        assert!(store.load_asm(&m, &p, ph ^ 1).is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

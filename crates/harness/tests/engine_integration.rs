@@ -3,8 +3,8 @@
 //! deterministic adaptive early stopping.
 
 use flowery_harness::{
-    load_checkpoint, run_units, CheckpointLog, Control, GoldenCache, HarnessConfig, Layer, RunOptions, TrialUnit,
-    UnitKey, UnitResult, Variant,
+    load_checkpoint, run_units, CheckpointLog, Control, GoldenCache, HarnessConfig, Layer, RunOptions, SnapshotStore,
+    TrialUnit, UnitKey, UnitResult, Variant,
 };
 use flowery_inject::{run_asm_campaign, run_ir_campaign, CampaignConfig};
 use flowery_ir::Module;
@@ -92,9 +92,14 @@ fn engine_matches_single_campaign_primitives_and_hits_cache() {
     // Golden runs are fetched again at merge time, so any executed run
     // reports cache hits.
     assert!(report.metrics.cache_hits > 0, "{:?}", report.metrics);
-    // One golden + one snapshot set per unit; concurrent workers may both
-    // miss the same key (compute-outside-lock), so this is a floor.
-    assert!(report.metrics.cache_misses >= 8, "{:?}", report.metrics);
+    // One snapshot-set fetch per unit; the capture run doubles as the
+    // golden run, so merge-time golden lookups hit the seeded cache and
+    // no plain golden execution happens. Concurrent workers may both
+    // miss the same key (compute-outside-lock), so the miss count is a
+    // floor.
+    assert!(report.metrics.cache_misses >= 4, "{:?}", report.metrics);
+    assert_eq!(report.metrics.goldens_run, 0, "{:?}", report.metrics);
+    assert!(report.metrics.snap_captures >= 4, "{:?}", report.metrics);
     // Fast-forward accounting flows through to the metrics.
     assert_eq!(report.metrics.ff_insts + report.metrics.exec_insts, {
         let mut off = hcfg.clone();
@@ -211,6 +216,22 @@ fn adaptive_early_stop_is_a_prefix_of_the_full_schedule() {
     for (a, b) in report.units.iter().zip(&report2.units) {
         assert!(b.trials >= a.trials, "{}: {} < {}", a.key, b.trials, a.trials);
     }
+}
+
+#[test]
+fn snapshots_off_writes_no_snap_files() {
+    let units = small_matrix();
+    let mut hcfg = cfg(120, 60, 2);
+    hcfg.snapshots = false;
+    let dir = std::env::temp_dir().join(format!("flowery-harness-it-{}-nosnaps.snaps", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // Even with a store attached, a snapshots-off run must not persist
+    // snapshot sets (no orphan .snap files for --no-snapshots).
+    let cache = GoldenCache::with_store(SnapshotStore::at(dir.clone()));
+    let r = run_units(&units, &hcfg, &cache, RunOptions::default());
+    assert!(!r.interrupted);
+    assert_eq!(r.metrics.snap_captures, 0, "{:?}", r.metrics);
+    assert!(!dir.exists(), "snapshots off must leave no snapshot store behind");
 }
 
 #[test]

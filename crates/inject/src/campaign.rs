@@ -11,7 +11,7 @@
 
 use crate::outcome::{classify, Outcome, OutcomeCounts};
 use flowery_backend::{AsmFaultSpec, AsmProgram, AsmScratch, AsmSnapshotSet, MachResult, Machine};
-use flowery_ir::interp::{auto_interval, ExecConfig, ExecResult, FaultSpec, Interpreter, IrScratch, IrSnapshotSet};
+use flowery_ir::interp::{ExecConfig, ExecResult, FaultSpec, Interpreter, IrScratch, IrSnapshotSet, Profile};
 use flowery_ir::module::Module;
 use flowery_ir::value::{FuncId, InstId};
 use rand::rngs::SmallRng;
@@ -37,6 +37,11 @@ pub struct CampaignConfig {
     /// Fast-forward trials from golden-run snapshots instead of
     /// re-executing the golden prefix (bit-identical results; default on).
     pub snapshots: bool,
+    /// Collect the golden run's per-instruction execution profile during
+    /// the capture run (IR campaigns only). The profile rides along in
+    /// [`IrCampaign::golden_profile`] without a second golden execution.
+    #[serde(default)]
+    pub golden_profile: bool,
     /// Execution limits for each run.
     pub exec: ExecConfig,
 }
@@ -49,6 +54,7 @@ impl Default for CampaignConfig {
             threads: 0,
             double_bit: false,
             snapshots: true,
+            golden_profile: false,
             exec: ExecConfig::default(),
         }
     }
@@ -83,6 +89,10 @@ pub struct IrCampaign {
     pub ff_insts: u64,
     /// Instructions actually executed across all trials.
     pub exec_insts: u64,
+    /// The golden run's per-instruction execution counts, when
+    /// [`CampaignConfig::golden_profile`] was set.
+    #[serde(default)]
+    pub golden_profile: Option<Profile>,
 }
 
 /// Result of an assembly-level campaign.
@@ -214,10 +224,10 @@ impl<'m> IrTrialRunner<'m> {
     }
 
     /// Capture a snapshot set from this runner's golden execution, with the
-    /// cadence auto-tuned to its length. The set can be shared across the
+    /// self-tuning site-spaced cadence. The set can be shared across the
     /// campaign's worker threads via [`IrTrialRunner::attach_snapshots`].
     pub fn build_snapshots(&self) -> IrSnapshotSet {
-        let set = self.interp.capture_snapshots(&self.exec, auto_interval(self.golden.dyn_insts));
+        let set = self.interp.capture_snapshots_auto(&self.exec);
         debug_assert_eq!(set.golden().dyn_insts, self.golden.dyn_insts, "capture run diverged from golden");
         debug_assert_eq!(set.golden().output, self.golden.output, "capture run diverged from golden");
         set
@@ -312,9 +322,9 @@ impl<'p> AsmTrialRunner<'p> {
     }
 
     /// Capture a snapshot set from this runner's golden execution, with the
-    /// cadence auto-tuned to its length.
+    /// self-tuning site-spaced cadence.
     pub fn build_snapshots(&self) -> AsmSnapshotSet {
-        let set = self.mach.capture_snapshots(&self.exec, auto_interval(self.golden.dyn_insts));
+        let set = self.mach.capture_snapshots_auto(&self.exec);
         debug_assert_eq!(set.golden().dyn_insts, self.golden.dyn_insts, "capture run diverged from golden");
         debug_assert_eq!(set.golden().output, self.golden.output, "capture run diverged from golden");
         set
@@ -395,16 +405,24 @@ fn for_each_trial<R, W>(
 
 /// Run an IR-level ("LLVM level") campaign.
 pub fn run_ir_campaign(m: &Module, cfg: &CampaignConfig) -> IrCampaign {
-    let runner = IrTrialRunner::new(m, &cfg.exec);
-    // Snapshots are captured once from the golden run and shared read-only
-    // across every worker's runner.
-    let snaps = cfg.snapshots.then(|| Arc::new(runner.build_snapshots()));
+    // A single execution provides the golden result, the snapshot set, and
+    // (when requested) the golden profile; the capture run *is* the golden
+    // run, so enabling snapshots or profiling never adds a second pass.
+    let interp = Interpreter::new(m);
+    let capture_exec = ExecConfig { profile: cfg.golden_profile, ..cfg.exec.clone() };
+    let (mut golden, snaps) = if cfg.snapshots {
+        let set = interp.capture_snapshots_auto(&capture_exec);
+        (set.golden().clone(), Some(Arc::new(set)))
+    } else {
+        (interp.run(&capture_exec, None), None)
+    };
+    let golden_profile = golden.profile.take();
     let results = std::sync::Mutex::new(Vec::<(u64, IrTrialOutcome)>::with_capacity(cfg.trials as usize));
     for_each_trial(
         cfg.trials,
         cfg.effective_threads(),
         || {
-            let mut local = IrTrialRunner::with_golden(m, runner.golden().clone(), &cfg.exec);
+            let mut local = IrTrialRunner::with_golden(m, golden.clone(), &cfg.exec);
             if let Some(set) = &snaps {
                 local.attach_snapshots(set.clone());
             }
@@ -434,23 +452,30 @@ pub fn run_ir_campaign(m: &Module, cfg: &CampaignConfig) -> IrCampaign {
     IrCampaign {
         counts,
         sdc_by_inst,
-        golden_dyn_insts: runner.golden().dyn_insts,
-        golden_sites: runner.sites(),
+        golden_dyn_insts: golden.dyn_insts,
+        golden_sites: golden.fault_sites,
         ff_insts,
         exec_insts,
+        golden_profile,
     }
 }
 
 /// Run an assembly-level campaign on a compiled program.
 pub fn run_asm_campaign(m: &Module, program: &AsmProgram, cfg: &CampaignConfig) -> AsmCampaign {
-    let runner = AsmTrialRunner::new(m, program, &cfg.exec);
-    let snaps = cfg.snapshots.then(|| Arc::new(runner.build_snapshots()));
+    // As at the IR layer, the capture run doubles as the golden run.
+    let mach = Machine::new(m, program);
+    let (golden, snaps) = if cfg.snapshots {
+        let set = mach.capture_snapshots_auto(&cfg.exec);
+        (set.golden().clone(), Some(Arc::new(set)))
+    } else {
+        (mach.run(&cfg.exec, None), None)
+    };
     let results = std::sync::Mutex::new(Vec::<(u64, AsmTrialOutcome)>::with_capacity(cfg.trials as usize));
     for_each_trial(
         cfg.trials,
         cfg.effective_threads(),
         || {
-            let mut local = AsmTrialRunner::with_golden(m, program, runner.golden().clone(), &cfg.exec);
+            let mut local = AsmTrialRunner::with_golden(m, program, golden.clone(), &cfg.exec);
             if let Some(set) = &snaps {
                 local.attach_snapshots(set.clone());
             }
@@ -479,9 +504,9 @@ pub fn run_asm_campaign(m: &Module, program: &AsmProgram, cfg: &CampaignConfig) 
     AsmCampaign {
         counts,
         sdc_insts,
-        golden_dyn_insts: runner.golden().dyn_insts,
-        golden_sites: runner.sites(),
-        golden_cycles: runner.golden().cycles,
+        golden_dyn_insts: golden.dyn_insts,
+        golden_sites: golden.fault_sites,
+        golden_cycles: golden.cycles,
         ff_insts,
         exec_insts,
     }

@@ -1,9 +1,11 @@
 //! The evaluation engine: an explicit-stack interpreter over verified IR.
 
 use crate::inst::{Callee, InstKind, Intrinsic, Terminator};
-use crate::interp::memory::{align_up, Memory, PageMap, TrapKind};
+use crate::interp::memory::{align_up, Memory, PageMap, TrapKind, PAGE_SIZE};
 use crate::interp::ops;
-use crate::interp::snapshot::{IrScratch, IrSnapshotSet, SnapshotRecorder};
+use crate::interp::prefix;
+use crate::interp::snapshot::{Cadence, IrScratch, IrSnapshot, IrSnapshotSet, SnapshotRecorder};
+use crate::interp::snapshot::{AUTO_MAX_SNAPS, AUTO_SITE_CADENCE};
 use crate::interp::{ExecConfig, ExecResult, ExecStatus, FaultSpec, Profile, TAG_BYTE, TAG_F64, TAG_I64};
 use crate::module::Module;
 use crate::types::Type;
@@ -11,7 +13,7 @@ use crate::value::{BlockId, FuncId, InstId, Op, Value};
 
 /// One activation record. `Clone` deep-copies the value/param vectors —
 /// used when a snapshot captures the call stack.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub(crate) struct Frame {
     pub(crate) func: FuncId,
     pub(crate) block: BlockId,
@@ -95,6 +97,8 @@ struct ExecInit {
     dyn_insts: u64,
     fault_sites: u64,
     stack: Vec<Frame>,
+    /// Profile accumulator restored from a snapshot (`None` starts fresh).
+    profile: Option<Profile>,
 }
 
 /// Interpreter for one module. Reusable across runs; each [`Interpreter::run`]
@@ -130,21 +134,125 @@ impl<'m> Interpreter<'m> {
 
     /// One fault-free run that captures a snapshot every `interval` dynamic
     /// instructions (see [`crate::interp::snapshot::auto_interval`]).
-    /// Profiling is forced off: snapshots are for trial execution, and
-    /// per-instruction counts would not survive a mid-run restore.
+    /// Honors `config.profile`: each snapshot then carries the profile
+    /// accumulator at that point, so profiled campaigns fast-forward too.
     pub fn capture_snapshots(&self, config: &ExecConfig, interval: u64) -> IrSnapshotSet {
-        let cfg = ExecConfig { profile: false, ..config.clone() };
-        let base = Memory::new(self.module, cfg.mem_size, cfg.stack_size);
+        self.capture_with(config, Cadence::Insts(interval), None)
+    }
+
+    /// Self-tuning capture: snapshots every [`AUTO_SITE_CADENCE`] fault
+    /// sites (trials sample sites uniformly, so site spacing puts restore
+    /// points where trials land — sites cluster late in duplicated code),
+    /// with the cadence doubling whenever the set would exceed
+    /// [`AUTO_MAX_SNAPS`] snapshots. One run regardless of program length.
+    pub fn capture_snapshots_auto(&self, config: &ExecConfig) -> IrSnapshotSet {
+        self.capture_with(config, Cadence::Sites(AUTO_SITE_CADENCE), Some(AUTO_MAX_SNAPS))
+    }
+
+    fn capture_with(&self, config: &ExecConfig, cadence: Cadence, max_snaps: Option<usize>) -> IrSnapshotSet {
+        let base = Memory::new(self.module, config.mem_size, config.stack_size);
         let mut pool = FramePool::default();
-        let mut rec = SnapshotRecorder::new(interval, cfg.snapshot_budget);
+        let mut rec = SnapshotRecorder::new(self.module, cadence, config.snapshot_budget, max_snaps);
         let init = self.fresh_init(base.clone(), Vec::new(), &mut pool);
-        let (golden, _mem) = self.exec(&cfg, None, init, Some(&mut rec), &mut pool);
+        let (golden, _mem) = self.exec(config, None, init, Some(&mut rec), &mut pool);
         IrSnapshotSet {
             base,
             golden,
-            interval: rec.final_interval(),
+            cadence: rec.final_cadence(),
+            block_entry: rec.entry,
             snaps: rec.snaps,
+            shared_snaps: 0,
         }
+    }
+
+    /// Build this (variant) module's snapshot set by *sharing* the golden
+    /// prefix of `raw_set`, a fresh capture of the `raw` module the variant
+    /// was derived from. The raw capture's per-block first-entry profile
+    /// pins down the first dynamic instruction at which the two golden
+    /// traces can diverge; every raw snapshot at-or-before that point is a
+    /// valid variant snapshot (pages `Arc`-shared, value arrays zero-padded
+    /// to the variant's arena), and one suffix-only run from the last of
+    /// them produces the variant's golden result and its remaining
+    /// snapshots. Returns `None` when nothing is shareable — profiling
+    /// requested (accumulators are arena-shaped), incompatible configs or
+    /// module shells, divergence before the first snapshot — in which case
+    /// the caller should fall back to a full capture.
+    pub fn capture_snapshots_from(
+        &self,
+        config: &ExecConfig,
+        raw: &Module,
+        raw_set: &IrSnapshotSet,
+    ) -> Option<IrSnapshotSet> {
+        if config.profile {
+            return None;
+        }
+        if raw_set.base.size() != config.mem_size || raw_set.base.stack_limit() != config.mem_size - config.stack_size {
+            return None;
+        }
+        let entry = raw_set.block_entry.as_ref()?;
+        let d = prefix::divergence_dyn(raw, self.module, entry)?;
+        let mut shared = Vec::new();
+        for s in raw_set.snaps.iter().take_while(|s| s.dyn_insts <= d) {
+            shared.push(IrSnapshot {
+                dyn_insts: s.dyn_insts,
+                fault_sites: s.fault_sites,
+                sp: s.sp,
+                output_len: s.output_len,
+                stack: prefix::translate_stack(&s.stack, self.module)?,
+                profile: None,
+                pages: s.pages.clone(),
+            });
+        }
+        if shared.is_empty() {
+            return None;
+        }
+        // The variant may append globals (Flowery's expect/guard cells) in
+        // [raw_end, var_end). Those bytes hold their initializers below the
+        // divergence point, but a raw overlay page covering them carries
+        // raw heap bytes (zeros) instead — restoring it would wipe the
+        // variant's initializers, so such sets cannot be shared.
+        let raw_end = Memory::globals_end(raw);
+        let var_end = Memory::globals_end(self.module);
+        if var_end > raw_end {
+            let lo = (raw_end / PAGE_SIZE) as u32;
+            let hi = ((var_end - 1) / PAGE_SIZE) as u32;
+            if shared.last().unwrap().pages.keys().any(|&p| (lo..=hi).contains(&p)) {
+                return None;
+            }
+        }
+        let base = Memory::new(self.module, config.mem_size, config.stack_size);
+        let last = shared.last().unwrap();
+        let mut mem = base.clone();
+        mem.reset_to(&base, &last.pages);
+        // The overlay pages already live in the recorder's cumulative map;
+        // clear the dirty marks `reset_to` left so the first sync does not
+        // re-copy them (which would break `Arc` sharing with the raw set).
+        mem.drain_dirty_pages();
+        let mut pool = FramePool::default();
+        let mut output = Vec::with_capacity(raw_set.golden.output.len());
+        output.extend_from_slice(&raw_set.golden.output[..last.output_len]);
+        let init = ExecInit {
+            mem,
+            sp: last.sp,
+            output,
+            dyn_insts: last.dyn_insts,
+            fault_sites: last.fault_sites,
+            stack: pool.clone_stack(&last.stack),
+            profile: None,
+        };
+        let mut rec = SnapshotRecorder::from_shared(raw_set.cadence, config.snapshot_budget, None, shared);
+        let (golden, _mem) = self.exec(config, None, init, Some(&mut rec), &mut pool);
+        let cadence = rec.final_cadence();
+        let snaps = rec.snaps;
+        let shared_snaps = snaps.iter().take_while(|s| s.dyn_insts <= d).count();
+        Some(IrSnapshotSet {
+            base,
+            golden,
+            cadence,
+            snaps,
+            block_entry: None,
+            shared_snaps,
+        })
     }
 
     /// Run one faulty trial, restoring the nearest snapshot at-or-before
@@ -159,7 +267,6 @@ impl<'m> Interpreter<'m> {
         set: &IrSnapshotSet,
         scratch: &mut IrScratch,
     ) -> (ExecResult, u64) {
-        assert!(!config.profile, "fast-forward does not support profiling");
         let mut mem = scratch
             .mem
             .take()
@@ -167,8 +274,10 @@ impl<'m> Interpreter<'m> {
             .unwrap_or_else(|| set.base.clone());
         let mut output = std::mem::take(&mut scratch.output);
         output.clear();
+        // A profiled trial can only restore a snapshot that carries the
+        // profile accumulator; otherwise fall back to a scratch start.
         let init = match set.nearest(fault.site_index) {
-            Some(snap) => {
+            Some(snap) if !config.profile || snap.profile.is_some() => {
                 mem.reset_to(&set.base, &snap.pages);
                 output.extend_from_slice(&set.golden.output[..snap.output_len]);
                 ExecInit {
@@ -178,9 +287,10 @@ impl<'m> Interpreter<'m> {
                     dyn_insts: snap.dyn_insts,
                     fault_sites: snap.fault_sites,
                     stack: scratch.pool.clone_stack(&snap.stack),
+                    profile: if config.profile { snap.profile.clone() } else { None },
                 }
             }
-            None => {
+            _ => {
                 // Site earlier than the first snapshot: run from the start,
                 // but still reuse the scratch image via a dirty-page reset.
                 mem.reset_to(&set.base, &PageMap::new());
@@ -207,7 +317,15 @@ impl<'m> Interpreter<'m> {
             saved_sp: sp,
             ret_dest: None,
         });
-        ExecInit { mem, sp, output, dyn_insts: 0, fault_sites: 0, stack }
+        ExecInit {
+            mem,
+            sp,
+            output,
+            dyn_insts: 0,
+            fault_sites: 0,
+            stack,
+            profile: None,
+        }
     }
 
     /// The dispatch loop. Starts from `init` (fresh or restored), optionally
@@ -228,22 +346,28 @@ impl<'m> Interpreter<'m> {
             mut dyn_insts,
             mut fault_sites,
             mut stack,
+            profile: init_profile,
         } = init;
         let mut injected_at: Option<(FuncId, InstId)> = None;
-        let mut profile = if config.profile {
-            Some(Profile {
+        let mut profile = init_profile.or_else(|| {
+            config.profile.then(|| Profile {
                 counts: self.module.functions.iter().map(|f| vec![0u64; f.insts.len()]).collect(),
             })
-        } else {
-            None
-        };
+        });
+
+        // A fresh capture run records the entry of `main`'s first block.
+        if dyn_insts == 0 {
+            if let (Some(rec), Some(f)) = (recorder.as_deref_mut(), stack.last()) {
+                rec.note_entry(f.func, f.block, 0);
+            }
+        }
 
         let status = 'exec: loop {
             // ---- snapshot hook: state here is "dyn_insts executed, the
             // instruction with index dyn_insts not yet started" -----------
             if let Some(rec) = recorder.as_deref_mut() {
-                if rec.due(dyn_insts) {
-                    rec.capture(dyn_insts, fault_sites, sp, output.len(), &stack, &mut mem);
+                if rec.due(dyn_insts, fault_sites) {
+                    rec.capture(dyn_insts, fault_sites, sp, output.len(), &stack, profile.as_ref(), &mut mem);
                 }
             }
 
@@ -369,6 +493,9 @@ impl<'m> Interpreter<'m> {
                                 ret_dest: has_ret.then_some(iid),
                             };
                             stack.push(new_frame);
+                            if let Some(rec) = recorder.as_deref_mut() {
+                                rec.note_entry(callee, BlockId(0), dyn_insts);
+                            }
                             continue 'exec; // do not fall through to result write
                         }
                     },
@@ -406,11 +533,18 @@ impl<'m> Interpreter<'m> {
                     Terminator::Jmp { dest } => {
                         frame.block = *dest;
                         frame.ip = 0;
+                        if let Some(rec) = recorder.as_deref_mut() {
+                            rec.note_entry(frame.func, *dest, dyn_insts);
+                        }
                     }
                     Terminator::Br { cond, then_bb, else_bb } => {
                         let c = self.op_value(frame, *cond);
-                        frame.block = if c & 1 == 1 { *then_bb } else { *else_bb };
+                        let dest = if c & 1 == 1 { *then_bb } else { *else_bb };
+                        frame.block = dest;
                         frame.ip = 0;
+                        if let Some(rec) = recorder.as_deref_mut() {
+                            rec.note_entry(frame.func, dest, dyn_insts);
+                        }
                     }
                     Terminator::Ret { val } => {
                         let rv = val.map(|v| self.op_value(frame, v));
@@ -877,5 +1011,186 @@ mod tests {
             assert_eq!(ff_res.dyn_insts, scratch_res.dyn_insts, "site {site}");
             scratch.recycle_output(ff_res.output);
         }
+    }
+
+    #[test]
+    fn profiled_fast_forward_matches_scratch() {
+        // Capture with profiling on: every snapshot carries the accumulator,
+        // and a profiled trial restored mid-run must produce counts
+        // identical to a profiled scratch run — the profile_sdc path.
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let cfg = ExecConfig { profile: true, max_dyn_insts: 10_000, ..Default::default() };
+        let set = interp.capture_snapshots(&cfg, 16);
+        assert!(set.len() > 2, "expected several snapshots");
+        assert!(
+            set.snaps.iter().all(|s| s.profile.is_some()),
+            "profiled capture snapshots carry the accumulator"
+        );
+        assert!(set.golden().profile.is_some());
+        let mut scratch = IrScratch::new();
+        for site in 0..set.golden().fault_sites {
+            let spec = FaultSpec::single(site, 5);
+            let scratch_res = interp.run(&cfg, Some(spec));
+            let (ff_res, skipped) = interp.run_fast_forward(&cfg, spec, &set, &mut scratch);
+            assert_eq!(ff_res, scratch_res, "site {site}");
+            assert!(skipped <= scratch_res.dyn_insts);
+        }
+        // A late site actually fast-forwards (profile restore exercised).
+        let late = set.golden().fault_sites - 1;
+        let (_, skipped) = interp.run_fast_forward(&cfg, FaultSpec::single(late, 0), &set, &mut scratch);
+        assert!(skipped > 0, "late sites must restore a snapshot");
+    }
+
+    #[test]
+    fn unprofiled_set_falls_back_for_profiled_trials() {
+        // An unprofiled capture cannot serve a profiled trial from a
+        // snapshot; it must fall back to scratch and still be correct.
+        let m = loop_module();
+        let interp = Interpreter::new(&m);
+        let plain_cfg = ExecConfig { max_dyn_insts: 10_000, ..Default::default() };
+        let prof_cfg = ExecConfig { profile: true, ..plain_cfg.clone() };
+        let set = interp.capture_snapshots(&plain_cfg, 16);
+        let mut scratch = IrScratch::new();
+        let late = set.golden().fault_sites - 1;
+        let spec = FaultSpec::single(late, 1);
+        let scratch_res = interp.run(&prof_cfg, Some(spec));
+        let (ff_res, skipped) = interp.run_fast_forward(&prof_cfg, spec, &set, &mut scratch);
+        assert_eq!(skipped, 0, "no profile in the snapshot: must start from scratch");
+        assert_eq!(ff_res, scratch_res);
+    }
+
+    #[test]
+    fn auto_capture_is_site_spaced_and_capped() {
+        let m = store_heavy_module(8192);
+        let interp = Interpreter::new(&m);
+        let cfg = ExecConfig { max_dyn_insts: 1_000_000, ..Default::default() };
+        let set = interp.capture_snapshots_auto(&cfg);
+        assert!(matches!(set.cadence(), Cadence::Sites(_)), "auto capture spaces by fault sites");
+        assert!(set.len() <= AUTO_MAX_SNAPS, "{} snapshots over the cap", set.len());
+        assert!(set.len() > AUTO_MAX_SNAPS / 4, "self-tuning should land near the cap, got {}", set.len());
+        let plain = interp.run(&cfg, None);
+        assert_eq!(set.golden().output, plain.output);
+        assert_eq!(set.golden().dyn_insts, plain.dyn_insts);
+        // Site-spaced snapshots: consecutive snapshots are close in site
+        // index (within the final cadence), even where sites are sparse.
+        let k = set.interval();
+        for pair in set.snaps.windows(2) {
+            assert!(pair[1].fault_sites - pair[0].fault_sites >= k, "cadence respected");
+        }
+        let mut scratch = IrScratch::new();
+        for site in (0..set.golden().fault_sites).step_by(1009) {
+            let spec = FaultSpec::single(site, 7);
+            let scratch_res = interp.run(&cfg, Some(spec));
+            let (ff_res, _) = interp.run_fast_forward(&cfg, spec, &set, &mut scratch);
+            assert_eq!(ff_res, scratch_res, "site {site}");
+            scratch.recycle_output(ff_res.output);
+        }
+    }
+
+    /// The loop module plus a "hardened" twin built by the same builder
+    /// calls with extra instructions appended in the exit block — the same
+    /// arena-append shape the duplication passes produce, so the golden
+    /// traces are identical until the exit block's second instruction.
+    fn loop_module_variant() -> Module {
+        let mut mb = ModuleBuilder::new("loop");
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        let s = fb.alloca(Type::I64, 1);
+        let i = fb.alloca(Type::I64, 1);
+        fb.store(Type::I64, Op::ci64(0), Op::inst(s));
+        fb.store(Type::I64, Op::ci64(0), Op::inst(i));
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.jmp(header);
+        fb.switch_to(header);
+        let iv = fb.load(Type::I64, Op::inst(i));
+        let c = fb.icmp(IPred::Slt, Type::I64, Op::inst(iv), Op::ci64(10));
+        fb.br(Op::inst(c), body, exit);
+        fb.switch_to(body);
+        let sv = fb.load(Type::I64, Op::inst(s));
+        let iv2 = fb.load(Type::I64, Op::inst(i));
+        let ns = fb.bin(BinOp::Add, Type::I64, Op::inst(sv), Op::inst(iv2));
+        fb.store(Type::I64, Op::inst(ns), Op::inst(s));
+        let ni = fb.bin(BinOp::Add, Type::I64, Op::inst(iv2), Op::ci64(1));
+        fb.store(Type::I64, Op::inst(ni), Op::inst(i));
+        fb.jmp(header);
+        fb.switch_to(exit);
+        let r = fb.load(Type::I64, Op::inst(s));
+        // Divergence: the variant doubles the result before emitting it.
+        let r2 = fb.bin(BinOp::Add, Type::I64, Op::inst(r), Op::inst(r));
+        fb.output_i64(Op::inst(r2));
+        fb.ret(Some(Op::inst(r2)));
+        mb.add_func(fb.finish());
+        mb.finish()
+    }
+
+    #[test]
+    fn shared_prefix_capture_matches_fresh_capture() {
+        let raw = loop_module();
+        let var = loop_module_variant();
+        verify_module(&var).unwrap();
+        let cfg = ExecConfig { max_dyn_insts: 10_000, ..Default::default() };
+        let raw_interp = Interpreter::new(&raw);
+        let var_interp = Interpreter::new(&var);
+        let raw_set = raw_interp.capture_snapshots(&cfg, 16);
+        assert!(raw_set.len() > 2);
+        let shared = var_interp
+            .capture_snapshots_from(&cfg, &raw, &raw_set)
+            .expect("late divergence must allow sharing");
+        assert!(shared.shared_snaps() >= 1, "at least one snapshot shared below the divergence");
+        assert!(shared.block_entry.is_none(), "continuation sets cannot seed further sharing");
+        // Shared snapshots Arc-share their pages with the raw set.
+        for (s, r) in shared.snaps.iter().zip(&raw_set.snaps).take(shared.shared_snaps()) {
+            assert_eq!(s.dyn_insts, r.dyn_insts);
+            for (k, v) in &s.pages {
+                assert!(std::sync::Arc::ptr_eq(v, &r.pages[k]), "page {k} not shared");
+            }
+        }
+        // The continuation golden equals a fresh variant run...
+        let fresh = var_interp.run(&cfg, None);
+        assert_eq!(shared.golden().status, fresh.status);
+        assert_eq!(shared.golden().output, fresh.output);
+        assert_eq!(shared.golden().dyn_insts, fresh.dyn_insts);
+        assert_eq!(shared.golden().fault_sites, fresh.fault_sites);
+        // ... and the variant diverges from the raw golden (i.e. this is a
+        // real cross-variant case, not two identical modules).
+        assert_ne!(shared.golden().output, raw_set.golden().output);
+        // Every fast-forwarded trial on the shared set is bit-identical.
+        let mut scratch = IrScratch::new();
+        for site in 0..shared.golden().fault_sites {
+            for bit in [0u32, 9, 33] {
+                let spec = FaultSpec::single(site, bit);
+                let scratch_res = var_interp.run(&cfg, Some(spec));
+                let (ff_res, _) = var_interp.run_fast_forward(&cfg, spec, &shared, &mut scratch);
+                assert_eq!(ff_res, scratch_res, "site {site} bit {bit}");
+                scratch.recycle_output(ff_res.output);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_refuses_incompatible_shapes() {
+        let raw = loop_module();
+        let cfg = ExecConfig { max_dyn_insts: 10_000, ..Default::default() };
+        let raw_set = Interpreter::new(&raw).capture_snapshots(&cfg, 16);
+
+        // Different globals: nothing shareable.
+        let mut mb = ModuleBuilder::new("g");
+        mb.global_i64("x", &[1]);
+        let mut fb = FuncBuilder::new("main", vec![], Some(Type::I64));
+        fb.ret(Some(Op::ci64(0)));
+        mb.add_func(fb.finish());
+        let other = mb.finish();
+        assert!(Interpreter::new(&other).capture_snapshots_from(&cfg, &raw, &raw_set).is_none());
+
+        // Profiling requested: sharing declines (accumulators are arena-shaped).
+        let var = loop_module_variant();
+        let prof = ExecConfig { profile: true, ..cfg.clone() };
+        assert!(Interpreter::new(&var).capture_snapshots_from(&prof, &raw, &raw_set).is_none());
+
+        // Mismatched memory geometry: sharing declines.
+        let small = ExecConfig { mem_size: 2 << 20, ..cfg.clone() };
+        assert!(Interpreter::new(&var).capture_snapshots_from(&small, &raw, &raw_set).is_none());
     }
 }

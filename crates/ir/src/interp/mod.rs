@@ -12,10 +12,12 @@ pub mod ops;
 pub mod snapshot;
 
 mod eval;
+mod prefix;
+mod snapio;
 
 pub use eval::Interpreter;
 pub use memory::{Memory, TrapKind, GLOBAL_BASE, PAGE_SIZE};
-pub use snapshot::{auto_interval, IrScratch, IrSnapshotSet};
+pub use snapshot::{auto_interval, Cadence, IrScratch, IrSnapshotSet};
 
 use crate::value::{FuncId, InstId};
 use serde::{Deserialize, Serialize};
@@ -113,7 +115,7 @@ impl ExecStatus {
 }
 
 /// Per-static-instruction dynamic execution counts.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Profile {
     /// `counts[func][inst]` = number of executions of that instruction.
     pub counts: Vec<Vec<u64>>,
@@ -126,7 +128,7 @@ impl Profile {
 }
 
 /// The result of one execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecResult {
     pub status: ExecStatus,
     /// Tagged output records; byte-compared against the golden run to

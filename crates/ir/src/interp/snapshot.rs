@@ -3,21 +3,23 @@
 //! A fault-injection trial is bit-identical to the golden run up to its
 //! injection site, so re-executing that prefix is pure waste — for late
 //! sites, >90% of the trial. During one instrumented golden run the
-//! interpreter captures a snapshot every `interval` dynamic instructions:
-//! the call stack, stack pointer, output length, and the memory image as a
-//! *cumulative* dirty-page overlay against the pristine post-init image.
-//! A trial then restores the nearest snapshot at-or-before its injection
-//! site and executes only the suffix.
+//! interpreter captures a snapshot on a [`Cadence`]: the call stack, stack
+//! pointer, output length, optionally the profile accumulator, and the
+//! memory image as a *cumulative* dirty-page overlay against the pristine
+//! post-init image. A trial then restores the nearest snapshot at-or-before
+//! its injection site and executes only the suffix.
 //!
 //! The invariant (enforced by differential tests): restored execution is
 //! **byte-identical** to scratch execution — same status, output bytes,
-//! `dyn_insts`, `fault_sites`, and `injected_at` — because every counter in
-//! the snapshot is absolute and every restored byte equals what a scratch
-//! run would have computed at that point.
+//! `dyn_insts`, `fault_sites`, `injected_at`, and profile counts — because
+//! every counter in the snapshot is absolute and every restored byte equals
+//! what a scratch run would have computed at that point.
 
 use crate::interp::eval::{Frame, FramePool};
 use crate::interp::memory::{Memory, PageMap, PageRecorder};
-use crate::interp::ExecResult;
+use crate::interp::{ExecResult, Profile};
+use crate::module::Module;
+use crate::value::{BlockId, FuncId};
 
 /// Snapshot cadence from a golden dynamic-instruction count: aim for ~64
 /// snapshots per golden run, but never snapshot more often than every 512
@@ -27,12 +29,53 @@ pub fn auto_interval(golden_dyn_insts: u64) -> u64 {
     (golden_dyn_insts / 64).clamp(512, 1 << 20)
 }
 
+/// When the recorder captures. Trials draw their injection sites uniformly
+/// over *fault sites*, not dynamic instructions, so site-spaced snapshots
+/// put restore points where the trials actually land — sites cluster late
+/// in duplicated code, where uniform instruction spacing leaves long
+/// suffixes to re-execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cadence {
+    /// Capture every `k` dynamic instructions (the v1 behavior).
+    Insts(u64),
+    /// Capture every `k` fault sites (adaptive: matches the uniform-over-
+    /// sites trial distribution).
+    Sites(u64),
+}
+
+impl Cadence {
+    /// The numeric spacing, whichever axis it is measured on.
+    pub fn value(self) -> u64 {
+        match self {
+            Cadence::Insts(k) | Cadence::Sites(k) => k,
+        }
+    }
+
+    /// The cadence one budget-widening step coarser (spacing doubled).
+    pub fn widened(self) -> Cadence {
+        match self {
+            Cadence::Insts(k) => Cadence::Insts(k.saturating_mul(2)),
+            Cadence::Sites(k) => Cadence::Sites(k.saturating_mul(2)),
+        }
+    }
+}
+
+/// Starting cadence for self-tuning captures: every 64 fault sites, widened
+/// by [`SnapshotRecorder`] whenever the set exceeds [`AUTO_MAX_SNAPS`].
+pub const AUTO_SITE_CADENCE: u64 = 64;
+
+/// Snapshot-count cap for self-tuning captures. Each time the cap is hit
+/// the cadence doubles and every other snapshot is dropped, so the final
+/// set holds 64..=128 snapshots regardless of run length.
+pub const AUTO_MAX_SNAPS: usize = 128;
+
 /// One point-in-time capture of interpreter state.
 ///
 /// `pages` is cumulative: it holds every page dirtied since program start,
 /// so a restore is `base + pages`, never a walk over earlier snapshots.
 /// Pages are `Arc`-shared across snapshots — each snapshot only pays for
 /// pages dirtied since the previous one.
+#[derive(Debug)]
 pub struct IrSnapshot {
     /// Dynamic instructions executed before this point (absolute).
     pub(crate) dyn_insts: u64,
@@ -46,6 +89,9 @@ pub struct IrSnapshot {
     pub(crate) output_len: usize,
     /// The call stack, deep-cloned.
     pub(crate) stack: Vec<Frame>,
+    /// Profile accumulator at this point, when the capture run profiled.
+    /// Restoring it is what lets profiled campaigns fast-forward.
+    pub(crate) profile: Option<Profile>,
     /// Cumulative dirty-page overlay against the base image.
     pub(crate) pages: PageMap,
 }
@@ -53,11 +99,20 @@ pub struct IrSnapshot {
 /// All snapshots from one golden run, plus what a restore needs: the
 /// pristine post-init memory image and the golden result. Built once per
 /// cached golden, shared read-only across worker threads.
+#[derive(Debug)]
 pub struct IrSnapshotSet {
     pub(crate) base: Memory,
     pub(crate) golden: ExecResult,
-    pub(crate) interval: u64,
+    pub(crate) cadence: Cadence,
     pub(crate) snaps: Vec<IrSnapshot>,
+    /// `block_entry[func][block]` = `dyn_insts` at the block's *first* entry
+    /// during the capture run (`u64::MAX` = never entered). Recorded only by
+    /// fresh captures; `None` for sets built by shared-prefix continuation,
+    /// which therefore cannot themselves seed further sharing.
+    pub(crate) block_entry: Option<Vec<Vec<u64>>>,
+    /// Leading snapshots `Arc`-shared with the raw set this set was derived
+    /// from (0 for fresh captures).
+    pub(crate) shared_snaps: usize,
 }
 
 impl IrSnapshotSet {
@@ -66,9 +121,14 @@ impl IrSnapshotSet {
         &self.golden
     }
 
-    /// Snapshot cadence in dynamic instructions.
+    /// Snapshot cadence in dynamic instructions or fault sites.
+    pub fn cadence(&self) -> Cadence {
+        self.cadence
+    }
+
+    /// Numeric cadence spacing (see [`Cadence::value`]).
     pub fn interval(&self) -> u64 {
-        self.interval
+        self.cadence.value()
     }
 
     /// Number of captured snapshots.
@@ -81,6 +141,19 @@ impl IrSnapshotSet {
         self.snaps.is_empty()
     }
 
+    /// Leading snapshots shared with the raw variant's set (see
+    /// [`crate::interp::Interpreter::capture_snapshots_from`]).
+    pub fn shared_snaps(&self) -> usize {
+        self.shared_snaps
+    }
+
+    /// True when the set was captured under the given memory geometry —
+    /// restoring into a differently-sized image would be unsound, so
+    /// callers holding a deserialized set must check before attaching it.
+    pub fn matches_geometry(&self, mem_size: u64, stack_size: u64) -> bool {
+        self.base.size() == mem_size && self.base.stack_limit() == mem_size - stack_size
+    }
+
     /// The last snapshot whose fault-site counter has not yet passed
     /// `site_index` — i.e. the injection site is still in the future.
     pub(crate) fn nearest(&self, site_index: u64) -> Option<&IrSnapshot> {
@@ -91,36 +164,94 @@ impl IrSnapshotSet {
 
 /// Capture-side hook threaded through the interpreter's golden run.
 pub(crate) struct SnapshotRecorder {
-    interval: u64,
+    cadence: Cadence,
     next: u64,
     budget: Option<u64>,
+    /// Snapshot-count cap for self-tuning captures; `None` preserves the
+    /// caller's explicit cadence exactly (only the byte budget may widen).
+    max_snaps: Option<usize>,
     pages: PageRecorder,
+    /// First-entry `dyn_insts` per `[func][block]`; `None` on continuation
+    /// captures (the shared prefix's entries are unknown in variant terms).
+    pub(crate) entry: Option<Vec<Vec<u64>>>,
     pub(crate) snaps: Vec<IrSnapshot>,
 }
 
 impl SnapshotRecorder {
-    pub(crate) fn new(interval: u64, budget: Option<u64>) -> SnapshotRecorder {
-        assert!(interval > 0, "snapshot interval must be positive");
+    pub(crate) fn new(
+        module: &Module,
+        cadence: Cadence,
+        budget: Option<u64>,
+        max_snaps: Option<usize>,
+    ) -> SnapshotRecorder {
+        assert!(cadence.value() > 0, "snapshot cadence must be positive");
+        let entry = module.functions.iter().map(|f| vec![u64::MAX; f.blocks.len()]).collect();
         SnapshotRecorder {
-            interval,
-            next: interval,
+            cadence,
+            next: cadence.value(),
             budget,
+            max_snaps,
             pages: PageRecorder::new(),
+            entry: Some(entry),
             snaps: Vec::new(),
         }
     }
 
+    /// A recorder that continues capturing after a translated shared prefix:
+    /// `snaps` are the prefix snapshots, the cumulative overlay starts from
+    /// the last of them, and the next capture is scheduled one cadence step
+    /// past it. Block entries are not recorded (the prefix's are unknown).
+    pub(crate) fn from_shared(
+        cadence: Cadence,
+        budget: Option<u64>,
+        max_snaps: Option<usize>,
+        snaps: Vec<IrSnapshot>,
+    ) -> SnapshotRecorder {
+        assert!(cadence.value() > 0, "snapshot cadence must be positive");
+        let last = snaps.last().expect("shared prefix must be nonempty");
+        let next = match cadence {
+            Cadence::Insts(k) => last.dyn_insts + k,
+            Cadence::Sites(k) => last.fault_sites + k,
+        };
+        SnapshotRecorder {
+            cadence,
+            next,
+            budget,
+            max_snaps,
+            pages: PageRecorder::from_overlay(&last.pages),
+            entry: None,
+            snaps,
+        }
+    }
+
     /// Called at the top of the dispatch loop, before the next instruction.
-    pub(crate) fn due(&self, dyn_insts: u64) -> bool {
-        dyn_insts >= self.next
+    pub(crate) fn due(&self, dyn_insts: u64, fault_sites: u64) -> bool {
+        match self.cadence {
+            Cadence::Insts(_) => dyn_insts >= self.next,
+            Cadence::Sites(_) => fault_sites >= self.next,
+        }
     }
 
     /// The cadence after any budget-driven widening; the set records this
-    /// so its reported interval matches the snapshots it actually holds.
-    pub(crate) fn final_interval(&self) -> u64 {
-        self.interval
+    /// so its reported spacing matches the snapshots it actually holds.
+    pub(crate) fn final_cadence(&self) -> Cadence {
+        self.cadence
     }
 
+    /// Record the first entry into `block` (a jump/branch target, a callee's
+    /// entry block, or `main`'s entry). `dyn_insts` uses the snapshot-hook
+    /// convention: the block's first instruction has not yet started.
+    #[inline]
+    pub(crate) fn note_entry(&mut self, func: FuncId, block: BlockId, dyn_insts: u64) {
+        if let Some(entry) = self.entry.as_mut() {
+            let slot = &mut entry[func.index()][block.index()];
+            if *slot == u64::MAX {
+                *slot = dyn_insts;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn capture(
         &mut self,
         dyn_insts: u64,
@@ -128,6 +259,7 @@ impl SnapshotRecorder {
         sp: u64,
         output_len: usize,
         stack: &[Frame],
+        profile: Option<&Profile>,
         mem: &mut Memory,
     ) {
         let pages = self.pages.sync(mem);
@@ -137,12 +269,19 @@ impl SnapshotRecorder {
             sp,
             output_len,
             stack: stack.to_vec(),
+            profile: profile.cloned(),
             pages,
         });
         while self.budget.is_some_and(|b| self.pages.live_bytes() > b) && self.snaps.len() > 1 {
             self.widen();
         }
-        self.next = dyn_insts + self.interval;
+        while self.max_snaps.is_some_and(|m| self.snaps.len() > m) && self.snaps.len() > 1 {
+            self.widen();
+        }
+        self.next = match self.cadence {
+            Cadence::Insts(k) => dyn_insts + k,
+            Cadence::Sites(k) => fault_sites + k,
+        };
     }
 
     /// Double the cadence and keep every other snapshot (starting with the
@@ -152,7 +291,7 @@ impl SnapshotRecorder {
     /// the dropped snapshots are reclaimed, so the floor is the final
     /// overlay itself.
     fn widen(&mut self) {
-        self.interval = self.interval.saturating_mul(2);
+        self.cadence = self.cadence.widened();
         let mut keep = false;
         self.snaps.retain(|_| {
             keep = !keep;

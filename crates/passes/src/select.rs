@@ -31,7 +31,7 @@ pub fn is_duplicable(kind: &InstKind) -> bool {
 
 /// Per-static-instruction SDC statistics from a profiling fault-injection
 /// campaign on the unprotected program.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SdcProfile {
     /// Total fault-injection trials behind these statistics.
     pub trials: u64,
@@ -41,7 +41,7 @@ pub struct SdcProfile {
 }
 
 /// One instruction's profile record.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SdcEntry {
     pub func: FuncId,
     pub inst: InstId,

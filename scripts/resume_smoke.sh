@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Resume smoke test: a campaign interrupted with SIGINT and resumed with
+# `--resume` must (a) re-execute no golden run and re-capture no snapshot
+# set — the persisted `<checkpoint>.snaps/` store serves them all — and
+# (b) leave a compacted checkpoint byte-identical to an uninterrupted
+# run. Also checks that `--no-snapshots` leaves no `.snaps` directory.
+set -euo pipefail
+
+BIN=${FLOWERY_BIN:-target/release/flowery}
+DIR=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# Enough batches that the SIGINT below lands mid-run (the run still
+# passes if a fast machine finishes first — that's just a pure replay).
+ARGS=(crc32 quicksort --tiny --trials 20000 --batch 50 --seed 99)
+
+echo "resume-smoke: uninterrupted reference"
+"$BIN" campaign "${ARGS[@]}" --checkpoint "$DIR/ref.jsonl" \
+    --metrics-json "$DIR/ref-metrics.json" >/dev/null 2>"$DIR/ref.log"
+grep -q '"goldens_run": 0' "$DIR/ref-metrics.json" \
+    || { echo "reference run executed plain goldens"; cat "$DIR/ref-metrics.json"; exit 1; }
+
+echo "resume-smoke: interrupted run"
+"$BIN" campaign "${ARGS[@]}" --checkpoint "$DIR/ckpt.jsonl" \
+    >/dev/null 2>"$DIR/int.log" &
+RUN=$!
+
+# Every unit must have captured (and persisted) its snapshot set before
+# the interrupt, or the resume legitimately captures the stragglers. A
+# unit's first checkpointed batch implies its set was captured, so poll
+# until every unit appears in the log, then SIGINT (graceful drain).
+UNITS=""
+for _ in $(seq 300); do
+    UNITS=$(grep -oE '\[harness\] [0-9]+ units' "$DIR/int.log" | head -1 | grep -oE '[0-9]+' || true)
+    [ -n "$UNITS" ] && break
+    sleep 0.1
+done
+[ -n "$UNITS" ] || { echo "never saw the unit count"; cat "$DIR/int.log"; exit 1; }
+for _ in $(seq 600); do
+    kill -0 "$RUN" 2>/dev/null || break
+    SEEN=$(grep -oE '"unit":\{[^}]*\}' "$DIR/ckpt.jsonl" 2>/dev/null | sort -u | wc -l || true)
+    [ "$SEEN" -ge "$UNITS" ] && break
+    sleep 0.05
+done
+if kill -0 "$RUN" 2>/dev/null; then
+    echo "resume-smoke: SIGINT after all $UNITS units checkpointed a batch"
+    kill -INT "$RUN"
+fi
+wait "$RUN" || true
+test -d "$DIR/ckpt.jsonl.snaps" || { echo "no snapshot store was persisted"; exit 1; }
+
+echo "resume-smoke: resume"
+"$BIN" campaign "${ARGS[@]}" --checkpoint "$DIR/ckpt.jsonl" --resume \
+    --metrics-json "$DIR/resume-metrics.json" >/dev/null 2>"$DIR/resume.log"
+
+# The whole point: the resumed run loads every snapshot set from disk.
+grep -q '"snap_captures": 0' "$DIR/resume-metrics.json" \
+    || { echo "resume re-captured snapshot sets"; cat "$DIR/resume-metrics.json"; exit 1; }
+grep -q '"goldens_run": 0' "$DIR/resume-metrics.json" \
+    || { echo "resume re-executed golden runs"; cat "$DIR/resume-metrics.json"; exit 1; }
+
+cmp "$DIR/ref.jsonl" "$DIR/ckpt.jsonl"
+echo "resume-smoke: resumed checkpoint is byte-identical to the reference"
+
+echo "resume-smoke: --no-snapshots leaves no store behind"
+"$BIN" campaign "${ARGS[@]}" --no-snapshots --checkpoint "$DIR/nosnap.jsonl" >/dev/null 2>&1
+if [ -e "$DIR/nosnap.jsonl.snaps" ]; then
+    echo "--no-snapshots left an orphan .snaps directory"
+    exit 1
+fi
+echo "resume-smoke: ok"

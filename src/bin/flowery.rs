@@ -73,7 +73,7 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
   campaign [bench ...] [--trials N] [--ci-target H] [--threads N]
            [--batch N] [--levels a,b] [--tiny] [--json]
            [--checkpoint FILE] [--resume] [--no-snapshots]
-           [--snapshot-budget BYTES]
+           [--snapshot-budget BYTES] [--metrics-json FILE]
                                       run the experiment matrix on the
                                       work-stealing harness; --ci-target
                                       stops each unit once the 95% CI
@@ -81,11 +81,18 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       --checkpoint/--resume survive kills
                                       (Ctrl-C drains in-flight batches and
                                       flushes a resumable checkpoint);
+                                      snapshot sets persist to
+                                      <checkpoint>.snaps/ so --resume
+                                      re-executes and re-captures nothing;
                                       --no-snapshots disables golden-run
-                                      fast-forward (bit-identical, slower);
+                                      fast-forward (bit-identical, slower)
+                                      and writes no .snaps dir;
                                       --snapshot-budget caps each snapshot
                                       set's page-overlay bytes (suffixes
-                                      k/m/g), widening cadence when over
+                                      k/m/g), widening cadence when over;
+                                      --metrics-json dumps the final
+                                      engine metrics (incl. snapshot
+                                      capture/load counters) as JSON
   serve [bench ...] [--addr HOST:PORT] [--heartbeat-ms N] [--lease N]
         [+ campaign options above]    coordinate the same campaign over
                                       TCP: workers lease trial batches and
@@ -347,7 +354,7 @@ fn print_campaign_report(rest: &[String], report: &flowery::harness::CampaignRep
     }
     let m = &report.metrics;
     println!(
-        "\n{} trials in {:.1}s ({:.0}/s) | batches {} ({} from checkpoint) | golden cache {}/{} hits ({:.0}%) | fast-forward skipped {:.0}% of work",
+        "\n{} trials in {:.1}s ({:.0}/s) | batches {} ({} from checkpoint) | golden cache {}/{} hits ({:.0}%) | snapshot sets {} captured, {} loaded, {} shared | fast-forward skipped {:.0}% of work",
         m.trials,
         m.elapsed_secs,
         m.trials_per_sec,
@@ -356,6 +363,9 @@ fn print_campaign_report(rest: &[String], report: &flowery::harness::CampaignRep
         m.cache_hits,
         m.cache_hits + m.cache_misses,
         m.cache_hit_rate * 100.0,
+        m.snap_captures,
+        m.snap_loads,
+        m.snap_shared,
         m.ff_ratio * 100.0
     );
     Ok(())
@@ -364,7 +374,7 @@ fn print_campaign_report(rest: &[String], report: &flowery::harness::CampaignRep
 fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     use flowery::harness::{
         build_matrix, compact, load_checkpoint, run_units, shutdown, CheckpointLog, Control, GoldenCache,
-        MetricsSnapshot, RunOptions,
+        MetricsSnapshot, RunOptions, SnapshotStore,
     };
     use std::path::Path;
 
@@ -412,7 +422,13 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         }
         Control::Continue
     };
-    let cache = GoldenCache::new();
+    // Persist snapshot sets next to the checkpoint so a resumed campaign
+    // re-captures nothing. `--no-snapshots` must leave no orphan `.snap`
+    // files behind, so the store is attached only when snapshots are on.
+    let cache = match ckpt_path {
+        Some(p) if cfg.snapshots => GoldenCache::with_store(SnapshotStore::for_checkpoint(p)),
+        _ => GoldenCache::new(),
+    };
     let report = run_units(
         &units,
         &cfg,
@@ -432,6 +448,10 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     drop(log);
     if let Some(p) = ckpt_path {
         compact(p)?;
+    }
+    if let Some(p) = opt_str(rest, "--metrics-json") {
+        let json = flowery::serde_json::to_string_pretty(&report.metrics).map_err(|e| format!("{e:?}"))?;
+        std::fs::write(p, json + "\n").map_err(|e| format!("cannot write {p}: {e}"))?;
     }
     print_campaign_report(rest, &report)?;
     if report.interrupted {

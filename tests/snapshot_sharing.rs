@@ -1,0 +1,169 @@
+//! Cross-variant snapshot sharing, end to end: the Raw, ID, and Flowery
+//! variants of one benchmark diverge only where protection rewrites code,
+//! so a variant built with a late-only protection plan can reuse the raw
+//! capture's golden-prefix snapshots below the divergence point and
+//! capture just the suffix. Every trial fast-forwarded off such a shared
+//! set must be **bit-identical** to the same trial run from scratch, at
+//! both layers.
+
+use flowery_ir::interp::{ExecConfig, FaultSpec, Interpreter, IrScratch};
+use flowery_ir::Module;
+use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// `main` comes first so the protected tail function lands *after* it in
+/// the assembly stream: positional divergence between raw and variant
+/// programs then happens only inside `finish`, which executes late.
+fn program(prologue: u32, inner: u32, modulus: u32) -> String {
+    format!(
+        "global int arr[8] = {{7, 2, 9, 4, 1, 8, 3, 6}};\n\
+         int main() {{\n\
+           int i; int s = 0;\n\
+           for (i = 0; i < {prologue}; i = i + 1) {{\n\
+             s = s + arr[((s + i) % 8 + 8) % 8] * (i % 13 + 1);\n\
+           }}\n\
+           output(s);\n\
+           s = finish(s);\n\
+           output(s);\n\
+           return s & 65535;\n\
+         }}\n\
+         int finish(int x) {{\n\
+           int j; int t = x;\n\
+           for (j = 0; j < {inner}; j = j + 1) {{\n\
+             t = t + arr[(t % 8 + 8) % 8] * (j + 1);\n\
+             arr[((t + j) % 8 + 8) % 8] = t % {modulus};\n\
+           }}\n\
+           return t;\n\
+         }}\n"
+    )
+}
+
+/// Protect only `finish` — the paper's selective protection puts the
+/// budget on the most vulnerable code, which here runs after a long
+/// unprotected prologue.
+fn late_plan(m: &Module) -> ProtectionPlan {
+    let mut plan = ProtectionPlan::full(m);
+    for (f, set) in m.functions.iter().zip(plan.per_func.iter_mut()) {
+        if f.name != "finish" {
+            set.clear();
+        }
+    }
+    plan
+}
+
+fn id_variant(raw: &Module) -> Module {
+    let mut m = raw.clone();
+    duplicate_module(&mut m, &late_plan(raw), &DupConfig::default());
+    m
+}
+
+fn flowery_variant(raw: &Module) -> Module {
+    let mut m = id_variant(raw);
+    apply_flowery(&mut m, &FloweryConfig::default());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, max_shrink_iters: 50, ..ProptestConfig::default() })]
+
+    #[test]
+    fn variants_share_the_golden_prefix_bit_identically(
+        (prologue, inner, modulus, faults) in (
+            40u32..160,
+            5u32..25,
+            97u32..2048,
+            prop::collection::vec((0.0f64..1.0, 0u8..64), 5..9),
+        )
+    ) {
+        let src = program(prologue, inner, modulus);
+        let raw = flowery_lang::compile("share", &src)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{src}"));
+        let exec = ExecConfig::default();
+        let bcfg = flowery_backend::BackendConfig::default();
+
+        let raw_interp = Interpreter::new(&raw);
+        let raw_set = raw_interp.capture_snapshots_auto(&exec);
+        prop_assert!(raw_set.len() >= 2, "prologue must be long enough to snapshot");
+        let raw_prog = flowery_backend::compile_module(&raw, &bcfg);
+        let raw_aset = flowery_backend::Machine::new(&raw, &raw_prog).capture_snapshots_auto(&exec);
+
+        for variant in [id_variant(&raw), flowery_variant(&raw)] {
+            // IR layer.
+            let vi = Interpreter::new(&variant);
+            let shared = vi.capture_snapshots_from(&exec, &raw, &raw_set);
+            prop_assert!(shared.is_some(), "late-only protection must allow prefix sharing\n{}", &src);
+            let shared = shared.unwrap();
+            prop_assert!(shared.shared_snaps() >= 1, "no snapshot below the divergence point");
+            let fresh = vi.run(&exec, None);
+            prop_assert_eq!(&shared.golden().status, &fresh.status);
+            prop_assert_eq!(&shared.golden().output, &fresh.output, "continuation golden != fresh golden");
+            prop_assert_eq!(shared.golden().dyn_insts, fresh.dyn_insts);
+            prop_assert_eq!(shared.golden().fault_sites, fresh.fault_sites);
+            // A real variant, not a byte-identical clone: duplication adds
+            // instructions (the output itself is semantics-preserved).
+            prop_assert_ne!(fresh.dyn_insts, raw_set.golden().dyn_insts);
+            let mut scratch = IrScratch::new();
+            for &(frac, bit) in &faults {
+                let site = ((frac * fresh.fault_sites as f64) as u64).min(fresh.fault_sites - 1);
+                let spec = FaultSpec::single(site, u32::from(bit));
+                let plain = vi.run(&exec, Some(spec));
+                let (ff, _) = vi.run_fast_forward(&exec, spec, &shared, &mut scratch);
+                prop_assert_eq!(&ff, &plain, "IR trial @ site {} bit {}\n{}", site, bit, &src);
+                scratch.recycle_output(ff.output);
+            }
+
+            // Assembly layer.
+            let vprog = flowery_backend::compile_module(&variant, &bcfg);
+            let vmach = flowery_backend::Machine::new(&variant, &vprog);
+            let ashared = vmach.capture_snapshots_from(&exec, (&raw, &raw_prog), &raw_aset);
+            prop_assert!(ashared.is_some(), "asm prefix sharing must hold\n{}", &src);
+            let ashared = ashared.unwrap();
+            prop_assert!(ashared.shared_snaps() >= 1);
+            let fresh = vmach.run(&exec, None);
+            prop_assert_eq!(&ashared.golden().output, &fresh.output);
+            prop_assert_eq!(ashared.golden().fault_sites, fresh.fault_sites);
+            let mut scratch = flowery_backend::AsmScratch::new();
+            for &(frac, bit) in &faults {
+                let site = ((frac * fresh.fault_sites as f64) as u64).min(fresh.fault_sites - 1);
+                let spec = flowery_backend::AsmFaultSpec::single(site, u32::from(bit));
+                let plain = vmach.run(&exec, Some(spec));
+                let (ff, _) = vmach.run_fast_forward(&exec, spec, &ashared, &mut scratch);
+                prop_assert_eq!(&ff, &plain, "asm trial @ site {} bit {}\n{}", site, bit, &src);
+                scratch.recycle_output(ff.output);
+            }
+        }
+    }
+}
+
+/// The harness cache drives the same machinery through its raw-twin
+/// lookups: the variant's set is a shared-suffix capture (counted in both
+/// `snap_shared` and `snap_captures`), never a second full capture.
+#[test]
+fn golden_cache_shares_the_raw_prefix_across_variants() {
+    let src = program(120, 12, 251);
+    let raw = Arc::new(flowery_lang::compile("share", &src).unwrap());
+    let var = Arc::new(id_variant(&raw));
+    let exec = ExecConfig::default();
+
+    let cache = flowery_harness::GoldenCache::new();
+    let vset = cache.ir_snapshots_for(&var, Some(&raw), &exec);
+    let st = cache.stats();
+    assert_eq!(st.snap_shared, 1, "{st:?}");
+    assert_eq!(st.snap_captures, 2, "raw full capture + variant suffix capture: {st:?}");
+    assert_eq!(st.goldens_run, 0, "capture runs double as goldens: {st:?}");
+    assert!(vset.shared_snaps() >= 1);
+
+    // The seeded goldens match fresh executions of both modules.
+    let fresh = Interpreter::new(&var).run(&exec, None);
+    assert_eq!(cache.ir_golden(&var, &exec).output, fresh.output);
+    assert_eq!(cache.stats().goldens_run, 0);
+
+    // A variant with no raw twin (or an incompatible one) falls back to a
+    // full capture and still serves trials — sharing is an optimization,
+    // never a requirement.
+    let solo = flowery_harness::GoldenCache::new();
+    let s = solo.ir_snapshots_for(&var, None, &exec);
+    assert_eq!(solo.stats().snap_shared, 0);
+    assert_eq!(s.golden().output, fresh.output);
+}
