@@ -26,6 +26,7 @@ pub mod regcache;
 pub mod snapio;
 pub mod snapshot;
 
+pub use flowery_ir::interp::FaultEffect;
 pub use harden::{harden_program, HardenConfig, HardenStats};
 pub use isel::{compile_module, BackendConfig};
 pub use machine::{AsmFaultSpec, MachResult, Machine};

@@ -14,7 +14,7 @@ use crate::snapshot::{AsmScratch, AsmSnapshot, AsmSnapshotRecorder, AsmSnapshotS
 use flowery_ir::inst::{BinOp, CastKind, Intrinsic};
 use flowery_ir::interp::memory::{PageMap, TrapKind};
 use flowery_ir::interp::snapshot::{AUTO_MAX_SNAPS, AUTO_SITE_CADENCE};
-use flowery_ir::interp::{ops, Cadence, ExecConfig, ExecStatus, Memory};
+use flowery_ir::interp::{ops, Cadence, ExecConfig, ExecStatus, FaultEffect, Memory, GLOBAL_BASE};
 use flowery_ir::module::Module;
 use flowery_ir::types::Type;
 use serde::{Deserialize, Serialize};
@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// Return-address sentinel marking the bottom of the call stack.
 const SENTINEL: u64 = u64::MAX - 1;
 
-/// A single-bit fault to inject during one machine run.
+/// A fault to inject during one machine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AsmFaultSpec {
     /// Zero-based index among executed *fault sites* (instructions with an
@@ -33,17 +33,32 @@ pub struct AsmFaultSpec {
     /// Optional second bit (multi-bit fault model, paper §2.2); `None` =
     /// the standard single-bit model.
     pub second_bit: Option<u32>,
+    /// What happens at the site. Defaults to [`FaultEffect::Bits`], the
+    /// pre-existing destination flip. See [`FaultEffect`] for the wider
+    /// models (burst, flags, memory cell, control-flow edge).
+    #[serde(default)]
+    pub effect: FaultEffect,
 }
 
 impl AsmFaultSpec {
     /// The standard single-bit fault.
     pub fn single(site_index: u64, bit: u32) -> AsmFaultSpec {
-        AsmFaultSpec { site_index, bit, second_bit: None }
+        AsmFaultSpec { site_index, bit, second_bit: None, effect: FaultEffect::Bits }
     }
 
     /// A double-bit fault in the same destination.
     pub fn double(site_index: u64, bit: u32, second: u32) -> AsmFaultSpec {
-        AsmFaultSpec { site_index, bit, second_bit: Some(second) }
+        AsmFaultSpec {
+            site_index,
+            bit,
+            second_bit: Some(second),
+            effect: FaultEffect::Bits,
+        }
+    }
+
+    /// A fault with an explicit effect.
+    pub fn with_effect(site_index: u64, bit: u32, effect: FaultEffect) -> AsmFaultSpec {
+        AsmFaultSpec { site_index, bit, second_bit: None, effect }
     }
 }
 
@@ -372,7 +387,13 @@ impl<'p> Machine<'p> {
                 if inject_now {
                     let spec = fault.unwrap();
                     st.injected_inst = Some(st.last_ip);
-                    apply_fault(&mut st, inst, spec);
+                    self.apply_fault(&mut st, inst, spec);
+                    if let FaultEffect::Jump { target } = spec.effect {
+                        // Control-flow edge corruption: the site's own
+                        // effects stand, then control restarts at an
+                        // arbitrary program position.
+                        ip = (target % insts.len() as u64) as u32;
+                    }
                 }
                 st.fault_sites += 1;
             }
@@ -795,35 +816,89 @@ impl State {
     }
 }
 
-/// Apply a single-bit fault to the instruction's destination.
-fn apply_fault(st: &mut State, inst: &AInst, spec: AsmFaultSpec) {
-    let mask = |bits: u32| -> u64 {
-        let mut m = 1u64 << (spec.bit % bits);
-        if let Some(b2) = spec.second_bit {
-            m |= 1u64 << (b2 % bits);
-        }
-        m
-    };
-    match inst.kind.fault_dest() {
-        FaultDest::Gpr(r, w) => {
-            st.regs[r.index()] ^= mask(w as u32 * 8);
-        }
-        FaultDest::Flags => {
-            let mut which = flags::CONDITION_BITS[(spec.bit as usize) % flags::CONDITION_BITS.len()];
-            if let Some(b2) = spec.second_bit {
-                which |= flags::CONDITION_BITS[(b2 as usize) % flags::CONDITION_BITS.len()];
-            }
-            st.regs[Reg::Rflags.index()] ^= which;
-        }
-        FaultDest::MemVal(w) => {
-            if let Some((addr, ww)) = st.last_mem_write {
-                let w = w.min(ww);
-                if let Ok(v) = st.mem.load(addr, w as u64) {
-                    let _ = st.mem.store(addr, w as u64, v ^ mask(w as u32 * 8));
+impl Machine<'_> {
+    /// Apply a fault to the instruction's architected destination (or, for
+    /// the wider effects, to flags / a memory cell). Control-flow redirects
+    /// are handled by the dispatch loop, which owns `ip`.
+    fn apply_fault(&self, st: &mut State, inst: &AInst, spec: AsmFaultSpec) {
+        // Bit mask within a `bits`-wide destination: the classic one-or-two
+        // bit flip, or a contiguous burst for multi-bit upsets.
+        let mask = |bits: u32| -> u64 {
+            match spec.effect {
+                FaultEffect::Burst { width } => {
+                    let mut m = 0u64;
+                    for k in 0..width as u32 {
+                        m ^= 1u64 << ((spec.bit + k) % bits);
+                    }
+                    m
+                }
+                _ => {
+                    let mut m = 1u64 << (spec.bit % bits);
+                    if let Some(b2) = spec.second_bit {
+                        m |= 1u64 << (b2 % bits);
+                    }
+                    m
                 }
             }
+        };
+        match spec.effect {
+            FaultEffect::Bits | FaultEffect::Burst { .. } => match inst.kind.fault_dest() {
+                FaultDest::Gpr(r, w) => {
+                    st.regs[r.index()] ^= mask(w as u32 * 8);
+                }
+                FaultDest::Flags => {
+                    let n = flags::CONDITION_BITS.len();
+                    let mut which = flags::CONDITION_BITS[(spec.bit as usize) % n];
+                    match spec.effect {
+                        FaultEffect::Burst { width } => {
+                            for k in 1..width as usize {
+                                which ^= flags::CONDITION_BITS[(spec.bit as usize + k) % n];
+                            }
+                        }
+                        _ => {
+                            if let Some(b2) = spec.second_bit {
+                                which |= flags::CONDITION_BITS[(b2 as usize) % n];
+                            }
+                        }
+                    }
+                    st.regs[Reg::Rflags.index()] ^= which;
+                }
+                FaultDest::MemVal(w) => {
+                    if let Some((addr, ww)) = st.last_mem_write {
+                        let w = w.min(ww);
+                        if let Ok(v) = st.mem.load(addr, w as u64) {
+                            let _ = st.mem.store(addr, w as u64, v ^ mask(w as u32 * 8));
+                        }
+                    }
+                }
+                FaultDest::None => {}
+            },
+            FaultEffect::Flags => {
+                // Flags/PC corruption model: hit the condition bits no
+                // matter what the site instruction writes.
+                let n = flags::CONDITION_BITS.len();
+                let mut which = flags::CONDITION_BITS[(spec.bit as usize) % n];
+                if let Some(b2) = spec.second_bit {
+                    which |= flags::CONDITION_BITS[(b2 as usize) % n];
+                }
+                st.regs[Reg::Rflags.index()] ^= which;
+            }
+            FaultEffect::Mem { offset } => {
+                // Same deterministic cell selection as the IR interpreter:
+                // globals segment when present, else the stack segment.
+                let globals_end = Memory::globals_end(self.module);
+                let (lo, hi) = if globals_end > GLOBAL_BASE {
+                    (GLOBAL_BASE, globals_end)
+                } else {
+                    (st.mem.stack_limit(), st.mem.size())
+                };
+                let addr = lo + offset % (hi - lo);
+                if let Ok(b) = st.mem.load(addr, 1) {
+                    let _ = st.mem.store(addr, 1, b ^ (1u64 << (spec.bit % 8)));
+                }
+            }
+            FaultEffect::Jump { .. } => {} // dispatch loop redirects ip
         }
-        FaultDest::None => {}
     }
 }
 

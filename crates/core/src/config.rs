@@ -94,6 +94,7 @@ impl ExperimentConfig {
             double_bit: false,
             snapshots: self.snapshots,
             exec: self.exec(),
+            ..Default::default()
         }
     }
 
@@ -110,6 +111,7 @@ impl ExperimentConfig {
             snapshots: self.snapshots,
             golden_profile: false,
             exec: self.exec(),
+            ..Default::default()
         }
     }
 
@@ -122,6 +124,7 @@ impl ExperimentConfig {
             snapshots: self.snapshots,
             golden_profile: false,
             exec: self.exec(),
+            ..Default::default()
         }
     }
 }

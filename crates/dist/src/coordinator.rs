@@ -342,7 +342,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                     break Ok("welcome write failed");
                 }
             }
-            ClientMsg::Ready { fingerprint } => {
+            ClientMsg::Ready { fingerprint, models_hash } => {
                 if fingerprint != ctx.fingerprint {
                     let msg = format!(
                         "matrix fingerprint {fingerprint:016x} != coordinator's {:016x} (divergent build?)",
@@ -350,6 +350,15 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                     );
                     let _ = framing::write_frame(&mut stream, &ServerMsg::Error { msg });
                     break Ok("fingerprint mismatch");
+                }
+                let ours = flowery_faultmodel::registry_hash();
+                if models_hash != ours {
+                    let msg = format!(
+                        "fault-model registry {models_hash:016x} != coordinator's {ours:016x} \
+                         (divergent model sets would sample different faults)"
+                    );
+                    let _ = framing::write_frame(&mut stream, &ServerMsg::Error { msg });
+                    break Ok("fault-model registry mismatch");
                 }
             }
             ClientMsg::LeaseRequest => {
@@ -431,12 +440,19 @@ fn merge_result(ctx: &Ctx, worker: u64, record: BatchRecord, ff_insts: u64, exec
             record.batch, record.unit
         ));
     }
+    if record.fault_model != ctx.header.fault_model {
+        return Err(format!(
+            "worker {worker} reported batch {} of {} under model `{}` (schedule runs `{}`)",
+            record.batch, record.unit, record.fault_model, ctx.header.fault_model
+        ));
+    }
     st.leases.complete((ui, record.batch), worker);
     if st.progress[ui].has_batch(record.batch) {
-        let existing = st.progress[ui]
-            .batch(record.batch)
-            .unwrap()
-            .to_record(record.unit.clone(), record.batch);
+        let existing = st.progress[ui].batch(record.batch).unwrap().to_record(
+            record.unit.clone(),
+            record.batch,
+            ctx.header.fault_model,
+        );
         if existing != record {
             return Err(format!("conflicting duplicate for batch {} of {}", record.batch, record.unit));
         }

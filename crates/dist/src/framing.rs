@@ -114,11 +114,14 @@ mod tests {
     fn frames_roundtrip_back_to_back() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &ClientMsg::Heartbeat).unwrap();
-        write_frame(&mut buf, &ClientMsg::Ready { fingerprint: 0xDEAD_BEEF }).unwrap();
+        write_frame(&mut buf, &ClientMsg::Ready { fingerprint: 0xDEAD_BEEF, models_hash: 1 }).unwrap();
         write_frame(&mut buf, &ServerMsg::Wait { ms: 250 }).unwrap();
         let mut r = buf.as_slice();
         assert_eq!(read_frame::<_, ClientMsg>(&mut r).unwrap(), ClientMsg::Heartbeat);
-        assert_eq!(read_frame::<_, ClientMsg>(&mut r).unwrap(), ClientMsg::Ready { fingerprint: 0xDEAD_BEEF });
+        assert_eq!(
+            read_frame::<_, ClientMsg>(&mut r).unwrap(),
+            ClientMsg::Ready { fingerprint: 0xDEAD_BEEF, models_hash: 1 }
+        );
         assert_eq!(read_frame::<_, ServerMsg>(&mut r).unwrap(), ServerMsg::Wait { ms: 250 });
         assert_eq!(
             read_frame::<_, ClientMsg>(&mut r),

@@ -76,8 +76,16 @@ pub enum ClientMsg {
     /// First frame on every connection.
     Hello { proto_version: u32 },
     /// Sent after building the matrix from the [`ServerMsg::Welcome`]
-    /// plan; the coordinator verifies the fingerprint before leasing.
-    Ready { fingerprint: u64 },
+    /// plan; the coordinator verifies both hashes before leasing.
+    /// `models_hash` is [`flowery_faultmodel::registry_hash`]: builds
+    /// whose fault-model/detector registries diverge would sample or
+    /// classify trials differently, so they refuse to pair. Defaults to 0
+    /// for pre-model workers, which never match a current coordinator.
+    Ready {
+        fingerprint: u64,
+        #[serde(default)]
+        models_hash: u64,
+    },
     /// Ask for work. Answered by `Lease`, `Wait`, or `Shutdown`.
     LeaseRequest,
     /// One finished batch. `ff_insts`/`exec_insts` feed the coordinator's
@@ -118,6 +126,17 @@ mod tests {
     use std::collections::HashMap;
 
     #[test]
+    fn ready_without_models_hash_defaults_to_zero() {
+        // A pre-model worker's Ready frame has no models_hash; it must
+        // parse as 0, which never equals a real registry hash — so the
+        // coordinator refuses the build divergence instead of crashing.
+        let json = "{\"Ready\":{\"fingerprint\":7}}";
+        let msg: ClientMsg = serde_json::from_str(json).unwrap();
+        assert_eq!(msg, ClientMsg::Ready { fingerprint: 7, models_hash: 0 });
+        assert_ne!(flowery_faultmodel::registry_hash(), 0);
+    }
+
+    #[test]
     fn plan_spec_roundtrips_through_matrix_spec() {
         let spec = MatrixSpec {
             benches: vec!["crc32".into(), "quicksort".into()],
@@ -149,10 +168,14 @@ mod tests {
             counts: Default::default(),
             sdc_by_inst: HashMap::new(),
             sdc_insts: vec![5, 9],
+            fault_model: flowery_faultmodel::ModelSpec::MemCell,
         };
         let msgs = vec![
             ClientMsg::Hello { proto_version: PROTO_VERSION },
-            ClientMsg::Ready { fingerprint: u64::MAX },
+            ClientMsg::Ready {
+                fingerprint: u64::MAX,
+                models_hash: flowery_faultmodel::registry_hash(),
+            },
             ClientMsg::LeaseRequest,
             ClientMsg::Completed { record, ff_insts: 10, exec_insts: 20 },
             ClientMsg::Heartbeat,

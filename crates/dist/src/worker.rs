@@ -140,7 +140,10 @@ fn session(
         *matrix = Some((plan, units, fp));
     }
     let (_, units, fingerprint) = matrix.as_ref().unwrap();
-    send(&ClientMsg::Ready { fingerprint: *fingerprint })?;
+    send(&ClientMsg::Ready {
+        fingerprint: *fingerprint,
+        models_hash: flowery_faultmodel::registry_hash(),
+    })?;
 
     // Heartbeat on the coordinator's cadence until the session ends.
     let stop = Arc::new(AtomicBool::new(false));
@@ -187,7 +190,7 @@ fn session(
                 for b in batches {
                     let out = runner.run_batch(&hcfg, b);
                     let msg = ClientMsg::Completed {
-                        record: out.to_record(units[ui].key.clone(), b),
+                        record: out.to_record(units[ui].key.clone(), b, hcfg.effective_model()),
                         ff_insts: out.ff_insts,
                         exec_insts: out.exec_insts,
                     };

@@ -190,21 +190,37 @@ fn duplicate_results_merge_idempotently_and_bad_handshakes_are_rejected() {
     let ServerMsg::Welcome { .. } = framing::read_frame(&mut s).unwrap() else {
         panic!("expected welcome")
     };
-    framing::write_frame(&mut s, &ClientMsg::Ready { fingerprint: 0 }).unwrap();
+    let models_hash = flowery_faultmodel::registry_hash();
+    framing::write_frame(&mut s, &ClientMsg::Ready { fingerprint: 0, models_hash }).unwrap();
     assert!(matches!(framing::read_frame(&mut s).unwrap(), ServerMsg::Error { .. }));
+    drop(s);
+
+    // A client with a divergent fault-model registry (e.g. a pre-model
+    // build, whose Ready defaults to hash 0) is refused before leasing.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    framing::write_frame(&mut s, &ClientMsg::Hello { proto_version: PROTO_VERSION }).unwrap();
+    let ServerMsg::Welcome { .. } = framing::read_frame(&mut s).unwrap() else {
+        panic!("expected welcome")
+    };
+    let units = build_matrix(&plan.to_spec(2));
+    let fingerprint = matrix_fingerprint(&units);
+    framing::write_frame(&mut s, &ClientMsg::Ready { fingerprint, models_hash: 0 }).unwrap();
+    let ServerMsg::Error { msg } = framing::read_frame(&mut s).unwrap() else {
+        panic!("expected registry-mismatch error")
+    };
+    assert!(msg.contains("fault-model registry"), "{msg}");
     drop(s);
 
     // A hand-rolled client leases two batches, reports the first one
     // TWICE, then says goodbye — the duplicate must be dropped and the
     // unreported batch requeued.
-    let units = build_matrix(&plan.to_spec(2));
     let mut s = TcpStream::connect(&addr).unwrap();
     framing::write_frame(&mut s, &ClientMsg::Hello { proto_version: PROTO_VERSION }).unwrap();
     let ServerMsg::Welcome { cfg: wire_cfg, .. } = framing::read_frame(&mut s).unwrap() else {
         panic!("expected welcome")
     };
     assert_eq!(wire_cfg, cfg, "schedule travels verbatim");
-    framing::write_frame(&mut s, &ClientMsg::Ready { fingerprint: matrix_fingerprint(&units) }).unwrap();
+    framing::write_frame(&mut s, &ClientMsg::Ready { fingerprint, models_hash }).unwrap();
     framing::write_frame(&mut s, &ClientMsg::LeaseRequest).unwrap();
     let ServerMsg::Lease { unit, batches } = framing::read_frame(&mut s).unwrap() else {
         panic!("expected lease")
@@ -214,7 +230,7 @@ fn duplicate_results_merge_idempotently_and_bad_handshakes_are_rejected() {
     let cache = GoldenCache::new();
     let out = UnitRunner::new(&units[ui], &cache, &cfg).run_batch(&cfg, batches[0]);
     let msg = ClientMsg::Completed {
-        record: out.to_record(unit, batches[0]),
+        record: out.to_record(unit, batches[0], cfg.effective_model()),
         ff_insts: out.ff_insts,
         exec_insts: out.exec_insts,
     };

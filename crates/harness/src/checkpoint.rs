@@ -18,6 +18,7 @@
 
 use crate::plan::UnitKey;
 use crate::progress::{BatchOutcome, UnitProgress};
+use flowery_faultmodel::{DetectorSpec, ModelSpec};
 use flowery_inject::OutcomeCounts;
 use flowery_ir::value::{FuncId, InstId};
 use serde::{Deserialize, Serialize};
@@ -41,6 +42,14 @@ pub struct Header {
     pub min_trials: u64,
     pub ci_target: Option<f64>,
     pub double_bit: bool,
+    /// Fault model the schedule's trials are sampled from. Absent in
+    /// pre-model checkpoints, which were all single-bit-reg.
+    #[serde(default)]
+    pub fault_model: ModelSpec,
+    /// Modeled hardware detectors post-classifying outcomes. Absent in
+    /// older checkpoints (none were modeled).
+    #[serde(default)]
+    pub detectors: Vec<DetectorSpec>,
 }
 
 impl Header {
@@ -60,6 +69,12 @@ pub struct BatchRecord {
     pub sdc_by_inst: HashMap<(FuncId, InstId), u64>,
     /// Assembly layer: program indices of SDC injections, in trial order.
     pub sdc_insts: Vec<u32>,
+    /// The fault model this batch's trials were sampled from; defaults to
+    /// `single-bit-reg` when absent so pre-model logs keep loading, and
+    /// keeps `--resume` / the dist idempotent merge from ever conflating
+    /// trials from different models.
+    #[serde(default)]
+    pub fault_model: ModelSpec,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -139,7 +154,18 @@ pub fn load(path: &Path) -> Result<(Header, Vec<BatchRecord>), String> {
             Record::Batch(b) => batches.push(b),
         }
     }
-    let header = header.ok_or_else(|| format!("{}: missing header line", path.display()))?;
+    let mut header = header.ok_or_else(|| format!("{}: missing header line", path.display()))?;
+    // Pre-model logs carry only the legacy `double_bit` switch; normalize
+    // so they resume under the equivalent explicit model. (New writers
+    // always stamp the resolved model, so this only rewrites the default.)
+    if header.double_bit && header.fault_model == ModelSpec::SingleBitReg {
+        header.fault_model = ModelSpec::DoubleBitReg;
+        for b in &mut batches {
+            if b.fault_model == ModelSpec::SingleBitReg {
+                b.fault_model = ModelSpec::DoubleBitReg;
+            }
+        }
+    }
     Ok((header, batches))
 }
 
@@ -154,6 +180,11 @@ pub fn canonicalize(header: &Header, records: Vec<BatchRecord>) -> Result<Vec<Ba
     let mut by_unit: BTreeMap<UnitKey, BTreeMap<u64, BatchRecord>> = BTreeMap::new();
     for rec in records {
         if rec.batch >= max_batches {
+            continue;
+        }
+        // A record sampled under a different fault model is foreign data
+        // (e.g. logs concatenated across sweeps), never a replayable batch.
+        if rec.fault_model != header.fault_model {
             continue;
         }
         match by_unit.entry(rec.unit.clone()).or_default().entry(rec.batch) {
@@ -223,6 +254,8 @@ mod tests {
             min_trials: 500,
             ci_target: Some(0.02),
             double_bit: false,
+            fault_model: ModelSpec::SingleBitReg,
+            detectors: Vec::new(),
         }
     }
 
@@ -233,6 +266,7 @@ mod tests {
             counts: OutcomeCounts { benign: 200, sdc: 30, detected: 0, due: 20 },
             sdc_by_inst: HashMap::new(),
             sdc_insts: vec![3, 17, 17],
+            fault_model: ModelSpec::SingleBitReg,
         }
     }
 
@@ -283,6 +317,7 @@ mod tests {
             counts: OutcomeCounts { benign: 250, ..Default::default() },
             sdc_by_inst: HashMap::new(),
             sdc_insts: Vec::new(),
+            fault_model: ModelSpec::SingleBitReg,
         };
         // Completion-order jumble with a duplicate and an out-of-schedule
         // batch (e.g. from a checkpoint written under a larger max_trials).
@@ -320,6 +355,7 @@ mod tests {
             counts: OutcomeCounts { benign: 250, ..Default::default() },
             sdc_by_inst: HashMap::new(),
             sdc_insts: Vec::new(),
+            fault_model: ModelSpec::SingleBitReg,
         };
         let canon = canonicalize(&h, vec![quiet(0), quiet(3)]).unwrap();
         assert_eq!(canon.iter().map(|r| r.batch).collect::<Vec<_>>(), vec![0]);
@@ -349,6 +385,51 @@ mod tests {
         assert_eq!(records.len(), 2, "records survive compaction");
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn pre_model_records_default_to_single_bit_reg() {
+        // A checkpoint line written before the fault-model field existed
+        // must load as single-bit-reg with no detectors. Reconstruct the
+        // legacy encoding by writing today's log and stripping the fields.
+        let path = tmp("legacy");
+        let log = CheckpointLog::create(&path, &header()).unwrap();
+        log.record_batch(&record(0)).unwrap();
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("fault_model"), "new logs carry the field");
+        let legacy: String = text
+            .replace(",\"fault_model\":\"single-bit-reg\"", "")
+            .replace(",\"detectors\":[]", "");
+        assert!(!legacy.contains("fault_model"));
+        std::fs::write(&path, legacy).unwrap();
+        let (h, batches) = load(&path).unwrap();
+        assert_eq!(h.fault_model, ModelSpec::SingleBitReg);
+        assert!(h.detectors.is_empty());
+        assert_eq!(h, header(), "legacy header equals today's default-model header");
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].fault_model, ModelSpec::SingleBitReg);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn canonicalize_never_conflates_models() {
+        // Records sampled under a different model are foreign data: they
+        // are dropped, not merged into this schedule's tally.
+        let h = header();
+        let mut foreign = record(0);
+        foreign.fault_model = ModelSpec::FlagsPc;
+        let canon = canonicalize(&h, vec![record(0), foreign.clone()]).unwrap();
+        assert_eq!(canon.len(), 1);
+        assert_eq!(canon[0].fault_model, ModelSpec::SingleBitReg);
+        // Even alone, a foreign-model record contributes nothing.
+        let canon = canonicalize(&h, vec![foreign]).unwrap();
+        assert!(canon.is_empty());
+        // And headers for different models are unequal, so a resume under
+        // a different model refuses the file outright.
+        let mut h2 = header();
+        h2.fault_model = ModelSpec::FlagsPc;
+        assert_ne!(h, h2);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::checkpoint::{CheckpointLog, Header, MAGIC, VERSION};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan::{Layer, TrialUnit, UnitKey};
 use crate::progress::{BatchOutcome, UnitProgress};
+use flowery_faultmodel::{DetectorSpec, ModelSpec};
 use flowery_inject::campaign::{AsmTrialRunner, IrTrialRunner};
 use flowery_inject::{Estimate, Outcome, OutcomeCounts};
 use flowery_ir::interp::ExecConfig;
@@ -54,8 +55,16 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Worker threads (0 = all cores). Does not affect results.
     pub threads: usize,
-    /// Two bit flips per fault instead of one.
+    /// Two bit flips per fault instead of one. Legacy switch: shorthand
+    /// for `fault_model: double-bit-reg`, kept for config compatibility.
     pub double_bit: bool,
+    /// Fault model every unit's trials are sampled from (one schedule =
+    /// one model; sweeps run the engine once per model).
+    #[serde(default)]
+    pub fault_model: ModelSpec,
+    /// Modeled hardware detectors post-classifying outcomes.
+    #[serde(default)]
+    pub detectors: Vec<DetectorSpec>,
     /// Fast-forward trials from cached golden-run snapshots instead of
     /// re-executing the golden prefix. Bit-identical results either way
     /// (and therefore not part of the checkpoint header); default on.
@@ -73,6 +82,8 @@ impl Default for HarnessConfig {
             seed: 0x0F10_EE41,
             threads: 0,
             double_bit: false,
+            fault_model: ModelSpec::SingleBitReg,
+            detectors: Vec::new(),
             snapshots: true,
             exec: ExecConfig::default(),
         }
@@ -91,6 +102,18 @@ impl HarnessConfig {
             min_trials: self.min_trials,
             ci_target: self.ci_target,
             double_bit: self.double_bit,
+            fault_model: self.effective_model(),
+            detectors: self.detectors.clone(),
+        }
+    }
+
+    /// The model trials are sampled from, resolving the legacy
+    /// `double_bit` switch against the explicit `fault_model` field.
+    pub fn effective_model(&self) -> ModelSpec {
+        if self.double_bit && self.fault_model == ModelSpec::SingleBitReg {
+            ModelSpec::DoubleBitReg
+        } else {
+            self.fault_model
         }
     }
 
@@ -203,7 +226,7 @@ impl Shared<'_> {
     /// progress, update metrics, and poll the progress callback.
     fn finish_batch(&self, ui: usize, batch: u64, data: BatchOutcome) {
         if let Some(log) = self.checkpoint {
-            let rec = data.to_record(self.units[ui].key.clone(), batch);
+            let rec = data.to_record(self.units[ui].key.clone(), batch, self.cfg.effective_model());
             if let Err(e) = log.record_batch(&rec) {
                 self.error.lock().unwrap().get_or_insert(e);
                 self.stop.store(true, Ordering::Relaxed);
@@ -282,11 +305,12 @@ impl<'u> UnitRunner<'u> {
     pub fn run_batch(&mut self, cfg: &HarnessConfig, batch: u64) -> BatchOutcome {
         let start = batch * cfg.batch_size;
         let end = (start + cfg.batch_size).min(cfg.max_trials);
+        let model = cfg.effective_model();
         let mut data = BatchOutcome::default();
         for i in start..end {
             match &mut self.inner {
                 RunnerInner::Ir(r) => {
-                    let t = r.run_trial(cfg.seed, i, cfg.double_bit);
+                    let t = r.run_trial_model(cfg.seed, i, model, &cfg.detectors);
                     data.counts.record(t.outcome);
                     data.ff_insts += t.ff_insts;
                     data.exec_insts += t.exec_insts;
@@ -297,7 +321,7 @@ impl<'u> UnitRunner<'u> {
                     }
                 }
                 RunnerInner::Asm(r) => {
-                    let t = r.run_trial(cfg.seed, i, cfg.double_bit);
+                    let t = r.run_trial_model(cfg.seed, i, model, &cfg.detectors);
                     data.counts.record(t.outcome);
                     data.ff_insts += t.ff_insts;
                     data.exec_insts += t.exec_insts;
@@ -400,6 +424,11 @@ pub fn run_units(
     for rec in &opts.preloaded {
         let Some(&ui) = key_index.get(&rec.unit) else { continue };
         if rec.batch >= max_batches {
+            continue;
+        }
+        // Batches sampled under a different fault model belong to a
+        // different schedule; replaying them would conflate models.
+        if rec.fault_model != cfg.effective_model() {
             continue;
         }
         let st = &sh.states[ui];

@@ -26,6 +26,7 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod engine;
+pub mod explore;
 pub mod metrics;
 pub mod plan;
 pub mod progress;
@@ -37,6 +38,7 @@ pub use checkpoint::{
     canonicalize, compact, load as load_checkpoint, write_canonical, BatchRecord, CheckpointLog, Header,
 };
 pub use engine::{run_units, CampaignReport, Control, HarnessConfig, RunOptions, UnitResult, UnitRunner};
+pub use explore::{explore, render_table, DesignPoint, ExploreReport, ExploreSpec, ModelFrontier, WorkloadReport};
 pub use metrics::{DistStats, Metrics, MetricsSnapshot, WorkerStats};
 pub use plan::{build_matrix, matrix_fingerprint, Layer, MatrixSpec, TrialUnit, UnitKey, Variant};
 pub use progress::{BatchOutcome, UnitProgress};

@@ -11,6 +11,7 @@
 
 use crate::checkpoint::{BatchRecord, Header};
 use crate::plan::UnitKey;
+use flowery_faultmodel::ModelSpec;
 use flowery_inject::stats::wilson_half_width;
 use flowery_inject::OutcomeCounts;
 use flowery_ir::value::{FuncId, InstId};
@@ -33,14 +34,17 @@ pub struct BatchOutcome {
 
 impl BatchOutcome {
     /// The checkpoint record for this batch (drops the metrics-only
-    /// instruction counters, which are not part of the result).
-    pub fn to_record(&self, unit: UnitKey, batch: u64) -> BatchRecord {
+    /// instruction counters, which are not part of the result). The fault
+    /// model is stamped on the record so logs never conflate trials
+    /// sampled from different models.
+    pub fn to_record(&self, unit: UnitKey, batch: u64, fault_model: ModelSpec) -> BatchRecord {
         BatchRecord {
             unit,
             batch,
             counts: self.counts,
             sdc_by_inst: self.sdc_by_inst.clone(),
             sdc_insts: self.sdc_insts.clone(),
+            fault_model,
         }
     }
 
@@ -150,6 +154,8 @@ mod tests {
             min_trials,
             ci_target,
             double_bit: false,
+            fault_model: ModelSpec::SingleBitReg,
+            detectors: Vec::new(),
         }
     }
 
@@ -183,9 +189,10 @@ mod tests {
             ..Default::default()
         };
         let key = UnitKey::new("b", Variant::Raw, 0.0, Layer::Asm);
-        let rec = out.to_record(key.clone(), 7);
+        let rec = out.to_record(key.clone(), 7, ModelSpec::MemCell);
         assert_eq!(rec.unit, key);
         assert_eq!(rec.batch, 7);
+        assert_eq!(rec.fault_model, ModelSpec::MemCell);
         let back = BatchOutcome::from_record(&rec);
         assert_eq!(back.counts, out.counts);
         assert_eq!(back.sdc_insts, out.sdc_insts);

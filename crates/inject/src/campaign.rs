@@ -11,11 +11,10 @@
 
 use crate::outcome::{classify, Outcome, OutcomeCounts};
 use flowery_backend::{AsmFaultSpec, AsmProgram, AsmScratch, AsmSnapshotSet, MachResult, Machine};
+use flowery_faultmodel::{any_catches, classify_asm_fault, classify_ir_fault, flip_count, DetectorSpec, ModelSpec};
 use flowery_ir::interp::{ExecConfig, ExecResult, FaultSpec, Interpreter, IrScratch, IrSnapshotSet, Profile};
 use flowery_ir::module::Module;
 use flowery_ir::value::{FuncId, InstId};
-use rand::rngs::SmallRng;
-use rand::{splitmix64, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,8 +31,18 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Inject two bit flips per fault instead of one (the emerging
     /// multi-bit model the paper cites in §2.2; default off = the standard
-    /// single-bit datapath model).
+    /// single-bit datapath model). Legacy switch: shorthand for
+    /// `fault_model: double-bit-reg`, kept for config compatibility.
     pub double_bit: bool,
+    /// The fault model to sample trials from. Defaults to
+    /// [`ModelSpec::SingleBitReg`], the classic single-bit register flip.
+    #[serde(default)]
+    pub fault_model: ModelSpec,
+    /// Modeled hardware detectors running alongside the software
+    /// protection; a would-be SDC in a class a detector covers is
+    /// reclassified as a detection. Default: none.
+    #[serde(default)]
+    pub detectors: Vec<DetectorSpec>,
     /// Fast-forward trials from golden-run snapshots instead of
     /// re-executing the golden prefix (bit-identical results; default on).
     pub snapshots: bool,
@@ -53,6 +62,8 @@ impl Default for CampaignConfig {
             seed: 0x0F10_EE41,
             threads: 0,
             double_bit: false,
+            fault_model: ModelSpec::SingleBitReg,
+            detectors: Vec::new(),
             snapshots: true,
             golden_profile: false,
             exec: ExecConfig::default(),
@@ -63,6 +74,16 @@ impl Default for CampaignConfig {
 impl CampaignConfig {
     pub fn with_trials(trials: u64) -> CampaignConfig {
         CampaignConfig { trials, ..Default::default() }
+    }
+
+    /// The model trials are sampled from, resolving the legacy
+    /// `double_bit` switch against the explicit `fault_model` field.
+    pub fn effective_model(&self) -> ModelSpec {
+        if self.double_bit && self.fault_model == ModelSpec::SingleBitReg {
+            ModelSpec::DoubleBitReg
+        } else {
+            self.fault_model
+        }
     }
 
     fn effective_threads(&self) -> usize {
@@ -112,38 +133,26 @@ pub struct AsmCampaign {
     pub exec_insts: u64,
 }
 
-/// Layer-domain separators folded into per-trial seeds so the IR and
-/// assembly campaigns over the same module explore independent streams.
-const IR_STREAM: u64 = 0x49_52;
-const ASM_STREAM: u64 = 0x41_53_4D;
-
-/// Per-trial RNG: mixes the base seed, a stream tag, and the trial index
-/// through SplitMix64 so each trial's randomness is independent of how
-/// trials are sharded across threads or batches.
-fn trial_rng(seed: u64, stream: u64, trial_index: u64) -> SmallRng {
-    let mixed = splitmix64(seed ^ splitmix64(stream) ^ splitmix64(trial_index.wrapping_add(1)));
-    SmallRng::seed_from_u64(mixed)
+/// Resolve the legacy `double_bit` switch to a model.
+fn legacy_model(double_bit: bool) -> ModelSpec {
+    if double_bit {
+        ModelSpec::DoubleBitReg
+    } else {
+        ModelSpec::SingleBitReg
+    }
 }
 
 /// The fault injected by IR-level trial `trial_index` — a pure function of
-/// `(seed, trial_index)`.
+/// `(seed, trial_index)`. Legacy entry point for the single/double-bit
+/// register models; arbitrary models go through
+/// [`ModelSpec::sample_ir`](flowery_faultmodel::ModelSpec::sample_ir).
 pub fn ir_fault_spec(seed: u64, trial_index: u64, sites: u64, double_bit: bool) -> FaultSpec {
-    let mut rng = trial_rng(seed, IR_STREAM, trial_index);
-    FaultSpec {
-        site_index: rng.gen_range(0..sites),
-        bit: rng.gen_range(0..64),
-        second_bit: double_bit.then(|| rng.gen_range(0..64)),
-    }
+    legacy_model(double_bit).sample_ir(seed, trial_index, sites)
 }
 
 /// The fault injected by assembly-level trial `trial_index`.
 pub fn asm_fault_spec(seed: u64, trial_index: u64, sites: u64, double_bit: bool) -> AsmFaultSpec {
-    let mut rng = trial_rng(seed, ASM_STREAM, trial_index);
-    AsmFaultSpec {
-        site_index: rng.gen_range(0..sites),
-        bit: rng.gen_range(0..64),
-        second_bit: double_bit.then(|| rng.gen_range(0..64)),
-    }
+    legacy_model(double_bit).sample_asm(seed, trial_index, sites)
 }
 
 /// Outcome of one IR-level trial.
@@ -252,14 +261,32 @@ impl<'m> IrTrialRunner<'m> {
         self.snapshots.clone()
     }
 
-    /// Execute trial `trial_index` of the campaign identified by `seed`.
+    /// Execute trial `trial_index` of the campaign identified by `seed`,
+    /// under the legacy single/double-bit model with no detectors.
     pub fn run_trial(&mut self, seed: u64, trial_index: u64, double_bit: bool) -> IrTrialOutcome {
-        let spec = ir_fault_spec(seed, trial_index, self.sites, double_bit);
+        self.run_trial_model(seed, trial_index, legacy_model(double_bit), &[])
+    }
+
+    /// Execute trial `trial_index` under an arbitrary fault model, with a
+    /// set of modeled hardware detectors post-classifying the outcome.
+    pub fn run_trial_model(
+        &mut self,
+        seed: u64,
+        trial_index: u64,
+        model: ModelSpec,
+        detectors: &[DetectorSpec],
+    ) -> IrTrialOutcome {
+        let spec = model.sample_ir(seed, trial_index, self.sites);
         let (r, skipped) = match self.snapshots.clone() {
             Some(set) => self.interp.run_fast_forward(&self.exec, spec, &set, &mut self.scratch),
             None => (self.interp.run_scratch(&self.exec, Some(spec), &mut self.scratch), 0),
         };
-        let outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
+        let mut outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
+        if outcome == Outcome::Sdc
+            && any_catches(detectors, classify_ir_fault(spec.effect), flip_count(spec.second_bit, spec.effect))
+        {
+            outcome = Outcome::Detected;
+        }
         let out = IrTrialOutcome {
             outcome,
             injected_at: r.injected_at,
@@ -274,6 +301,7 @@ impl<'m> IrTrialRunner<'m> {
 /// Reusable single-trial executor for assembly-level injections.
 pub struct AsmTrialRunner<'p> {
     mach: Machine<'p>,
+    program: &'p AsmProgram,
     golden: MachResult,
     exec: ExecConfig,
     sites: u64,
@@ -305,6 +333,7 @@ impl<'p> AsmTrialRunner<'p> {
         };
         AsmTrialRunner {
             mach: Machine::new(module, program),
+            program,
             golden,
             exec,
             sites,
@@ -348,13 +377,41 @@ impl<'p> AsmTrialRunner<'p> {
         self.snapshots.clone()
     }
 
+    /// Execute trial `trial_index` under the legacy single/double-bit
+    /// model with no detectors.
     pub fn run_trial(&mut self, seed: u64, trial_index: u64, double_bit: bool) -> AsmTrialOutcome {
-        let spec = asm_fault_spec(seed, trial_index, self.sites, double_bit);
+        self.run_trial_model(seed, trial_index, legacy_model(double_bit), &[])
+    }
+
+    /// Execute trial `trial_index` under an arbitrary fault model, with a
+    /// set of modeled hardware detectors post-classifying the outcome.
+    /// Detector coverage is decided against the *architected destination*
+    /// of the instruction the fault actually landed on.
+    pub fn run_trial_model(
+        &mut self,
+        seed: u64,
+        trial_index: u64,
+        model: ModelSpec,
+        detectors: &[DetectorSpec],
+    ) -> AsmTrialOutcome {
+        let spec = model.sample_asm(seed, trial_index, self.sites);
         let (r, skipped) = match self.snapshots.clone() {
             Some(set) => self.mach.run_fast_forward(&self.exec, spec, &set, &mut self.scratch),
             None => (self.mach.run_scratch(&self.exec, Some(spec), &mut self.scratch), 0),
         };
-        let outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
+        let mut outcome = classify(r.status, &r.output, self.golden.status, &self.golden.output);
+        if outcome == Outcome::Sdc && !detectors.is_empty() {
+            if let Some(idx) = r.injected_inst {
+                let dest = self.program.insts[idx as usize].kind.fault_dest();
+                if any_catches(
+                    detectors,
+                    classify_asm_fault(spec.effect, dest),
+                    flip_count(spec.second_bit, spec.effect),
+                ) {
+                    outcome = Outcome::Detected;
+                }
+            }
+        }
         let out = AsmTrialOutcome {
             outcome,
             injected_inst: r.injected_inst,
@@ -427,8 +484,9 @@ pub fn run_ir_campaign(m: &Module, cfg: &CampaignConfig) -> IrCampaign {
                 local.attach_snapshots(set.clone());
             }
             let seed = cfg.seed;
-            let double_bit = cfg.double_bit;
-            move |i| local.run_trial(seed, i, double_bit)
+            let model = cfg.effective_model();
+            let detectors = &cfg.detectors;
+            move |i| local.run_trial_model(seed, i, model, detectors)
         },
         |i, r| results.lock().unwrap().push((i, r)),
     );
@@ -480,8 +538,9 @@ pub fn run_asm_campaign(m: &Module, program: &AsmProgram, cfg: &CampaignConfig) 
                 local.attach_snapshots(set.clone());
             }
             let seed = cfg.seed;
-            let double_bit = cfg.double_bit;
-            move |i| local.run_trial(seed, i, double_bit)
+            let model = cfg.effective_model();
+            let detectors = &cfg.detectors;
+            move |i| local.run_trial_model(seed, i, model, detectors)
         },
         |i, r| results.lock().unwrap().push((i, r)),
     );

@@ -15,6 +15,7 @@ pub use campaign::{
     asm_fault_spec, ir_fault_spec, run_asm_campaign, run_ir_campaign, AsmCampaign, AsmTrialRunner, CampaignConfig,
     IrCampaign, IrTrialRunner,
 };
+pub use flowery_faultmodel::{DetectorSpec, FaultClass, ModelSpec};
 pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use profile::profile_sdc;
 pub use stats::{relative_overhead, wilson_half_width, Coverage, Estimate};

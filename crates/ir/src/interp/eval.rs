@@ -1,12 +1,12 @@
 //! The evaluation engine: an explicit-stack interpreter over verified IR.
 
 use crate::inst::{Callee, InstKind, Intrinsic, Terminator};
-use crate::interp::memory::{align_up, Memory, PageMap, TrapKind, PAGE_SIZE};
+use crate::interp::memory::{align_up, Memory, PageMap, TrapKind, GLOBAL_BASE, PAGE_SIZE};
 use crate::interp::ops;
 use crate::interp::prefix;
 use crate::interp::snapshot::{Cadence, IrScratch, IrSnapshot, IrSnapshotSet, SnapshotRecorder};
 use crate::interp::snapshot::{AUTO_MAX_SNAPS, AUTO_SITE_CADENCE};
-use crate::interp::{ExecConfig, ExecResult, ExecStatus, FaultSpec, Profile, TAG_BYTE, TAG_F64, TAG_I64};
+use crate::interp::{ExecConfig, ExecResult, ExecStatus, FaultEffect, FaultSpec, Profile, TAG_BYTE, TAG_F64, TAG_I64};
 use crate::module::Module;
 use crate::types::Type;
 use crate::value::{BlockId, FuncId, InstId, Op, Value};
@@ -511,21 +511,55 @@ impl<'m> Interpreter<'m> {
                     // returns (handled at `Ret`, also excluded) — matching
                     // the instruction-duplication literature's fault model.
                     let is_site = !matches!(self.module.func(fr_func).inst(iid).kind, InstKind::Alloca { .. });
-                    if is_site {
-                        if let Some(spec) = fault {
-                            if fault_sites == spec.site_index {
+                    let inject_now = is_site && fault.is_some_and(|spec| fault_sites == spec.site_index);
+                    if inject_now {
+                        let spec = fault.unwrap();
+                        injected_at = Some((fr_func, iid));
+                        match spec.effect {
+                            FaultEffect::Bits => {
                                 v ^= 1u64 << (spec.bit % ty.bits());
                                 if let Some(b2) = spec.second_bit {
                                     v ^= 1u64 << (b2 % ty.bits());
                                 }
-                                v = ty.canon(v);
-                                injected_at = Some((fr_func, iid));
                             }
+                            FaultEffect::Burst { width } => {
+                                for k in 0..width as u32 {
+                                    v ^= 1u64 << ((spec.bit + k) % ty.bits());
+                                }
+                            }
+                            // Condition corruption: the low bit is the one
+                            // branches and selects consume.
+                            FaultEffect::Flags => v ^= 1,
+                            FaultEffect::Mem { offset } => {
+                                // The result is intact; a memory cell at a
+                                // deterministic address takes the hit.
+                                let (lo, hi) = mem_fault_region(self.module, &mem);
+                                let addr = lo + offset % (hi - lo);
+                                if let Ok(b) = mem.load(addr, 1) {
+                                    let _ = mem.store(addr, 1, b ^ (1u64 << (spec.bit % 8)));
+                                }
+                            }
+                            // Applied after the result write, below.
+                            FaultEffect::Jump { .. } => {}
                         }
+                        v = ty.canon(v);
+                    }
+                    if is_site {
                         fault_sites += 1;
                     }
                     let fr = stack.last_mut().unwrap();
                     fr.values[iid.index()] = ty.canon(v);
+                    if inject_now {
+                        if let Some(FaultSpec { effect: FaultEffect::Jump { target }, .. }) = fault {
+                            // Control-flow edge corruption: the (intact)
+                            // result is written, then control lands at the
+                            // head of an arbitrary block of this function.
+                            let fr = stack.last_mut().unwrap();
+                            let nblocks = self.module.func(fr.func).blocks.len() as u64;
+                            fr.block = BlockId((target % nblocks) as u32);
+                            fr.ip = 0;
+                        }
+                    }
                 }
             } else {
                 // ---- terminator --------------------------------------------
@@ -590,6 +624,19 @@ impl<'m> Interpreter<'m> {
             Op::Value(Value::Param(p)) => frame.params[p as usize],
             Op::Value(Value::Inst(i)) => frame.values[i.index()],
         }
+    }
+}
+
+/// The address range memory-cell faults land in: the globals segment when
+/// the module has one, else the stack segment. Both are a pure function of
+/// the module and memory geometry, so the same spec flips the same cell
+/// whether a trial runs from scratch or from a restored snapshot.
+pub(crate) fn mem_fault_region(module: &Module, mem: &Memory) -> (u64, u64) {
+    let globals_end = Memory::globals_end(module);
+    if globals_end > GLOBAL_BASE {
+        (GLOBAL_BASE, globals_end)
+    } else {
+        (mem.stack_limit(), mem.size())
     }
 }
 

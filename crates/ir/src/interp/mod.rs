@@ -71,7 +71,34 @@ impl ExecConfig {
     }
 }
 
-/// A single-bit fault to inject during one run.
+/// What a fault does when its site is reached. All effects apply *at* the
+/// fault site and depend only on machine state at that point, which is
+/// what keeps snapshot fast-forward bit-identical to scratch execution
+/// for every model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEffect {
+    /// Flip the spec's bit (plus the optional second bit) in the
+    /// instruction's destination — the classic LLFI/PIN datapath model.
+    #[default]
+    Bits,
+    /// Flip `width` adjacent bits starting at the spec's bit (multi-bit
+    /// upset / burst error).
+    Burst { width: u8 },
+    /// Corrupt condition state: at the IR level the result's low bit (the
+    /// bit branches consume), at the assembly level the condition flags.
+    Flags,
+    /// Flip one bit of a memory cell at a deterministic address derived
+    /// from `offset` (globals segment when present, else the stack
+    /// segment). The instruction's own result is left intact.
+    Mem { offset: u64 },
+    /// Control-flow edge corruption: after the site executes, redirect
+    /// control to a deterministic target derived from `target` (a block
+    /// of the current function at the IR level, an absolute program index
+    /// at the assembly level).
+    Jump { target: u64 },
+}
+
+/// A fault to inject during one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// Zero-based index among *fault sites* (dynamic instructions that write
@@ -83,17 +110,31 @@ pub struct FaultSpec {
     /// Optional second bit for the multi-bit fault model the paper lists
     /// as emerging (§2.2); `None` = the standard single-bit model.
     pub second_bit: Option<u32>,
+    /// What happens at the site. Defaults to [`FaultEffect::Bits`], the
+    /// pre-existing single/double-bit destination flip.
+    #[serde(default)]
+    pub effect: FaultEffect,
 }
 
 impl FaultSpec {
     /// The standard single-bit fault.
     pub fn single(site_index: u64, bit: u32) -> FaultSpec {
-        FaultSpec { site_index, bit, second_bit: None }
+        FaultSpec { site_index, bit, second_bit: None, effect: FaultEffect::Bits }
     }
 
     /// A double-bit fault in the same destination.
     pub fn double(site_index: u64, bit: u32, second: u32) -> FaultSpec {
-        FaultSpec { site_index, bit, second_bit: Some(second) }
+        FaultSpec {
+            site_index,
+            bit,
+            second_bit: Some(second),
+            effect: FaultEffect::Bits,
+        }
+    }
+
+    /// A fault with an explicit effect.
+    pub fn with_effect(site_index: u64, bit: u32, effect: FaultEffect) -> FaultSpec {
+        FaultSpec { site_index, bit, second_bit: None, effect }
     }
 }
 

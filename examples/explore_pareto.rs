@@ -1,0 +1,70 @@
+//! Extension experiment: the protection design space as a Pareto problem.
+//!
+//! The paper fixes one fault model (single-bit register) and one detector
+//! budget (none) and compares ID against Flowery. This example sweeps the
+//! axes the paper holds still — fault model × protection (variant, level)
+//! × modeled hardware detector set — and reduces each workload to its
+//! cost/coverage Pareto frontier: which configurations are worth paying
+//! for once register parity or control-flow signatures are on the table?
+//!
+//! ```sh
+//! cargo run --release --example explore_pareto -- [trials] [bench ...]
+//! ```
+//!
+//! The frontiers print as tables and land in `BENCH_explore.json` as a
+//! machine-readable record.
+
+use flowery_faultmodel::{DetectorSpec, ModelSpec};
+use flowery_harness::{explore, render_table, ExploreSpec, GoldenCache};
+use flowery_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let names: Vec<String> = args.iter().skip(2).cloned().collect();
+    let benches = if names.is_empty() {
+        vec!["crc32".into(), "quicksort".into(), "is".into()]
+    } else {
+        names
+    };
+
+    let spec = ExploreSpec {
+        benches,
+        scale: Scale::Standard,
+        models: vec![
+            ModelSpec::SingleBitReg,
+            ModelSpec::MultiBit(4),
+            ModelSpec::FlagsPc,
+            ModelSpec::ControlFlow,
+        ],
+        detector_sets: vec![
+            vec![],
+            vec![DetectorSpec::Parity],
+            vec![DetectorSpec::CfSig],
+            vec![DetectorSpec::Parity, DetectorSpec::CfSig],
+        ],
+        levels: vec![1.0],
+        trials,
+        ..Default::default()
+    };
+    eprintln!(
+        "[explore_pareto] {} bench(es) x {} model(s) x {} detector set(s), {trials} trials each",
+        spec.benches.len(),
+        spec.models.len(),
+        spec.detector_sets.len()
+    );
+    let report = explore(&spec, &GoldenCache::new());
+    print!("{}", render_table(&report));
+
+    let json = flowery::serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_explore.json", json + "\n").expect("write BENCH_explore.json");
+    println!("wrote BENCH_explore.json");
+    println!(
+        "reading guide: under the single-bit model a 4%-cost parity detector\n\
+         dominates bare ID (it catches the same register faults without the\n\
+         duplication tax); 4-bit bursts put duplication back on the frontier\n\
+         (even flip counts evade parity); control-flow faults are owned by the\n\
+         7%-cost signature detector outright. No single design wins every\n\
+         model — which is the point of sweeping."
+    );
+}

@@ -4,9 +4,10 @@
 //! Implemented directly on `proc_macro::TokenStream` (the container image
 //! has no `syn`/`quote`), which is feasible because the workspace only
 //! derives on non-generic named structs, tuple structs, and enums whose
-//! variants are unit, tuple, or struct-like. Supported field attribute:
+//! variants are unit, tuple, or struct-like. Supported field attributes:
 //! `#[serde(skip)]` (omit on serialize, `Default::default()` on
-//! deserialize).
+//! deserialize) and `#[serde(default)]` (serialize normally,
+//! `Default::default()` when the field is absent on deserialize).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +15,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -63,20 +65,22 @@ impl Cursor {
         t
     }
 
-    /// Skip outer attributes, reporting whether any was `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> bool {
+    /// Skip outer attributes, reporting which `#[serde(...)]` flags were
+    /// present as `(skip, default)`.
+    fn skip_attrs(&mut self) -> (bool, bool) {
         let mut skip = false;
+        let mut default = false;
         loop {
             match self.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     self.next();
                     if let Some(TokenTree::Group(g)) = self.next() {
-                        if attr_is_serde_skip(&g.stream()) {
-                            skip = true;
-                        }
+                        let (s, d) = serde_attr_flags(&g.stream());
+                        skip |= s;
+                        default |= d;
                     }
                 }
-                _ => return skip,
+                _ => return (skip, default),
             }
         }
     }
@@ -121,14 +125,24 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+fn serde_attr_flags(stream: &TokenStream) -> (bool, bool) {
     let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
     match toks.as_slice() {
-        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let mut skip = false;
+            let mut default = false;
+            for t in args.stream() {
+                if let TokenTree::Ident(id) = &t {
+                    match id.to_string().as_str() {
+                        "skip" => skip = true,
+                        "default" => default = true,
+                        _ => {}
+                    }
+                }
+            }
+            (skip, default)
+        }
+        _ => (false, false),
     }
 }
 
@@ -137,7 +151,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(group);
     let mut fields = Vec::new();
     while c.peek().is_some() {
-        let skip = c.skip_attrs();
+        let (skip, default) = c.skip_attrs();
         if c.peek().is_none() {
             break;
         }
@@ -149,7 +163,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
         }
         c.skip_until_comma();
         c.next(); // the comma, if present
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip, default });
     }
     fields
 }
@@ -368,6 +382,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             for f in fields {
                 if f.skip {
                     inits.push_str(&format!("{}: Default::default(),\n", f.name));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: match serde::map_get(__m, \"{0}\") {{\n\
+                             Some(__v) => serde::Deserialize::deserialize_value(__v)?,\n\
+                             None => Default::default(),\n\
+                         }},\n",
+                        f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{0}: match serde::map_get(__m, \"{0}\") {{\n\
@@ -436,10 +458,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantShape::Struct(fields) => {
                         let mut inits = String::new();
                         for f in fields {
+                            let missing = if f.default {
+                                "Default::default()".to_string()
+                            } else {
+                                format!("serde::Deserialize::deserialize_missing(\"{name}::{vname}\", \"{}\")?", f.name)
+                            };
                             inits.push_str(&format!(
                                 "{0}: match serde::map_get(__fm, \"{0}\") {{\n\
                                      Some(__fv) => serde::Deserialize::deserialize_value(__fv)?,\n\
-                                     None => serde::Deserialize::deserialize_missing(\"{name}::{vname}\", \"{0}\")?,\n\
+                                     None => {missing},\n\
                                  }},\n",
                                 f.name
                             ));

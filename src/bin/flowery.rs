@@ -7,6 +7,7 @@
 //! flowery inject <file.mc> [options]        fault-injection campaign
 //! flowery study [--trials N] [bench ...]    the paper's full study
 //! flowery campaign [options] [bench ...]    resumable harness campaign
+//! flowery explore [options] [bench ...]     fault-model × protection × detector Pareto sweep
 //! flowery serve [options] [bench ...]       coordinate a distributed campaign
 //! flowery work --connect HOST:PORT          join one as a worker
 //! flowery lint <file.mc> [options]          static penetration analysis
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "inject" => cmd_inject(rest),
         "study" => cmd_study(rest),
         "campaign" => cmd_campaign(rest),
+        "explore" => cmd_explore(rest),
         "serve" => cmd_serve(rest),
         "work" => cmd_work(rest),
         "workloads" => cmd_workloads(),
@@ -74,6 +76,7 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
            [--batch N] [--levels a,b] [--tiny] [--json]
            [--checkpoint FILE] [--resume] [--no-snapshots]
            [--snapshot-budget BYTES] [--metrics-json FILE]
+           [--fault-model NAME]
                                       run the experiment matrix on the
                                       work-stealing harness; --ci-target
                                       stops each unit once the 95% CI
@@ -92,7 +95,29 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       k/m/g), widening cadence when over;
                                       --metrics-json dumps the final
                                       engine metrics (incl. snapshot
-                                      capture/load counters) as JSON
+                                      capture/load counters) as JSON;
+                                      --fault-model picks the injected
+                                      fault physics (see `explore` for
+                                      the registered model names;
+                                      default single-bit-reg) — recorded
+                                      in the checkpoint header, so
+                                      --resume refuses a mixed-model mix
+  explore [bench ...] [--models a,b,..] [--detectors none,parity,..]
+          [--levels a,b] [--trials N] [--seed S] [--threads N]
+          [--tiny] [--no-snapshots] [--out DIR] [--json]
+                                      sweep fault model x protection
+                                      (variant, level) x hardware-detector
+                                      set at the assembly layer and emit
+                                      per-workload cost/coverage Pareto
+                                      frontiers; models: single-bit-reg,
+                                      double-bit-reg, multi-bit-W,
+                                      flags-pc, mem-cell, control-flow;
+                                      --detectors takes comma-separated
+                                      sets of '+'-joined detectors
+                                      (parity, cf-sig; 'none' = bare);
+                                      --out writes explore.json plus one
+                                      explore_<bench>.json per workload;
+                                      --json prints the full report
   serve [bench ...] [--addr HOST:PORT] [--heartbeat-ms N] [--lease N]
         [+ campaign options above]    coordinate the same campaign over
                                       TCP: workers lease trial batches and
@@ -305,6 +330,9 @@ fn parse_harness(rest: &[String]) -> Result<flowery::harness::HarnessConfig, Str
     cfg.exec.snapshot_budget = opt_str(rest, "--snapshot-budget")
         .map(|v| parse_bytes(v).ok_or(format!("bad --snapshot-budget '{v}' (want BYTES[k|m|g])")))
         .transpose()?;
+    if let Some(m) = opt_str(rest, "--fault-model") {
+        cfg.fault_model = m.trim().parse::<flowery::faultmodel::ModelSpec>()?;
+    }
     Ok(cfg)
 }
 
@@ -460,6 +488,77 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
             Some(p) => eprintln!("[harness] resume with: flowery campaign ... --checkpoint {} --resume", p.display()),
             None => eprintln!("[harness] progress was NOT saved (no --checkpoint)"),
         }
+    }
+    Ok(())
+}
+
+fn cmd_explore(rest: &[String]) -> Result<(), String> {
+    use flowery::faultmodel::{DetectorSpec, ModelSpec};
+    use flowery::harness::{explore, render_table, ExploreSpec, GoldenCache};
+
+    let mut spec = ExploreSpec {
+        benches: parse_benches(rest)?,
+        scale: if flag(rest, "--tiny") { Scale::Tiny } else { Scale::Standard },
+        trials: opt_u64(rest, "--trials", 400),
+        seed: opt_u64(rest, "--seed", 0x0F10_EE41),
+        threads: opt_u64(rest, "--threads", 0) as usize,
+        snapshots: !flag(rest, "--no-snapshots"),
+        ..Default::default()
+    };
+    spec.profile_trials = (spec.trials * 2).clamp(100, 2000);
+    if let Some(csv) = opt_str(rest, "--models") {
+        spec.models = csv
+            .split(',')
+            .map(|s| s.trim().parse::<ModelSpec>())
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(csv) = opt_str(rest, "--detectors") {
+        spec.detector_sets = csv
+            .split(',')
+            .map(|set| {
+                let set = set.trim();
+                if set == "none" {
+                    return Ok(Vec::new());
+                }
+                set.split('+').map(|d| d.trim().parse::<DetectorSpec>()).collect()
+            })
+            .collect::<Result<_, String>>()?;
+    }
+    if opt_str(rest, "--levels").is_some() {
+        spec.levels = parse_levels(rest)?;
+    }
+
+    eprintln!(
+        "[explore] {} bench(es) x {} model(s) x {} detector set(s), {} trials each",
+        if spec.benches.is_empty() { NAMES.len() } else { spec.benches.len() },
+        spec.models.len(),
+        spec.detector_sets.len(),
+        spec.trials
+    );
+    let report = explore(&spec, &GoldenCache::new());
+
+    if let Some(dir) = opt_str(rest, "--out") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let write = |path: &std::path::Path, json: String| -> Result<(), String> {
+            std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {}: {e}", path.display()))
+        };
+        write(
+            &dir.join("explore.json"),
+            flowery::serde_json::to_string_pretty(&report).map_err(|e| format!("{e:?}"))?,
+        )?;
+        for w in &report.workloads {
+            write(
+                &dir.join(format!("explore_{}.json", w.bench)),
+                flowery::serde_json::to_string_pretty(w).map_err(|e| format!("{e:?}"))?,
+            )?;
+        }
+        eprintln!("[explore] wrote {} file(s) to {}", report.workloads.len() + 1, dir.display());
+    }
+    if flag(rest, "--json") {
+        println!("{}", flowery::serde_json::to_string_pretty(&report).map_err(|e| format!("{e:?}"))?);
+    } else {
+        print!("{}", render_table(&report));
     }
     Ok(())
 }

@@ -13,6 +13,8 @@
 //!   allocator and a machine simulator (the "assembly level"),
 //! - [`passes`] — instruction duplication, selective protection, and the
 //!   three Flowery patches,
+//! - [`faultmodel`] — pluggable fault models (single/multi-bit, flags,
+//!   memory, control-flow) and modeled hardware detectors,
 //! - [`inject`] — parallel fault-injection campaigns and coverage stats,
 //! - [`harness`] — the resumable work-stealing campaign engine: batched
 //!   trials, golden-run caching, adaptive trial counts (Wilson CI early
@@ -30,6 +32,7 @@ pub use flowery_analysis as analysis;
 pub use flowery_backend as backend;
 pub use flowery_core as core;
 pub use flowery_dist as dist;
+pub use flowery_faultmodel as faultmodel;
 pub use flowery_harness as harness;
 pub use flowery_inject as inject;
 pub use flowery_ir as ir;
