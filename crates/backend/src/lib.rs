@@ -16,6 +16,7 @@
 //! assert_eq!(result.status, ExecStatus::Completed(42));
 //! ```
 
+pub mod exec;
 pub mod fold;
 pub mod frame;
 pub mod harden;
@@ -26,7 +27,8 @@ pub mod regcache;
 pub mod snapio;
 pub mod snapshot;
 
-pub use flowery_ir::interp::FaultEffect;
+pub use exec::{executor_for, CompiledExec, Executor, InterpExec};
+pub use flowery_ir::interp::{ExecMode, FaultEffect};
 pub use harden::{harden_program, HardenConfig, HardenStats};
 pub use isel::{compile_module, BackendConfig};
 pub use machine::{AsmFaultSpec, MachResult, Machine};

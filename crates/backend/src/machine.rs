@@ -20,7 +20,7 @@ use flowery_ir::types::Type;
 use serde::{Deserialize, Serialize};
 
 /// Return-address sentinel marking the bottom of the call stack.
-const SENTINEL: u64 = u64::MAX - 1;
+pub(crate) const SENTINEL: u64 = u64::MAX - 1;
 
 /// A fault to inject during one machine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -86,15 +86,43 @@ impl MachResult {
     }
 }
 
-/// Reusable machine for one program+module pair.
+/// Reusable machine for one program+module pair. Which engine executes
+/// trials is chosen per run by [`ExecConfig::executor`]; the threaded-code
+/// translation is built lazily on first compiled-mode run and reused for
+/// every trial after that.
 pub struct Machine<'p> {
-    program: &'p AsmProgram,
-    module: &'p Module,
+    pub(crate) program: &'p AsmProgram,
+    pub(crate) module: &'p Module,
+    compiled: std::sync::OnceLock<crate::exec::CompiledProgram>,
+    /// Pristine boot image shared by scratch trials (see [`Machine::base_mem`]).
+    base: std::sync::OnceLock<Memory>,
 }
 
 impl<'p> Machine<'p> {
     pub fn new(module: &'p Module, program: &'p AsmProgram) -> Machine<'p> {
-        Machine { program, module }
+        Machine {
+            program,
+            module,
+            compiled: std::sync::OnceLock::new(),
+            base: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The threaded-code translation of this program, built on first use.
+    pub(crate) fn compiled(&self) -> &crate::exec::CompiledProgram {
+        self.compiled.get_or_init(|| crate::exec::CompiledProgram::build(self.program))
+    }
+
+    /// The pristine boot image for `config`'s memory geometry, built once
+    /// and shared by every scratch trial — the same image
+    /// [`Machine::run_fast_forward`] gets from its snapshot set's base.
+    /// `None` when `config` asks for a different geometry than the cached
+    /// image (first caller wins); such callers build fresh.
+    fn base_mem(&self, config: &ExecConfig) -> Option<&Memory> {
+        let base = self
+            .base
+            .get_or_init(|| Memory::new(self.module, config.mem_size, config.stack_size));
+        (base.size() == config.mem_size && base.stack_limit() == config.mem_size - config.stack_size).then_some(base)
     }
 
     /// Execute from `main` under `config`, optionally injecting a fault.
@@ -104,19 +132,39 @@ impl<'p> Machine<'p> {
         self.exec(config, fault, st, ip, None).0
     }
 
-    /// Like [`Machine::run`], but reuses `scratch`'s output buffer across
-    /// trials. Memory is still built fresh — only the snapshot path
-    /// ([`Machine::run_fast_forward`]) can reuse it.
+    /// Like [`Machine::run`], but reuses `scratch`'s buffers across trials:
+    /// the output vector, and — when the geometries line up — the memory
+    /// image, reverted to the pristine boot image by a dirty-page reset
+    /// instead of a fresh multi-megabyte allocation and clear per trial.
+    /// Sound for the same reason snapshot fast-forward's reuse is: a page
+    /// never marked dirty is byte-identical to the base image.
     pub fn run_scratch(
         &self,
         config: &ExecConfig,
         fault: Option<AsmFaultSpec>,
         scratch: &mut AsmScratch,
     ) -> MachResult {
-        let mem = Memory::new(self.module, config.mem_size, config.stack_size);
+        let mem = match self.base_mem(config) {
+            Some(base) => {
+                let recycled = scratch
+                    .mem
+                    .take()
+                    .filter(|m| m.size() == base.size() && m.stack_limit() == base.stack_limit());
+                match recycled {
+                    Some(mut m) => {
+                        m.reset_to(base, &PageMap::new());
+                        m
+                    }
+                    None => base.clone(),
+                }
+            }
+            None => Memory::new(self.module, config.mem_size, config.stack_size),
+        };
         let output = std::mem::take(&mut scratch.output);
         let (st, ip) = self.boot(mem, output, config);
-        self.exec(config, fault, st, ip, None).0
+        let (res, mem) = self.exec(config, fault, st, ip, None);
+        scratch.mem = Some(mem);
+        res
     }
 
     /// One fault-free run that captures a snapshot every `interval` dynamic
@@ -329,10 +377,30 @@ impl<'p> Machine<'p> {
         (st, self.program.main_entry)
     }
 
-    /// The dispatch loop. Starts from `st`/`ip` (fresh or restored),
-    /// optionally capturing snapshots. Returns the result plus the memory
-    /// image so callers can recycle it.
+    /// Execute from `st`/`ip` (fresh or restored), optionally capturing
+    /// snapshots, on the engine [`ExecConfig::executor`] selects. Returns
+    /// the result plus the memory image so callers can recycle it.
     fn exec(
+        &self,
+        config: &ExecConfig,
+        fault: Option<AsmFaultSpec>,
+        st: State,
+        ip: u32,
+        recorder: Option<&mut AsmSnapshotRecorder>,
+    ) -> (MachResult, Memory) {
+        crate::exec::executor_for(config.executor).exec(crate::exec::TrialRun {
+            machine: self,
+            config,
+            fault,
+            st,
+            ip,
+            recorder,
+        })
+    }
+
+    /// The interpreter engine's dispatch loop (the reference semantics the
+    /// threaded-code engine in [`crate::exec`] must match bit-for-bit).
+    pub(crate) fn exec_interp(
         &self,
         config: &ExecConfig,
         fault: Option<AsmFaultSpec>,
@@ -664,22 +732,22 @@ impl<'p> Machine<'p> {
     }
 }
 
-enum Halt {
+pub(crate) enum Halt {
     Status(ExecStatus),
 }
 
-struct State {
-    regs: [u64; Reg::COUNT],
-    mem: Memory,
-    output: Vec<u8>,
-    dyn_insts: u64,
-    fault_sites: u64,
-    cycles: u64,
-    injected_inst: Option<u32>,
-    profile: Option<Vec<u64>>,
-    last_ip: u32,
+pub(crate) struct State {
+    pub(crate) regs: [u64; Reg::COUNT],
+    pub(crate) mem: Memory,
+    pub(crate) output: Vec<u8>,
+    pub(crate) dyn_insts: u64,
+    pub(crate) fault_sites: u64,
+    pub(crate) cycles: u64,
+    pub(crate) injected_inst: Option<u32>,
+    pub(crate) profile: Option<Vec<u64>>,
+    pub(crate) last_ip: u32,
     /// (addr, width) of the most recent memory write, for MemVal injection.
-    last_mem_write: Option<(u64, u8)>,
+    pub(crate) last_mem_write: Option<(u64, u8)>,
 }
 
 // Manual Default-ish construction is in Machine::boot; State has extra
@@ -687,7 +755,7 @@ struct State {
 impl State {
     /// Consume the state into a result, handing the memory image back for
     /// reuse.
-    fn finish(self, status: ExecStatus) -> (MachResult, Memory) {
+    pub(crate) fn finish(self, status: ExecStatus) -> (MachResult, Memory) {
         (
             MachResult {
                 status,
@@ -702,19 +770,28 @@ impl State {
         )
     }
 
+    /// Effective address of a memory reference. Absolute references skip
+    /// the base-register read entirely (the compiled engine bakes the same
+    /// split into each handler at translation time).
+    #[inline(always)]
     fn effective(&self, m: MemRef) -> u64 {
-        let base = m.base.map_or(0, |r| self.regs[r.index()]);
-        base.wrapping_add_signed(m.disp)
+        match m.base {
+            Some(r) => self.regs[r.index()].wrapping_add_signed(m.disp),
+            None => m.disp as u64,
+        }
     }
 
+    #[inline(always)]
     fn read_reg(&self, r: Reg, w: u8) -> u64 {
         width_ty(w).canon(self.regs[r.index()])
     }
 
+    #[inline(always)]
     fn write_reg(&mut self, r: Reg, w: u8, v: u64) {
         self.regs[r.index()] = width_ty(w).canon(v);
     }
 
+    #[inline(always)]
     fn read(&mut self, op: AOp, w: u8) -> Result<u64, Halt> {
         match op {
             AOp::Reg(r) => Ok(self.read_reg(r, w)),
@@ -740,18 +817,20 @@ impl State {
         }
     }
 
-    fn load_mem(&mut self, addr: u64, w: u8) -> Result<u64, Halt> {
+    #[inline(always)]
+    pub(crate) fn load_mem(&mut self, addr: u64, w: u8) -> Result<u64, Halt> {
         self.mem.load(addr, w as u64).map_err(|t| Halt::Status(ExecStatus::Trapped(t)))
     }
 
-    fn store_mem(&mut self, addr: u64, w: u8, v: u64) -> Result<(), Halt> {
+    #[inline(always)]
+    pub(crate) fn store_mem(&mut self, addr: u64, w: u8, v: u64) -> Result<(), Halt> {
         self.last_mem_write = Some((addr, w));
         self.mem
             .store(addr, w as u64, v)
             .map_err(|t| Halt::Status(ExecStatus::Trapped(t)))
     }
 
-    fn set_arith_flags(&mut self, op: AluOp, ty: Type, a: u64, b: u64, r: u64) {
+    pub(crate) fn set_arith_flags(&mut self, op: AluOp, ty: Type, a: u64, b: u64, r: u64) {
         let mut fl = 0u64;
         let bits = ty.bits();
         if r == 0 {
@@ -784,7 +863,7 @@ impl State {
         self.regs[Reg::Rflags.index()] = fl;
     }
 
-    fn set_logic_flags(&mut self, ty: Type, r: u64) {
+    pub(crate) fn set_logic_flags(&mut self, ty: Type, r: u64) {
         let mut fl = 0u64;
         if r == 0 {
             fl |= flags::ZF;
@@ -795,7 +874,8 @@ impl State {
         self.regs[Reg::Rflags.index()] = fl;
     }
 
-    fn cond(&self, cc: CC) -> bool {
+    #[inline(always)]
+    pub(crate) fn cond(&self, cc: CC) -> bool {
         let fl = self.regs[Reg::Rflags.index()];
         let zf = fl & flags::ZF != 0;
         let sf = fl & flags::SF != 0;
@@ -820,7 +900,7 @@ impl Machine<'_> {
     /// Apply a fault to the instruction's architected destination (or, for
     /// the wider effects, to flags / a memory cell). Control-flow redirects
     /// are handled by the dispatch loop, which owns `ip`.
-    fn apply_fault(&self, st: &mut State, inst: &AInst, spec: AsmFaultSpec) {
+    pub(crate) fn apply_fault(&self, st: &mut State, inst: &AInst, spec: AsmFaultSpec) {
         // Bit mask within a `bits`-wide destination: the classic one-or-two
         // bit flip, or a contiguous burst for multi-bit upsets.
         let mask = |bits: u32| -> u64 {
@@ -922,7 +1002,7 @@ fn divergence_dyn(raw: &[AInst], var: &[AInst], first_exec: &[u64]) -> Option<u6
     Some(first_exec[d_static..].iter().copied().min().unwrap_or(u64::MAX))
 }
 
-fn width_ty(w: u8) -> Type {
+pub(crate) fn width_ty(w: u8) -> Type {
     match w {
         1 => Type::I8,
         2 => Type::I16,
@@ -931,7 +1011,7 @@ fn width_ty(w: u8) -> Type {
     }
 }
 
-fn width_fty(w: u8) -> Type {
+pub(crate) fn width_fty(w: u8) -> Type {
     if w == 4 {
         Type::F32
     } else {

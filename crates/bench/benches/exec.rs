@@ -1,0 +1,47 @@
+//! Execution-engine benchmarks: the threaded-code executor versus the
+//! decode-and-dispatch interpreter, as golden-run throughput and as full
+//! injection trials (the shape the campaign harness actually runs). The
+//! `exec_speedup` example publishes the same comparison across all 16
+//! workloads to `BENCH_exec.json`; this bench tracks it under Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flowery_backend::{compile_module, BackendConfig, ExecMode, Machine};
+use flowery_faultmodel::ModelSpec;
+use flowery_inject::AsmTrialRunner;
+use flowery_ir::interp::ExecConfig;
+use flowery_workloads::{workload, Scale};
+
+fn exec_with(mode: ExecMode) -> ExecConfig {
+    ExecConfig { executor: mode, ..ExecConfig::default() }
+}
+
+fn bench(c: &mut Criterion) {
+    let m = workload("pathfinder", Scale::Standard).compile();
+    let prog = compile_module(&m, &BackendConfig::default());
+    let mach = Machine::new(&m, &prog);
+    let golden = mach.run(&exec_with(ExecMode::Compiled), None);
+
+    let mut group = c.benchmark_group("engine_golden_run");
+    group.throughput(Throughput::Elements(golden.dyn_insts));
+    for mode in [ExecMode::Interp, ExecMode::Compiled] {
+        let exec = exec_with(mode);
+        group.bench_function(mode.to_string(), |b| b.iter(|| mach.run(&exec, None)));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("engine_trial");
+    for mode in [ExecMode::Interp, ExecMode::Compiled] {
+        let mut runner = AsmTrialRunner::new(&m, &prog, &exec_with(mode));
+        let mut i = 0u64;
+        group.bench_function(mode.to_string(), |b| {
+            b.iter(|| {
+                i += 1;
+                runner.run_trial_model(0x51C2_3001, i, ModelSpec::SingleBitReg, &[])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

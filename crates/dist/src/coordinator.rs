@@ -168,7 +168,9 @@ impl Coordinator {
         // Resume: preload the existing log; otherwise start fresh.
         let log = if ccfg.resume && ccfg.checkpoint.exists() {
             let (h, records) = load_checkpoint(&ccfg.checkpoint)?;
-            if h != header {
+            // Executor differences are provenance, not schedule: engines
+            // are bit-identical, so mixed-executor resumes are sound.
+            if !h.same_schedule(&header) {
                 return Err(format!("{}: checkpoint schedule differs from this campaign", ccfg.checkpoint.display()));
             }
             for rec in &records {

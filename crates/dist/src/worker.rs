@@ -32,6 +32,11 @@ pub struct WorkerConfig {
     pub backoff_ms: u64,
     /// Print per-lease progress to stderr.
     pub verbose: bool,
+    /// Override the coordinator's machine-layer engine for locally executed
+    /// trials. Sound because engines are bit-identical: results merge
+    /// byte-for-byte regardless of which engine each worker ran. `None`
+    /// keeps whatever the `Welcome`'d config selects.
+    pub executor: Option<flowery_backend::ExecMode>,
     /// Test hook: after this many completed batches (across sessions),
     /// hard-close the socket without a goodbye — simulates a crash so
     /// tests can exercise lease requeue.
@@ -46,6 +51,7 @@ impl Default for WorkerConfig {
             max_reconnects: 5,
             backoff_ms: 500,
             verbose: false,
+            executor: None,
             die_after_batches: None,
         }
     }
@@ -124,11 +130,14 @@ fn session(
     };
 
     send(&ClientMsg::Hello { proto_version: PROTO_VERSION })?;
-    let (worker_id, plan, hcfg, heartbeat_ms) = match read(&mut reader)? {
+    let (worker_id, plan, mut hcfg, heartbeat_ms) = match read(&mut reader)? {
         ServerMsg::Welcome { worker_id, plan, cfg, heartbeat_ms } => (worker_id, plan, cfg, heartbeat_ms),
         ServerMsg::Error { msg } => return Ok(SessionEnd::Fatal(format!("coordinator rejected us: {msg}"))),
         other => return Ok(SessionEnd::Fatal(format!("expected Welcome, got {other:?}"))),
     };
+    if let Some(mode) = cfg.executor {
+        hcfg.exec.executor = mode;
+    }
 
     // Build (or reuse) the matrix; both sides must agree bit-for-bit.
     if matrix.as_ref().is_none_or(|(p, _, _)| *p != plan) {

@@ -50,12 +50,30 @@ pub struct Header {
     /// older checkpoints (none were modeled).
     #[serde(default)]
     pub detectors: Vec<DetectorSpec>,
+    /// Execution engine the campaign ran under — **provenance, not
+    /// schedule**: engines are bit-identical, so results from different
+    /// engines are interchangeable and a resume only needs the schedule to
+    /// match (see [`Header::same_schedule`]). Absent in pre-engine
+    /// checkpoints, which all ran the interpreter-equivalent semantics.
+    #[serde(default)]
+    pub exec_mode: flowery_ir::interp::ExecMode,
 }
 
 impl Header {
     /// Schedule length per unit, in batches.
     pub fn max_batches(&self) -> u64 {
         self.max_trials.div_ceil(self.batch_size)
+    }
+
+    /// True when `other` describes the same trial schedule. This is the
+    /// resume/pairing comparison: every field except the provenance-only
+    /// `exec_mode`, so a campaign begun under one engine can be resumed —
+    /// or served to workers running — under the other (results are
+    /// bit-identical by the engine contract).
+    pub fn same_schedule(&self, other: &Header) -> bool {
+        let a = Header { exec_mode: Default::default(), ..self.clone() };
+        let b = Header { exec_mode: Default::default(), ..other.clone() };
+        a == b
     }
 }
 
@@ -256,6 +274,7 @@ mod tests {
             double_bit: false,
             fault_model: ModelSpec::SingleBitReg,
             detectors: Vec::new(),
+            exec_mode: Default::default(),
         }
     }
 
@@ -430,6 +449,36 @@ mod tests {
         let mut h2 = header();
         h2.fault_model = ModelSpec::FlagsPc;
         assert_ne!(h, h2);
+    }
+
+    #[test]
+    fn exec_mode_is_provenance_not_schedule() {
+        use flowery_ir::interp::ExecMode;
+        // Headers that differ only in engine still describe the same
+        // schedule — mixed-executor resumes and worker fleets are allowed —
+        // while any schedule-shaping difference still refuses.
+        let mut interp = header();
+        interp.exec_mode = ExecMode::Interp;
+        let compiled = Header { exec_mode: ExecMode::Compiled, ..interp.clone() };
+        assert_ne!(interp, compiled);
+        assert!(interp.same_schedule(&compiled));
+        let mut other_seed = compiled.clone();
+        other_seed.seed += 1;
+        assert!(!interp.same_schedule(&other_seed));
+
+        // Pre-engine checkpoint lines (no exec_mode field) load with the
+        // default and keep pairing with either engine.
+        let path = tmp("pre-engine");
+        CheckpointLog::create(&path, &header()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("exec_mode"), "new logs carry the engine");
+        let legacy = text.replace(",\"exec_mode\":\"compiled\"", "");
+        assert!(!legacy.contains("exec_mode"));
+        std::fs::write(&path, legacy).unwrap();
+        let (h, _) = load(&path).unwrap();
+        assert_eq!(h.exec_mode, ExecMode::default());
+        assert!(h.same_schedule(&interp));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

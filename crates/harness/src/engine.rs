@@ -104,6 +104,7 @@ impl HarnessConfig {
             double_bit: self.double_bit,
             fault_model: self.effective_model(),
             detectors: self.detectors.clone(),
+            exec_mode: self.exec.executor,
         }
     }
 
@@ -232,7 +233,12 @@ impl Shared<'_> {
                 self.stop.store(true, Ordering::Relaxed);
             }
         }
-        self.metrics.record_batch(&data.counts, false, data.ff_insts, data.exec_insts);
+        // The IR interpreter has a single engine; only assembly-layer work
+        // under `compiled` runs on the threaded-code executor.
+        let compiled =
+            self.units[ui].key.layer == Layer::Asm && self.cfg.exec.executor == flowery_ir::interp::ExecMode::Compiled;
+        self.metrics
+            .record_batch(&data.counts, false, data.ff_insts, data.exec_insts, compiled);
         let st = &self.states[ui];
         st.recorded.fetch_add(1, Ordering::Relaxed);
         let newly_done = st.progress.lock().unwrap().insert(batch, data, &self.header);
@@ -384,7 +390,7 @@ pub fn run_units(
 ) -> CampaignReport {
     assert!(cfg.batch_size > 0 && cfg.max_trials > 0, "empty schedule");
     let max_batches = cfg.max_batches();
-    let metrics = Metrics::new();
+    let metrics = Metrics::with_mode(cfg.exec.executor);
     if units.is_empty() {
         return CampaignReport {
             units: Vec::new(),
@@ -436,7 +442,7 @@ pub fn run_units(
         if p.has_batch(rec.batch) {
             continue;
         }
-        sh.metrics.record_batch(&rec.counts, true, 0, 0);
+        sh.metrics.record_batch(&rec.counts, true, 0, 0, false);
         st.recorded.fetch_add(1, Ordering::Relaxed);
         if p.insert(rec.batch, BatchOutcome::from_record(rec), &sh.header) {
             st.done.store(true, Ordering::Relaxed);

@@ -3,6 +3,7 @@
 
 use crate::cache::CacheStats;
 use flowery_inject::OutcomeCounts;
+use flowery_ir::interp::ExecMode;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -10,6 +11,9 @@ use std::time::Instant;
 /// Shared counters; one instance per engine run.
 pub struct Metrics {
     start: Instant,
+    /// Machine-layer engine the run is configured with (reported in
+    /// snapshots; the per-batch attribution below is what counts).
+    exec_mode: ExecMode,
     benign: AtomicU64,
     sdc: AtomicU64,
     detected: AtomicU64,
@@ -22,12 +26,16 @@ pub struct Metrics {
     ff_insts: AtomicU64,
     /// Instructions actually executed by trials.
     exec_insts: AtomicU64,
+    /// Subset of `exec_insts` run by the threaded-code engine (assembly
+    /// layer under `compiled`; the IR interpreter always counts as interp).
+    compiled_insts: AtomicU64,
 }
 
 impl Default for Metrics {
     fn default() -> Metrics {
         Metrics {
             start: Instant::now(),
+            exec_mode: ExecMode::default(),
             benign: AtomicU64::new(0),
             sdc: AtomicU64::new(0),
             detected: AtomicU64::new(0),
@@ -37,6 +45,7 @@ impl Default for Metrics {
             units_done: AtomicU64::new(0),
             ff_insts: AtomicU64::new(0),
             exec_insts: AtomicU64::new(0),
+            compiled_insts: AtomicU64::new(0),
         }
     }
 }
@@ -46,10 +55,17 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// A counter set that reports `mode` as the configured machine-layer
+    /// engine.
+    pub fn with_mode(mode: ExecMode) -> Metrics {
+        Metrics { exec_mode: mode, ..Metrics::default() }
+    }
+
     /// `ff_insts`/`exec_insts` are the batch's skipped/executed dynamic
     /// instruction totals (0 for checkpoint-replayed batches, which did
-    /// their work in an earlier run).
-    pub fn record_batch(&self, counts: &OutcomeCounts, reused: bool, ff_insts: u64, exec_insts: u64) {
+    /// their work in an earlier run); `compiled` says whether the executed
+    /// instructions ran on the threaded-code engine.
+    pub fn record_batch(&self, counts: &OutcomeCounts, reused: bool, ff_insts: u64, exec_insts: u64, compiled: bool) {
         self.benign.fetch_add(counts.benign, Ordering::Relaxed);
         self.sdc.fetch_add(counts.sdc, Ordering::Relaxed);
         self.detected.fetch_add(counts.detected, Ordering::Relaxed);
@@ -57,6 +73,9 @@ impl Metrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.ff_insts.fetch_add(ff_insts, Ordering::Relaxed);
         self.exec_insts.fetch_add(exec_insts, Ordering::Relaxed);
+        if compiled {
+            self.compiled_insts.fetch_add(exec_insts, Ordering::Relaxed);
+        }
         if reused {
             self.batches_reused.fetch_add(1, Ordering::Relaxed);
         }
@@ -83,6 +102,7 @@ impl Metrics {
         let lookups = cache.hits + cache.misses;
         let ff_insts = self.ff_insts.load(Ordering::Relaxed);
         let exec_insts = self.exec_insts.load(Ordering::Relaxed);
+        let compiled_insts = self.compiled_insts.load(Ordering::Relaxed);
         let work = ff_insts + exec_insts;
         MetricsSnapshot {
             elapsed_secs: elapsed,
@@ -105,6 +125,9 @@ impl Metrics {
             ff_insts,
             exec_insts,
             ff_ratio: if work == 0 { 0.0 } else { ff_insts as f64 / work as f64 },
+            exec_mode: self.exec_mode.to_string(),
+            interp_insts: exec_insts - compiled_insts,
+            compiled_insts,
         }
     }
 }
@@ -147,6 +170,17 @@ pub struct MetricsSnapshot {
     /// Fraction of total trial work (skipped + executed) that snapshot
     /// fast-forward avoided re-executing.
     pub ff_ratio: f64,
+    /// Configured machine-layer engine (`interp` or `compiled`). Engines
+    /// are bit-identical; this is provenance, not schedule.
+    #[serde(default)]
+    pub exec_mode: String,
+    /// Executed instructions attributed to the decode-and-dispatch
+    /// interpreter (all IR-layer work plus assembly under `interp`).
+    #[serde(default)]
+    pub interp_insts: u64,
+    /// Executed instructions attributed to the threaded-code engine.
+    #[serde(default)]
+    pub compiled_insts: u64,
 }
 
 impl MetricsSnapshot {
@@ -247,10 +281,10 @@ mod tests {
 
     #[test]
     fn snapshot_aggregates_counters() {
-        let m = Metrics::new();
+        let m = Metrics::with_mode(ExecMode::Compiled);
         let c = OutcomeCounts { benign: 7, sdc: 2, detected: 1, due: 0 };
-        m.record_batch(&c, false, 300, 100);
-        m.record_batch(&c, true, 0, 0);
+        m.record_batch(&c, false, 300, 100, true);
+        m.record_batch(&c, true, 0, 0, false);
         m.record_unit_done();
         let cache = CacheStats {
             hits: 3,
@@ -275,8 +309,24 @@ mod tests {
         assert_eq!(s.ff_insts, 300);
         assert_eq!(s.exec_insts, 100);
         assert!((s.ff_ratio - 0.75).abs() < 1e-12);
+        assert_eq!(s.exec_mode, "compiled");
+        assert_eq!(s.compiled_insts, 100);
+        assert_eq!(s.interp_insts, 0);
         assert!(s.trials_per_sec >= 0.0);
         assert!(!s.render().is_empty());
+    }
+
+    #[test]
+    fn interp_batches_attribute_to_interp() {
+        let m = Metrics::with_mode(ExecMode::Interp);
+        let c = OutcomeCounts { benign: 5, ..Default::default() };
+        m.record_batch(&c, false, 0, 40, false);
+        m.record_batch(&c, false, 0, 60, true);
+        let s = m.snapshot(1, 0, CacheStats::default());
+        assert_eq!(s.exec_mode, "interp");
+        assert_eq!(s.exec_insts, 100);
+        assert_eq!(s.interp_insts, 40);
+        assert_eq!(s.compiled_insts, 60);
     }
 
     #[test]

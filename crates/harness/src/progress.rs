@@ -156,6 +156,7 @@ mod tests {
             double_bit: false,
             fault_model: ModelSpec::SingleBitReg,
             detectors: Vec::new(),
+            exec_mode: Default::default(),
         }
     }
 

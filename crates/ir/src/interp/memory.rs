@@ -134,6 +134,7 @@ impl Memory {
         self.size() & !0xF
     }
 
+    #[inline(always)]
     fn in_bounds(&self, addr: u64, width: u64) -> bool {
         addr >= GLOBAL_BASE && addr.checked_add(width).is_some_and(|end| end <= self.size())
     }
@@ -153,6 +154,33 @@ impl Memory {
         }
         self.mark_dirty(addr, width);
         self.write_unchecked(addr, width, val);
+        Ok(())
+    }
+
+    /// Width-specialized checked load for engines that know the access
+    /// width statically (the machine layer's pre-lowered executor): the
+    /// byte copy compiles to one fixed-size move instead of a variable
+    /// `memcpy`. Semantics are identical to [`Memory::load`] with `W`.
+    #[inline(always)]
+    pub fn load_w<const W: usize>(&self, addr: u64) -> Result<u64, TrapKind> {
+        if !self.in_bounds(addr, W as u64) {
+            return Err(TrapKind::OobLoad);
+        }
+        let a = addr as usize;
+        let mut buf = [0u8; 8];
+        buf[..W].copy_from_slice(&self.bytes[a..a + W]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Width-specialized checked store; see [`Memory::load_w`].
+    #[inline(always)]
+    pub fn store_w<const W: usize>(&mut self, addr: u64, val: u64) -> Result<(), TrapKind> {
+        if !self.in_bounds(addr, W as u64) {
+            return Err(TrapKind::OobStore);
+        }
+        self.mark_dirty(addr, W as u64);
+        let a = addr as usize;
+        self.bytes[a..a + W].copy_from_slice(&val.to_le_bytes()[..W]);
         Ok(())
     }
 

@@ -21,6 +21,64 @@ pub use snapshot::{auto_interval, Cadence, IrScratch, IrSnapshotSet};
 
 use crate::value::{FuncId, InstId};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which execution engine runs machine-layer trials. The engines are
+/// bit-identical by contract — every observable stream (status, output,
+/// instruction/site/cycle counts, attribution, snapshots) matches exactly —
+/// so the switch exists for performance, provenance, and differential
+/// testing, never for results. The IR interpreter has a single engine and
+/// ignores the selection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// `interp` — the decode-and-dispatch interpreter (reference engine).
+    Interp,
+    /// `compiled` — the threaded-code executor: each instruction is
+    /// pre-lowered to a specialized handler indexed by program position.
+    #[default]
+    Compiled,
+}
+
+impl ExecMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Interp => "interp",
+            ExecMode::Compiled => "compiled",
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecMode, String> {
+        match s {
+            "interp" => Ok(ExecMode::Interp),
+            "compiled" => Ok(ExecMode::Compiled),
+            other => Err(format!("unknown executor `{other}` (known: interp, compiled)")),
+        }
+    }
+}
+
+impl Serialize for ExecMode {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for ExecMode {
+    fn deserialize_value(v: &serde::Value) -> Result<ExecMode, serde::Error> {
+        let s = v.as_str().ok_or_else(|| serde::Error::expected("executor string", v))?;
+        s.parse().map_err(serde::Error)
+    }
+}
 
 /// Execution limits and switches.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,6 +101,10 @@ pub struct ExecConfig {
     /// cadence and drops every other snapshot, trading fast-forward
     /// granularity for memory. `None` = unbounded.
     pub snapshot_budget: Option<u64>,
+    /// Machine-layer execution engine. Results are bit-identical across
+    /// engines; defaults to the threaded-code executor.
+    #[serde(default)]
+    pub executor: ExecMode,
 }
 
 impl Default for ExecConfig {
@@ -55,6 +117,7 @@ impl Default for ExecConfig {
             max_output: 1 << 20,
             profile: false,
             snapshot_budget: None,
+            executor: ExecMode::default(),
         }
     }
 }

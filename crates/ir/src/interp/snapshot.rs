@@ -61,7 +61,7 @@ impl Cadence {
 }
 
 /// Starting cadence for self-tuning captures: every 64 fault sites, widened
-/// by [`SnapshotRecorder`] whenever the set exceeds [`AUTO_MAX_SNAPS`].
+/// by `SnapshotRecorder` whenever the set exceeds [`AUTO_MAX_SNAPS`].
 pub const AUTO_SITE_CADENCE: u64 = 64;
 
 /// Snapshot-count cap for self-tuning captures. Each time the cap is hit

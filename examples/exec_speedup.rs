@@ -1,0 +1,101 @@
+//! Wall-clock comparison of the machine-layer execution engines: the
+//! threaded-code executor (`--executor compiled`, the default) versus the
+//! decode-and-dispatch interpreter (`--executor interp`), measured as
+//! injection-trial throughput on all 16 workloads. Cross-checks that both
+//! engines classify every trial identically — the engine switch changes
+//! timing, never results.
+//!
+//! The numbers are written to `BENCH_exec.json` as a machine-readable
+//! record. Run with `cargo run --release --example exec_speedup`.
+
+use flowery::backend::{compile_module, BackendConfig, ExecMode};
+use flowery::faultmodel::ModelSpec;
+use flowery::inject::AsmTrialRunner;
+use flowery::ir::interp::ExecConfig;
+use flowery::workloads::{workload, Scale, NAMES};
+use std::time::Instant;
+
+const TRIALS: u64 = 250;
+const REPS: usize = 3;
+const SEED: u64 = 0x51C2_3001;
+
+/// Time `TRIALS` single-bit trials under one engine; returns (seconds,
+/// executed instructions, outcome fingerprint). The batch is repeated
+/// [`REPS`] times and the fastest repetition is reported, which filters
+/// scheduler and frequency-scaling noise out of short batches — every
+/// repetition executes the identical deterministic trial stream.
+fn run_engine(m: &flowery::ir::Module, prog: &flowery::backend::AsmProgram, mode: ExecMode) -> (f64, u64, u64) {
+    let exec = ExecConfig { executor: mode, ..ExecConfig::default() };
+    let mut runner = AsmTrialRunner::new(m, prog, &exec);
+    let mut best = f64::INFINITY;
+    let (mut insts, mut fp) = (0u64, 0u64);
+    for _ in 0..REPS {
+        insts = 0;
+        fp = 0;
+        let t0 = Instant::now();
+        for i in 0..TRIALS {
+            let t = runner.run_trial_model(SEED, i, ModelSpec::SingleBitReg, &[]);
+            insts += t.exec_insts;
+            // FNV-style fold of the observable trial stream.
+            fp = fp
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(t.outcome as u64)
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(t.injected_inst.map_or(u64::MAX, u64::from))
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(t.exec_insts);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, insts, fp)
+}
+
+fn main() {
+    println!("{TRIALS} single-bit trials per engine per workload (snapshots off)\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "bench", "interp", "compiled", "speedup", "interp", "compiled"
+    );
+    println!("{:<14} {:>10} {:>10} {:>9} {:>10} {:>10}", "", "secs", "secs", "", "MIPS", "MIPS");
+
+    let mut rows = Vec::new();
+    let (mut total_i, mut total_c) = (0.0f64, 0.0f64);
+    let mut at_least_3x = 0usize;
+    for name in NAMES {
+        let m = workload(name, Scale::Standard).compile();
+        let prog = compile_module(&m, &BackendConfig::default());
+
+        let (d_i, insts_i, fp_i) = run_engine(&m, &prog, ExecMode::Interp);
+        let (d_c, insts_c, fp_c) = run_engine(&m, &prog, ExecMode::Compiled);
+        assert_eq!(insts_i, insts_c, "{name}: engines must execute identical instruction counts");
+        assert_eq!(fp_i, fp_c, "{name}: engines must classify trials identically");
+
+        let speedup = d_i / d_c;
+        let mips_i = insts_i as f64 / d_i / 1e6;
+        let mips_c = insts_c as f64 / d_c / 1e6;
+        println!("{name:<14} {d_i:>9.2}s {d_c:>9.2}s {speedup:>8.2}x {mips_i:>10.1} {mips_c:>10.1}");
+        rows.push(format!(
+            "    {{\"bench\": \"{name}\", \"interp_secs\": {d_i:.4}, \"compiled_secs\": {d_c:.4}, \
+             \"speedup\": {speedup:.3}, \"interp_mips\": {mips_i:.1}, \"compiled_mips\": {mips_c:.1}, \
+             \"exec_insts\": {insts_i}}}"
+        ));
+        total_i += d_i;
+        total_c += d_c;
+        at_least_3x += usize::from(speedup >= 3.0);
+    }
+
+    let overall = total_i / total_c;
+    println!(
+        "\ntotal: {total_i:.2}s interp vs {total_c:.2}s compiled ({overall:.2}x); {at_least_3x}/{} workloads at >= 3x",
+        NAMES.len()
+    );
+
+    let json = format!(
+        "{{\n  \"trials_per_engine\": {TRIALS},\n  \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \
+         \"total_interp_secs\": {total_i:.4},\n  \"total_compiled_secs\": {total_c:.4},\n  \
+         \"overall_speedup\": {overall:.3},\n  \"workloads_at_3x\": {at_least_3x}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
+    println!("wrote BENCH_exec.json");
+}

@@ -76,7 +76,7 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
            [--batch N] [--levels a,b] [--tiny] [--json]
            [--checkpoint FILE] [--resume] [--no-snapshots]
            [--snapshot-budget BYTES] [--metrics-json FILE]
-           [--fault-model NAME]
+           [--fault-model NAME] [--executor interp|compiled]
                                       run the experiment matrix on the
                                       work-stealing harness; --ci-target
                                       stops each unit once the 95% CI
@@ -101,10 +101,17 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       the registered model names;
                                       default single-bit-reg) — recorded
                                       in the checkpoint header, so
-                                      --resume refuses a mixed-model mix
+                                      --resume refuses a mixed-model mix;
+                                      --executor picks the machine-layer
+                                      engine (default compiled, the
+                                      threaded-code executor; interp is
+                                      the reference interpreter) — results
+                                      are bit-identical either way, and
+                                      resumes may mix executors freely
   explore [bench ...] [--models a,b,..] [--detectors none,parity,..]
           [--levels a,b] [--trials N] [--seed S] [--threads N]
           [--tiny] [--no-snapshots] [--out DIR] [--json]
+          [--executor interp|compiled]
                                       sweep fault model x protection
                                       (variant, level) x hardware-detector
                                       set at the assembly layer and emit
@@ -124,7 +131,11 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       stream results back; the checkpoint
                                       is byte-identical to a local run
   work --connect HOST:PORT [--threads N] [--max-reconnects N]
-       [--backoff-ms N]               join a served campaign as a worker
+       [--backoff-ms N] [--executor interp|compiled]
+                                      join a served campaign as a worker;
+                                      --executor overrides the served
+                                      engine for this worker only (safe:
+                                      engines are bit-identical)
   vuln <file.mc | bench> [--trials N] [--top K] [--static-prior]
                                       rank the most SDC-vulnerable
                                       instructions; --static-prior folds the
@@ -333,6 +344,9 @@ fn parse_harness(rest: &[String]) -> Result<flowery::harness::HarnessConfig, Str
     if let Some(m) = opt_str(rest, "--fault-model") {
         cfg.fault_model = m.trim().parse::<flowery::faultmodel::ModelSpec>()?;
     }
+    if let Some(e) = opt_str(rest, "--executor") {
+        cfg.exec.executor = e.trim().parse::<flowery::backend::ExecMode>()?;
+    }
     Ok(cfg)
 }
 
@@ -418,7 +432,9 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         (None, false) => None,
         (Some(p), true) => {
             let (header, batches) = load_checkpoint(p)?;
-            if header != cfg.header() {
+            // `same_schedule` ignores the executor: engines are
+            // bit-identical, so mixed-executor resumes are sound.
+            if !header.same_schedule(&cfg.header()) {
                 return Err(format!("{}: checkpoint was written with different campaign parameters", p.display()));
             }
             eprintln!("[harness] resuming: {} batches from {}", batches.len(), p.display());
@@ -527,6 +543,9 @@ fn cmd_explore(rest: &[String]) -> Result<(), String> {
     if opt_str(rest, "--levels").is_some() {
         spec.levels = parse_levels(rest)?;
     }
+    if let Some(e) = opt_str(rest, "--executor") {
+        spec.exec.executor = e.trim().parse::<flowery::backend::ExecMode>()?;
+    }
 
     eprintln!(
         "[explore] {} bench(es) x {} model(s) x {} detector set(s), {} trials each",
@@ -601,12 +620,16 @@ fn cmd_work(rest: &[String]) -> Result<(), String> {
     use flowery::dist::{work, WorkerConfig};
 
     let connect = opt_str(rest, "--connect").ok_or("work needs --connect HOST:PORT")?;
+    let executor = opt_str(rest, "--executor")
+        .map(|e| e.trim().parse::<flowery::backend::ExecMode>())
+        .transpose()?;
     let summary = work(WorkerConfig {
         connect: connect.into(),
         threads: opt_u64(rest, "--threads", 0) as usize,
         max_reconnects: opt_u64(rest, "--max-reconnects", 5) as u32,
         backoff_ms: opt_u64(rest, "--backoff-ms", 500),
         verbose: true,
+        executor,
         die_after_batches: None,
     })?;
     eprintln!("[work] done: {} batches, {} reconnects", summary.batches, summary.reconnects);

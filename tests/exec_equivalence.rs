@@ -1,0 +1,180 @@
+//! Differential tests for the machine-layer execution engines: the
+//! threaded-code executor (`compiled`) must be **bit-identical** to the
+//! decode-and-dispatch interpreter (`interp`) on every observable stream —
+//! status, output, dynamic-instruction/fault-site/cycle counts, injection
+//! attribution, and snapshot capture/fast-forward — for every fault model.
+//!
+//! Two angles:
+//! * a property test over random MiniC programs with faults sampled across
+//!   effects (bit flips, bursts, flags, memory cells, control-flow edges);
+//! * an exhaustive sweep of all 16 workloads x {raw, ID, Flowery} x all
+//!   six registered fault models, with snapshots off and on (including a
+//!   snapshot set captured by one engine fast-forwarding the other).
+
+mod common;
+
+use flowery_backend::{compile_module, AsmFaultSpec, BackendConfig, ExecMode, Machine};
+use flowery_faultmodel::ModelSpec;
+use flowery_inject::AsmTrialRunner;
+use flowery_ir::interp::{ExecConfig, FaultEffect};
+use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
+use flowery_workloads::{workload, Scale, NAMES};
+use proptest::prelude::*;
+
+fn exec_with(mode: ExecMode) -> ExecConfig {
+    ExecConfig { executor: mode, ..ExecConfig::default() }
+}
+
+/// Assert two [`flowery_backend::MachResult`]s are bit-identical.
+macro_rules! assert_same_result {
+    ($a:expr, $b:expr, $($ctx:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        assert_eq!(a.status, b.status, $($ctx)*);
+        assert_eq!(a.output, b.output, $($ctx)*);
+        assert_eq!(a.dyn_insts, b.dyn_insts, $($ctx)*);
+        assert_eq!(a.fault_sites, b.fault_sites, $($ctx)*);
+        assert_eq!(a.cycles, b.cycles, $($ctx)*);
+        assert_eq!(a.injected_inst, b.injected_inst, $($ctx)*);
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 50, ..ProptestConfig::default() })]
+
+    /// Random programs, faults sampled across the dynamic range and across
+    /// every [`FaultEffect`]: the two engines must agree on golden runs,
+    /// faulted runs, snapshot goldens, and fast-forwarded trials.
+    #[test]
+    fn engines_agree_on_random_programs(
+        (src, faults, interval) in (
+            common::program_strategy(),
+            prop::collection::vec((0.0f64..1.0, 0u8..64, 0u8..6), 6..12),
+            64u64..512,
+        )
+    ) {
+        let m = flowery_lang::compile("gen", &src)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{src}"));
+        let prog = compile_module(&m, &BackendConfig::default());
+        let mach = Machine::new(&m, &prog);
+
+        let ei = exec_with(ExecMode::Interp);
+        let ec = exec_with(ExecMode::Compiled);
+        let gi = mach.run(&ei, None);
+        let gc = mach.run(&ec, None);
+        prop_assert!(gi.status.is_completed(), "golden must complete: {:?}", gi.status);
+        assert_same_result!(gi, gc, "golden run\n{}", &src);
+        if gi.fault_sites == 0 {
+            return Ok(());
+        }
+
+        // Tight budget so livelocked trials run it out under BOTH engines.
+        let ei = ExecConfig { max_dyn_insts: gi.dyn_insts * 2 + 10_000, ..ei };
+        let ec = ExecConfig { max_dyn_insts: gi.dyn_insts * 2 + 10_000, ..ec };
+        for &(frac, bit, kind) in &faults {
+            let site = ((frac * gi.fault_sites as f64) as u64).min(gi.fault_sites - 1);
+            let effect = match kind {
+                0 => FaultEffect::Bits,
+                1 => FaultEffect::Burst { width: 2 + bit % 7 },
+                2 => FaultEffect::Flags,
+                3 => FaultEffect::Mem { offset: bit as u64 * 131 },
+                4 => FaultEffect::Jump { target: bit as u64 * 17 },
+                _ => FaultEffect::Bits,
+            };
+            let mut spec = AsmFaultSpec::with_effect(site, bit as u32, effect);
+            if kind == 5 {
+                spec = AsmFaultSpec::double(site, bit as u32, (bit as u32 + 13) % 64);
+            }
+            let ri = mach.run(&ei, Some(spec));
+            let rc = mach.run(&ec, Some(spec));
+            assert_same_result!(ri, rc, "fault {spec:?}\n{}", &src);
+        }
+
+        // Snapshot capture under each engine yields interchangeable sets;
+        // fast-forward through either set matches scratch execution.
+        let si = mach.capture_snapshots(&ei, interval);
+        let sc = mach.capture_snapshots(&ec, interval);
+        assert_same_result!(si.golden(), sc.golden(), "snapshot golden\n{}", &src);
+        let mut scratch = flowery_backend::AsmScratch::new();
+        for &(frac, bit, _) in faults.iter().take(3) {
+            let site = ((frac * gi.fault_sites as f64) as u64).min(gi.fault_sites - 1);
+            let spec = AsmFaultSpec::single(site, bit as u32);
+            let plain = mach.run(&ec, Some(spec));
+            // Cross pair: interp-captured set driving the compiled engine,
+            // and vice versa.
+            let (a, _) = mach.run_fast_forward(&ec, spec, &si, &mut scratch);
+            assert_same_result!(a, plain, "compiled ff through interp set @ site {site}\n{}", &src);
+            scratch.recycle_output(a.output);
+            let (b, _) = mach.run_fast_forward(&ei, spec, &sc, &mut scratch);
+            assert_same_result!(b, plain, "interp ff through compiled set @ site {site}\n{}", &src);
+            scratch.recycle_output(b.output);
+        }
+    }
+}
+
+/// Every fault model the build registers, including one parameterized
+/// burst width.
+fn all_models() -> [ModelSpec; 6] {
+    [
+        ModelSpec::SingleBitReg,
+        ModelSpec::DoubleBitReg,
+        ModelSpec::MultiBit(4),
+        ModelSpec::FlagsPc,
+        ModelSpec::MemCell,
+        ModelSpec::ControlFlow,
+    ]
+}
+
+/// All 16 workloads x {raw, ID, Flowery} x all six fault models, with
+/// snapshots off and on. The snapshot set is captured once under the
+/// compiled engine and shared with the interp runner, so a set produced by
+/// one engine must fast-forward the other bit-identically.
+#[test]
+fn engines_agree_on_all_workloads_and_models() {
+    const TRIALS: u64 = 4;
+    const SEED: u64 = 0x00C0_FFEE;
+    for name in NAMES {
+        let raw = workload(name, Scale::Tiny).compile();
+        for variant in ["raw", "id", "flowery"] {
+            let mut m = raw.clone();
+            if variant != "raw" {
+                let plan = ProtectionPlan::full(&m);
+                duplicate_module(&mut m, &plan, &DupConfig::default());
+            }
+            if variant == "flowery" {
+                apply_flowery(&mut m, &FloweryConfig::default());
+            }
+            let prog = compile_module(&m, &BackendConfig::default());
+
+            let ei = exec_with(ExecMode::Interp);
+            let ec = exec_with(ExecMode::Compiled);
+            let mut interp_plain = AsmTrialRunner::new(&m, &prog, &ei);
+            let mut comp_plain = AsmTrialRunner::new(&m, &prog, &ec);
+            let mut comp_snap = AsmTrialRunner::new(&m, &prog, &ec);
+            comp_snap.enable_snapshots();
+            let mut interp_snap = AsmTrialRunner::new(&m, &prog, &ei);
+            interp_snap.attach_snapshots(comp_snap.snapshots().expect("snapshots enabled"));
+
+            for model in all_models() {
+                for t in 0..TRIALS {
+                    let a = interp_plain.run_trial_model(SEED, t, model, &[]);
+                    let b = comp_plain.run_trial_model(SEED, t, model, &[]);
+                    let c = comp_snap.run_trial_model(SEED, t, model, &[]);
+                    let d = interp_snap.run_trial_model(SEED, t, model, &[]);
+                    let ctx = format!("{name}/{variant} {model:?} trial {t}");
+                    assert_eq!(a.outcome, b.outcome, "{ctx}");
+                    assert_eq!(a.injected_inst, b.injected_inst, "{ctx}");
+                    assert_eq!(a.ff_insts + a.exec_insts, b.ff_insts + b.exec_insts, "{ctx}");
+                    assert_eq!(a.outcome, c.outcome, "{ctx} (compiled+snapshots)");
+                    assert_eq!(a.injected_inst, c.injected_inst, "{ctx} (compiled+snapshots)");
+                    assert_eq!(a.ff_insts + a.exec_insts, c.ff_insts + c.exec_insts, "{ctx} (compiled+snapshots)");
+                    assert_eq!(a.outcome, d.outcome, "{ctx} (interp through compiled set)");
+                    assert_eq!(a.injected_inst, d.injected_inst, "{ctx} (interp through compiled set)");
+                    assert_eq!(
+                        c.ff_insts, d.ff_insts,
+                        "{ctx} (both snapshot runners share one set, so they skip identically)"
+                    );
+                }
+            }
+        }
+    }
+}
