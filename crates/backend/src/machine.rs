@@ -38,12 +38,26 @@ pub struct AsmFaultSpec {
     /// models (burst, flags, memory cell, control-flow edge).
     #[serde(default)]
     pub effect: FaultEffect,
+    /// Region-scoped injection: when set, `site_index` counts only fault
+    /// sites whose program index lies in `[lo, hi)` (one `AsmFunc`'s
+    /// range), instead of all sites. Used by the incremental engine to
+    /// re-sample one region directly. Scoped trials always start from
+    /// scratch (snapshot restore points are keyed by the global site
+    /// counter) and run on the reference interpreter engine.
+    #[serde(default)]
+    pub scope: Option<(u32, u32)>,
 }
 
 impl AsmFaultSpec {
     /// The standard single-bit fault.
     pub fn single(site_index: u64, bit: u32) -> AsmFaultSpec {
-        AsmFaultSpec { site_index, bit, second_bit: None, effect: FaultEffect::Bits }
+        AsmFaultSpec {
+            site_index,
+            bit,
+            second_bit: None,
+            effect: FaultEffect::Bits,
+            scope: None,
+        }
     }
 
     /// A double-bit fault in the same destination.
@@ -53,12 +67,19 @@ impl AsmFaultSpec {
             bit,
             second_bit: Some(second),
             effect: FaultEffect::Bits,
+            scope: None,
         }
     }
 
     /// A fault with an explicit effect.
     pub fn with_effect(site_index: u64, bit: u32, effect: FaultEffect) -> AsmFaultSpec {
-        AsmFaultSpec { site_index, bit, second_bit: None, effect }
+        AsmFaultSpec { site_index, bit, second_bit: None, effect, scope: None }
+    }
+
+    /// The same fault, restricted to sites in the program range `[lo, hi)`.
+    pub fn scoped(mut self, lo: u32, hi: u32) -> AsmFaultSpec {
+        self.scope = Some((lo, hi));
+        self
     }
 }
 
@@ -322,7 +343,14 @@ impl<'p> Machine<'p> {
         output.clear();
         // A profiled trial can only restore a snapshot that carries the
         // profile accumulator; otherwise it falls back to a scratch start.
-        let (st, ip) = match set.nearest(fault.site_index) {
+        // Scoped faults index a region-local site counter that snapshots
+        // (keyed by the global counter) cannot seed: always start scratch.
+        let snap = if fault.scope.is_none() {
+            set.nearest(fault.site_index)
+        } else {
+            None
+        };
+        let (st, ip) = match snap {
             Some(snap) if !config.profile || snap.profile.is_some() => {
                 mem.reset_to(&set.base, &snap.pages);
                 output.extend_from_slice(&set.golden.output[..snap.output_len]);
@@ -388,6 +416,12 @@ impl<'p> Machine<'p> {
         ip: u32,
         recorder: Option<&mut AsmSnapshotRecorder>,
     ) -> (MachResult, Memory) {
+        // Scoped faults count a region-local site index, which only the
+        // reference interpreter implements — region bookkeeping is not a
+        // hot-path concern, so the threaded-code engine stays oblivious.
+        if fault.is_some_and(|f| f.scope.is_some()) {
+            return self.exec_interp(config, fault, st, ip, recorder);
+        }
         crate::exec::executor_for(config.executor).exec(crate::exec::TrialRun {
             machine: self,
             config,
@@ -409,6 +443,9 @@ impl<'p> Machine<'p> {
         mut recorder: Option<&mut AsmSnapshotRecorder>,
     ) -> (MachResult, Memory) {
         let insts = &self.program.insts;
+        // Region-local site counter for scoped faults (see
+        // [`AsmFaultSpec::scope`]).
+        let mut scope_sites: u64 = 0;
 
         let status = 'exec: loop {
             // ---- snapshot hook: `st.dyn_insts` executed, `ip` next -------
@@ -444,7 +481,12 @@ impl<'p> Machine<'p> {
             st.cycles += inst.kind.cycles();
 
             let is_site = inst.kind.is_fault_site();
-            let inject_now = is_site && fault.is_some_and(|f| st.fault_sites == f.site_index);
+            let in_scope = fault.and_then(|f| f.scope).is_some_and(|(lo, hi)| (lo..hi).contains(&ip));
+            let inject_now = is_site
+                && fault.is_some_and(|f| match f.scope {
+                    None => st.fault_sites == f.site_index,
+                    Some(_) => in_scope && scope_sites == f.site_index,
+                });
 
             match self.step(&mut st, inst, &mut ip, config) {
                 Ok(()) => {}
@@ -464,6 +506,9 @@ impl<'p> Machine<'p> {
                     }
                 }
                 st.fault_sites += 1;
+                if in_scope {
+                    scope_sites += 1;
+                }
             }
 
             if st.output.len() > config.max_output {

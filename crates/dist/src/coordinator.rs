@@ -26,12 +26,13 @@
 //! `--resume` reads.
 
 use crate::lease::LeaseTable;
-use crate::protocol::{ClientMsg, PlanSpec, ServerMsg, PROTO_VERSION};
+use crate::protocol::{ClientMsg, PlanSpec, ScopeSpec, ServerMsg, PROTO_VERSION};
 use crate::{framing, FrameError};
-use flowery_harness::checkpoint::{compact, load as load_checkpoint, CheckpointLog, Header};
+use flowery_harness::checkpoint::{compact, load as load_checkpoint, write_canonical_full, CheckpointLog, Header};
 use flowery_harness::{
-    build_matrix, matrix_fingerprint, run_units, BatchOutcome, BatchRecord, CampaignReport, DistStats, GoldenCache,
-    HarnessConfig, RunOptions, TrialUnit, UnitKey, UnitProgress, WorkerStats,
+    build_matrix, compose_units, fold_task_result, matrix_fingerprint, plan_diff, region_fingerprint, run_units,
+    Baseline, BatchOutcome, BatchRecord, CampaignReport, DiffReport, DiffTask, DiffUnitReport, DistStats, GoldenCache,
+    HarnessConfig, Metrics, RegionTaskResult, RunOptions, TrialUnit, UnitKey, UnitProgress, WorkerStats,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -63,6 +64,12 @@ pub struct CoordinatorConfig {
     pub threads: usize,
     /// Print live progress to stderr.
     pub verbose: bool,
+    /// Incremental mode: a baseline checkpoint to diff against. Workers
+    /// then lease region-scoped batches for changed regions only, and the
+    /// coordinator writes the *composed* region checkpoint at the end
+    /// (next diff's baseline) instead of a batch log. Run such a
+    /// coordinator with [`serve_diff`], not [`serve`].
+    pub baseline: Option<PathBuf>,
 }
 
 impl Default for CoordinatorConfig {
@@ -76,6 +83,7 @@ impl Default for CoordinatorConfig {
             drain_grace_ms: 30_000,
             threads: 0,
             verbose: false,
+            baseline: None,
         }
     }
 }
@@ -90,6 +98,32 @@ pub struct DistReport {
     pub interrupted: bool,
 }
 
+/// What a diff-mode run hands back: the composed incremental report plus
+/// the distribution-side counters.
+pub struct DistDiffReport {
+    pub report: DiffReport,
+    pub stats: DistStats,
+    /// True when the run drained early; incomplete region profiles were
+    /// still composed, but no composed checkpoint was written.
+    pub interrupted: bool,
+}
+
+/// Diff-mode coordinator state: the plan from [`plan_diff`] plus the
+/// fragments workers have reported so far. Fragments are folded in batch
+/// order at finalize, so the composed result is bit-identical to a local
+/// `flowery diff` of the same plan regardless of worker count or arrival
+/// order.
+struct DiffState {
+    reports: Vec<DiffUnitReport>,
+    tasks: Vec<DiffTask>,
+    /// Wire form of each task, indexed like `tasks`.
+    specs: Vec<ScopeSpec>,
+    batches_per_task: Vec<u64>,
+    /// Per task: batch index → that slice's result.
+    frags: Vec<HashMap<u64, RegionTaskResult>>,
+    region_fp: u64,
+}
+
 struct CoordState {
     progress: Vec<UnitProgress>,
     leases: LeaseTable,
@@ -100,11 +134,16 @@ struct CoordState {
     shutting_down: bool,
     finalized: bool,
     error: Option<String>,
+    /// `Some` switches the coordinator to incremental (diff) mode.
+    diff: Option<DiffState>,
 }
 
 impl CoordState {
     fn all_decided(&self) -> bool {
-        self.progress.iter().all(|p| p.decided().is_some())
+        match &self.diff {
+            Some(d) => (0..d.tasks.len()).all(|ti| d.frags[ti].len() as u64 >= d.batches_per_task[ti]),
+            None => self.progress.iter().all(|p| p.decided().is_some()),
+        }
     }
 
     fn live_workers(&self) -> u64 {
@@ -165,13 +204,51 @@ impl Coordinator {
         let mut progress: Vec<UnitProgress> = units.iter().map(|_| UnitProgress::new(max_batches)).collect();
         let key_index: HashMap<UnitKey, usize> = units.iter().enumerate().map(|(i, u)| (u.key.clone(), i)).collect();
 
-        // Resume: preload the existing log; otherwise start fresh.
-        let log = if ccfg.resume && ccfg.checkpoint.exists() {
+        // Incremental mode: plan the diff up front. Workers never see the
+        // baseline — only the per-region scope specs derived from it.
+        let diff = match &ccfg.baseline {
+            Some(base) => {
+                if ccfg.resume {
+                    return Err("--resume is not supported for an incremental (diff) serve".into());
+                }
+                let baseline = Baseline::load(base, &header)?;
+                if baseline.pre_region && ccfg.verbose {
+                    eprintln!("  [serve] baseline {} predates region records; every region runs fresh", base.display());
+                }
+                let cache = GoldenCache::new();
+                let (reports, tasks) = plan_diff(&units, &hcfg, &cache, &baseline, &HashMap::new());
+                let specs: Vec<ScopeSpec> = tasks
+                    .iter()
+                    .map(|t| ScopeSpec {
+                        unit: units[t.unit_index].key.clone(),
+                        region: t.region.clone(),
+                        trials: t.trials,
+                        seed: t.seed,
+                        mass: t.mass,
+                    })
+                    .collect();
+                let batches_per_task: Vec<u64> = tasks.iter().map(|t| t.trials.div_ceil(hcfg.batch_size)).collect();
+                let frags = tasks.iter().map(|_| HashMap::new()).collect();
+                let region_fp = region_fingerprint(&units, &cache, &hcfg);
+                Some(DiffState { reports, tasks, specs, batches_per_task, frags, region_fp })
+            }
+            None => None,
+        };
+
+        // Resume: preload the existing log; otherwise start fresh. Diff
+        // mode keeps no batch log — the composed region checkpoint is
+        // written whole at finalize.
+        let log = if diff.is_some() {
+            None
+        } else if ccfg.resume && ccfg.checkpoint.exists() {
             let (h, records) = load_checkpoint(&ccfg.checkpoint)?;
             // Executor differences are provenance, not schedule: engines
             // are bit-identical, so mixed-executor resumes are sound.
-            if !h.same_schedule(&header) {
-                return Err(format!("{}: checkpoint schedule differs from this campaign", ccfg.checkpoint.display()));
+            if let Some(why) = h.describe_mismatch(&header) {
+                return Err(format!(
+                    "{}: checkpoint was written with different campaign parameters — {why}",
+                    ccfg.checkpoint.display()
+                ));
             }
             for rec in &records {
                 let Some(&ui) = key_index.get(&rec.unit) else { continue };
@@ -180,9 +257,9 @@ impl Coordinator {
                 }
                 progress[ui].insert(rec.batch, BatchOutcome::from_record(rec), &header);
             }
-            CheckpointLog::append_to(&ccfg.checkpoint)?
+            Some(CheckpointLog::append_to(&ccfg.checkpoint)?)
         } else {
-            CheckpointLog::create(&ccfg.checkpoint, &header)?
+            Some(CheckpointLog::create(&ccfg.checkpoint, &header)?)
         };
 
         let listener = TcpListener::bind(&ccfg.addr).map_err(|e| format!("bind {}: {e}", ccfg.addr))?;
@@ -190,16 +267,21 @@ impl Coordinator {
             .set_nonblocking(true)
             .map_err(|e| format!("listener nonblocking: {e}"))?;
 
+        let leases = match &diff {
+            Some(d) => LeaseTable::with_limits(d.batches_per_task.clone()),
+            None => LeaseTable::new(units.len(), max_batches),
+        };
         let state = CoordState {
             progress,
-            leases: LeaseTable::new(units.len(), max_batches),
+            leases,
             workers: HashMap::new(),
             next_worker_id: 1,
-            log: Some(log),
+            log,
             batches_merged: 0,
             shutting_down: false,
             finalized: false,
             error: None,
+            diff,
         };
         let ctx = Arc::new(Ctx {
             units,
@@ -224,6 +306,26 @@ impl Coordinator {
     /// requested shutdown). Returns the same deterministic report a local
     /// run of the plan produces.
     pub fn run(self) -> Result<DistReport, String> {
+        if self.ctx.state.lock().unwrap().diff.is_some() {
+            return Err("coordinator was bound with a baseline; use run_diff / serve_diff".into());
+        }
+        let (ctx, interrupted) = self.run_loop()?;
+        finalize(&ctx, interrupted)
+    }
+
+    /// Diff-mode counterpart of [`run`](Coordinator::run): drain the
+    /// scoped schedule, fold worker fragments in batch order, compose, and
+    /// write the composed region checkpoint. Bit-identical to a local
+    /// `flowery diff` of the same plan and baseline.
+    pub fn run_diff(self) -> Result<DistDiffReport, String> {
+        if self.ctx.state.lock().unwrap().diff.is_none() {
+            return Err("coordinator has no baseline; use run / serve".into());
+        }
+        let (ctx, interrupted) = self.run_loop()?;
+        finalize_diff(&ctx, interrupted)
+    }
+
+    fn run_loop(self) -> Result<(Arc<Ctx>, bool), String> {
         let ctx = self.ctx;
         let mut handlers = Vec::new();
         let mut last_render = Instant::now();
@@ -264,7 +366,7 @@ impl Coordinator {
         for h in handlers {
             let _ = h.join();
         }
-        finalize(&ctx, interrupted)
+        Ok((ctx, interrupted))
     }
 }
 
@@ -302,6 +404,42 @@ fn finalize(ctx: &Ctx, interrupted: bool) -> Result<DistReport, String> {
         RunOptions { preloaded: records, replay_only: true, ..Default::default() },
     );
     Ok(DistReport { report, stats, interrupted })
+}
+
+/// Diff-mode finalize: fold every task's fragments in batch-index order
+/// (the same order a local run executes them), compose the per-unit
+/// reports, and — on a clean completion — write the composed region
+/// checkpoint, the next diff's baseline.
+fn finalize_diff(ctx: &Ctx, interrupted: bool) -> Result<DistDiffReport, String> {
+    let (stats, diff) = {
+        let mut st = ctx.state.lock().unwrap();
+        st.finalized = true;
+        (st.dist_stats(), st.diff.take())
+    };
+    let mut d = diff.ok_or("coordinator is not in diff mode")?;
+    let metrics = Metrics::with_mode(ctx.hcfg.exec.executor);
+    for rep in &d.reports {
+        let (reused, rerun, _) = rep.fate_counts();
+        metrics.record_region_plan(rep.regions.len() as u64, reused, rerun, rep.trials_saved);
+    }
+    for (ti, task) in d.tasks.iter().enumerate() {
+        let mut batches: Vec<u64> = d.frags[ti].keys().copied().collect();
+        batches.sort_unstable();
+        for b in batches {
+            let r = &d.frags[ti][&b];
+            let compiled = ctx.units[task.unit_index].key.layer == flowery_harness::Layer::Asm
+                && ctx.hcfg.exec.executor == flowery_backend::ExecMode::Compiled;
+            metrics.record_batch(&r.counts, false, r.ff_insts, r.exec_insts, compiled);
+            fold_task_result(&mut d.reports[task.unit_index].regions[task.region_index].profile, r);
+        }
+    }
+    compose_units(&mut d.reports);
+    let metrics = metrics.snapshot(ctx.units.len(), 0, GoldenCache::new().stats());
+    let report = DiffReport { units: d.reports, metrics };
+    if !interrupted {
+        write_canonical_full(&ctx.ccfg.checkpoint, &ctx.header, &[], &report.records())?;
+    }
+    Ok(DistDiffReport { report, stats, interrupted })
 }
 
 /// Per-connection protocol loop. Any read failure releases the worker's
@@ -374,21 +512,44 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                     } else if st.all_decided() {
                         ServerMsg::Shutdown { reason: "campaign complete".into() }
                     } else {
-                        let CoordState { leases, progress, .. } = &mut *st;
-                        let grant = leases.claim(
-                            id,
-                            ctx.now_ms(),
-                            ctx.lease_ttl_ms(),
-                            ctx.ccfg.lease_batches,
-                            |ui| progress[ui].decided().is_some(),
-                            |ui, b| progress[ui].has_batch(b),
-                        );
-                        match grant.first() {
-                            Some(&(ui, _)) => ServerMsg::Lease {
-                                unit: ctx.units[ui].key.clone(),
-                                batches: grant.iter().map(|&(_, b)| b).collect(),
-                            },
-                            None => ServerMsg::Wait { ms: 200 },
+                        let CoordState { leases, progress, diff, .. } = &mut *st;
+                        match diff {
+                            Some(d) => {
+                                let grant = leases.claim(
+                                    id,
+                                    ctx.now_ms(),
+                                    ctx.lease_ttl_ms(),
+                                    ctx.ccfg.lease_batches,
+                                    |ti| d.frags[ti].len() as u64 >= d.batches_per_task[ti],
+                                    |ti, b| d.frags[ti].contains_key(&b),
+                                );
+                                match grant.first() {
+                                    Some(&(ti, _)) => ServerMsg::ScopedLease {
+                                        scope: ti as u32,
+                                        spec: d.specs[ti].clone(),
+                                        batches: grant.iter().map(|&(_, b)| b).collect(),
+                                        region_fingerprint: d.region_fp,
+                                    },
+                                    None => ServerMsg::Wait { ms: 200 },
+                                }
+                            }
+                            None => {
+                                let grant = leases.claim(
+                                    id,
+                                    ctx.now_ms(),
+                                    ctx.lease_ttl_ms(),
+                                    ctx.ccfg.lease_batches,
+                                    |ui| progress[ui].decided().is_some(),
+                                    |ui, b| progress[ui].has_batch(b),
+                                );
+                                match grant.first() {
+                                    Some(&(ui, _)) => ServerMsg::Lease {
+                                        unit: ctx.units[ui].key.clone(),
+                                        batches: grant.iter().map(|&(_, b)| b).collect(),
+                                    },
+                                    None => ServerMsg::Wait { ms: 200 },
+                                }
+                            }
                         }
                     }
                 };
@@ -402,6 +563,15 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
                     break Ok("result before hello");
                 };
                 if let Err(e) = merge_result(ctx, id, record, ff_insts, exec_insts) {
+                    ctx.state.lock().unwrap().error.get_or_insert(e);
+                    break Ok("merge conflict");
+                }
+            }
+            ClientMsg::ScopedCompleted { scope, record, ff_insts, exec_insts } => {
+                let Some(id) = worker_id else {
+                    break Ok("result before hello");
+                };
+                if let Err(e) = merge_scoped(ctx, id, scope, record, ff_insts, exec_insts) {
                     ctx.state.lock().unwrap().error.get_or_insert(e);
                     break Ok("merge conflict");
                 }
@@ -432,6 +602,9 @@ fn merge_result(ctx: &Ctx, worker: u64, record: BatchRecord, ff_insts: u64, exec
     let mut st = ctx.state.lock().unwrap();
     if st.finalized {
         return Ok(());
+    }
+    if st.diff.is_some() {
+        return Err(format!("worker {worker} sent an unscoped result to an incremental (diff) coordinator"));
     }
     let Some(&ui) = ctx.key_index.get(&record.unit) else {
         return Err(format!("worker {worker} reported unknown unit {}", record.unit));
@@ -474,6 +647,75 @@ fn merge_result(ctx: &Ctx, worker: u64, record: BatchRecord, ff_insts: u64, exec
     Ok(())
 }
 
+/// Idempotent merge of one remotely executed *scoped* batch: the fragment
+/// is parked under its (task, batch) slot; folding into region profiles
+/// happens at finalize, in batch order, so arrival order never matters.
+fn merge_scoped(
+    ctx: &Ctx,
+    worker: u64,
+    scope: u32,
+    record: BatchRecord,
+    ff_insts: u64,
+    exec_insts: u64,
+) -> Result<(), String> {
+    let mut st = ctx.state.lock().unwrap();
+    if st.finalized {
+        return Ok(());
+    }
+    let CoordState { diff, leases, workers, batches_merged, .. } = &mut *st;
+    let Some(d) = diff else {
+        return Err(format!("worker {worker} sent a scoped result to a non-diff coordinator"));
+    };
+    let ti = scope as usize;
+    let Some(spec) = d.specs.get(ti) else {
+        return Err(format!("worker {worker} reported unknown scope {scope}"));
+    };
+    if record.unit != spec.unit {
+        return Err(format!(
+            "worker {worker} reported scope {scope} under unit {} (scope belongs to {})",
+            record.unit, spec.unit
+        ));
+    }
+    if record.batch >= d.batches_per_task[ti] {
+        return Err(format!(
+            "worker {worker} reported out-of-schedule batch {} of scope {scope} (`{}` of {})",
+            record.batch, spec.region, spec.unit
+        ));
+    }
+    if record.fault_model != ctx.header.fault_model {
+        return Err(format!(
+            "worker {worker} reported batch {} of scope {scope} under model `{}` (schedule runs `{}`)",
+            record.batch, record.fault_model, ctx.header.fault_model
+        ));
+    }
+    let batch = record.batch;
+    let frag = RegionTaskResult {
+        counts: record.counts,
+        sdc_by_inst: record.sdc_by_inst,
+        sdc_insts: record.sdc_insts,
+        ff_insts,
+        exec_insts,
+    };
+    leases.complete((ti, batch), worker);
+    if let Some(existing) = d.frags[ti].get(&batch) {
+        if *existing != frag {
+            return Err(format!(
+                "conflicting duplicate for batch {batch} of scope {scope} (`{}` of {})",
+                spec.region, spec.unit
+            ));
+        }
+        return Ok(()); // idempotent: a requeued batch re-ran identically
+    }
+    d.frags[ti].insert(batch, frag);
+    *batches_merged += 1;
+    if let Some(w) = workers.get_mut(&worker) {
+        w.batches += 1;
+        w.ff_insts += ff_insts;
+        w.exec_insts += exec_insts;
+    }
+    Ok(())
+}
+
 /// Convenience wrapper: bind and run in one call (the `flowery serve`
 /// entry point).
 pub fn serve(plan: PlanSpec, hcfg: HarnessConfig, ccfg: CoordinatorConfig) -> Result<DistReport, String> {
@@ -481,4 +723,16 @@ pub fn serve(plan: PlanSpec, hcfg: HarnessConfig, ccfg: CoordinatorConfig) -> Re
     let mut out = std::io::stderr();
     let _ = writeln!(out, "  [serve] listening on {}", coord.local_addr()?);
     coord.run()
+}
+
+/// Bind and run an incremental (diff) coordinator in one call (the
+/// `flowery serve --baseline` entry point). `ccfg.baseline` must be set.
+pub fn serve_diff(plan: PlanSpec, hcfg: HarnessConfig, ccfg: CoordinatorConfig) -> Result<DistDiffReport, String> {
+    if ccfg.baseline.is_none() {
+        return Err("serve_diff needs a baseline checkpoint".into());
+    }
+    let coord = Coordinator::bind(plan, hcfg, ccfg)?;
+    let mut out = std::io::stderr();
+    let _ = writeln!(out, "  [serve] listening on {} (incremental)", coord.local_addr()?);
+    coord.run_diff()
 }

@@ -26,7 +26,10 @@ struct Holder {
 /// backlog, and which workers have completed batches of which units
 /// (unit affinity).
 pub struct LeaseTable {
-    max_batches: u64,
+    /// Per-item batch count: item `i` schedules batches `0..limits[i]`.
+    /// Uniform for campaign units; per-task for scoped diff work, where
+    /// each changed region gets its own trial budget.
+    limits: Vec<u64>,
     cursors: Vec<u64>,
     outstanding: HashMap<LeaseKey, Holder>,
     requeued: VecDeque<LeaseKey>,
@@ -40,9 +43,15 @@ pub struct LeaseTable {
 
 impl LeaseTable {
     pub fn new(n_units: usize, max_batches: u64) -> LeaseTable {
+        LeaseTable::with_limits(vec![max_batches; n_units])
+    }
+
+    /// A table whose items have individual batch counts (scoped diff
+    /// tasks: one item per changed region, sized by its trial budget).
+    pub fn with_limits(limits: Vec<u64>) -> LeaseTable {
         LeaseTable {
-            max_batches,
-            cursors: vec![0; n_units],
+            cursors: vec![0; limits.len()],
+            limits,
             outstanding: HashMap::new(),
             requeued: VecDeque::new(),
             requeue_count: 0,
@@ -101,7 +110,7 @@ impl LeaseTable {
                 }
                 while grant.len() < max {
                     let b = self.cursors[ui];
-                    if b >= self.max_batches {
+                    if b >= self.limits[ui] {
                         if grant.is_empty() {
                             continue 'units;
                         }
@@ -216,11 +225,7 @@ impl LeaseTable {
     pub fn drained(&self, done: impl Fn(usize) -> bool) -> bool {
         self.outstanding.is_empty()
             && self.requeued.is_empty()
-            && self
-                .cursors
-                .iter()
-                .enumerate()
-                .all(|(ui, &c)| done(ui) || c >= self.max_batches)
+            && self.cursors.iter().enumerate().all(|(ui, &c)| done(ui) || c >= self.limits[ui])
     }
 }
 
@@ -240,6 +245,19 @@ mod tests {
         let g = t.claim(2, 0, 1000, 3, NEVER_DONE, have);
         assert_eq!(g, vec![(1, 0), (1, 1), (1, 2)], "next worker moves to the next unit");
         assert_eq!(t.outstanding(), 6);
+    }
+
+    #[test]
+    fn per_item_limits_bound_each_cursor() {
+        let mut t = LeaseTable::with_limits(vec![1, 3]);
+        let g = t.claim(1, 0, 1000, 4, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(0, 0)], "item 0 offers exactly its one batch");
+        let g = t.claim(2, 0, 1000, 4, NEVER_DONE, HAVE_NONE);
+        assert_eq!(g, vec![(1, 0), (1, 1), (1, 2)], "item 1 offers three");
+        for (k, w) in [((0, 0), 1u64), ((1, 0), 2), ((1, 1), 2), ((1, 2), 2)] {
+            t.complete(k, w);
+        }
+        assert!(t.drained(NEVER_DONE));
     }
 
     #[test]

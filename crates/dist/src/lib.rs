@@ -22,8 +22,8 @@ pub mod lease;
 pub mod protocol;
 pub mod worker;
 
-pub use coordinator::{serve, Coordinator, CoordinatorConfig, DistReport};
+pub use coordinator::{serve, serve_diff, Coordinator, CoordinatorConfig, DistDiffReport, DistReport};
 pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME};
 pub use lease::{LeaseKey, LeaseTable};
-pub use protocol::{ClientMsg, PlanSpec, ServerMsg, PROTO_VERSION};
+pub use protocol::{ClientMsg, PlanSpec, ScopeSpec, ServerMsg, PROTO_VERSION};
 pub use worker::{work, WorkerConfig, WorkerSummary};

@@ -20,7 +20,12 @@ use flowery_workloads::Scale;
 use serde::{Deserialize, Serialize};
 
 /// Protocol revision; bumped on any wire-incompatible change.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2 added scoped (region-level) leases for incremental `flowery diff`
+/// campaigns: [`ServerMsg::ScopedLease`] / [`ClientMsg::ScopedCompleted`]
+/// and out-of-tree plan sources. A v1 worker would silently run scoped
+/// work unscoped, so the versions refuse to pair.
+pub const PROTO_VERSION: u32 = 2;
 
 /// A wire-portable experiment plan. Floats are avoided (levels travel in
 /// permille) and the backend configuration is pinned to the default on
@@ -37,6 +42,10 @@ pub struct PlanSpec {
     /// protection (levels below 1000).
     pub profile_trials: u64,
     pub profile_seed: u64,
+    /// Out-of-tree programs as `(name, MiniC source)`; both sides compile
+    /// them exactly like workloads (see [`MatrixSpec::sources`]).
+    #[serde(default)]
+    pub sources: Vec<(String, String)>,
 }
 
 impl PlanSpec {
@@ -51,6 +60,7 @@ impl PlanSpec {
             levels_permille: spec.levels.iter().map(|&l| (l * 1000.0).round() as u32).collect(),
             profile_trials: spec.profile_trials,
             profile_seed: spec.profile_seed,
+            sources: spec.sources.clone(),
         }
     }
 
@@ -64,10 +74,27 @@ impl PlanSpec {
             levels: self.levels_permille.iter().map(|&p| p as f64 / 1000.0).collect(),
             profile_trials: self.profile_trials,
             profile_seed: self.profile_seed,
+            sources: self.sources.clone(),
             threads,
             ..Default::default()
         }
     }
+}
+
+/// One changed region's re-run budget in an incremental (diff) campaign.
+/// The worker resolves `region` to an injection scope (IR function /
+/// machine range) in its own build of `unit`; `seed` is the region-local
+/// stream and `mass` the region's dynamic fault-site count, so every
+/// scoped trial is a pure function of `(seed, trial index)` on any
+/// machine. Batches index `trials` in [`HarnessConfig::batch_size`]
+/// chunks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScopeSpec {
+    pub unit: UnitKey,
+    pub region: String,
+    pub trials: u64,
+    pub seed: u64,
+    pub mass: u64,
 }
 
 /// Worker → coordinator.
@@ -91,6 +118,16 @@ pub enum ClientMsg {
     /// One finished batch. `ff_insts`/`exec_insts` feed the coordinator's
     /// per-worker metrics; the record itself is merged idempotently.
     Completed { record: BatchRecord, ff_insts: u64, exec_insts: u64 },
+    /// One finished batch of a scoped (region-level) lease. `scope` echoes
+    /// the [`ServerMsg::ScopedLease`] task index; the record's `batch`
+    /// names the fragment so the coordinator can fold fragments in batch
+    /// order, bit-identically to a local `flowery diff` run.
+    ScopedCompleted {
+        scope: u32,
+        record: BatchRecord,
+        ff_insts: u64,
+        exec_insts: u64,
+    },
     /// Liveness signal, sent on a timer even mid-batch. Refreshes the
     /// worker's lease deadlines.
     Heartbeat,
@@ -111,6 +148,18 @@ pub enum ServerMsg {
     },
     /// A grant of work: run these batch indices of `unit`'s schedule.
     Lease { unit: UnitKey, batches: Vec<u64> },
+    /// A grant of scoped work in an incremental (diff) campaign: run these
+    /// batch indices of the region task `spec`, task index `scope`.
+    /// `region_fingerprint` is [`flowery_harness::region_fingerprint`] of
+    /// the coordinator's matrix — a worker whose build carves different
+    /// regions would attribute trials to the wrong scope, so it must
+    /// verify the hash before running the first scoped batch.
+    ScopedLease {
+        scope: u32,
+        spec: ScopeSpec,
+        batches: Vec<u64>,
+        region_fingerprint: u64,
+    },
     /// No work right now (all schedules leased out); ask again in `ms`.
     Wait { ms: u64 },
     /// The campaign is over (or draining); disconnect after this.
@@ -169,6 +218,7 @@ mod tests {
             sdc_by_inst: HashMap::new(),
             sdc_insts: vec![5, 9],
             fault_model: flowery_faultmodel::ModelSpec::MemCell,
+            region_counts: Vec::new(),
         };
         let msgs = vec![
             ClientMsg::Hello { proto_version: PROTO_VERSION },
@@ -177,7 +227,8 @@ mod tests {
                 models_hash: flowery_faultmodel::registry_hash(),
             },
             ClientMsg::LeaseRequest,
-            ClientMsg::Completed { record, ff_insts: 10, exec_insts: 20 },
+            ClientMsg::Completed { record: record.clone(), ff_insts: 10, exec_insts: 20 },
+            ClientMsg::ScopedCompleted { scope: 4, record, ff_insts: 10, exec_insts: 20 },
             ClientMsg::Heartbeat,
             ClientMsg::Goodbye,
         ];
@@ -195,6 +246,7 @@ mod tests {
                     levels_permille: vec![1000],
                     profile_trials: 1200,
                     profile_seed: 3,
+                    sources: vec![("probe".into(), "int main() { return 0; }".into())],
                 },
                 cfg: HarnessConfig::default(),
                 heartbeat_ms: 2000,
@@ -202,6 +254,18 @@ mod tests {
             ServerMsg::Lease {
                 unit: UnitKey::new("crc32", Variant::Raw, 0.0, Layer::Ir),
                 batches: vec![0, 1, 2],
+            },
+            ServerMsg::ScopedLease {
+                scope: 4,
+                spec: ScopeSpec {
+                    unit: UnitKey::new("crc32", Variant::Id, 0.7, Layer::Asm),
+                    region: "main".into(),
+                    trials: 200,
+                    seed: 0x5eed,
+                    mass: 1234,
+                },
+                batches: vec![0, 1],
+                region_fingerprint: 99,
             },
             ServerMsg::Wait { ms: 200 },
             ServerMsg::Shutdown { reason: "campaign complete".into() },

@@ -10,7 +10,10 @@
 
 use crate::protocol::{ClientMsg, PlanSpec, ServerMsg, PROTO_VERSION};
 use crate::{framing, FrameError};
-use flowery_harness::{build_matrix, matrix_fingerprint, GoldenCache, TrialUnit, UnitRunner};
+use flowery_harness::{
+    build_matrix, matrix_fingerprint, region_fingerprint, run_region_task, BatchRecord, GoldenCache, TrialUnit,
+    UnitRunner,
+};
 use std::collections::HashMap;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -179,6 +182,10 @@ fn session(
     };
 
     let mut runners: HashMap<usize, UnitRunner<'_>> = HashMap::new();
+    // Region fingerprint for scoped (diff) leases, computed at most once
+    // per session — the partition golden runs are served by the persistent
+    // cache, so this is cheap after the first session.
+    let mut region_fp: Option<u64> = None;
     loop {
         if let Err(e) = send(&ClientMsg::LeaseRequest) {
             return finish(Err(e));
@@ -210,6 +217,61 @@ fn session(
                     if cfg.die_after_batches.is_some_and(|n| *batches_done >= n) {
                         // Crash simulation: sever the socket so the
                         // coordinator sees a hard close, not a goodbye.
+                        let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Both);
+                        return finish(Ok(SessionEnd::Died));
+                    }
+                }
+            }
+            ServerMsg::ScopedLease { scope, spec, batches, region_fingerprint: theirs } => {
+                let Some(ui) = units.iter().position(|u| u.key == spec.unit) else {
+                    return finish(Ok(SessionEnd::Fatal(format!("scoped lease for unknown unit {}", spec.unit))));
+                };
+                let ours = *region_fp.get_or_insert_with(|| region_fingerprint(units, cache, &hcfg));
+                if ours != theirs {
+                    return finish(Ok(SessionEnd::Fatal(format!(
+                        "region fingerprint {ours:016x} != coordinator's {theirs:016x} \
+                         (divergent region partition would scope trials wrongly)"
+                    ))));
+                }
+                if cfg.verbose {
+                    eprintln!(
+                        "  [work] worker {worker_id}: {} scoped batches of `{}` in {}",
+                        batches.len(),
+                        spec.region,
+                        spec.unit
+                    );
+                }
+                for b in batches {
+                    let lo = b * hcfg.batch_size;
+                    let hi = (lo + hcfg.batch_size).min(spec.trials);
+                    let Some(out) =
+                        run_region_task(&units[ui], cache, &hcfg, &spec.region, spec.seed, spec.mass, lo..hi)
+                    else {
+                        return finish(Ok(SessionEnd::Fatal(format!(
+                            "region `{}` of {} has no injection scope in this build",
+                            spec.region, spec.unit
+                        ))));
+                    };
+                    let record = BatchRecord {
+                        unit: spec.unit.clone(),
+                        batch: b,
+                        counts: out.counts,
+                        sdc_by_inst: out.sdc_by_inst,
+                        sdc_insts: out.sdc_insts,
+                        fault_model: hcfg.effective_model(),
+                        region_counts: vec![(spec.region.clone(), out.counts)],
+                    };
+                    let msg = ClientMsg::ScopedCompleted {
+                        scope,
+                        record,
+                        ff_insts: out.ff_insts,
+                        exec_insts: out.exec_insts,
+                    };
+                    if let Err(e) = send(&msg) {
+                        return finish(Err(e));
+                    }
+                    *batches_done += 1;
+                    if cfg.die_after_batches.is_some_and(|n| *batches_done >= n) {
                         let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Both);
                         return finish(Ok(SessionEnd::Died));
                     }

@@ -22,6 +22,7 @@ fn requested_shutdown_drains_to_a_resumable_checkpoint() {
         levels_permille: vec![1000],
         profile_trials: 0,
         profile_seed: 0,
+        sources: Vec::new(),
     };
     // 40 batches × 5 units: long enough that the campaign is mid-flight
     // when the shutdown lands, short enough to finish after resume.
@@ -61,6 +62,7 @@ fn requested_shutdown_drains_to_a_resumable_checkpoint() {
         drain_grace_ms: 5000,
         threads: 2,
         verbose: false,
+        baseline: None,
     };
 
     shutdown::reset();

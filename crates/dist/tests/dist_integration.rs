@@ -21,6 +21,7 @@ fn plan() -> PlanSpec {
         levels_permille: vec![1000],
         profile_trials: 0,
         profile_seed: 0,
+        sources: Vec::new(),
     }
 }
 
@@ -46,6 +47,7 @@ fn ccfg(checkpoint: &Path, lease_batches: usize) -> CoordinatorConfig {
         drain_grace_ms: 5000,
         threads: 2,
         verbose: false,
+        baseline: None,
     }
 }
 

@@ -73,7 +73,7 @@ pub trait FaultModel {
         let site_index = rng.gen_range(0..sites);
         let bit: u32 = rng.gen_range(0..64);
         let (second_bit, effect) = self.payload(&mut rng);
-        FaultSpec { site_index, bit, second_bit, effect }
+        FaultSpec { site_index, bit, second_bit, effect, scope: None }
     }
 
     /// The fault injected by assembly-level trial `trial_index`.
@@ -82,7 +82,7 @@ pub trait FaultModel {
         let site_index = rng.gen_range(0..sites);
         let bit: u32 = rng.gen_range(0..64);
         let (second_bit, effect) = self.payload(&mut rng);
-        AsmFaultSpec { site_index, bit, second_bit, effect }
+        AsmFaultSpec { site_index, bit, second_bit, effect, scope: None }
     }
 }
 
@@ -482,6 +482,7 @@ mod tests {
                 bit: rng.gen_range(0..64),
                 second_bit: None,
                 effect: FaultEffect::Bits,
+                scope: None,
             };
             assert_eq!(ModelSpec::SingleBitReg.sample_ir(42, trial, 500), legacy);
 
@@ -491,6 +492,7 @@ mod tests {
                 bit: rng.gen_range(0..64),
                 second_bit: Some(rng.gen_range(0..64)),
                 effect: FaultEffect::Bits,
+                scope: None,
             };
             assert_eq!(ModelSpec::DoubleBitReg.sample_ir(42, trial, 500), legacy_double);
         }

@@ -22,7 +22,7 @@
 
 use crate::snapstore::SnapshotStore;
 use flowery_backend::{print_program, AsmProgram, AsmSnapshotSet, MachResult, Machine};
-use flowery_ir::interp::{ExecConfig, ExecResult, Interpreter, IrSnapshotSet};
+use flowery_ir::interp::{ExecConfig, ExecResult, Interpreter, IrSnapshotSet, Profile};
 use flowery_ir::printer::print_module;
 use flowery_ir::Module;
 use std::collections::HashMap;
@@ -75,6 +75,10 @@ pub struct GoldenCache {
     asm: Mutex<HashMap<u64, Arc<MachResult>>>,
     ir_snaps: Mutex<HashMap<u64, Arc<IrSnapshotSet>>>,
     asm_snaps: Mutex<HashMap<u64, Arc<AsmSnapshotSet>>>,
+    /// Per-instruction execution profiles from a profiled golden run —
+    /// the dynamic fault-site masses of the region model.
+    ir_profiles: Mutex<HashMap<u64, Arc<Profile>>>,
+    asm_profiles: Mutex<HashMap<u64, Arc<Vec<u64>>>>,
     /// Persistent home for snapshot sets, when the campaign has one.
     store: Option<SnapshotStore>,
     hits: AtomicU64,
@@ -139,6 +143,38 @@ impl GoldenCache {
         let g = Arc::new(Machine::new(m, p).run(exec, None));
         self.goldens_run.fetch_add(1, Ordering::Relaxed);
         self.asm.lock().unwrap().entry(key).or_insert(g).clone()
+    }
+
+    /// Per-instruction execution profile of `m`'s golden run, computed at
+    /// most once per distinct program content. This is a separate profiled
+    /// execution (the plain golden run skips the counters); region site
+    /// masses derive from it.
+    pub fn ir_profile(&self, m: &Module, exec: &ExecConfig) -> Arc<Profile> {
+        let key = module_hash(m);
+        if let Some(p) = self.ir_profiles.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return p.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let r = Interpreter::new(m).profile_run(exec);
+        self.goldens_run.fetch_add(1, Ordering::Relaxed);
+        let p = Arc::new(r.profile.expect("profiled run records a profile"));
+        self.ir_profiles.lock().unwrap().entry(key).or_insert(p).clone()
+    }
+
+    /// Assembly twin of [`GoldenCache::ir_profile`]: per-program-index
+    /// execution counts of `p`'s golden run.
+    pub fn asm_profile(&self, m: &Module, p: &AsmProgram, exec: &ExecConfig) -> Arc<Vec<u64>> {
+        let key = program_hash(p);
+        if let Some(pr) = self.asm_profiles.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return pr.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let r = Machine::new(m, p).profile_run(exec);
+        self.goldens_run.fetch_add(1, Ordering::Relaxed);
+        let pr = Arc::new(r.profile.expect("profiled run records a profile"));
+        self.asm_profiles.lock().unwrap().entry(key).or_insert(pr).clone()
     }
 
     /// Snapshot set for fast-forwarded IR trials over `m` (no raw twin).

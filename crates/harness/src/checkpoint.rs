@@ -21,6 +21,7 @@ use crate::progress::{BatchOutcome, UnitProgress};
 use flowery_faultmodel::{DetectorSpec, ModelSpec};
 use flowery_inject::OutcomeCounts;
 use flowery_ir::value::{FuncId, InstId};
+use flowery_regions::RegionProfile;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
@@ -57,6 +58,13 @@ pub struct Header {
     /// checkpoints, which all ran the interpreter-equivalent semantics.
     #[serde(default)]
     pub exec_mode: flowery_ir::interp::ExecMode,
+    /// Region partition/hash recipe version of the log's [`RegionRecord`]s
+    /// — provenance, not schedule: region records annotate the batch
+    /// results, they never change which trials run. 0 = pre-region log
+    /// (no region records); writers stamp
+    /// [`flowery_regions::REGION_SCHEMA_VERSION`].
+    #[serde(default)]
+    pub region_schema: u32,
 }
 
 impl Header {
@@ -67,13 +75,43 @@ impl Header {
 
     /// True when `other` describes the same trial schedule. This is the
     /// resume/pairing comparison: every field except the provenance-only
-    /// `exec_mode`, so a campaign begun under one engine can be resumed —
-    /// or served to workers running — under the other (results are
+    /// `exec_mode` and `region_schema`, so a campaign begun under one
+    /// engine (or before region records existed) can be resumed — or
+    /// served to workers running — under the other (results are
     /// bit-identical by the engine contract).
     pub fn same_schedule(&self, other: &Header) -> bool {
-        let a = Header { exec_mode: Default::default(), ..self.clone() };
-        let b = Header { exec_mode: Default::default(), ..other.clone() };
+        let a = Header {
+            exec_mode: Default::default(),
+            region_schema: 0,
+            ..self.clone()
+        };
+        let b = Header {
+            exec_mode: Default::default(),
+            region_schema: 0,
+            ..other.clone()
+        };
         a == b
+    }
+
+    /// When `self` (a checkpoint's header) describes a different trial
+    /// schedule than `requested`, name the first differing field and both
+    /// values — never a bare "mismatch".
+    pub fn describe_mismatch(&self, requested: &Header) -> Option<String> {
+        fn field<T: std::fmt::Debug + PartialEq>(name: &str, ckpt: &T, req: &T) -> Option<String> {
+            (ckpt != req).then(|| format!("{name}: checkpoint has {ckpt:?}, this campaign wants {req:?}"))
+        }
+        if self.same_schedule(requested) {
+            return None;
+        }
+        field("seed", &self.seed, &requested.seed)
+            .or_else(|| field("batch_size", &self.batch_size, &requested.batch_size))
+            .or_else(|| field("max_trials", &self.max_trials, &requested.max_trials))
+            .or_else(|| field("min_trials", &self.min_trials, &requested.min_trials))
+            .or_else(|| field("ci_target", &self.ci_target, &requested.ci_target))
+            .or_else(|| field("double_bit", &self.double_bit, &requested.double_bit))
+            .or_else(|| field("fault_model", &self.fault_model, &requested.fault_model))
+            .or_else(|| field("detectors", &self.detectors, &requested.detectors))
+            .or_else(|| Some("campaign parameters differ".to_string()))
     }
 }
 
@@ -93,12 +131,31 @@ pub struct BatchRecord {
     /// trials from different models.
     #[serde(default)]
     pub fault_model: ModelSpec,
+    /// Per-region outcome tallies for this batch, keyed by function name
+    /// and sorted by it (see `flowery-regions`). Absent in pre-region
+    /// logs, which load with an empty list.
+    #[serde(default)]
+    pub region_counts: Vec<(String, OutcomeCounts)>,
+}
+
+/// Per-region campaign results for one unit — the versioned region
+/// section of the log, written once at a clean finalize. A composed
+/// checkpoint (from `flowery diff`) may carry *only* region records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionRecord {
+    pub unit: UnitKey,
+    /// [`flowery_regions::REGION_SCHEMA_VERSION`] the profiles were built
+    /// under; records from a foreign schema are dropped on canonicalize.
+    pub schema: u32,
+    /// Profiles in region-name order, covering every region of the unit.
+    pub regions: Vec<RegionProfile>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Record {
     Header(Header),
     Batch(BatchRecord),
+    Regions(RegionRecord),
 }
 
 /// Writer half: shared by workers, flushed per line so a kill loses at
@@ -129,6 +186,10 @@ impl CheckpointLog {
         self.write(&Record::Batch(rec.clone()))
     }
 
+    pub fn record_regions(&self, rec: &RegionRecord) -> Result<(), String> {
+        self.write(&Record::Regions(rec.clone()))
+    }
+
     fn write(&self, rec: &Record) -> Result<(), String> {
         let line = serde_json::to_string(rec).map_err(|e| format!("checkpoint encode: {e:?}"))?;
         let mut f = self.file.lock().unwrap();
@@ -142,6 +203,12 @@ impl CheckpointLog {
 /// order. The final line is allowed to be torn; a corrupt line anywhere
 /// else is an error (the log is otherwise append-only).
 pub fn load(path: &Path) -> Result<(Header, Vec<BatchRecord>), String> {
+    let (header, batches, _) = load_full(path)?;
+    Ok((header, batches))
+}
+
+/// [`load`], plus the region records (empty for pre-region logs).
+pub fn load_full(path: &Path) -> Result<(Header, Vec<BatchRecord>, Vec<RegionRecord>), String> {
     let f = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
     let lines: Vec<String> = BufReader::new(f)
         .lines()
@@ -149,6 +216,7 @@ pub fn load(path: &Path) -> Result<(Header, Vec<BatchRecord>), String> {
         .map_err(|e| format!("read {}: {e}", path.display()))?;
     let mut header = None;
     let mut batches = Vec::new();
+    let mut regions = Vec::new();
     let last = lines.len().saturating_sub(1);
     for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
@@ -170,6 +238,7 @@ pub fn load(path: &Path) -> Result<(Header, Vec<BatchRecord>), String> {
                 header = Some(h);
             }
             Record::Batch(b) => batches.push(b),
+            Record::Regions(r) => regions.push(r),
         }
     }
     let mut header = header.ok_or_else(|| format!("{}: missing header line", path.display()))?;
@@ -184,7 +253,7 @@ pub fn load(path: &Path) -> Result<(Header, Vec<BatchRecord>), String> {
             }
         }
     }
-    Ok((header, batches))
+    Ok((header, batches, regions))
 }
 
 /// Reduce `records` to the canonical set: sorted by `(unit key, batch)`,
@@ -228,19 +297,56 @@ pub fn canonicalize(header: &Header, records: Vec<BatchRecord>) -> Result<Vec<Ba
     Ok(out)
 }
 
+/// Reduce region records to the canonical set: one per unit, sorted by
+/// unit key, duplicates dropped after checking identity, and records
+/// built under a foreign region schema discarded (they describe a
+/// different partition recipe, not this log's regions).
+pub fn canonicalize_regions(header: &Header, records: Vec<RegionRecord>) -> Result<Vec<RegionRecord>, String> {
+    let mut by_unit: BTreeMap<UnitKey, RegionRecord> = BTreeMap::new();
+    for rec in records {
+        if rec.schema != header.region_schema || rec.schema == 0 {
+            continue;
+        }
+        match by_unit.entry(rec.unit.clone()) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(rec);
+            }
+            std::collections::btree_map::Entry::Occupied(o) => {
+                if *o.get() != rec {
+                    return Err(format!("conflicting region records for {}", rec.unit));
+                }
+            }
+        }
+    }
+    Ok(by_unit.into_values().collect())
+}
+
 /// Write a canonical log: the header line plus `records` in the order
-/// given (callers pass [`canonicalize`]d records). The file is written to
-/// a temporary sibling and renamed into place, so a kill mid-write never
-/// clobbers an existing log.
-pub fn write_canonical(path: &Path, header: &Header, records: &[BatchRecord]) -> Result<(), String> {
+/// given (callers pass [`canonicalize`]d records), then the region
+/// records. The file is written to a temporary sibling and renamed into
+/// place, so a kill mid-write never clobbers an existing log.
+pub fn write_canonical_full(
+    path: &Path,
+    header: &Header,
+    records: &[BatchRecord],
+    regions: &[RegionRecord],
+) -> Result<(), String> {
     let tmp = path.with_extension("tmp");
     {
         let log = CheckpointLog::create(&tmp, header)?;
         for rec in records {
             log.record_batch(rec)?;
         }
+        for rec in regions {
+            log.record_regions(rec)?;
+        }
     }
     std::fs::rename(&tmp, path).map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+}
+
+/// [`write_canonical_full`] without region records.
+pub fn write_canonical(path: &Path, header: &Header, records: &[BatchRecord]) -> Result<(), String> {
+    write_canonical_full(path, header, records, &[])
 }
 
 /// Rewrite the log at `path` in canonical form (see [`canonicalize`]).
@@ -248,9 +354,10 @@ pub fn write_canonical(path: &Path, header: &Header, records: &[BatchRecord]) ->
 /// for any execution of the same schedule — local, resumed, or
 /// distributed.
 pub fn compact(path: &Path) -> Result<(), String> {
-    let (header, records) = load(path)?;
+    let (header, records, regions) = load_full(path)?;
     let records = canonicalize(&header, records)?;
-    write_canonical(path, &header, &records)
+    let regions = canonicalize_regions(&header, regions)?;
+    write_canonical_full(path, &header, &records, &regions)
 }
 
 #[cfg(test)]
@@ -275,6 +382,7 @@ mod tests {
             fault_model: ModelSpec::SingleBitReg,
             detectors: Vec::new(),
             exec_mode: Default::default(),
+            region_schema: 0,
         }
     }
 
@@ -286,6 +394,7 @@ mod tests {
             sdc_by_inst: HashMap::new(),
             sdc_insts: vec![3, 17, 17],
             fault_model: ModelSpec::SingleBitReg,
+            region_counts: Vec::new(),
         }
     }
 
@@ -337,6 +446,7 @@ mod tests {
             sdc_by_inst: HashMap::new(),
             sdc_insts: Vec::new(),
             fault_model: ModelSpec::SingleBitReg,
+            region_counts: Vec::new(),
         };
         // Completion-order jumble with a duplicate and an out-of-schedule
         // batch (e.g. from a checkpoint written under a larger max_trials).
@@ -375,6 +485,7 @@ mod tests {
             sdc_by_inst: HashMap::new(),
             sdc_insts: Vec::new(),
             fault_model: ModelSpec::SingleBitReg,
+            region_counts: Vec::new(),
         };
         let canon = canonicalize(&h, vec![quiet(0), quiet(3)]).unwrap();
         assert_eq!(canon.iter().map(|r| r.batch).collect::<Vec<_>>(), vec![0]);
@@ -478,6 +589,67 @@ mod tests {
         let (h, _) = load(&path).unwrap();
         assert_eq!(h.exec_mode, ExecMode::default());
         assert!(h.same_schedule(&interp));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn region_schema_is_provenance_not_schedule() {
+        // A pre-region checkpoint (region_schema 0) must resume under a
+        // region-stamping campaign: the schema annotates results, it never
+        // changes the schedule.
+        let pre = header();
+        let stamped = Header {
+            region_schema: flowery_regions::REGION_SCHEMA_VERSION,
+            ..pre.clone()
+        };
+        assert_ne!(pre, stamped);
+        assert!(pre.same_schedule(&stamped));
+        assert!(pre.describe_mismatch(&stamped).is_none());
+        // A genuine schedule change names the field and both values.
+        let mut other = stamped.clone();
+        other.max_trials += 500;
+        let msg = pre.describe_mismatch(&other).unwrap();
+        assert!(msg.contains("max_trials"), "{msg}");
+        assert!(msg.contains("1000") && msg.contains("1500"), "{msg}");
+    }
+
+    #[test]
+    fn region_records_roundtrip_and_canonicalize() {
+        let schema = flowery_regions::REGION_SCHEMA_VERSION;
+        let h = Header { region_schema: schema, ..header() };
+        let unit = UnitKey::new("a", Variant::Raw, 0.0, Layer::Ir);
+        let profile = flowery_regions::RegionProfile {
+            name: "main".into(),
+            hash: 7,
+            site_mass: 100,
+            trials: 10,
+            counts: OutcomeCounts { benign: 8, sdc: 2, detected: 0, due: 0 },
+            sdc_by_inst: HashMap::new(),
+            sdc_insts: Vec::new(),
+        };
+        let rec = RegionRecord { unit: unit.clone(), schema, regions: vec![profile] };
+        let path = tmp("regions");
+        let log = CheckpointLog::create(&path, &h).unwrap();
+        log.record_batch(&record(0)).unwrap();
+        log.record_regions(&rec).unwrap();
+        drop(log);
+        let (h2, batches, regions) = load_full(&path).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(regions, vec![rec.clone()]);
+        // Compaction keeps the canonical region set; duplicates dedup,
+        // foreign-schema records drop, conflicts error.
+        compact(&path).unwrap();
+        let (_, _, regions) = load_full(&path).unwrap();
+        assert_eq!(regions, vec![rec.clone()]);
+        let foreign = RegionRecord { schema: schema + 1, ..rec.clone() };
+        let canon = canonicalize_regions(&h, vec![rec.clone(), rec.clone(), foreign]).unwrap();
+        assert_eq!(canon, vec![rec.clone()]);
+        let mut conflict = rec.clone();
+        conflict.regions[0].trials += 1;
+        assert!(canonicalize_regions(&h, vec![rec, conflict])
+            .unwrap_err()
+            .contains("conflicting region records"));
         std::fs::remove_file(&path).ok();
     }
 

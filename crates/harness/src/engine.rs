@@ -25,7 +25,7 @@ use crate::cache::GoldenCache;
 use crate::checkpoint::{CheckpointLog, Header, MAGIC, VERSION};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan::{Layer, TrialUnit, UnitKey};
-use crate::progress::{BatchOutcome, UnitProgress};
+use crate::progress::{merge_region_counts, BatchOutcome, UnitProgress};
 use flowery_faultmodel::{DetectorSpec, ModelSpec};
 use flowery_inject::campaign::{AsmTrialRunner, IrTrialRunner};
 use flowery_inject::{Estimate, Outcome, OutcomeCounts};
@@ -105,6 +105,7 @@ impl HarnessConfig {
             fault_model: self.effective_model(),
             detectors: self.detectors.clone(),
             exec_mode: self.exec.executor,
+            region_schema: flowery_regions::REGION_SCHEMA_VERSION,
         }
     }
 
@@ -171,6 +172,10 @@ pub struct UnitResult {
     pub sdc_by_inst: HashMap<(FuncId, InstId), u64>,
     /// Assembly layer: program indices of SDC injections, in trial order.
     pub sdc_insts: Vec<u32>,
+    /// Per-region outcome tallies, keyed by function name and sorted by
+    /// it; `flowery_regions::OTHER_REGION` collects unattributable trials.
+    #[serde(default)]
+    pub region_counts: Vec<(String, OutcomeCounts)>,
     pub golden_dyn_insts: u64,
     pub golden_sites: u64,
     /// Assembly layer only; 0 at IR.
@@ -267,6 +272,7 @@ enum RunnerInner<'u> {
 /// byte-identically with locally executed ones.
 pub struct UnitRunner<'u> {
     inner: RunnerInner<'u>,
+    unit: &'u TrialUnit,
 }
 
 impl<'u> UnitRunner<'u> {
@@ -303,7 +309,7 @@ impl<'u> UnitRunner<'u> {
                 RunnerInner::Asm(r)
             }
         };
-        UnitRunner { inner }
+        UnitRunner { inner, unit }
     }
 
     /// Run batch `batch` of the schedule `cfg` defines: trial indices
@@ -313,6 +319,19 @@ impl<'u> UnitRunner<'u> {
         let end = (start + cfg.batch_size).min(cfg.max_trials);
         let model = cfg.effective_model();
         let mut data = BatchOutcome::default();
+        // Each trial is attributed to the region (function) containing its
+        // injection site; trials whose fault never landed (e.g. crash in
+        // the prefix) fall into the OTHER_REGION bucket.
+        let attribute = |data: &mut BatchOutcome, name: &str, outcome: Outcome| {
+            let i = match data.region_counts.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => i,
+                Err(i) => {
+                    data.region_counts.insert(i, (name.to_string(), OutcomeCounts::default()));
+                    i
+                }
+            };
+            data.region_counts[i].1.record(outcome);
+        };
         for i in start..end {
             match &mut self.inner {
                 RunnerInner::Ir(r) => {
@@ -320,6 +339,11 @@ impl<'u> UnitRunner<'u> {
                     data.counts.record(t.outcome);
                     data.ff_insts += t.ff_insts;
                     data.exec_insts += t.exec_insts;
+                    let name = t
+                        .injected_at
+                        .map(|loc| self.unit.module.func(loc.0).name.as_str())
+                        .unwrap_or(flowery_regions::OTHER_REGION);
+                    attribute(&mut data, name, t.outcome);
                     if t.outcome == Outcome::Sdc {
                         if let Some(loc) = t.injected_at {
                             *data.sdc_by_inst.entry(loc).or_insert(0) += 1;
@@ -331,6 +355,18 @@ impl<'u> UnitRunner<'u> {
                     data.counts.record(t.outcome);
                     data.ff_insts += t.ff_insts;
                     data.exec_insts += t.exec_insts;
+                    let program = self.unit.program.as_ref().expect("asm unit has a program");
+                    let name = t
+                        .injected_inst
+                        .and_then(|idx| {
+                            program
+                                .funcs
+                                .iter()
+                                .find(|f| (f.entry..f.end).contains(&idx))
+                                .map(|f| f.name.as_str())
+                        })
+                        .unwrap_or(flowery_regions::OTHER_REGION);
+                    attribute(&mut data, name, t.outcome);
                     if t.outcome == Outcome::Sdc {
                         if let Some(idx) = t.injected_inst {
                             data.sdc_insts.push(idx);
@@ -471,6 +507,7 @@ pub fn run_units(
         let mut counts = OutcomeCounts::default();
         let mut sdc_by_inst: HashMap<(FuncId, InstId), u64> = HashMap::new();
         let mut sdc_insts = Vec::new();
+        let mut region_counts = Vec::new();
         for b in 0..k {
             let data = p.batch(b).expect("decided prefix is complete");
             counts.merge(&data.counts);
@@ -478,6 +515,7 @@ pub fn run_units(
                 *sdc_by_inst.entry(*loc).or_insert(0) += n;
             }
             sdc_insts.extend_from_slice(&data.sdc_insts);
+            merge_region_counts(&mut region_counts, &data.region_counts);
         }
         let trials = (k * cfg.batch_size).min(cfg.max_trials);
         let (golden_dyn_insts, golden_sites, golden_cycles) = match unit.key.layer {
@@ -499,6 +537,7 @@ pub fn run_units(
             stopped_early: trials < cfg.max_trials,
             sdc_by_inst,
             sdc_insts,
+            region_counts,
             golden_dyn_insts,
             golden_sites,
             golden_cycles,

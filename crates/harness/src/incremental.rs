@@ -1,0 +1,719 @@
+//! The incremental (`flowery diff`) campaign engine.
+//!
+//! A full campaign answers "what is this program's SDC rate" by sampling
+//! the whole program. After a small edit, most regions (function bodies)
+//! are byte-identical to the baseline run — their per-region profiles are
+//! still valid answers. This module
+//!
+//! 1. partitions every unit into regions and hashes them
+//!    ([`unit_region_set`], salted with everything that shapes outcomes);
+//! 2. compares the partition against a baseline checkpoint's region
+//!    records ([`Baseline`]), classifying each region reused / re-run /
+//!    new;
+//! 3. re-executes trials *only* for changed regions, scoping each trial's
+//!    injection site to the region (`run_trial_model_scoped`) with a
+//!    region-local seed stream, so the plan is a pure function of the
+//!    region content — independent of thread count and of what else
+//!    changed;
+//! 4. composes a whole-program answer from the mixed-provenance profiles
+//!    under the current site masses ([`flowery_regions::compose_weighted`]).
+//!
+//! The composed result is written back as a region-record-only checkpoint,
+//! which can serve as the baseline for the next diff.
+
+use crate::cache::GoldenCache;
+use crate::checkpoint::{self, Header, RegionRecord};
+use crate::engine::{HarnessConfig, UnitResult};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan::{Layer, TrialUnit, UnitKey};
+use flowery_inject::campaign::{AsmTrialRunner, IrTrialRunner};
+use flowery_inject::{Outcome, OutcomeCounts};
+use flowery_ir::value::FuncId;
+use flowery_regions::{
+    combine, compose_exact, compose_weighted, diff, fnv1a, Fate, RegionProfile, RegionSet, WeightedEstimate,
+    REGION_SCHEMA_VERSION,
+};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Salt folded into every region hash of one unit: the unit identity plus
+/// every campaign parameter that changes trial outcomes without changing
+/// the program text (fault model, detectors, double-bit switch, and the
+/// executor-visible memory geometry). Two configs never share profiles.
+pub fn unit_salt(key: &UnitKey, cfg: &HarnessConfig) -> u64 {
+    let model = serde_json::to_string(&cfg.effective_model()).unwrap_or_default();
+    let detectors = serde_json::to_string(&cfg.detectors).unwrap_or_default();
+    let mut h = fnv1a(key.id().as_bytes());
+    h = combine(h, fnv1a(model.as_bytes()));
+    h = combine(h, fnv1a(detectors.as_bytes()));
+    h = combine(h, cfg.double_bit as u64);
+    h = combine(h, cfg.exec.mem_size);
+    h = combine(h, cfg.exec.stack_size);
+    h
+}
+
+/// Partition one unit into regions. Site masses come from a profiled
+/// golden run served by the cache (one per distinct program content).
+pub fn unit_region_set(unit: &TrialUnit, cache: &GoldenCache, cfg: &HarnessConfig) -> RegionSet {
+    let salt = unit_salt(&unit.key, cfg);
+    match unit.key.layer {
+        Layer::Ir => {
+            let profile = cache.ir_profile(&unit.module, &cfg.exec);
+            flowery_regions::ir_region_set(&unit.module, &profile, salt)
+        }
+        Layer::Asm => {
+            let program = unit.program.as_ref().expect("asm unit has a program");
+            let profile = cache.asm_profile(&unit.module, program, &cfg.exec);
+            flowery_regions::asm_region_set(&unit.module, program, &profile, salt)
+        }
+    }
+}
+
+/// Order-insensitive fingerprint over every unit's region partition, the
+/// region analogue of `matrix_fingerprint`: a distributed coordinator and
+/// its workers verify they computed identical regions before any scoped
+/// lease is granted.
+pub fn region_fingerprint(units: &[TrialUnit], cache: &GoldenCache, cfg: &HarnessConfig) -> u64 {
+    let mut h = fnv1a(b"flowery-region-matrix");
+    for u in units {
+        h = combine(h, fnv1a(u.key.id().as_bytes()));
+        h = combine(h, unit_region_set(u, cache, cfg).fingerprint());
+    }
+    h
+}
+
+/// Build the region records a clean finalize writes: one per completed
+/// unit, splitting the unit's tallies across its regions. Units whose
+/// per-region tallies do not cover every trial (batches replayed from a
+/// pre-region checkpoint) are skipped — a partial split would compose
+/// wrongly, and the next full campaign will produce a complete one.
+pub fn region_records(
+    units: &[TrialUnit],
+    results: &[UnitResult],
+    cache: &GoldenCache,
+    cfg: &HarnessConfig,
+) -> Vec<RegionRecord> {
+    let by_key: HashMap<&UnitKey, &TrialUnit> = units.iter().map(|u| (&u.key, u)).collect();
+    let mut records = Vec::new();
+    for res in results {
+        let Some(unit) = by_key.get(&res.key) else { continue };
+        let attributed: u64 = res.region_counts.iter().map(|(_, c)| c.total()).sum();
+        if attributed != res.trials {
+            continue;
+        }
+        let set = unit_region_set(unit, cache, cfg);
+        let mut profiles: Vec<RegionProfile> = Vec::new();
+        let mut push = |name: &str, hash: u64, site_mass: u64| {
+            let counts = res
+                .region_counts
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or_default();
+            let mut p = RegionProfile {
+                name: name.to_string(),
+                hash,
+                site_mass,
+                trials: counts.total(),
+                counts,
+                ..RegionProfile::default()
+            };
+            match unit.key.layer {
+                Layer::Ir => {
+                    // Restrict the unit's static SDC map to this region's
+                    // function.
+                    p.sdc_by_inst = res
+                        .sdc_by_inst
+                        .iter()
+                        .filter(|((f, _), _)| unit.module.func(*f).name == name)
+                        .map(|(loc, n)| (*loc, *n))
+                        .collect();
+                }
+                Layer::Asm => {
+                    let program = unit.program.as_ref().expect("asm unit has a program");
+                    let range = program.funcs.iter().find(|f| f.name == name).map(|f| f.entry..f.end);
+                    p.sdc_insts = res
+                        .sdc_insts
+                        .iter()
+                        .copied()
+                        .filter(|idx| match &range {
+                            Some(r) => r.contains(idx),
+                            // OTHER_REGION: indices outside every function.
+                            None => !program.funcs.iter().any(|f| (f.entry..f.end).contains(idx)),
+                        })
+                        .collect();
+                }
+            }
+            profiles.push(p);
+        };
+        for r in &set.regions {
+            push(&r.name, r.hash, r.site_mass);
+        }
+        // Attribution buckets outside the partition (e.g. trials whose
+        // fault never landed, collected under OTHER_REGION at the IR
+        // layer) still need a profile so trials stay fully accounted.
+        for (name, _) in &res.region_counts {
+            if set.get(name).is_none() {
+                push(name, combine(fnv1a(name.as_bytes()), unit_salt(&unit.key, cfg)), 0);
+            }
+        }
+        profiles.sort_by(|a, b| a.name.cmp(&b.name));
+        records.push(RegionRecord {
+            unit: res.key.clone(),
+            schema: REGION_SCHEMA_VERSION,
+            regions: profiles,
+        });
+    }
+    records
+}
+
+/// A baseline checkpoint's region records, validated against the current
+/// campaign configuration.
+#[derive(Debug)]
+pub struct Baseline {
+    pub header: Header,
+    pub regions: HashMap<UnitKey, RegionRecord>,
+    /// True when the baseline predates region records (schema 0): nothing
+    /// can be reused, every region runs fresh.
+    pub pre_region: bool,
+}
+
+impl Baseline {
+    /// Load and validate a baseline. Refusals always name the differing
+    /// field and both values — the checkpoint's and the requested one.
+    pub fn load(path: &Path, requested: &Header) -> Result<Baseline, String> {
+        let (header, _, regions) = checkpoint::load_full(path)?;
+        if let Some(why) = header.describe_mismatch(requested) {
+            return Err(format!(
+                "{}: baseline was written with different campaign parameters — {why}",
+                path.display()
+            ));
+        }
+        if header.region_schema != 0 && header.region_schema != REGION_SCHEMA_VERSION {
+            return Err(format!(
+                "{}: region-schema: checkpoint has {}, this build wants {}",
+                path.display(),
+                header.region_schema,
+                REGION_SCHEMA_VERSION
+            ));
+        }
+        let pre_region = header.region_schema == 0 || regions.is_empty();
+        let regions = checkpoint::canonicalize_regions(&header, regions)?
+            .into_iter()
+            .map(|r| (r.unit.clone(), r))
+            .collect();
+        Ok(Baseline { header, regions, pre_region })
+    }
+}
+
+/// One region's entry in a [`DiffUnitReport`]: provenance plus the profile
+/// that went into the composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReport {
+    pub name: String,
+    pub fate: Fate,
+    /// Trials the plan allotted this region (0 for reused regions and for
+    /// regions with no site mass).
+    pub planned_trials: u64,
+    pub profile: RegionProfile,
+}
+
+/// One unit's incremental result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffUnitReport {
+    pub key: UnitKey,
+    /// Per-region provenance and profiles, in region-name order.
+    pub regions: Vec<RegionReport>,
+    /// Baseline regions that no longer exist (deleted functions).
+    pub dropped: Vec<String>,
+    /// Mass-weighted whole-program SDC estimate under current masses.
+    pub composed: WeightedEstimate,
+    /// Raw pooled counts across all profiles (reference only — the
+    /// weighted estimate is the calibrated answer for mixed provenance).
+    pub counts: OutcomeCounts,
+    pub trials_run: u64,
+    pub trials_saved: u64,
+}
+
+impl DiffUnitReport {
+    pub fn fate_counts(&self) -> (u64, u64, u64) {
+        let mut c = (0u64, 0u64, 0u64);
+        for r in &self.regions {
+            match r.fate {
+                Fate::Reused => c.0 += 1,
+                Fate::Rerun => c.1 += 1,
+                Fate::New => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Outcome of one incremental run.
+pub struct DiffReport {
+    pub units: Vec<DiffUnitReport>,
+    pub metrics: MetricsSnapshot,
+}
+
+impl DiffReport {
+    /// The region records of the composed result, ready to write as a
+    /// checkpoint (the next diff's baseline).
+    pub fn records(&self) -> Vec<RegionRecord> {
+        self.units
+            .iter()
+            .map(|u| RegionRecord {
+                unit: u.key.clone(),
+                schema: REGION_SCHEMA_VERSION,
+                regions: u.regions.iter().map(|r| r.profile.clone()).collect(),
+            })
+            .collect()
+    }
+}
+
+/// Trials allotted to a region: its mass share of the unit schedule,
+/// floored at one batch so small regions still get a measurable sample.
+fn planned_trials(cfg: &HarnessConfig, mass: u64, total_mass: u64) -> u64 {
+    if mass == 0 || total_mass == 0 {
+        return 0;
+    }
+    let share = (cfg.max_trials as u128 * mass as u128).div_ceil(total_mass as u128) as u64;
+    share.clamp(cfg.batch_size.min(cfg.max_trials), cfg.max_trials)
+}
+
+/// What a region task injects into: an IR function or a machine range.
+enum Scope {
+    IrFunc(FuncId),
+    AsmRange(u32, u32),
+    /// Region with no contiguous scope (machine-layer [`OTHER_REGION`]):
+    /// cannot be re-sampled; composes as untested.
+    None,
+}
+
+/// Resolve a region name to its injection scope inside one unit.
+fn resolve_scope(unit: &TrialUnit, name: &str) -> Scope {
+    match unit.key.layer {
+        Layer::Ir => unit
+            .module
+            .functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| Scope::IrFunc(FuncId(i as u32)))
+            .unwrap_or(Scope::None),
+        Layer::Asm => {
+            let program = unit.program.as_ref().expect("asm unit has a program");
+            program
+                .funcs
+                .iter()
+                .find(|f| f.name == name)
+                .map(|f| Scope::AsmRange(f.entry, f.end))
+                .unwrap_or(Scope::None)
+        }
+    }
+}
+
+/// One schedulable re-run: a slice of a region's trial budget. The
+/// execution order of tasks never changes results (each is a pure
+/// function of `(seed, trial index)`), so a distributed coordinator can
+/// lease slices of one task to different workers.
+#[derive(Debug, Clone)]
+pub struct DiffTask {
+    pub unit_index: usize,
+    pub region_index: usize,
+    pub region: String,
+    pub mass: u64,
+    pub trials: u64,
+    /// Region-local seed stream: depends only on the campaign seed and
+    /// the region name, never on what else changed.
+    pub seed: u64,
+    pub priority: f64,
+}
+
+/// Partial result of [`run_region_task`]: outcome tallies plus static SDC
+/// maps for one contiguous range of a region's trial indices.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionTaskResult {
+    pub counts: OutcomeCounts,
+    pub sdc_by_inst: HashMap<(FuncId, flowery_ir::value::InstId), u64>,
+    pub sdc_insts: Vec<u32>,
+    pub ff_insts: u64,
+    pub exec_insts: u64,
+}
+
+/// Execute trial indices `range` of one region's scoped stream. Returns
+/// `None` when the region has no contiguous injection scope (the
+/// machine-layer [`flowery_regions::OTHER_REGION`] bucket) — such regions
+/// compose as untested. Workers and the local engine share this function,
+/// so a distributed diff is bit-identical to a local one.
+pub fn run_region_task(
+    unit: &TrialUnit,
+    cache: &GoldenCache,
+    cfg: &HarnessConfig,
+    region: &str,
+    seed: u64,
+    mass: u64,
+    range: std::ops::Range<u64>,
+) -> Option<RegionTaskResult> {
+    let model = cfg.effective_model();
+    let mut out = RegionTaskResult::default();
+    match resolve_scope(unit, region) {
+        Scope::IrFunc(fid) => {
+            let g = cache.ir_golden(&unit.module, &cfg.exec);
+            let mut r = IrTrialRunner::with_golden(&unit.module, (*g).clone(), &cfg.exec);
+            for i in range {
+                let t = r.run_trial_model_scoped(seed, i, model, &cfg.detectors, fid, mass);
+                out.counts.record(t.outcome);
+                out.ff_insts += t.ff_insts;
+                out.exec_insts += t.exec_insts;
+                if t.outcome == Outcome::Sdc {
+                    if let Some(loc) = t.injected_at {
+                        *out.sdc_by_inst.entry(loc).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        Scope::AsmRange(lo, hi) => {
+            let program = unit.program.as_ref().expect("asm unit has a program");
+            let g = cache.asm_golden(&unit.module, program, &cfg.exec);
+            let mut r = AsmTrialRunner::with_golden(&unit.module, program, (*g).clone(), &cfg.exec);
+            for i in range {
+                let t = r.run_trial_model_scoped(seed, i, model, &cfg.detectors, lo..hi, mass);
+                out.counts.record(t.outcome);
+                out.ff_insts += t.ff_insts;
+                out.exec_insts += t.exec_insts;
+                if t.outcome == Outcome::Sdc {
+                    if let Some(idx) = t.injected_inst {
+                        out.sdc_insts.push(idx);
+                    }
+                }
+            }
+        }
+        Scope::None => return None,
+    }
+    Some(out)
+}
+
+/// Fold one task slice into its region profile. Slices must be folded in
+/// trial-index order for the profile to be bit-identical to a single
+/// contiguous run (callers sort by batch index first).
+pub fn fold_task_result(profile: &mut RegionProfile, r: &RegionTaskResult) {
+    profile.counts.merge(&r.counts);
+    for (loc, n) in &r.sdc_by_inst {
+        *profile.sdc_by_inst.entry(*loc).or_insert(0) += n;
+    }
+    profile.sdc_insts.extend_from_slice(&r.sdc_insts);
+    profile.trials = profile.counts.total();
+}
+
+/// Plan an incremental campaign without executing anything: classify
+/// every region against the baseline, carry reused profiles (re-weighted
+/// to current masses), and emit one [`DiffTask`] per runnable changed
+/// region, sorted most-suspect-first by `priorities` (unit id, region
+/// name) → score. Local and distributed diffs share this plan.
+pub fn plan_diff(
+    units: &[TrialUnit],
+    cfg: &HarnessConfig,
+    cache: &GoldenCache,
+    baseline: &Baseline,
+    priorities: &HashMap<(String, String), f64>,
+) -> (Vec<DiffUnitReport>, Vec<DiffTask>) {
+    let mut reports: Vec<DiffUnitReport> = Vec::new();
+    let mut tasks: Vec<DiffTask> = Vec::new();
+
+    for (ui, unit) in units.iter().enumerate() {
+        let set = unit_region_set(unit, cache, cfg);
+        let total_mass = set.total_mass();
+        let base: &[RegionProfile] = baseline.regions.get(&unit.key).map(|r| r.regions.as_slice()).unwrap_or(&[]);
+        let (deltas, dropped) = diff(&set, base);
+        let mut regions = Vec::new();
+        let mut trials_saved = 0u64;
+        for d in deltas {
+            let planned = planned_trials(cfg, d.region.site_mass, total_mass);
+            match d.fate {
+                Fate::Reused => {
+                    trials_saved += planned;
+                    // Carry the baseline trials; re-weight to the current
+                    // mass (the mixture weights must describe the current
+                    // program, not the baseline's call profile).
+                    let mut p = d.baseline.expect("reused region has a baseline profile");
+                    p.site_mass = d.region.site_mass;
+                    regions.push(RegionReport {
+                        name: d.region.name,
+                        fate: Fate::Reused,
+                        planned_trials: 0,
+                        profile: p,
+                    });
+                }
+                fate => {
+                    let runnable = planned > 0 && !matches!(resolve_scope(unit, &d.region.name), Scope::None);
+                    if runnable {
+                        tasks.push(DiffTask {
+                            unit_index: ui,
+                            region_index: regions.len(),
+                            region: d.region.name.clone(),
+                            mass: d.region.site_mass,
+                            trials: planned,
+                            seed: cfg.seed ^ fnv1a(d.region.name.as_bytes()),
+                            priority: *priorities.get(&(unit.key.id(), d.region.name.clone())).unwrap_or(&0.0),
+                        });
+                    }
+                    regions.push(RegionReport {
+                        name: d.region.name.clone(),
+                        fate,
+                        planned_trials: if runnable { planned } else { 0 },
+                        profile: RegionProfile {
+                            name: d.region.name,
+                            hash: d.region.hash,
+                            site_mass: d.region.site_mass,
+                            ..RegionProfile::default()
+                        },
+                    });
+                }
+            }
+        }
+        reports.push(DiffUnitReport {
+            key: unit.key.clone(),
+            regions,
+            dropped,
+            composed: WeightedEstimate { value: 0.0, ci95: 0.0, trials: 0, mass: 0 },
+            counts: OutcomeCounts::default(),
+            trials_run: 0,
+            trials_saved,
+        });
+    }
+
+    // Most-suspect regions first (pure scheduling: results are per-region
+    // pure functions of the seed, so order never changes them).
+    tasks.sort_by(|a, b| {
+        b.priority
+            .partial_cmp(&a.priority)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.unit_index, a.region_index).cmp(&(b.unit_index, b.region_index)))
+    });
+    (reports, tasks)
+}
+
+/// Fill the composed estimate, pooled counts, and trials-run tally of
+/// every unit report from its (now final) region profiles.
+pub fn compose_units(reports: &mut [DiffUnitReport]) {
+    for rep in reports {
+        let profiles: Vec<RegionProfile> = rep.regions.iter().map(|r| r.profile.clone()).collect();
+        rep.composed = compose_weighted(&profiles);
+        rep.counts = compose_exact(&profiles);
+        rep.trials_run = rep
+            .regions
+            .iter()
+            .filter(|r| r.fate != Fate::Reused)
+            .map(|r| r.profile.trials)
+            .sum();
+    }
+}
+
+/// Run an incremental campaign: reuse baseline profiles for unchanged
+/// regions, re-execute changed/new regions with region-scoped trials, and
+/// compose. `priorities` (unit id, region name) → score orders re-run
+/// execution most-suspect-first (see `flowery-analysis` statline priors);
+/// it never changes results, only scheduling.
+pub fn run_diff(
+    units: &[TrialUnit],
+    cfg: &HarnessConfig,
+    cache: &GoldenCache,
+    baseline: &Baseline,
+    priorities: &HashMap<(String, String), f64>,
+) -> DiffReport {
+    let metrics = Metrics::with_mode(cfg.exec.executor);
+    let (mut reports, tasks) = plan_diff(units, cfg, cache, baseline, priorities);
+    for rep in &reports {
+        let (reused, rerun, _) = rep.fate_counts();
+        metrics.record_region_plan(rep.regions.len() as u64, reused, rerun, rep.trials_saved);
+    }
+
+    let threads = if cfg.threads > 0 {
+        cfg.threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, usize, RegionTaskResult)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(tasks.len().max(1)) {
+            scope.spawn(|| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(t) else { return };
+                let unit = &units[task.unit_index];
+                let Some(r) = run_region_task(unit, cache, cfg, &task.region, task.seed, task.mass, 0..task.trials)
+                else {
+                    continue;
+                };
+                let compiled =
+                    unit.key.layer == Layer::Asm && cfg.exec.executor == flowery_ir::interp::ExecMode::Compiled;
+                metrics.record_batch(&r.counts, false, r.ff_insts, r.exec_insts, compiled);
+                done.lock().unwrap().push((task.unit_index, task.region_index, r));
+            });
+        }
+    });
+
+    for (ui, ri, r) in done.into_inner().unwrap() {
+        fold_task_result(&mut reports[ui].regions[ri].profile, &r);
+    }
+    compose_units(&mut reports);
+    let metrics = metrics.snapshot(units.len(), 0, cache.stats());
+    DiffReport { units: reports, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Variant;
+    use std::sync::Arc;
+
+    const SRC: &str = "int helper(int x) { return x * 3 + 1; } \
+         int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { s = s + helper(i); } output(s); return 0; }";
+
+    fn ir_unit(src: &str) -> TrialUnit {
+        let m = Arc::new(flowery_lang::compile("t", src).unwrap());
+        TrialUnit::ir(UnitKey::new("t", Variant::Raw, 0.0, Layer::Ir), m)
+    }
+
+    fn asm_unit(src: &str) -> TrialUnit {
+        let m = Arc::new(flowery_lang::compile("t", src).unwrap());
+        let p = Arc::new(flowery_backend::compile_module(&m, &flowery_backend::BackendConfig::default()));
+        TrialUnit::asm(UnitKey::new("t", Variant::Raw, 0.0, Layer::Asm), m, p)
+    }
+
+    fn small_cfg() -> HarnessConfig {
+        HarnessConfig {
+            batch_size: 25,
+            max_trials: 100,
+            min_trials: 25,
+            ci_target: None,
+            threads: 2,
+            ..HarnessConfig::default()
+        }
+    }
+
+    fn empty_baseline(cfg: &HarnessConfig) -> Baseline {
+        Baseline {
+            header: cfg.header(),
+            regions: HashMap::new(),
+            pre_region: true,
+        }
+    }
+
+    #[test]
+    fn salt_separates_configs() {
+        let cfg = small_cfg();
+        let mut other = small_cfg();
+        other.fault_model = flowery_faultmodel::ModelSpec::FlagsPc;
+        let key = UnitKey::new("t", Variant::Raw, 0.0, Layer::Ir);
+        assert_ne!(unit_salt(&key, &cfg), unit_salt(&key, &other));
+        let key2 = UnitKey::new("t", Variant::Id, 1.0, Layer::Ir);
+        assert_ne!(unit_salt(&key, &cfg), unit_salt(&key2, &cfg));
+    }
+
+    #[test]
+    fn empty_baseline_runs_everything_fresh() {
+        let unit = ir_unit(SRC);
+        let cfg = small_cfg();
+        let cache = GoldenCache::new();
+        let report = run_diff(&[unit], &cfg, &cache, &empty_baseline(&cfg), &HashMap::new());
+        let u = &report.units[0];
+        let (reused, rerun, new) = u.fate_counts();
+        assert_eq!((reused, rerun), (0, 0));
+        assert_eq!(new, 2, "helper and main are both new");
+        assert!(u.trials_run > 0);
+        assert_eq!(u.trials_saved, 0);
+        assert_eq!(u.counts.total(), u.trials_run);
+        assert!(u.composed.mass > 0);
+        assert_eq!(report.metrics.regions_total, 2);
+        assert_eq!(report.metrics.regions_rerun, 0);
+    }
+
+    #[test]
+    fn single_function_edit_reruns_exactly_that_region() {
+        let cfg = small_cfg();
+        let cache = GoldenCache::new();
+        // Baseline campaign over the original program.
+        let base_units = [ir_unit(SRC)];
+        let base = run_diff(&base_units, &cfg, &cache, &empty_baseline(&cfg), &HashMap::new());
+        let baseline = Baseline {
+            header: cfg.header(),
+            regions: base.records().into_iter().map(|r| (r.unit.clone(), r)).collect(),
+            pre_region: false,
+        };
+        // Edit helper only.
+        let edited = [ir_unit(&SRC.replace("x * 3 + 1", "x * 3 + 2"))];
+        let report = run_diff(&edited, &cfg, &cache, &baseline, &HashMap::new());
+        let u = &report.units[0];
+        let (reused, rerun, new) = u.fate_counts();
+        assert_eq!((reused, rerun, new), (1, 1, 0), "only the edited function re-runs");
+        let helper = u.regions.iter().find(|r| r.name == "helper").unwrap();
+        assert_eq!(helper.fate, Fate::Rerun);
+        let main = u.regions.iter().find(|r| r.name == "main").unwrap();
+        assert_eq!(main.fate, Fate::Reused);
+        let base_main = &base.units[0].regions.iter().find(|r| r.name == "main").unwrap().profile;
+        assert_eq!(main.profile.counts, base_main.counts, "reused profile carried verbatim");
+        assert!(u.trials_saved > 0);
+        assert_eq!(report.metrics.regions_rerun, 1);
+        assert_eq!(report.metrics.region_trials_saved, u.trials_saved);
+    }
+
+    #[test]
+    fn identical_program_reuses_everything_and_composes_identically() {
+        let cfg = small_cfg();
+        let cache = GoldenCache::new();
+        let units = [asm_unit(SRC)];
+        let base = run_diff(&units, &cfg, &cache, &empty_baseline(&cfg), &HashMap::new());
+        let baseline = Baseline {
+            header: cfg.header(),
+            regions: base.records().into_iter().map(|r| (r.unit.clone(), r)).collect(),
+            pre_region: false,
+        };
+        let again = run_diff(&units, &cfg, &cache, &baseline, &HashMap::new());
+        let u = &again.units[0];
+        assert_eq!(u.trials_run, 0, "nothing changed, nothing runs");
+        assert!(u.regions.iter().all(|r| r.fate == Fate::Reused));
+        assert_eq!(u.counts, base.units[0].counts);
+        assert_eq!(u.composed, base.units[0].composed);
+    }
+
+    #[test]
+    fn diff_is_thread_count_independent() {
+        let cache = GoldenCache::new();
+        let units = [ir_unit(SRC)];
+        let mut one = small_cfg();
+        one.threads = 1;
+        let mut four = small_cfg();
+        four.threads = 4;
+        let a = run_diff(&units, &one, &cache, &empty_baseline(&one), &HashMap::new());
+        let b = run_diff(&units, &four, &cache, &empty_baseline(&four), &HashMap::new());
+        assert_eq!(a.units[0].regions, b.units[0].regions);
+        assert_eq!(a.units[0].counts, b.units[0].counts);
+    }
+
+    #[test]
+    fn baseline_refusal_names_both_values() {
+        let dir = std::env::temp_dir().join(format!("fl-incr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.jsonl");
+        let cfg = small_cfg();
+        checkpoint::write_canonical_full(&path, &cfg.header(), &[], &[]).unwrap();
+        let mut other = small_cfg();
+        other.seed ^= 1;
+        let err = Baseline::load(&path, &other.header()).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        assert!(err.contains("checkpoint has") && err.contains("this campaign wants"), "{err}");
+        // A foreign region schema is named with both values too.
+        let mut h = cfg.header();
+        h.region_schema = REGION_SCHEMA_VERSION + 7;
+        checkpoint::write_canonical_full(&path, &h, &[], &[]).unwrap();
+        let err = Baseline::load(&path, &cfg.header()).unwrap_err();
+        assert!(err.contains("region-schema"), "{err}");
+        assert!(
+            err.contains(&(REGION_SCHEMA_VERSION + 7).to_string()) && err.contains(&REGION_SCHEMA_VERSION.to_string()),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod engine;
 pub mod explore;
+pub mod incremental;
 pub mod metrics;
 pub mod plan;
 pub mod progress;
@@ -35,10 +36,15 @@ pub mod snapstore;
 
 pub use cache::{module_hash, program_hash, CacheStats, GoldenCache};
 pub use checkpoint::{
-    canonicalize, compact, load as load_checkpoint, write_canonical, BatchRecord, CheckpointLog, Header,
+    canonicalize, canonicalize_regions, compact, load as load_checkpoint, load_full as load_checkpoint_full,
+    write_canonical, write_canonical_full, BatchRecord, CheckpointLog, Header, RegionRecord,
 };
 pub use engine::{run_units, CampaignReport, Control, HarnessConfig, RunOptions, UnitResult, UnitRunner};
 pub use explore::{explore, render_table, DesignPoint, ExploreReport, ExploreSpec, ModelFrontier, WorkloadReport};
+pub use incremental::{
+    compose_units, fold_task_result, plan_diff, region_fingerprint, region_records, run_diff, run_region_task,
+    unit_region_set, unit_salt, Baseline, DiffReport, DiffTask, DiffUnitReport, RegionReport, RegionTaskResult,
+};
 pub use metrics::{DistStats, Metrics, MetricsSnapshot, WorkerStats};
 pub use plan::{build_matrix, matrix_fingerprint, Layer, MatrixSpec, TrialUnit, UnitKey, Variant};
 pub use progress::{BatchOutcome, UnitProgress};

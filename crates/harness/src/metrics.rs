@@ -29,6 +29,13 @@ pub struct Metrics {
     /// Subset of `exec_insts` run by the threaded-code engine (assembly
     /// layer under `compiled`; the IR interpreter always counts as interp).
     compiled_insts: AtomicU64,
+    /// Region accounting from `flowery diff`: how many regions the
+    /// incremental plan saw, reused, and re-ran, and the trials the reuse
+    /// avoided. Zero for non-incremental campaigns.
+    regions_total: AtomicU64,
+    regions_reused: AtomicU64,
+    regions_rerun: AtomicU64,
+    region_trials_saved: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -46,6 +53,10 @@ impl Default for Metrics {
             ff_insts: AtomicU64::new(0),
             exec_insts: AtomicU64::new(0),
             compiled_insts: AtomicU64::new(0),
+            regions_total: AtomicU64::new(0),
+            regions_reused: AtomicU64::new(0),
+            regions_rerun: AtomicU64::new(0),
+            region_trials_saved: AtomicU64::new(0),
         }
     }
 }
@@ -83,6 +94,16 @@ impl Metrics {
 
     pub fn record_unit_done(&self) {
         self.units_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one unit's incremental plan: `reused`/`rerun` regions out
+    /// of `total` (`total - reused - rerun` are new), and the trials the
+    /// reused profiles made unnecessary.
+    pub fn record_region_plan(&self, total: u64, reused: u64, rerun: u64, trials_saved: u64) {
+        self.regions_total.fetch_add(total, Ordering::Relaxed);
+        self.regions_reused.fetch_add(reused, Ordering::Relaxed);
+        self.regions_rerun.fetch_add(rerun, Ordering::Relaxed);
+        self.region_trials_saved.fetch_add(trials_saved, Ordering::Relaxed);
     }
 
     /// Sample the counters. `units_total` and `remaining_trials` come from
@@ -128,6 +149,10 @@ impl Metrics {
             exec_mode: self.exec_mode.to_string(),
             interp_insts: exec_insts - compiled_insts,
             compiled_insts,
+            regions_total: self.regions_total.load(Ordering::Relaxed),
+            regions_reused: self.regions_reused.load(Ordering::Relaxed),
+            regions_rerun: self.regions_rerun.load(Ordering::Relaxed),
+            region_trials_saved: self.region_trials_saved.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +206,19 @@ pub struct MetricsSnapshot {
     /// Executed instructions attributed to the threaded-code engine.
     #[serde(default)]
     pub compiled_insts: u64,
+    /// Regions across all units of an incremental (`flowery diff`) plan;
+    /// 0 for plain campaigns.
+    #[serde(default)]
+    pub regions_total: u64,
+    /// Regions whose baseline profiles were reused verbatim.
+    #[serde(default)]
+    pub regions_reused: u64,
+    /// Regions re-executed because their content hash changed.
+    #[serde(default)]
+    pub regions_rerun: u64,
+    /// Trials the reused region profiles made unnecessary.
+    #[serde(default)]
+    pub region_trials_saved: u64,
 }
 
 impl MetricsSnapshot {
@@ -190,8 +228,16 @@ impl MetricsSnapshot {
             Some(s) if s >= 1.0 => format!(" eta {:.0}s", s),
             _ => String::new(),
         };
+        let regions = if self.regions_total > 0 {
+            format!(
+                " | regions {}/{} reused, {} re-run, {} trials saved",
+                self.regions_reused, self.regions_total, self.regions_rerun, self.region_trials_saved
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{}/{} units | {} trials @ {:.0}/s | sdc {} due {} det {} | cache {:.0}% ff {:.0}%{}",
+            "{}/{} units | {} trials @ {:.0}/s | sdc {} due {} det {} | cache {:.0}% ff {:.0}%{}{}",
             self.units_done,
             self.units_total,
             self.trials,
@@ -201,7 +247,8 @@ impl MetricsSnapshot {
             self.counts.detected,
             self.cache_hit_rate * 100.0,
             self.ff_ratio * 100.0,
-            eta
+            eta,
+            regions
         )
     }
 
@@ -327,6 +374,22 @@ mod tests {
         assert_eq!(s.exec_insts, 100);
         assert_eq!(s.interp_insts, 40);
         assert_eq!(s.compiled_insts, 60);
+    }
+
+    #[test]
+    fn region_counters_render_only_when_incremental() {
+        let m = Metrics::new();
+        let s = m.snapshot(1, 0, CacheStats::default());
+        assert_eq!(s.regions_total, 0);
+        assert!(!s.render().contains("regions"), "plain campaigns hide region counters");
+        m.record_region_plan(10, 8, 1, 2400);
+        m.record_region_plan(6, 6, 0, 1800);
+        let s = m.snapshot(1, 0, CacheStats::default());
+        assert_eq!(s.regions_total, 16);
+        assert_eq!(s.regions_reused, 14);
+        assert_eq!(s.regions_rerun, 1);
+        assert_eq!(s.region_trials_saved, 4200);
+        assert!(s.render().contains("regions 14/16 reused, 1 re-run, 4200 trials saved"), "{}", s.render());
     }
 
     #[test]

@@ -115,6 +115,11 @@ impl TrialUnit {
 pub struct MatrixSpec {
     /// Workload names; empty means all benchmarks.
     pub benches: Vec<String>,
+    /// Out-of-tree programs as `(name, MiniC source)`, compiled exactly
+    /// like a workload and appended after `benches`. Sources must already
+    /// be known to compile (validate before building); names must not
+    /// collide with built-in benchmarks.
+    pub sources: Vec<(String, String)>,
     pub scale: Scale,
     /// Protection levels for the Id / Flowery variants.
     pub levels: Vec<f64>,
@@ -130,6 +135,7 @@ impl Default for MatrixSpec {
     fn default() -> MatrixSpec {
         MatrixSpec {
             benches: Vec::new(),
+            sources: Vec::new(),
             scale: Scale::Standard,
             levels: vec![1.0],
             profile_trials: 1200,
@@ -163,14 +169,24 @@ pub fn matrix_fingerprint(units: &[TrialUnit]) -> u64 {
 /// Id at both layers per level, and Id+Flowery at the assembly layer per
 /// level (the paper's protagonist configuration).
 pub fn build_matrix(spec: &MatrixSpec) -> Vec<TrialUnit> {
-    let names: Vec<&str> = if spec.benches.is_empty() {
+    let names: Vec<&str> = if spec.benches.is_empty() && spec.sources.is_empty() {
         flowery_workloads::NAMES.to_vec()
     } else {
         spec.benches.iter().map(|s| s.as_str()).collect()
     };
+    let mut programs: Vec<(String, Arc<Module>)> = names
+        .iter()
+        .map(|&name| (name.to_string(), Arc::new(flowery_workloads::workload(name, spec.scale).compile())))
+        .collect();
+    for (name, src) in &spec.sources {
+        let m =
+            flowery_lang::compile(name, src).unwrap_or_else(|e| panic!("matrix source '{name}' does not compile: {e}"));
+        programs.push((name.clone(), Arc::new(m)));
+    }
     let mut units = Vec::new();
-    for name in names {
-        let raw = Arc::new(flowery_workloads::workload(name, spec.scale).compile());
+    for (name, raw) in &programs {
+        let name = name.as_str();
+        let raw = raw.clone();
         let raw_prog = Arc::new(compile_module(&raw, &spec.backend));
         units.push(TrialUnit::ir(UnitKey::new(name, Variant::Raw, 0.0, Layer::Ir), raw.clone()));
         units.push(TrialUnit::asm(

@@ -25,6 +25,9 @@ pub struct BatchOutcome {
     pub sdc_by_inst: HashMap<(FuncId, InstId), u64>,
     /// Assembly layer: program indices of SDC injections, in trial order.
     pub sdc_insts: Vec<u32>,
+    /// Per-region outcome tallies, keyed by region (function) name and
+    /// sorted by it — see `flowery-regions`.
+    pub region_counts: Vec<(String, OutcomeCounts)>,
     /// Golden-prefix instructions skipped by snapshot fast-forward.
     /// Metrics-only: not checkpointed (replayed batches report 0).
     pub ff_insts: u64,
@@ -45,6 +48,7 @@ impl BatchOutcome {
             sdc_by_inst: self.sdc_by_inst.clone(),
             sdc_insts: self.sdc_insts.clone(),
             fault_model,
+            region_counts: self.region_counts.clone(),
         }
     }
 
@@ -55,8 +59,20 @@ impl BatchOutcome {
             counts: rec.counts,
             sdc_by_inst: rec.sdc_by_inst.clone(),
             sdc_insts: rec.sdc_insts.clone(),
+            region_counts: rec.region_counts.clone(),
             ff_insts: 0,
             exec_insts: 0,
+        }
+    }
+}
+
+/// Fold one sorted name→counts list into another, keeping the result
+/// sorted by name. Used everywhere per-region tallies accumulate.
+pub fn merge_region_counts(into: &mut Vec<(String, OutcomeCounts)>, from: &[(String, OutcomeCounts)]) {
+    for (name, counts) in from {
+        match into.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => into[i].1.merge(counts),
+            Err(i) => into.insert(i, (name.clone(), *counts)),
         }
     }
 }
@@ -157,6 +173,7 @@ mod tests {
             fault_model: ModelSpec::SingleBitReg,
             detectors: Vec::new(),
             exec_mode: Default::default(),
+            region_schema: 0,
         }
     }
 
@@ -198,5 +215,21 @@ mod tests {
         assert_eq!(back.counts, out.counts);
         assert_eq!(back.sdc_insts, out.sdc_insts);
         assert_eq!(back.ff_insts, 0, "metrics counters are not checkpointed");
+    }
+
+    #[test]
+    fn merge_region_counts_keeps_sorted_order() {
+        let mut acc = vec![("b".to_string(), OutcomeCounts { sdc: 1, ..Default::default() })];
+        merge_region_counts(
+            &mut acc,
+            &[
+                ("a".to_string(), OutcomeCounts { benign: 2, ..Default::default() }),
+                ("b".to_string(), OutcomeCounts { sdc: 3, ..Default::default() }),
+                ("c".to_string(), OutcomeCounts { due: 1, ..Default::default() }),
+            ],
+        );
+        let names: Vec<&str> = acc.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(acc[1].1.sdc, 4);
     }
 }

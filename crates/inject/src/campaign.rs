@@ -277,6 +277,27 @@ impl<'m> IrTrialRunner<'m> {
         detectors: &[DetectorSpec],
     ) -> IrTrialOutcome {
         let spec = model.sample_ir(seed, trial_index, self.sites);
+        self.run_spec(spec, detectors)
+    }
+
+    /// Execute trial `trial_index` re-sampled *inside one region*: the
+    /// model's site draw indexes only the `mass` fault sites of `scope`'s
+    /// function body (region-local stream; see `FaultSpec::scope`).
+    pub fn run_trial_model_scoped(
+        &mut self,
+        seed: u64,
+        trial_index: u64,
+        model: ModelSpec,
+        detectors: &[DetectorSpec],
+        scope: flowery_ir::value::FuncId,
+        mass: u64,
+    ) -> IrTrialOutcome {
+        assert!(mass > 0, "scoped trials need a nonzero region site mass");
+        let spec = model.sample_ir(seed, trial_index, mass).scoped(scope);
+        self.run_spec(spec, detectors)
+    }
+
+    fn run_spec(&mut self, spec: FaultSpec, detectors: &[DetectorSpec]) -> IrTrialOutcome {
         let (r, skipped) = match self.snapshots.clone() {
             Some(set) => self.interp.run_fast_forward(&self.exec, spec, &set, &mut self.scratch),
             None => (self.interp.run_scratch(&self.exec, Some(spec), &mut self.scratch), 0),
@@ -395,6 +416,28 @@ impl<'p> AsmTrialRunner<'p> {
         detectors: &[DetectorSpec],
     ) -> AsmTrialOutcome {
         let spec = model.sample_asm(seed, trial_index, self.sites);
+        self.run_spec(spec, detectors)
+    }
+
+    /// Execute trial `trial_index` re-sampled *inside one region*: the
+    /// model's site draw indexes only the `mass` fault sites executed in
+    /// the program instruction `range` (region-local stream; see
+    /// `AsmFaultSpec::scope`).
+    pub fn run_trial_model_scoped(
+        &mut self,
+        seed: u64,
+        trial_index: u64,
+        model: ModelSpec,
+        detectors: &[DetectorSpec],
+        range: std::ops::Range<u32>,
+        mass: u64,
+    ) -> AsmTrialOutcome {
+        assert!(mass > 0, "scoped trials need a nonzero region site mass");
+        let spec = model.sample_asm(seed, trial_index, mass).scoped(range.start, range.end);
+        self.run_spec(spec, detectors)
+    }
+
+    fn run_spec(&mut self, spec: AsmFaultSpec, detectors: &[DetectorSpec]) -> AsmTrialOutcome {
         let (r, skipped) = match self.snapshots.clone() {
             Some(set) => self.mach.run_fast_forward(&self.exec, spec, &set, &mut self.scratch),
             None => (self.mach.run_scratch(&self.exec, Some(spec), &mut self.scratch), 0),

@@ -276,7 +276,15 @@ impl<'m> Interpreter<'m> {
         output.clear();
         // A profiled trial can only restore a snapshot that carries the
         // profile accumulator; otherwise fall back to a scratch start.
-        let init = match set.nearest(fault.site_index) {
+        // Scoped faults index a region-local site counter, which snapshot
+        // restore points (keyed by the global counter) cannot seed — they
+        // always start from scratch.
+        let snap = if fault.scope.is_none() {
+            set.nearest(fault.site_index)
+        } else {
+            None
+        };
+        let init = match snap {
             Some(snap) if !config.profile || snap.profile.is_some() => {
                 mem.reset_to(&set.base, &snap.pages);
                 output.extend_from_slice(&set.golden.output[..snap.output_len]);
@@ -349,6 +357,8 @@ impl<'m> Interpreter<'m> {
             profile: init_profile,
         } = init;
         let mut injected_at: Option<(FuncId, InstId)> = None;
+        // Region-local site counter for scoped faults (see `FaultSpec::scope`).
+        let mut scope_sites: u64 = 0;
         let mut profile = init_profile.or_else(|| {
             config.profile.then(|| Profile {
                 counts: self.module.functions.iter().map(|f| vec![0u64; f.insts.len()]).collect(),
@@ -511,7 +521,11 @@ impl<'m> Interpreter<'m> {
                     // returns (handled at `Ret`, also excluded) — matching
                     // the instruction-duplication literature's fault model.
                     let is_site = !matches!(self.module.func(fr_func).inst(iid).kind, InstKind::Alloca { .. });
-                    let inject_now = is_site && fault.is_some_and(|spec| fault_sites == spec.site_index);
+                    let inject_now = is_site
+                        && fault.is_some_and(|spec| match spec.scope {
+                            None => fault_sites == spec.site_index,
+                            Some(f) => f == fr_func && scope_sites == spec.site_index,
+                        });
                     if inject_now {
                         let spec = fault.unwrap();
                         injected_at = Some((fr_func, iid));
@@ -546,6 +560,9 @@ impl<'m> Interpreter<'m> {
                     }
                     if is_site {
                         fault_sites += 1;
+                        if fault.is_some_and(|spec| spec.scope == Some(fr_func)) {
+                            scope_sites += 1;
+                        }
                     }
                     let fr = stack.last_mut().unwrap();
                     fr.values[iid.index()] = ty.canon(v);

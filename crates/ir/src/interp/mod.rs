@@ -177,12 +177,26 @@ pub struct FaultSpec {
     /// pre-existing single/double-bit destination flip.
     #[serde(default)]
     pub effect: FaultEffect,
+    /// Region-scoped injection: when set, `site_index` counts only fault
+    /// sites executed *inside this function* (a region-local index over
+    /// `[0, region site mass)`), instead of all sites. Used by the
+    /// incremental engine to re-sample one region directly. Scoped trials
+    /// always start from scratch — snapshot restore points are keyed by
+    /// the global site counter.
+    #[serde(default)]
+    pub scope: Option<crate::value::FuncId>,
 }
 
 impl FaultSpec {
     /// The standard single-bit fault.
     pub fn single(site_index: u64, bit: u32) -> FaultSpec {
-        FaultSpec { site_index, bit, second_bit: None, effect: FaultEffect::Bits }
+        FaultSpec {
+            site_index,
+            bit,
+            second_bit: None,
+            effect: FaultEffect::Bits,
+            scope: None,
+        }
     }
 
     /// A double-bit fault in the same destination.
@@ -192,12 +206,19 @@ impl FaultSpec {
             bit,
             second_bit: Some(second),
             effect: FaultEffect::Bits,
+            scope: None,
         }
     }
 
     /// A fault with an explicit effect.
     pub fn with_effect(site_index: u64, bit: u32, effect: FaultEffect) -> FaultSpec {
-        FaultSpec { site_index, bit, second_bit: None, effect }
+        FaultSpec { site_index, bit, second_bit: None, effect, scope: None }
+    }
+
+    /// The same fault, restricted to sites inside `func`.
+    pub fn scoped(mut self, func: crate::value::FuncId) -> FaultSpec {
+        self.scope = Some(func);
+        self
     }
 }
 

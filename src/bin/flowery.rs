@@ -7,6 +7,7 @@
 //! flowery inject <file.mc> [options]        fault-injection campaign
 //! flowery study [--trials N] [bench ...]    the paper's full study
 //! flowery campaign [options] [bench ...]    resumable harness campaign
+//! flowery diff --baseline CKPT [bench ...]  incremental campaign: re-run changed regions only
 //! flowery explore [options] [bench ...]     fault-model × protection × detector Pareto sweep
 //! flowery serve [options] [bench ...]       coordinate a distributed campaign
 //! flowery work --connect HOST:PORT          join one as a worker
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         "inject" => cmd_inject(rest),
         "study" => cmd_study(rest),
         "campaign" => cmd_campaign(rest),
+        "diff" => cmd_diff(rest),
         "explore" => cmd_explore(rest),
         "serve" => cmd_serve(rest),
         "work" => cmd_work(rest),
@@ -108,6 +110,32 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       the reference interpreter) — results
                                       are bit-identical either way, and
                                       resumes may mix executors freely
+  diff --baseline FILE [bench ...] [--src FILE] [--out FILE] [--static-prior]
+       [+ campaign options above]   incremental campaign: partition every
+                                      unit into per-function regions, hash
+                                      them, and compare against the
+                                      baseline checkpoint's region records;
+                                      unchanged regions reuse their
+                                      baseline profiles verbatim, changed
+                                      or new regions re-run with trials
+                                      scoped to the region, and the
+                                      whole-program answer is composed
+                                      from the mix under current site
+                                      masses; --out writes the composed
+                                      region records as a checkpoint (the
+                                      next diff's baseline);
+                                      --static-prior runs the lint first
+                                      and executes the most-suspect
+                                      changed regions first (scheduling
+                                      only — results are unchanged);
+                                      --json prints the composed region
+                                      records; --metrics-json includes
+                                      regions reused/re-run and trials
+                                      saved; --src adds an out-of-tree
+                                      MiniC program to the matrix (name =
+                                      file stem; repeatable) — edit the
+                                      file between runs and only the
+                                      changed functions re-execute
   explore [bench ...] [--models a,b,..] [--detectors none,parity,..]
           [--levels a,b] [--trials N] [--seed S] [--threads N]
           [--tiny] [--no-snapshots] [--out DIR] [--json]
@@ -126,10 +154,18 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       explore_<bench>.json per workload;
                                       --json prints the full report
   serve [bench ...] [--addr HOST:PORT] [--heartbeat-ms N] [--lease N]
+        [--baseline FILE] [--src FILE]
         [+ campaign options above]    coordinate the same campaign over
                                       TCP: workers lease trial batches and
                                       stream results back; the checkpoint
-                                      is byte-identical to a local run
+                                      is byte-identical to a local run;
+                                      --baseline switches to incremental
+                                      mode — workers lease region-scoped
+                                      batches for changed regions only and
+                                      --checkpoint receives the composed
+                                      region records, bit-identical to a
+                                      local `flowery diff` of the same
+                                      plan and baseline
   work --connect HOST:PORT [--threads N] [--max-reconnects N]
        [--backoff-ms N] [--executor interp|compiled]
                                       join a served campaign as a worker;
@@ -137,10 +173,12 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       engine for this worker only (safe:
                                       engines are bit-identical)
   vuln <file.mc | bench> [--trials N] [--top K] [--static-prior]
-                                      rank the most SDC-vulnerable
+       [--by-region]                  rank the most SDC-vulnerable
                                       instructions; --static-prior folds the
                                       lint's per-site flags in as a
-                                      sampling-tie breaker
+                                      sampling-tie breaker; --by-region
+                                      adds a per-function region table
+                                      (SDC share vs dynamic site mass)
   lint <file.mc | bench> [--pass-config raw|id|flowery] [--level L]
        [--validate] [--trials N] [--format json]
                                       static penetration analysis: flag
@@ -300,7 +338,7 @@ fn parse_benches(rest: &[String]) -> Result<Vec<String>, String> {
             continue;
         }
         if let Some(flag) = a.strip_prefix("--") {
-            skip = !matches!(flag, "resume" | "tiny" | "json" | "no-snapshots");
+            skip = !matches!(flag, "resume" | "tiny" | "json" | "no-snapshots" | "static-prior" | "by-region");
             continue;
         }
         if !NAMES.contains(&a.as_str()) {
@@ -360,10 +398,40 @@ fn parse_levels(rest: &[String]) -> Result<Vec<f64>, String> {
     }
 }
 
+/// Out-of-tree programs from `--src FILE` occurrences: the program name
+/// is the file stem, and the source is compiled here so a typo fails
+/// with a file-level error instead of a panic deep in `build_matrix`.
+fn parse_sources(rest: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for (i, a) in rest.iter().enumerate() {
+        if a != "--src" {
+            continue;
+        }
+        let path = rest.get(i + 1).ok_or("--src needs a FILE")?;
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| !s.is_empty())
+            .ok_or(format!("--src {path}: cannot derive a program name from the file name"))?
+            .to_string();
+        if NAMES.contains(&name.as_str()) {
+            return Err(format!("--src {path}: name '{name}' collides with a built-in workload"));
+        }
+        if sources.iter().any(|(n, _)| *n == name) {
+            return Err(format!("--src {path}: duplicate program name '{name}'"));
+        }
+        flowery::lang::compile(&name, &src).map_err(|e| format!("--src {path}: does not compile: {e}"))?;
+        sources.push((name, src));
+    }
+    Ok(sources)
+}
+
 /// The matrix both `campaign` builds locally and `serve` ships to workers.
 fn matrix_spec(rest: &[String], cfg: &flowery::harness::HarnessConfig) -> Result<flowery::harness::MatrixSpec, String> {
     Ok(flowery::harness::MatrixSpec {
         benches: parse_benches(rest)?,
+        sources: parse_sources(rest)?,
         scale: if flag(rest, "--tiny") { Scale::Tiny } else { Scale::Standard },
         levels: parse_levels(rest)?,
         profile_trials: (cfg.max_trials / 3).max(100),
@@ -434,8 +502,11 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
             let (header, batches) = load_checkpoint(p)?;
             // `same_schedule` ignores the executor: engines are
             // bit-identical, so mixed-executor resumes are sound.
-            if !header.same_schedule(&cfg.header()) {
-                return Err(format!("{}: checkpoint was written with different campaign parameters", p.display()));
+            if let Some(why) = header.describe_mismatch(&cfg.header()) {
+                return Err(format!(
+                    "{}: checkpoint was written with different campaign parameters — {why}",
+                    p.display()
+                ));
             }
             eprintln!("[harness] resuming: {} batches from {}", batches.len(), p.display());
             preloaded = batches;
@@ -488,6 +559,17 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         return Err(e);
     }
 
+    // A clean finish also records per-region profiles, so this checkpoint
+    // can serve as a `flowery diff --baseline` later. Interrupted runs
+    // skip this: partial units would compose wrongly.
+    if !report.interrupted {
+        if let Some(log) = &log {
+            for rec in flowery::harness::region_records(&units, &report.units, &cache, &cfg) {
+                log.record_regions(&rec)?;
+            }
+        }
+    }
+
     // Leave the checkpoint in canonical (byte-reproducible) form.
     drop(log);
     if let Some(p) = ckpt_path {
@@ -505,6 +587,119 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
             None => eprintln!("[harness] progress was NOT saved (no --checkpoint)"),
         }
     }
+    Ok(())
+}
+
+fn cmd_diff(rest: &[String]) -> Result<(), String> {
+    use flowery::harness::{build_matrix, write_canonical_full, Baseline, GoldenCache};
+    use std::collections::HashMap;
+    use std::path::Path;
+
+    let cfg = parse_harness(rest)?;
+    let spec = matrix_spec(rest, &cfg)?;
+    let base_path = opt_str(rest, "--baseline")
+        .ok_or("diff needs --baseline FILE (a checkpoint from a finished campaign or a prior diff)")?;
+    let baseline = Baseline::load(Path::new(base_path), &cfg.header())?;
+    if baseline.pre_region {
+        eprintln!("[diff] {base_path}: no region records in baseline; every region runs fresh");
+    }
+
+    eprintln!(
+        "[diff] building matrix ({} program(s))",
+        if spec.benches.is_empty() && spec.sources.is_empty() {
+            NAMES.len()
+        } else {
+            spec.benches.len() + spec.sources.len()
+        }
+    );
+    let units = build_matrix(&spec);
+
+    // Optional lint-derived priorities: changed regions with more flagged
+    // penetration sites execute first. Pure scheduling — per-region trial
+    // streams are seed-determined, so the order never changes results.
+    let mut priorities: HashMap<(String, String), f64> = HashMap::new();
+    if flag(rest, "--static-prior") {
+        for u in &units {
+            let bcfg = BackendConfig::default();
+            let compiled;
+            let prog = match u.program.as_deref() {
+                Some(p) => p,
+                None => {
+                    compiled = compile_module(&u.module, &bcfg);
+                    &compiled
+                }
+            };
+            let report = flowery::analysis::predict_program(&u.module, prog, bcfg.fold_compares);
+            for site in &report.flagged {
+                if let Some(f) = prog.funcs.iter().find(|f| (f.entry..f.end).contains(&site.idx)) {
+                    *priorities.entry((u.key.id(), f.name.clone())).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+    }
+
+    let cache = GoldenCache::new();
+    let report = flowery::harness::run_diff(&units, &cfg, &cache, &baseline, &priorities);
+
+    if let Some(p) = opt_str(rest, "--out") {
+        write_canonical_full(Path::new(p), &cfg.header(), &[], &report.records())?;
+        eprintln!("[diff] wrote composed checkpoint to {p}");
+    }
+    print_diff_report(rest, &report)
+}
+
+/// The per-unit diff table shared by `flowery diff` and
+/// `flowery serve --baseline`.
+fn print_diff_report(rest: &[String], report: &flowery::harness::DiffReport) -> Result<(), String> {
+    use flowery::regions::Fate;
+
+    if let Some(p) = opt_str(rest, "--metrics-json") {
+        let json = flowery::serde_json::to_string_pretty(&report.metrics).map_err(|e| format!("{e:?}"))?;
+        std::fs::write(p, json + "\n").map_err(|e| format!("cannot write {p}: {e}"))?;
+    }
+    if flag(rest, "--json") {
+        println!(
+            "{}",
+            flowery::serde_json::to_string_pretty(&report.records()).map_err(|e| format!("{e:?}"))?
+        );
+        return Ok(());
+    }
+
+    for u in &report.units {
+        let (reused, rerun, new) = u.fate_counts();
+        println!(
+            "{:<28} sdc {:>6.2}% ±{:.2}pp | {} regions: {} reused, {} re-run, {} new{} | {} trials run, {} saved",
+            u.key.id(),
+            u.composed.value * 100.0,
+            u.composed.ci95 * 100.0,
+            u.regions.len(),
+            reused,
+            rerun,
+            new,
+            if u.dropped.is_empty() {
+                String::new()
+            } else {
+                format!(", {} dropped", u.dropped.len())
+            },
+            u.trials_run,
+            u.trials_saved,
+        );
+        for r in &u.regions {
+            if r.fate == Fate::Reused {
+                continue;
+            }
+            println!(
+                "  {:<7} {:<20} {:>6} trials  sdc {:>6.2}%  mass {}",
+                r.fate.to_string(),
+                r.name,
+                r.profile.trials,
+                r.profile.sdc().value * 100.0,
+                r.profile.site_mass,
+            );
+        }
+    }
+    let m = &report.metrics;
+    println!("\n{}", m.render());
     Ok(())
 }
 
@@ -583,7 +778,7 @@ fn cmd_explore(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
-    use flowery::dist::{serve, CoordinatorConfig, PlanSpec};
+    use flowery::dist::{serve, serve_diff, CoordinatorConfig, PlanSpec};
     use flowery::harness::shutdown;
     use std::path::PathBuf;
 
@@ -601,11 +796,27 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         drain_grace_ms: 30_000,
         threads: cfg.threads,
         verbose: !flag(rest, "--json"),
+        baseline: opt_str(rest, "--baseline").map(PathBuf::from),
     };
 
     // First Ctrl-C drains workers and flushes the checkpoint; a second
     // kills the coordinator outright.
     shutdown::install();
+
+    // Incremental mode: workers lease region-scoped batches for changed
+    // regions only; the composed region checkpoint lands at --checkpoint.
+    if ccfg.baseline.is_some() {
+        let dist = serve_diff(plan, cfg, ccfg)?;
+        eprintln!("[serve] {}", dist.stats.render());
+        print_diff_report(rest, &dist.report)?;
+        if dist.interrupted {
+            eprintln!("[serve] interrupted: no composed checkpoint written; re-run the diff serve");
+        } else {
+            eprintln!("[serve] wrote composed checkpoint to {}", checkpoint.display());
+        }
+        return Ok(());
+    }
+
     let dist = serve(plan, cfg, ccfg)?;
     eprintln!("[serve] {}", dist.stats.render());
     print_campaign_report(rest, &dist.report)?;
@@ -662,6 +873,59 @@ fn cmd_vuln(rest: &[String]) -> Result<(), String> {
         ranking.len()
     );
     print!("{}", flowery::analysis::render_vulnerability(&ranking));
+    if flag(rest, "--by-region") {
+        // Fold the per-instruction SDC map into the same per-function
+        // regions `flowery diff` uses, with dynamic site mass from the
+        // golden profile — SDC share far above mass share marks a region
+        // worth selective protection (and a good diff re-run priority).
+        let set = flowery::regions::ir_region_set(&m, &prof, 0);
+        let total_sdc: u64 = camp.sdc_by_inst.values().sum();
+        let total_mass = set.total_mass();
+        let mut regions: Vec<flowery::regions::RegionProfile> = set
+            .regions
+            .iter()
+            .map(|r| flowery::regions::RegionProfile {
+                name: r.name.clone(),
+                hash: r.hash,
+                site_mass: r.site_mass,
+                sdc_by_inst: camp
+                    .sdc_by_inst
+                    .iter()
+                    .filter(|((f, _), _)| m.func(*f).name == r.name)
+                    .map(|(loc, n)| (*loc, *n))
+                    .collect(),
+                ..Default::default()
+            })
+            .collect();
+        regions.sort_by(|a, b| {
+            let (ha, hb): (u64, u64) = (a.sdc_by_inst.values().sum(), b.sdc_by_inst.values().sum());
+            hb.cmp(&ha).then_with(|| a.name.cmp(&b.name))
+        });
+        println!("\nper-region SDC contribution ({} regions):", regions.len());
+        println!(
+            "{:<20} {:>9} {:>8} {:>11} {:>10}",
+            "region", "sdc hits", "share", "site mass", "mass share"
+        );
+        for r in &regions {
+            let hits: u64 = r.sdc_by_inst.values().sum();
+            println!(
+                "{:<20} {:>9} {:>7.1}% {:>11} {:>9.1}%",
+                r.name,
+                hits,
+                if total_sdc == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total_sdc as f64 * 100.0
+                },
+                r.site_mass,
+                if total_mass == 0 {
+                    0.0
+                } else {
+                    r.site_mass as f64 / total_mass as f64 * 100.0
+                },
+            );
+        }
+    }
     Ok(())
 }
 

@@ -38,5 +38,6 @@ pub use flowery_inject as inject;
 pub use flowery_ir as ir;
 pub use flowery_lang as lang;
 pub use flowery_passes as passes;
+pub use flowery_regions as regions;
 pub use flowery_workloads as workloads;
 pub use serde_json;
