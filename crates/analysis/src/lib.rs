@@ -17,7 +17,7 @@ pub use rootcause::{
     classify_campaign, classify_campaign_with, classify_site, Classifier, Penetration, PenetrationBreakdown,
 };
 pub use statline::{
-    cross_validate, lint_module, predict_program, render_validation, static_prior, Finding, InvariantKind,
-    SitePrediction, StaticReport, TaintEngine, Validation, Verdict,
+    analyze_bits, cross_validate, lint_module, predict_program, render_validation, static_prior, BitTable, BitVerdict,
+    Finding, InvariantKind, SitePrediction, StaticReport, TaintEngine, Validation, Verdict,
 };
 pub use vulnerability::{render_vulnerability, vulnerability_ranking, vulnerability_ranking_with_prior, VulnEntry};

@@ -7,11 +7,13 @@
 //! truth. Layer 2 ([`invariants`]) lints the duplicated IR module for
 //! sphere-of-replication invariant violations. See DESIGN.md §7.
 
+pub mod bits;
 pub mod invariants;
 pub mod predict;
 pub mod sinks;
 pub mod taint;
 
+pub use bits::{analyze_bits, BitTable, BitVerdict, BITS_VERSION};
 pub use invariants::{lint_module, Finding, InvariantKind};
 pub use predict::{
     cross_validate, predict_program, render_validation, static_prior, CategoryRow, SitePrediction, StaticReport,

@@ -205,14 +205,43 @@ impl Taint {
         self.weak.remove(&loc);
     }
 
+    /// Any tracked global cell tainted (definitely or weakly)?
+    pub fn any_global(&self) -> bool {
+        let is_global = |l: &&Loc| matches!(l, Loc::Global(_));
+        self.def.iter().any(|l| is_global(&l)) || self.weak.iter().any(|l| is_global(&l))
+    }
+
+    /// Is corruption visible through memory at large — the summary, or any
+    /// global cell (globals stay addressable through pointers)? This is
+    /// the escape test for calls and returns.
+    pub fn memory_visible(&self) -> bool {
+        self.contains(Loc::Mem) || self.any_global()
+    }
+
+    /// May-alias closure for the field-sensitive memory model: a read of a
+    /// tracked global cell may hit summary corruption, and a summary
+    /// (pointer) read may hit a corrupted global cell. Frame slots never
+    /// alias anything (spill homes are not address-taken).
+    pub fn mem_aliases(&self, loc: Loc) -> bool {
+        match loc {
+            Loc::Global(_) => self.contains(Loc::Mem),
+            Loc::Mem => self.any_global(),
+            _ => false,
+        }
+    }
+
     /// Is the *value* this operand denotes possibly corrupted? For a
-    /// memory operand this covers both the addressed cell and a corrupted
-    /// base register (which makes the access read the wrong cell).
+    /// memory operand this covers the addressed cell, its may-alias
+    /// closure, and a corrupted base register (which makes the access read
+    /// the wrong cell).
     pub fn op_value_tainted(&self, op: &AOp) -> bool {
         match op {
             AOp::Reg(r) => self.contains(Loc::Reg(*r)),
             AOp::Imm(_) => false,
-            AOp::Mem(m) => self.contains(m.loc()) || m.base.is_some_and(|b| self.contains(Loc::Reg(b))),
+            AOp::Mem(m) => {
+                let l = m.loc();
+                self.contains(l) || self.mem_aliases(l) || m.base.is_some_and(|b| self.contains(Loc::Reg(b)))
+            }
         }
     }
 
@@ -267,8 +296,17 @@ mod tests {
     fn weak_taint_is_not_definite() {
         let t = Taint::weak(Loc::Mem);
         let opaque = AOp::Mem(MemRef { base: None, disp: 64 });
-        assert!(t.op_value_tainted(&opaque), "summary read may hit the corrupted cell");
+        assert!(t.op_value_tainted(&opaque), "global read may alias the corrupted summary");
         assert!(!t.op_definitely_tainted(&opaque), "but is never a guaranteed mismatch");
+
+        // The field-sensitive split: a named global cell is strong, so
+        // definite taint survives, and it aliases the summary both ways.
+        let g = Taint::definite(Loc::Global(64));
+        assert!(g.op_value_tainted(&opaque));
+        assert!(g.op_definitely_tainted(&opaque), "a named global cell keeps its identity");
+        assert!(g.memory_visible(), "globals stay addressable through pointers");
+        assert!(g.mem_aliases(Loc::Mem), "summary reads may hit the corrupted global");
+        assert!(!g.mem_aliases(Loc::Frame(-8)), "frame slots never alias");
 
         let d = Taint::definite(Loc::Reg(Reg::Rcx));
         let through_base = AOp::Mem(MemRef { base: Some(Reg::Rcx), disp: 0 });

@@ -40,18 +40,19 @@ impl Verdict {
     }
 }
 
-/// Per-program taint analysis context.
+/// Per-program taint analysis context. Fields are crate-visible so the
+/// bit-lattice engine ([`super::bits`]) reuses the same ABI tables.
 pub struct TaintEngine<'a> {
-    prog: &'a AsmProgram,
+    pub(crate) prog: &'a AsmProgram,
     guards: Guards,
     /// Function table index per instruction (`usize::MAX` if none).
-    func_of: Vec<usize>,
+    pub(crate) func_of: Vec<usize>,
     /// Return-value register per function table entry, if it returns one.
-    ret_reg: Vec<Option<Loc>>,
+    pub(crate) ret_reg: Vec<Option<Loc>>,
     /// Argument registers per IR function id (callee view).
-    arg_regs: Vec<Vec<Loc>>,
+    pub(crate) arg_regs: Vec<Vec<Loc>>,
     /// Per-site state budget before conservative flagging.
-    max_states: usize,
+    pub(crate) max_states: usize,
 }
 
 impl<'a> TaintEngine<'a> {
@@ -122,12 +123,14 @@ impl<'a> TaintEngine<'a> {
             FaultDest::MemVal(_) => match inst.kind {
                 AKind::Mov { dst: AOp::Mem(m), .. } | AKind::MovSd { dst: AOp::Mem(m), .. } => {
                     Ok(match m.loc() {
-                        // A frame slot is addressable: later reads of the
-                        // same slot definitely see the corruption.
-                        l @ Loc::Frame(_) => Taint::definite(l),
-                        // A global/heap cell loses its identity in the
-                        // summary: later summary reads may or may not hit
-                        // it.
+                        // A frame slot or absolute global cell keeps its
+                        // identity: later reads of the same cell definitely
+                        // see the corruption (globals additionally alias
+                        // the summary weakly — see `step`).
+                        l @ (Loc::Frame(_) | Loc::Global(_)) => Taint::definite(l),
+                        // A pointer-addressed cell loses its identity in
+                        // the summary: later summary reads may or may not
+                        // hit it.
                         _ => Taint::weak(Loc::Mem),
                     })
                 }
@@ -230,7 +233,7 @@ impl<'a> TaintEngine<'a> {
                 Step::cont(taint.clone())
             }
             AKind::Call { func, .. } => {
-                if taint.contains(Loc::Mem) {
+                if taint.memory_visible() {
                     return Step::Sink(Sink::MemEscape);
                 }
                 for &a in &self.arg_regs[func.index()] {
@@ -251,7 +254,7 @@ impl<'a> TaintEngine<'a> {
                 Step::cont(t)
             }
             AKind::Ret => {
-                if taint.contains(Loc::Mem) {
+                if taint.memory_visible() {
                     return Step::Sink(Sink::MemEscape);
                 }
                 let fi = self.func_of[j as usize];
@@ -268,9 +271,11 @@ impl<'a> TaintEngine<'a> {
                 // input strongly kills precise destinations (the write
                 // replaces the corrupted value). A memory-summary write
                 // always degrades to weak: the cell's identity is lost.
+                // Reads additionally pick up *weak* taint through the
+                // Global↔Mem may-alias closure.
                 let reads = k.reads();
                 let def_in = reads.iter().any(|l| taint.def.contains(l));
-                let weak_in = reads.iter().any(|l| taint.weak.contains(l));
+                let weak_in = reads.iter().any(|l| taint.weak.contains(l) || taint.mem_aliases(*l));
                 let mut t = taint.clone();
                 for w in k.writes() {
                     if w.is_strong() {

@@ -525,6 +525,45 @@ impl<'p> Machine<'p> {
         self.run(&cfg, None)
     }
 
+    /// Fault-free dynamic site trace: `trace[i]` is the instruction index
+    /// of the `i`-th fault site the golden run executes — the map from a
+    /// `FaultSpec::site_index` to the static instruction a fault would
+    /// land on. Stops recording at `cap` entries (later sites simply go
+    /// unmapped); the run itself always completes so the trace prefix is
+    /// exact.
+    pub fn site_trace(&self, config: &ExecConfig, cap: usize) -> Vec<u32> {
+        let mem = Memory::new(self.module, config.mem_size, config.stack_size);
+        let (mut st, mut ip) = self.boot(mem, Vec::new(), config);
+        let insts = &self.program.insts;
+        let mut trace = Vec::new();
+        loop {
+            if ip as usize >= insts.len() {
+                break;
+            }
+            st.dyn_insts += 1;
+            if st.dyn_insts > config.max_dyn_insts {
+                break;
+            }
+            let inst = &insts[ip as usize];
+            let is_site = inst.kind.is_fault_site();
+            let cur = ip;
+            match self.step(&mut st, inst, &mut ip, config) {
+                Ok(()) => {}
+                Err(Halt::Status(_)) => break,
+            }
+            if is_site {
+                if trace.len() >= cap {
+                    break;
+                }
+                trace.push(cur);
+            }
+            if st.output.len() > config.max_output {
+                break;
+            }
+        }
+        trace
+    }
+
     fn step(&self, st: &mut State, inst: &AInst, ip: &mut u32, config: &ExecConfig) -> Result<(), Halt> {
         st.last_ip = *ip;
         st.last_mem_write = None;

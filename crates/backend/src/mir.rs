@@ -351,17 +351,22 @@ pub enum FaultDest {
 
 /// An abstract storage location for static dataflow over machine code.
 ///
-/// Frame slots are tracked per-displacement (they are the spill homes the
-/// -O0-style allocator uses and never alias each other within a function);
-/// all other memory — absolute globals, pointer-based accesses, and the
-/// stack push/pop area — collapses into the [`Loc::Mem`] summary location.
+/// The memory model is field-sensitive: frame slots are tracked
+/// per-displacement (they are the spill homes the -O0-style allocator uses
+/// and never alias each other within a function), and absolute global cells
+/// are tracked per-address. Only pointer-based accesses and the stack
+/// push/pop area collapse into the [`Loc::Mem`] summary location, and since
+/// globals remain addressable through pointers, `Global` and `Mem` are
+/// weakly aliased by the dataflow engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Loc {
     Reg(Reg),
     Flags,
     /// `[rbp + disp]` frame slot, keyed by byte displacement.
     Frame(i64),
-    /// Summary of all non-frame memory (globals, heap, push/pop area).
+    /// Absolute global cell, keyed by address (`[disp]` with no base).
+    Global(i64),
+    /// Summary of all remaining memory (pointer accesses, push/pop area).
     Mem,
 }
 
@@ -379,6 +384,7 @@ impl MemRef {
     pub fn loc(&self) -> Loc {
         match self.base {
             Some(Reg::Rbp) => Loc::Frame(self.disp),
+            None => Loc::Global(self.disp),
             _ => Loc::Mem,
         }
     }

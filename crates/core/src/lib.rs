@@ -25,7 +25,7 @@ pub mod lint;
 pub mod pipeline;
 
 pub use config::ExperimentConfig;
-pub use lint::{run_lint, LintOutcome, PassConfig};
+pub use lint::{run_lint, BitsSummary, LintOutcome, PassConfig, SiteBits};
 pub use pipeline::{
     prepare, run_bench, run_prepared, run_study, BenchResults, LevelResults, PreparedBench, StudyResults,
 };

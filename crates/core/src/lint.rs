@@ -4,7 +4,9 @@
 //! around [`run_lint`].
 
 use crate::config::ExperimentConfig;
-use flowery_analysis::statline::{cross_validate, lint_module, predict_program, Finding, StaticReport, Validation};
+use flowery_analysis::statline::{
+    analyze_bits, cross_validate, lint_module, predict_program, Finding, StaticReport, Validation,
+};
 use flowery_backend::{compile_module, BackendConfig};
 use flowery_inject::{profile_sdc, run_asm_campaign, CampaignConfig};
 use flowery_ir::Module;
@@ -53,6 +55,35 @@ pub struct LintOutcome {
     pub findings: Vec<Finding>,
     /// Cross-validation against an injection campaign (`--validate`).
     pub validation: Option<Validation>,
+    /// Bit-lattice verdicts (the prune table `flowery campaign
+    /// --static-prune` consumes). Always computed — the analysis is pure
+    /// and cheap; `Option` only so pre-bits JSON keeps deserializing.
+    #[serde(default)]
+    pub bits: Option<BitsSummary>,
+}
+
+/// Per-site bit-mask verdicts of one linted program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BitsSummary {
+    /// Injectable sites the bit table covers.
+    pub sites: u32,
+    /// Proven-masked (site, bit) pairs across the whole program.
+    pub proven_pairs: u64,
+    /// Mean vulnerable-bit fraction across sites (1.0 = nothing proven).
+    pub mean_vulnerable: f64,
+    /// One entry per injectable site, in program order.
+    pub masks: Vec<SiteBits>,
+}
+
+/// The bit verdict of one injectable site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteBits {
+    /// Program index of the site.
+    pub idx: u32,
+    /// Sampled-bit families proven masked (bit `b` set = family `b`).
+    pub proven_masked: u64,
+    /// Complement: families the analysis cannot prove benign.
+    pub vulnerable: u64,
 }
 
 /// Protect `raw` per `(pass, level)`, run both lint layers, and optionally
@@ -89,6 +120,27 @@ pub fn run_lint(
         let camp = run_asm_campaign(&m, &prog, &CampaignConfig::with_trials(trials));
         cross_validate(&m, &prog, &report, &camp.sdc_insts, bcfg.fold_compares)
     });
+    let table = analyze_bits(&m, &prog);
+    let masks: Vec<SiteBits> = prog
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.kind.is_fault_site())
+        .map(|(idx, _)| {
+            let v = &table.verdicts[idx];
+            SiteBits {
+                idx: idx as u32,
+                proven_masked: v.proven_masked,
+                vulnerable: v.vulnerable,
+            }
+        })
+        .collect();
+    let bits = Some(BitsSummary {
+        sites: table.sites,
+        proven_pairs: table.proven_pairs,
+        mean_vulnerable: table.mean_vulnerable(),
+        masks,
+    });
     LintOutcome {
         bench: bench.to_string(),
         pass_config: pass,
@@ -96,6 +148,7 @@ pub fn run_lint(
         report,
         findings,
         validation,
+        bits,
     }
 }
 
@@ -123,9 +176,18 @@ mod tests {
         assert!(out.report.protected > 0, "full duplication proves sites");
         let v = out.validation.as_ref().expect("validation requested");
         assert!(v.overall_recall() >= 0.9, "soundness on the smoke program: {:.2}", v.overall_recall());
+        let bits = out.bits.as_ref().expect("bit table always computed");
+        assert_eq!(bits.masks.len() as u32, bits.sites);
+        assert!(bits.proven_pairs > 0, "some (site, bit) pairs prove masked");
+        assert_eq!(
+            bits.proven_pairs,
+            bits.masks.iter().map(|s| u64::from(s.proven_masked.count_ones())).sum::<u64>(),
+            "summary tallies the per-site masks"
+        );
         // The outcome must serialize (the CLI's --format json path).
         let json = serde_json::to_string(&out).unwrap();
         assert!(json.contains("\"bench\""));
+        assert!(json.contains("\"proven_masked\""), "JSON carries the per-site bit masks");
     }
 
     #[test]

@@ -32,7 +32,7 @@ use flowery_harness::checkpoint::{compact, load as load_checkpoint, write_canoni
 use flowery_harness::{
     build_matrix, compose_units, fold_task_result, matrix_fingerprint, plan_diff, region_fingerprint, run_units,
     Baseline, BatchOutcome, BatchRecord, CampaignReport, DiffReport, DiffTask, DiffUnitReport, DistStats, GoldenCache,
-    HarnessConfig, Metrics, RegionTaskResult, RunOptions, TrialUnit, UnitKey, UnitProgress, WorkerStats,
+    HarnessConfig, Layer, Metrics, RegionTaskResult, RunOptions, TrialUnit, UnitKey, UnitProgress, WorkerStats,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -621,6 +621,12 @@ fn merge_result(ctx: &Ctx, worker: u64, record: BatchRecord, ff_insts: u64, exec
             record.batch, record.unit, record.fault_model, ctx.header.fault_model
         ));
     }
+    if record.unit.layer == Layer::Asm && (record.prune_table != 0) != (ctx.header.static_prune != 0) {
+        return Err(format!(
+            "worker {worker} reported batch {} of {} with prune provenance {:#x} (schedule's static_prune is {:#x})",
+            record.batch, record.unit, record.prune_table, ctx.header.static_prune
+        ));
+    }
     st.leases.complete((ui, record.batch), worker);
     if st.progress[ui].has_batch(record.batch) {
         let existing = st.progress[ui].batch(record.batch).unwrap().to_record(
@@ -686,6 +692,13 @@ fn merge_scoped(
         return Err(format!(
             "worker {worker} reported batch {} of scope {scope} under model `{}` (schedule runs `{}`)",
             record.batch, record.fault_model, ctx.header.fault_model
+        ));
+    }
+    if record.prune_table != 0 || record.pruned != 0 {
+        return Err(format!(
+            "worker {worker} reported pruned trials in scoped batch {} of scope {scope} \
+             (scoped re-sampling is never prunable)",
+            record.batch
         ));
     }
     let batch = record.batch;

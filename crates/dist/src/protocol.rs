@@ -219,6 +219,8 @@ mod tests {
             sdc_insts: vec![5, 9],
             fault_model: flowery_faultmodel::ModelSpec::MemCell,
             region_counts: Vec::new(),
+            prune_table: 0x51a7_1c17,
+            pruned: 12,
         };
         let msgs = vec![
             ClientMsg::Hello { proto_version: PROTO_VERSION },

@@ -260,6 +260,11 @@ fn session(
                         sdc_insts: out.sdc_insts,
                         fault_model: hcfg.effective_model(),
                         region_counts: vec![(spec.region.clone(), out.counts)],
+                        // Scoped region re-runs never prune: the scoped
+                        // sampler re-draws sites within the region, which
+                        // the site-trace proofs do not cover.
+                        prune_table: 0,
+                        pruned: 0,
                     };
                     let msg = ClientMsg::ScopedCompleted {
                         scope,

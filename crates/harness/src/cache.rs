@@ -21,6 +21,7 @@
 //! golden maps), enabling snapshots never adds an execution.
 
 use crate::snapstore::SnapshotStore;
+use flowery_analysis::statline::{analyze_bits, BitTable};
 use flowery_backend::{print_program, AsmProgram, AsmSnapshotSet, MachResult, Machine};
 use flowery_ir::interp::{ExecConfig, ExecResult, Interpreter, IrSnapshotSet, Profile};
 use flowery_ir::printer::print_module;
@@ -79,6 +80,10 @@ pub struct GoldenCache {
     /// the dynamic fault-site masses of the region model.
     ir_profiles: Mutex<HashMap<u64, Arc<Profile>>>,
     asm_profiles: Mutex<HashMap<u64, Arc<Vec<u64>>>>,
+    /// Static bit-verdict tables (the prune oracle's proof side).
+    bit_tables: Mutex<HashMap<u64, Arc<BitTable>>>,
+    /// Golden dynamic-site → static-instruction traces (its lookup side).
+    site_maps: Mutex<HashMap<u64, Arc<Vec<u32>>>>,
     /// Persistent home for snapshot sets, when the campaign has one.
     store: Option<SnapshotStore>,
     hits: AtomicU64,
@@ -175,6 +180,40 @@ impl GoldenCache {
         self.goldens_run.fetch_add(1, Ordering::Relaxed);
         let pr = Arc::new(r.profile.expect("profiled run records a profile"));
         self.asm_profiles.lock().unwrap().entry(key).or_insert(pr).clone()
+    }
+
+    /// Upper bound on prunable dynamic sites per program: past this many,
+    /// the site trace stops and later sites simply go unpruned (sound —
+    /// pruning is an optimization, never a requirement).
+    pub const SITE_TRACE_CAP: usize = 1 << 22;
+
+    /// Static bit-verdict table for `p`, computed at most once per
+    /// distinct program content. Pure static analysis — no execution.
+    pub fn asm_bits(&self, m: &Module, p: &AsmProgram) -> Arc<BitTable> {
+        let key = program_hash(p);
+        if let Some(t) = self.bit_tables.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t = Arc::new(analyze_bits(m, p));
+        self.bit_tables.lock().unwrap().entry(key).or_insert(t).clone()
+    }
+
+    /// Golden site trace of `p`: static instruction index of each dynamic
+    /// fault site, in execution order, capped at
+    /// [`GoldenCache::SITE_TRACE_CAP`] entries. A fault-free replay (not a
+    /// golden run — it records site indices, nothing else).
+    pub fn asm_site_map(&self, m: &Module, p: &AsmProgram, exec: &ExecConfig) -> Arc<Vec<u32>> {
+        let key = program_hash(p);
+        if let Some(s) = self.site_maps.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return s.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let s = Arc::new(Machine::new(m, p).site_trace(exec, Self::SITE_TRACE_CAP));
+        self.goldens_run.fetch_add(1, Ordering::Relaxed);
+        self.site_maps.lock().unwrap().entry(key).or_insert(s).clone()
     }
 
     /// Snapshot set for fast-forwarded IR trials over `m` (no raw twin).

@@ -65,6 +65,16 @@ pub struct Header {
     /// [`flowery_regions::REGION_SCHEMA_VERSION`].
     #[serde(default)]
     pub region_schema: u32,
+    /// Static-prune recipe signature ([`crate::prior::prune_signature`])
+    /// when the campaign rejection-skips proven-masked (site, bit) pairs;
+    /// 0 = pruning off. **Schedule-refusing provenance**: pruned and
+    /// unpruned runs produce identical tallies by construction, but a
+    /// resume that silently mixed them could not be audited (per-batch
+    /// `pruned` counters and table hashes would disagree), so mixed-prune
+    /// resumes are refused like any schedule mismatch. Absent in
+    /// pre-prune checkpoints, which never pruned.
+    #[serde(default)]
+    pub static_prune: u64,
 }
 
 impl Header {
@@ -111,6 +121,7 @@ impl Header {
             .or_else(|| field("double_bit", &self.double_bit, &requested.double_bit))
             .or_else(|| field("fault_model", &self.fault_model, &requested.fault_model))
             .or_else(|| field("detectors", &self.detectors, &requested.detectors))
+            .or_else(|| field("static_prune", &self.static_prune, &requested.static_prune))
             .or_else(|| Some("campaign parameters differ".to_string()))
     }
 }
@@ -136,6 +147,17 @@ pub struct BatchRecord {
     /// logs, which load with an empty list.
     #[serde(default)]
     pub region_counts: Vec<(String, OutcomeCounts)>,
+    /// Fingerprint of the static bit-verdict table the batch's trials were
+    /// pruned against ([`flowery_analysis::statline::BitTable::fingerprint`]
+    /// over the unit's program hash); 0 = batch ran unpruned. Provenance
+    /// for the prune soundness claim: a canonical log records exactly
+    /// which proofs every batch trusted.
+    #[serde(default)]
+    pub prune_table: u64,
+    /// Trials of this batch resolved virtually (proven-masked pair →
+    /// Benign without execution). Subset of `counts.benign`.
+    #[serde(default)]
+    pub pruned: u64,
 }
 
 /// Per-region campaign results for one unit — the versioned region
@@ -174,11 +196,34 @@ impl CheckpointLog {
     }
 
     /// Reopen an existing log for appending (after [`load`]).
+    ///
+    /// A write interrupted mid-line leaves the file without a trailing
+    /// newline; appending after it would weld the next record onto the
+    /// fragment, corrupting a line [`load`] only tolerated while it was
+    /// last. So the tail is repaired first: an unparseable fragment is
+    /// truncated away (exactly the bytes `load` ignored), while a
+    /// complete record that merely lost its newline keeps its data and
+    /// gains the newline.
     pub fn append_to(path: &Path) -> Result<CheckpointLog, String> {
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
+            .read(true)
             .append(true)
             .open(path)
             .map_err(|e| format!("open {}: {e}", path.display()))?;
+        let mut bytes = Vec::new();
+        std::io::Read::read_to_end(&mut file, &mut bytes).map_err(|e| format!("read {}: {e}", path.display()))?;
+        if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+            let cut = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            let intact = std::str::from_utf8(&bytes[cut..])
+                .ok()
+                .is_some_and(|tail| serde_json::from_str::<Record>(tail).is_ok());
+            if intact {
+                writeln!(file).map_err(|e| format!("repair {}: {e}", path.display()))?;
+            } else {
+                file.set_len(cut as u64)
+                    .map_err(|e| format!("repair {}: {e}", path.display()))?;
+            }
+        }
         Ok(CheckpointLog { file: Mutex::new(file) })
     }
 
@@ -272,6 +317,14 @@ pub fn canonicalize(header: &Header, records: Vec<BatchRecord>) -> Result<Vec<Ba
         // A record sampled under a different fault model is foreign data
         // (e.g. logs concatenated across sweeps), never a replayable batch.
         if rec.fault_model != header.fault_model {
+            continue;
+        }
+        // Likewise an assembly record whose prune provenance disagrees
+        // with the header: outcomes would match (pruning is
+        // outcome-preserving), but the canonical log must not mix audited
+        // and unaudited trials. IR records never prune and carry 0 under
+        // both modes.
+        if rec.unit.layer == crate::plan::Layer::Asm && (rec.prune_table != 0) != (header.static_prune != 0) {
             continue;
         }
         match by_unit.entry(rec.unit.clone()).or_default().entry(rec.batch) {
@@ -383,6 +436,7 @@ mod tests {
             detectors: Vec::new(),
             exec_mode: Default::default(),
             region_schema: 0,
+            static_prune: 0,
         }
     }
 
@@ -395,6 +449,8 @@ mod tests {
             sdc_insts: vec![3, 17, 17],
             fault_model: ModelSpec::SingleBitReg,
             region_counts: Vec::new(),
+            prune_table: 0,
+            pruned: 0,
         }
     }
 
@@ -435,6 +491,36 @@ mod tests {
     }
 
     #[test]
+    fn append_to_repairs_a_torn_tail_before_appending() {
+        let path = tmp("torn-append");
+        let log = CheckpointLog::create(&path, &header()).unwrap();
+        log.record_batch(&record(0)).unwrap();
+        drop(log);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"Batch\":{{\"unit\"").unwrap();
+        drop(f);
+        // Appending after the torn write must not weld the new record
+        // onto the fragment: the fragment is truncated away and the log
+        // stays fully loadable — no tolerated-torn-tail line left behind.
+        let log = CheckpointLog::append_to(&path).unwrap();
+        log.record_batch(&record(1)).unwrap();
+        drop(log);
+        let (_, batches) = load(&path).unwrap();
+        assert_eq!(batches.len(), 2, "fragment dropped, both real records kept");
+        assert!(std::fs::read_to_string(&path).unwrap().ends_with('\n'));
+
+        // A complete record that only lost its newline keeps its data.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end()).unwrap();
+        let log = CheckpointLog::append_to(&path).unwrap();
+        log.record_batch(&record(2)).unwrap();
+        drop(log);
+        let (_, batches) = load(&path).unwrap();
+        assert_eq!(batches.len(), 3, "unterminated final record survives the repair");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn canonicalize_sorts_dedups_and_truncates() {
         let h = header(); // batch 250, max 1000 -> 4 batches
         let unit_a = UnitKey::new("a", Variant::Raw, 0.0, Layer::Ir);
@@ -447,6 +533,8 @@ mod tests {
             sdc_insts: Vec::new(),
             fault_model: ModelSpec::SingleBitReg,
             region_counts: Vec::new(),
+            prune_table: 0,
+            pruned: 0,
         };
         // Completion-order jumble with a duplicate and an out-of-schedule
         // batch (e.g. from a checkpoint written under a larger max_trials).
@@ -486,6 +574,8 @@ mod tests {
             sdc_insts: Vec::new(),
             fault_model: ModelSpec::SingleBitReg,
             region_counts: Vec::new(),
+            prune_table: 0,
+            pruned: 0,
         };
         let canon = canonicalize(&h, vec![quiet(0), quiet(3)]).unwrap();
         assert_eq!(canon.iter().map(|r| r.batch).collect::<Vec<_>>(), vec![0]);

@@ -25,6 +25,7 @@ use crate::cache::GoldenCache;
 use crate::checkpoint::{CheckpointLog, Header, MAGIC, VERSION};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan::{Layer, TrialUnit, UnitKey};
+use crate::prior::StaticPrior;
 use crate::progress::{merge_region_counts, BatchOutcome, UnitProgress};
 use flowery_faultmodel::{DetectorSpec, ModelSpec};
 use flowery_inject::campaign::{AsmTrialRunner, IrTrialRunner};
@@ -69,6 +70,15 @@ pub struct HarnessConfig {
     /// re-executing the golden prefix. Bit-identical results either way
     /// (and therefore not part of the checkpoint header); default on.
     pub snapshots: bool,
+    /// Rejection-skip (site, bit) pairs the static bit-lattice analysis
+    /// proves masked: the sampler draws the identical trial stream, but
+    /// proven-masked draws resolve as Benign without execution (so counts
+    /// and Wilson CIs stay bit-identical to an unpruned run), and units
+    /// are seeded flagged-first by static vulnerable-bit density. Assembly
+    /// layer only; recorded in the checkpoint header (mixed-prune resumes
+    /// are refused). Default off.
+    #[serde(default)]
+    pub static_prune: bool,
     pub exec: ExecConfig,
 }
 
@@ -85,6 +95,7 @@ impl Default for HarnessConfig {
             fault_model: ModelSpec::SingleBitReg,
             detectors: Vec::new(),
             snapshots: true,
+            static_prune: false,
             exec: ExecConfig::default(),
         }
     }
@@ -106,6 +117,7 @@ impl HarnessConfig {
             detectors: self.detectors.clone(),
             exec_mode: self.exec.executor,
             region_schema: flowery_regions::REGION_SCHEMA_VERSION,
+            static_prune: if self.static_prune { crate::prior::prune_signature() } else { 0 },
         }
     }
 
@@ -176,6 +188,10 @@ pub struct UnitResult {
     /// it; `flowery_regions::OTHER_REGION` collects unattributable trials.
     #[serde(default)]
     pub region_counts: Vec<(String, OutcomeCounts)>,
+    /// Trials resolved virtually by the static prune (subset of
+    /// `counts.benign`); 0 when pruning was off.
+    #[serde(default)]
+    pub pruned: u64,
     pub golden_dyn_insts: u64,
     pub golden_sites: u64,
     /// Assembly layer only; 0 at IR.
@@ -205,6 +221,11 @@ struct UnitState {
 struct Shared<'a> {
     units: &'a [TrialUnit],
     states: Vec<UnitState>,
+    /// Unit indices in seeding order. Identity order normally; with
+    /// static pruning on, units sort by descending static vulnerable-bit
+    /// density (flagged-first), so the densest campaigns start earliest.
+    /// Scheduling only — results are order-independent by construction.
+    order: Vec<usize>,
     cfg: &'a HarnessConfig,
     header: Header,
     max_batches: u64,
@@ -244,6 +265,9 @@ impl Shared<'_> {
             self.units[ui].key.layer == Layer::Asm && self.cfg.exec.executor == flowery_ir::interp::ExecMode::Compiled;
         self.metrics
             .record_batch(&data.counts, false, data.ff_insts, data.exec_insts, compiled);
+        if data.pruned > 0 {
+            self.metrics.record_pruned(data.pruned);
+        }
         let st = &self.states[ui];
         st.recorded.fetch_add(1, Ordering::Relaxed);
         let newly_done = st.progress.lock().unwrap().insert(batch, data, &self.header);
@@ -273,6 +297,9 @@ enum RunnerInner<'u> {
 pub struct UnitRunner<'u> {
     inner: RunnerInner<'u>,
     unit: &'u TrialUnit,
+    /// Static prune oracle, present when `cfg.static_prune` and this is
+    /// an assembly unit (the bit lattice is an assembly-layer analysis).
+    prior: Option<StaticPrior>,
 }
 
 impl<'u> UnitRunner<'u> {
@@ -309,7 +336,14 @@ impl<'u> UnitRunner<'u> {
                 RunnerInner::Asm(r)
             }
         };
-        UnitRunner { inner, unit }
+        let prior = (cfg.static_prune && unit.key.layer == Layer::Asm).then(|| {
+            let p = unit.program.as_ref().expect("asm unit has a program");
+            let table = cache.asm_bits(&unit.module, p);
+            let map = cache.asm_site_map(&unit.module, p, exec);
+            let hash = table.fingerprint(crate::cache::program_hash(p));
+            StaticPrior::new(table, map, hash)
+        });
+        UnitRunner { inner, unit, prior }
     }
 
     /// Run batch `batch` of the schedule `cfg` defines: trial indices
@@ -318,7 +352,10 @@ impl<'u> UnitRunner<'u> {
         let start = batch * cfg.batch_size;
         let end = (start + cfg.batch_size).min(cfg.max_trials);
         let model = cfg.effective_model();
-        let mut data = BatchOutcome::default();
+        let mut data = BatchOutcome {
+            prune_table: self.prior.as_ref().map_or(0, |p| p.table_hash()),
+            ..BatchOutcome::default()
+        };
         // Each trial is attributed to the region (function) containing its
         // injection site; trials whose fault never landed (e.g. crash in
         // the prefix) fall into the OTHER_REGION bucket.
@@ -351,7 +388,17 @@ impl<'u> UnitRunner<'u> {
                     }
                 }
                 RunnerInner::Asm(r) => {
-                    let t = r.run_trial_model(cfg.seed, i, model, &cfg.detectors);
+                    let t = match &self.prior {
+                        Some(prior) => {
+                            let (t, pruned) =
+                                r.run_trial_model_pruned(cfg.seed, i, model, &cfg.detectors, &|s| prior.masked_inst(s));
+                            if pruned {
+                                data.pruned += 1;
+                            }
+                            t
+                        }
+                        None => r.run_trial_model(cfg.seed, i, model, &cfg.detectors),
+                    };
                     data.counts.record(t.outcome);
                     data.ff_insts += t.ff_insts;
                     data.exec_insts += t.exec_insts;
@@ -386,10 +433,11 @@ fn worker(windex: usize, sh: &Shared<'_>) {
         if sh.stop.load(Ordering::Relaxed) {
             return;
         }
-        // Prefer unit `windex % n`, steal from the rest in round-robin.
+        // Prefer unit `windex % n` of the seeding order, steal from the
+        // rest in round-robin (flagged-first when pruning is on).
         let mut claimed = None;
         'scan: for off in 0..n {
-            let ui = (windex + off) % n;
+            let ui = sh.order[(windex + off) % n];
             let st = &sh.states[ui];
             if st.done.load(Ordering::Relaxed) {
                 continue;
@@ -447,9 +495,40 @@ pub fn run_units(
         })
         .collect();
 
+    // Seeding order: identity normally; with static pruning, assembly
+    // units sort by descending mean vulnerable-bit density (statically
+    // flagged-dense programs first — the lint drives the sampler). IR
+    // units rank as fully vulnerable (no bit proofs at that layer). The
+    // bit tables computed here are cached, so the per-unit runners reuse
+    // them for the prune oracle itself.
+    let order: Vec<usize> = if cfg.static_prune {
+        let density: Vec<f64> = units
+            .iter()
+            .map(|u| match (&u.key.layer, u.program.as_ref()) {
+                (Layer::Asm, Some(p)) => {
+                    let table = cache.asm_bits(&u.module, p);
+                    metrics.record_bits_proven(table.proven_pairs);
+                    table.mean_vulnerable()
+                }
+                _ => 1.0,
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by(|&a, &b| {
+            density[b]
+                .partial_cmp(&density[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    } else {
+        (0..units.len()).collect()
+    };
+
     let sh = Shared {
         units,
         states,
+        order,
         cfg,
         header: cfg.header(),
         max_batches,
@@ -473,12 +552,22 @@ pub fn run_units(
         if rec.fault_model != cfg.effective_model() {
             continue;
         }
+        // Same for prune provenance: outcome-identical, but a canonical
+        // log must not mix audited and unaudited trials (see checkpoint).
+        // Only assembly units carry a prune table — IR records are 0
+        // under both modes.
+        if rec.unit.layer == Layer::Asm && (rec.prune_table != 0) != cfg.static_prune {
+            continue;
+        }
         let st = &sh.states[ui];
         let mut p = st.progress.lock().unwrap();
         if p.has_batch(rec.batch) {
             continue;
         }
         sh.metrics.record_batch(&rec.counts, true, 0, 0, false);
+        if rec.pruned > 0 {
+            sh.metrics.record_pruned(rec.pruned);
+        }
         st.recorded.fetch_add(1, Ordering::Relaxed);
         if p.insert(rec.batch, BatchOutcome::from_record(rec), &sh.header) {
             st.done.store(true, Ordering::Relaxed);
@@ -508,9 +597,11 @@ pub fn run_units(
         let mut sdc_by_inst: HashMap<(FuncId, InstId), u64> = HashMap::new();
         let mut sdc_insts = Vec::new();
         let mut region_counts = Vec::new();
+        let mut pruned = 0;
         for b in 0..k {
             let data = p.batch(b).expect("decided prefix is complete");
             counts.merge(&data.counts);
+            pruned += data.pruned;
             for (loc, n) in &data.sdc_by_inst {
                 *sdc_by_inst.entry(*loc).or_insert(0) += n;
             }
@@ -538,6 +629,7 @@ pub fn run_units(
             sdc_by_inst,
             sdc_insts,
             region_counts,
+            pruned,
             golden_dyn_insts,
             golden_sites,
             golden_cycles,

@@ -30,6 +30,7 @@ pub mod explore;
 pub mod incremental;
 pub mod metrics;
 pub mod plan;
+pub mod prior;
 pub mod progress;
 pub mod shutdown;
 pub mod snapstore;
@@ -47,5 +48,6 @@ pub use incremental::{
 };
 pub use metrics::{DistStats, Metrics, MetricsSnapshot, WorkerStats};
 pub use plan::{build_matrix, matrix_fingerprint, Layer, MatrixSpec, TrialUnit, UnitKey, Variant};
+pub use prior::{prune_signature, StaticPrior};
 pub use progress::{BatchOutcome, UnitProgress};
 pub use snapstore::SnapshotStore;

@@ -36,6 +36,11 @@ pub struct Metrics {
     regions_reused: AtomicU64,
     regions_rerun: AtomicU64,
     region_trials_saved: AtomicU64,
+    /// Static-prune accounting: (site, bit) pairs the bit-lattice pass
+    /// proved masked across this run's units, and trials the prune layer
+    /// resolved without executing. Zero when `--static-prune` is off.
+    bits_proven_masked: AtomicU64,
+    bits_pruned_trials_saved: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -57,6 +62,8 @@ impl Default for Metrics {
             regions_reused: AtomicU64::new(0),
             regions_rerun: AtomicU64::new(0),
             region_trials_saved: AtomicU64::new(0),
+            bits_proven_masked: AtomicU64::new(0),
+            bits_pruned_trials_saved: AtomicU64::new(0),
         }
     }
 }
@@ -106,6 +113,18 @@ impl Metrics {
         self.region_trials_saved.fetch_add(trials_saved, Ordering::Relaxed);
     }
 
+    /// Account a unit's static prune table: how many (site, bit) pairs the
+    /// bit-lattice pass proved masked.
+    pub fn record_bits_proven(&self, pairs: u64) {
+        self.bits_proven_masked.fetch_add(pairs, Ordering::Relaxed);
+    }
+
+    /// Account trials the prune layer resolved as provably-Benign without
+    /// executing them.
+    pub fn record_pruned(&self, trials: u64) {
+        self.bits_pruned_trials_saved.fetch_add(trials, Ordering::Relaxed);
+    }
+
     /// Sample the counters. `units_total` and `remaining_trials` come from
     /// the engine, which knows the schedule; `remaining_trials` is an
     /// upper bound (adaptive stopping can cut it short); `cache` carries
@@ -153,6 +172,8 @@ impl Metrics {
             regions_reused: self.regions_reused.load(Ordering::Relaxed),
             regions_rerun: self.regions_rerun.load(Ordering::Relaxed),
             region_trials_saved: self.region_trials_saved.load(Ordering::Relaxed),
+            bits_proven_masked: self.bits_proven_masked.load(Ordering::Relaxed),
+            bits_pruned_trials_saved: self.bits_pruned_trials_saved.load(Ordering::Relaxed),
         }
     }
 }
@@ -219,6 +240,14 @@ pub struct MetricsSnapshot {
     /// Trials the reused region profiles made unnecessary.
     #[serde(default)]
     pub region_trials_saved: u64,
+    /// (site, bit) pairs proven masked by the bit-lattice pass across this
+    /// run's prune tables; 0 without `--static-prune`.
+    #[serde(default)]
+    pub bits_proven_masked: u64,
+    /// Trials resolved as provably-Benign by the prune layer without
+    /// executing.
+    #[serde(default)]
+    pub bits_pruned_trials_saved: u64,
 }
 
 impl MetricsSnapshot {
@@ -236,8 +265,16 @@ impl MetricsSnapshot {
         } else {
             String::new()
         };
+        let prune = if self.bits_proven_masked > 0 {
+            format!(
+                " | prune {} bits proven, {} trials saved",
+                self.bits_proven_masked, self.bits_pruned_trials_saved
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{}/{} units | {} trials @ {:.0}/s | sdc {} due {} det {} | cache {:.0}% ff {:.0}%{}{}",
+            "{}/{} units | {} trials @ {:.0}/s | sdc {} due {} det {} | cache {:.0}% ff {:.0}%{}{}{}",
             self.units_done,
             self.units_total,
             self.trials,
@@ -248,7 +285,8 @@ impl MetricsSnapshot {
             self.cache_hit_rate * 100.0,
             self.ff_ratio * 100.0,
             eta,
-            regions
+            regions,
+            prune
         )
     }
 
@@ -390,6 +428,20 @@ mod tests {
         assert_eq!(s.regions_rerun, 1);
         assert_eq!(s.region_trials_saved, 4200);
         assert!(s.render().contains("regions 14/16 reused, 1 re-run, 4200 trials saved"), "{}", s.render());
+    }
+
+    #[test]
+    fn prune_counters_render_only_when_pruning() {
+        let m = Metrics::new();
+        let s = m.snapshot(1, 0, CacheStats::default());
+        assert_eq!(s.bits_proven_masked, 0);
+        assert!(!s.render().contains("prune"), "unpruned campaigns hide prune counters");
+        m.record_bits_proven(1234);
+        m.record_pruned(56);
+        let s = m.snapshot(1, 0, CacheStats::default());
+        assert_eq!(s.bits_proven_masked, 1234);
+        assert_eq!(s.bits_pruned_trials_saved, 56);
+        assert!(s.render().contains("prune 1234 bits proven, 56 trials saved"), "{}", s.render());
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub struct BatchOutcome {
     pub ff_insts: u64,
     /// Instructions actually executed.
     pub exec_insts: u64,
+    /// Trials resolved virtually by the static prune (proven-masked
+    /// (site, bit) pair → Benign without execution). Checkpointed: the
+    /// saved work is part of the run's provenance, not a transient metric.
+    pub pruned: u64,
+    /// Fingerprint of the bit-verdict table the batch was pruned against;
+    /// 0 when the unit ran unpruned.
+    pub prune_table: u64,
 }
 
 impl BatchOutcome {
@@ -49,6 +56,8 @@ impl BatchOutcome {
             sdc_insts: self.sdc_insts.clone(),
             fault_model,
             region_counts: self.region_counts.clone(),
+            prune_table: self.prune_table,
+            pruned: self.pruned,
         }
     }
 
@@ -62,6 +71,8 @@ impl BatchOutcome {
             region_counts: rec.region_counts.clone(),
             ff_insts: 0,
             exec_insts: 0,
+            pruned: rec.pruned,
+            prune_table: rec.prune_table,
         }
     }
 }
@@ -174,6 +185,7 @@ mod tests {
             detectors: Vec::new(),
             exec_mode: Default::default(),
             region_schema: 0,
+            static_prune: 0,
         }
     }
 
@@ -204,6 +216,8 @@ mod tests {
             sdc_insts: vec![4, 4, 9],
             ff_insts: 1000,
             exec_insts: 500,
+            pruned: 3,
+            prune_table: 0xfeed,
             ..Default::default()
         };
         let key = UnitKey::new("b", Variant::Raw, 0.0, Layer::Asm);
@@ -215,6 +229,8 @@ mod tests {
         assert_eq!(back.counts, out.counts);
         assert_eq!(back.sdc_insts, out.sdc_insts);
         assert_eq!(back.ff_insts, 0, "metrics counters are not checkpointed");
+        assert_eq!(back.pruned, 3, "prune provenance survives the roundtrip");
+        assert_eq!(back.prune_table, 0xfeed);
     }
 
     #[test]

@@ -419,6 +419,35 @@ impl<'p> AsmTrialRunner<'p> {
         self.run_spec(spec, detectors)
     }
 
+    /// Like [`AsmTrialRunner::run_trial_model`], but with a static prune
+    /// oracle: `prune(spec)` returns the instruction index the fault would
+    /// land on when the (site, bit) pair is *statically proven masked*.
+    /// Such trials resolve as Benign with golden-identical attribution
+    /// without executing — the sample draw itself is unchanged, so the
+    /// trial stream (and therefore every count and Wilson interval) stays
+    /// bit-identical to the unpruned campaign. Returns the outcome and
+    /// whether the trial was pruned.
+    pub fn run_trial_model_pruned(
+        &mut self,
+        seed: u64,
+        trial_index: u64,
+        model: ModelSpec,
+        detectors: &[DetectorSpec],
+        prune: &dyn Fn(&AsmFaultSpec) -> Option<u32>,
+    ) -> (AsmTrialOutcome, bool) {
+        let spec = model.sample_asm(seed, trial_index, self.sites);
+        if let Some(inst) = prune(&spec) {
+            let out = AsmTrialOutcome {
+                outcome: Outcome::Benign,
+                injected_inst: Some(inst),
+                ff_insts: 0,
+                exec_insts: 0,
+            };
+            return (out, true);
+        }
+        (self.run_spec(spec, detectors), false)
+    }
+
     /// Execute trial `trial_index` re-sampled *inside one region*: the
     /// model's site draw indexes only the `mass` fault sites executed in
     /// the program instruction `range` (region-local stream; see

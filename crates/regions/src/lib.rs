@@ -1,6 +1,6 @@
 //! Region model for compositional campaigns (FastFlip-style).
 //!
-//! A *region* is a function body: at the IR layer a [`Function`] of the
+//! A *region* is a function body: at the IR layer a [`flowery_ir::module::Function`] of the
 //! module, at the machine layer the contiguous `AsmProgram` instruction
 //! range of the corresponding `AsmFunc`. Each region carries
 //!

@@ -79,6 +79,7 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
            [--checkpoint FILE] [--resume] [--no-snapshots]
            [--snapshot-budget BYTES] [--metrics-json FILE]
            [--fault-model NAME] [--executor interp|compiled]
+           [--static-prune]
                                       run the experiment matrix on the
                                       work-stealing harness; --ci-target
                                       stops each unit once the 95% CI
@@ -109,7 +110,16 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       threaded-code executor; interp is
                                       the reference interpreter) — results
                                       are bit-identical either way, and
-                                      resumes may mix executors freely
+                                      resumes may mix executors freely;
+                                      --static-prune skips trials whose
+                                      (site, bit) pair the bit-lattice
+                                      lint proves masked (they resolve as
+                                      Benign without executing — counts
+                                      and CIs are bit-identical to a full
+                                      run) and seeds units flagged-first;
+                                      recorded in the checkpoint header,
+                                      so --resume refuses a mixed-prune
+                                      mix
   diff --baseline FILE [bench ...] [--src FILE] [--out FILE] [--static-prior]
        [+ campaign options above]   incremental campaign: partition every
                                       unit into per-function regions, hash
@@ -126,8 +136,11 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       next diff's baseline);
                                       --static-prior runs the lint first
                                       and executes the most-suspect
-                                      changed regions first (scheduling
-                                      only — results are unchanged);
+                                      changed regions first, weighting
+                                      each flagged site by its vulnerable-
+                                      bit fraction from the bit lattice
+                                      (scheduling only — results are
+                                      unchanged);
                                       --json prints the composed region
                                       records; --metrics-json includes
                                       regions reused/re-run and trials
@@ -180,14 +193,18 @@ const USAGE: &str = "usage: flowery <compile|asm|run|inject|study|workloads|sour
                                       adds a per-function region table
                                       (SDC share vs dynamic site mass)
   lint <file.mc | bench> [--pass-config raw|id|flowery] [--level L]
-       [--validate] [--trials N] [--format json]
+       [--validate] [--trials N] [--format json] [--bits]
                                       static penetration analysis: flag
                                       injectable sites whose corruption can
                                       reach a store/branch/call/ret sink
                                       unchecked, plus IR-level invariant
                                       findings; --validate cross-checks the
                                       predictions against an N-trial
-                                      injection campaign
+                                      injection campaign; --bits prints the
+                                      bit-lattice verdict table (per-site
+                                      proven-masked bit masks — the prune
+                                      table campaign --static-prune uses;
+                                      --format json always includes it)
   workloads                           list the 16 Table-1 benchmarks
   source <bench>                      print a benchmark's MiniC source";
 
@@ -338,7 +355,10 @@ fn parse_benches(rest: &[String]) -> Result<Vec<String>, String> {
             continue;
         }
         if let Some(flag) = a.strip_prefix("--") {
-            skip = !matches!(flag, "resume" | "tiny" | "json" | "no-snapshots" | "static-prior" | "by-region");
+            skip = !matches!(
+                flag,
+                "resume" | "tiny" | "json" | "no-snapshots" | "static-prior" | "static-prune" | "by-region" | "bits"
+            );
             continue;
         }
         if !NAMES.contains(&a.as_str()) {
@@ -371,6 +391,7 @@ fn parse_harness(rest: &[String]) -> Result<flowery::harness::HarnessConfig, Str
         threads: opt_u64(rest, "--threads", 0) as usize,
         seed: opt_u64(rest, "--seed", 0x51C2_3001),
         snapshots: !flag(rest, "--no-snapshots"),
+        static_prune: flag(rest, "--static-prune"),
         ..Default::default()
     };
     cfg.ci_target = opt_str(rest, "--ci-target")
@@ -630,9 +651,18 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
                 }
             };
             let report = flowery::analysis::predict_program(&u.module, prog, bcfg.fold_compares);
+            // Weight each flagged site by its vulnerable-bit fraction from
+            // the bit lattice: a site with most bits proven masked is less
+            // likely to re-inject as SDC than one fully exposed, so dense
+            // regions with wide-open sites queue first.
+            let bits = flowery::analysis::analyze_bits(&u.module, prog);
             for site in &report.flagged {
                 if let Some(f) = prog.funcs.iter().find(|f| (f.entry..f.end).contains(&site.idx)) {
-                    *priorities.entry((u.key.id(), f.name.clone())).or_insert(0.0) += 1.0;
+                    let weight = bits
+                        .verdicts
+                        .get(site.idx as usize)
+                        .map_or(1.0, |v| f64::from(v.vulnerable.count_ones()) / 64.0);
+                    *priorities.entry((u.key.id(), f.name.clone())).or_insert(0.0) += weight;
                 }
             }
         }
@@ -975,6 +1005,32 @@ fn cmd_lint(rest: &[String]) -> Result<(), String> {
     if let Some(v) = &outcome.validation {
         println!("cross-validation against {} injection trials:", validate.unwrap());
         print!("{}", flowery::analysis::render_validation(v));
+    }
+    if flag(rest, "--bits") {
+        let b = outcome.bits.as_ref().expect("run_lint always computes the bit table");
+        println!(
+            "bit lattice: {} sites, {} (site, bit) pairs proven masked, mean vulnerable fraction {:.1}%",
+            b.sites,
+            b.proven_pairs,
+            b.mean_vulnerable * 100.0
+        );
+        println!("{:>6} {:>7} {:>18}  mask (v = vulnerable, . = proven)", "site", "proven", "vulnerable");
+        for s in &b.masks {
+            if s.proven_masked == 0 {
+                continue; // fully vulnerable sites carry no information
+            }
+            let mask: String = (0..64)
+                .rev()
+                .map(|bit| if (s.vulnerable >> bit) & 1 == 1 { 'v' } else { '.' })
+                .collect();
+            println!(
+                "{:>6} {:>7} {:>18}  {}",
+                s.idx,
+                s.proven_masked.count_ones(),
+                format!("{:#x}", s.vulnerable),
+                mask
+            );
+        }
     }
     Ok(())
 }

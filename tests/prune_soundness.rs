@@ -1,0 +1,168 @@
+//! Soundness gate for the static bit-lattice prune (`--static-prune`).
+//!
+//! The prune's contract: a (site, bit) pair the analyzer proves masked
+//! may be resolved as Benign *without executing the trial*. That claim is
+//! falsifiable by direct experiment — inject exactly the proven-masked
+//! pairs and check nothing deviates — and this suite does so three ways:
+//!
+//! 1. **Differential proptest** — on random MiniC programs (generator
+//!    shared with the other property suites), every sampled proven-masked
+//!    pair must execute to a Benign outcome. A single SDC/Detected/DUE
+//!    from a proven pair is a hard counterexample to the bit engine.
+//! 2. **Workload sweep** — the same differential check on all 16 Table-1
+//!    benchmarks × raw/id/flowery at Tiny scale (the CI soundness gate).
+//! 3. **Pruned-vs-full agreement** — `run_units` with `static_prune` on
+//!    must reproduce the unpruned campaign's per-unit counts, Wilson CI,
+//!    SDC attributions, and region tallies bit-for-bit, while actually
+//!    pruning a nonzero number of trials (so the equality is not vacuous).
+
+mod common;
+
+use common::program_strategy;
+use flowery_analysis::statline::analyze_bits;
+use flowery_backend::{compile_module, AsmFaultSpec, BackendConfig, Machine};
+use flowery_harness::{build_matrix, run_units, GoldenCache, HarnessConfig, MatrixSpec, RunOptions};
+use flowery_inject::{classify, Outcome};
+use flowery_ir::interp::ExecConfig;
+use flowery_ir::Module;
+use flowery_passes::{apply_flowery, duplicate_module, DupConfig, FloweryConfig, ProtectionPlan};
+use flowery_workloads::{workload, Scale, NAMES};
+use proptest::prelude::*;
+
+fn protect(mut m: Module, pass: &str) -> Module {
+    if pass != "raw" {
+        let plan = ProtectionPlan::full(&m);
+        duplicate_module(&mut m, &plan, &DupConfig::default());
+        if pass == "flowery" {
+            apply_flowery(&mut m, &FloweryConfig::default());
+        }
+    }
+    m
+}
+
+/// Inject up to `budget` proven-masked (site, bit) pairs of `m` and return
+/// `(pairs tested, deviations)` — any non-Benign outcome from a proven
+/// pair is a deviation. Pairs are spread deterministically across the
+/// dynamic site trace so early and late program phases are both covered.
+fn inject_proven_masked(m: &Module, budget: usize) -> (usize, Vec<String>) {
+    let bcfg = BackendConfig::default();
+    let prog = compile_module(m, &bcfg);
+    let table = analyze_bits(m, &prog);
+    let exec = ExecConfig::default();
+    let mach = Machine::new(m, &prog);
+    let golden = mach.run(&exec, None);
+    let sites = mach.site_trace(&exec, 100_000);
+
+    // Every dynamic (site, masked bit-family) pair, site-major. Sampled
+    // at a stride that fits the budget: family `bit` at dynamic site `i`.
+    let candidates: Vec<(u64, u32)> = sites
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &inst)| {
+            let v = table.verdicts[inst as usize];
+            (0..64)
+                .filter(move |&b| (v.proven_masked >> b) & 1 == 1)
+                .map(move |b| (i as u64, b))
+        })
+        .collect();
+    let stride = (candidates.len() / budget.max(1)).max(1);
+    let mut tested = 0;
+    let mut deviations = Vec::new();
+    for &(site, bit) in candidates.iter().step_by(stride) {
+        tested += 1;
+        let r = mach.run(&exec, Some(AsmFaultSpec::single(site, bit)));
+        let outcome = classify(r.status, &r.output, golden.status, &golden.output);
+        if outcome != Outcome::Benign {
+            deviations.push(format!(
+                "site {site} (inst {} = {:?}) bit {bit}: {outcome:?}",
+                sites[site as usize], prog.insts[sites[site as usize] as usize].kind
+            ));
+        }
+    }
+    (tested, deviations)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, max_shrink_iters: 0, ..ProptestConfig::default() })]
+
+    #[test]
+    fn proven_masked_pairs_are_benign_on_random_programs(src in program_strategy()) {
+        let raw = flowery_lang::compile("prop", &src).unwrap();
+        for pass in ["raw", "id"] {
+            let m = protect(raw.clone(), pass);
+            let (tested, deviations) = inject_proven_masked(&m, 160);
+            prop_assert!(
+                deviations.is_empty(),
+                "[{pass}] {} of {tested} proven-masked pairs deviated:\n{}\n{src}",
+                deviations.len(),
+                deviations.join("\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn proven_masked_pairs_are_benign_on_all_workloads() {
+    let mut total_tested = 0usize;
+    let mut failures = Vec::new();
+    for name in NAMES {
+        let raw = workload(name, Scale::Tiny).compile();
+        for pass in ["raw", "id", "flowery"] {
+            let m = protect(raw.clone(), pass);
+            let (tested, deviations) = inject_proven_masked(&m, 60);
+            total_tested += tested;
+            if !deviations.is_empty() {
+                failures.push(format!("{name}/{pass}: {}", deviations.join("; ")));
+            }
+        }
+    }
+    assert!(total_tested > 500, "the sweep must exercise a real sample, got {total_tested}");
+    assert!(
+        failures.is_empty(),
+        "proven-masked pairs deviated on {} workload variants:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn pruned_campaign_agrees_with_full_campaign() {
+    let spec = MatrixSpec {
+        benches: vec!["crc32".into(), "quicksort".into()],
+        scale: Scale::Tiny,
+        levels: vec![1.0],
+        profile_trials: 100,
+        ..Default::default()
+    };
+    let units = build_matrix(&spec);
+    let cfg = HarnessConfig {
+        max_trials: 400,
+        batch_size: 100,
+        min_trials: 100,
+        ci_target: Some(0.05),
+        threads: 2,
+        ..Default::default()
+    };
+    let full = run_units(&units, &cfg, &GoldenCache::new(), RunOptions::default());
+    let pruned_cfg = HarnessConfig { static_prune: true, ..cfg };
+    let pruned = run_units(&units, &pruned_cfg, &GoldenCache::new(), RunOptions::default());
+
+    assert_eq!(full.units.len(), pruned.units.len());
+    let mut pruned_total = 0;
+    for (f, p) in full.units.iter().zip(&pruned.units) {
+        assert_eq!(f.key, p.key);
+        assert_eq!(f.trials, p.trials, "{}: Wilson early-stop point must not move", f.key.id());
+        assert_eq!(f.counts, p.counts, "{}: outcome counts must be bit-identical", f.key.id());
+        assert_eq!(f.sdc, p.sdc, "{}: Wilson estimate must be unbiased under pruning", f.key.id());
+        assert_eq!(f.sdc_insts, p.sdc_insts, "{}: SDC attributions must match", f.key.id());
+        assert_eq!(f.region_counts, p.region_counts, "{}: region tallies must match", f.key.id());
+        assert_eq!(f.pruned, 0, "unpruned campaigns record no pruned trials");
+        pruned_total += p.pruned;
+    }
+    assert!(pruned_total > 0, "the agreement must not be vacuous — some trials must actually prune");
+    assert!(pruned.metrics.bits_proven_masked > 0, "proven-pair metric records the table mass");
+    // Metrics count every executed batch, including in-flight batches past
+    // the Wilson early-stop prefix that the unit tally drops — so >=.
+    assert!(pruned.metrics.bits_pruned_trials_saved >= pruned_total, "metrics cover the unit tallies");
+    assert_eq!(full.metrics.bits_pruned_trials_saved, 0);
+}
